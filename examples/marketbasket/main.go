@@ -1,0 +1,78 @@
+// Market basket: Example 6.1 of the paper.  "A person buys whatever the
+// people they know buy, provided it is cheap":
+//
+//	buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).
+//
+// The analysis detects that cheap is recursively redundant (its augmented
+// bridge in the a-graph w.r.t. G_I is uniformly bounded, Theorem 6.3), so
+// evaluation can check cheap a bounded number of times and then iterate the
+// cheap-free rule only (Theorem 4.2 schedule).  This example runs both
+// plans on a synthetic social graph and compares the work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/redundant"
+	"linrec/internal/rel"
+	"linrec/internal/workload"
+)
+
+func main() {
+	rule := parser.MustParseOp("buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+	fmt.Printf("rule: %v\n\n", rule)
+
+	findings := redundant.Analyze(rule, 0)
+	if len(findings) == 0 {
+		log.Fatal("expected cheap to be recursively redundant")
+	}
+	f := findings[0]
+	fmt.Printf("recursively redundant predicates: %v\n", f.Preds)
+	fmt.Printf("wide operator C: %v  (C^%d ≤ C^%d)\n", f.Wide, f.Bound.N, f.Bound.K)
+
+	dec, err := redundant.Decompose(rule, f, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposition: A^%d = B·C^%d with\n  B: %v\n\n", dec.L, dec.L, dec.B)
+
+	// Synthetic data: a random "knows" graph, a cheap-filter over the
+	// items, and seed purchases.
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	const people = 300
+	workload.Random(e, db, "knows", people, 4*people, 42)
+	workload.Unary(e, db, "cheap", people, func(i int) bool { return i%5 != 0 })
+	q := rel.NewRelation(2)
+	for i := 0; i < people; i += 9 {
+		q.Insert(rel.Tuple{
+			e.Syms.Intern(fmt.Sprintf("v%d", i)),
+			e.Syms.Intern(fmt.Sprintf("v%d", (i*13+2)%people)),
+		})
+	}
+
+	full, fullStats := e.SemiNaive(db, []*ast.Op{rule}, q)
+	opt, optStats := redundant.EvalOptimized(e, db, dec, q)
+	if !full.Equal(opt) {
+		log.Fatalf("optimized evaluation diverged: %d vs %d tuples", full.Len(), opt.Len())
+	}
+	com, comStats, err := redundant.EvalCommuting(e, db, dec, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !full.Equal(com) {
+		log.Fatalf("commuting schedule diverged: %d vs %d tuples", full.Len(), com.Len())
+	}
+
+	fmt.Printf("buys facts derived: %d\n", full.Len())
+	fmt.Printf("full semi-naive:              %v\n", fullStats)
+	fmt.Printf("Theorem 4.2 schedule:         %v\n", optStats)
+	fmt.Printf("commuting schedule (B·C=C·B): %v\n", comStats)
+	fmt.Println("\ncheap participated in at most N·L−1 =",
+		dec.N*dec.L-1, "operator applications in both optimized plans;")
+	fmt.Println("the full plan probes cheap on every derivation of every round.")
+}

@@ -1,0 +1,61 @@
+// Same-generation: the paper notes (Example 5.2) that the product of the
+// two commuting transitive-closure rules is the recursive rule of the
+// "same-generation" program.  This example builds that program over a
+// family tree, shows the decomposition the commutativity analysis licenses,
+// and compares the duplicate work of the monolithic and decomposed plans.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"linrec/internal/ast"
+	"linrec/internal/commute"
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+	"linrec/internal/workload"
+)
+
+func main() {
+	// sg(X,Y): X and Y are of the same generation.
+	// The recursive rule is the product of the two TC forms:
+	//   up-step on X's side, down-step on Y's side.
+	b := parser.MustParseOp("sg(X,Y) :- up(X,U), sg(U,Y).")  // climb on the left
+	c := parser.MustParseOp("sg(X,Y) :- sg(X,U), down(U,Y).") // descend on the right
+
+	rep, err := commute.Syntactic(b, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rules:\n  B: %v\n  C: %v\n\n", b, c)
+	fmt.Printf("syntactic commutativity (Theorem 5.2):\n%s\n", rep)
+
+	// Data: a complete binary family tree; up = child→parent edges,
+	// down = parent→child edges.
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Tree(e, db, "down", 2, 7)
+	up := db.Rel("up", 2)
+	db["down"].Each(func(t rel.Tuple) {
+		up.Insert(rel.Tuple{t[1], t[0]})
+	})
+
+	// Q: the "same person" pairs at the leaves — here, sibling seeds.
+	q := rel.NewRelation(2)
+	db["down"].Each(func(t rel.Tuple) {
+		q.Insert(rel.Tuple{t[1], t[1]})
+	})
+
+	mono, monoStats := e.SemiNaive(db, []*ast.Op{b, c}, q)
+	dec, decStats := e.Decomposed(db, []*ast.Op{c}, []*ast.Op{b}, q)
+	if !mono.Equal(dec) {
+		log.Fatalf("decomposition changed the answer: %d vs %d", mono.Len(), dec.Len())
+	}
+	fmt.Printf("same-generation pairs: %d\n", mono.Len())
+	fmt.Printf("monolithic (B+C)*:  %v\n", monoStats)
+	fmt.Printf("decomposed  C*B*:   %v\n", decStats)
+	if decStats.Duplicates <= monoStats.Duplicates {
+		fmt.Println("\nTheorem 3.1 in action: the decomposed plan produced no more duplicates.")
+	}
+}

@@ -1,0 +1,314 @@
+// Package agraph implements the a-graph of a linear rule (Section 5 of the
+// paper) and everything built on it: the h function, the classification of
+// distinguished variables (free/link n-persistent, general, n-ray), bridges
+// and augmented bridges with respect to a separating subgraph, and the
+// narrow and wide rules of an augmented bridge.
+//
+// The a-graph of a rule has one node per variable; a static arc (x→y),
+// labeled Q, for every pair of consecutive argument positions x, y of a
+// nonrecursive predicate Q (a unary Q(x) contributes a static self-loop);
+// and a dynamic arc (x→y) whenever x appears at some position of the
+// recursive predicate in the antecedent and y at the same position in the
+// consequent.
+package agraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"linrec/internal/ast"
+)
+
+// StaticArc is a static a-graph arc: consecutive argument positions of a
+// nonrecursive atom.
+type StaticArc struct {
+	From, To string
+	Pred     string
+	AtomIdx  int // index into the rule's NonRec slice
+	Pos      int // index of the left argument position (0 for unary loops)
+}
+
+// DynamicArc is a dynamic a-graph arc: antecedent variable → consequent
+// variable at recursive-predicate position Pos.
+type DynamicArc struct {
+	From, To string
+	Pos      int
+}
+
+// Graph is the a-graph of a linear operator.
+type Graph struct {
+	Op      *ast.Op
+	Nodes   []string // all variables, sorted
+	Static  []StaticArc
+	Dynamic []DynamicArc
+
+	classes map[string]VarInfo
+}
+
+// Class is the classification of a distinguished variable per Section 5.
+type Class int
+
+const (
+	// General: not persistent.
+	General Class = iota
+	// FreePersistent: member of an h-cycle none of whose members occurs
+	// anywhere else in the rule.
+	FreePersistent
+	// LinkPersistent: member of an h-cycle with at least one member
+	// occurring elsewhere in the rule.
+	LinkPersistent
+)
+
+func (c Class) String() string {
+	switch c {
+	case FreePersistent:
+		return "free-persistent"
+	case LinkPersistent:
+		return "link-persistent"
+	default:
+		return "general"
+	}
+}
+
+// VarInfo describes one distinguished variable.
+type VarInfo struct {
+	Class Class
+	// N is the persistence cardinality (cycle length) for persistent
+	// variables; 0 for general ones.
+	N int
+	// Ray is the paper's n-ray length for general variables connected to a
+	// link-persistent variable via dynamic arcs alone; 0 if not a ray
+	// variable.
+	Ray int
+}
+
+// IsPersistent reports persistence of any cardinality.
+func (v VarInfo) IsPersistent() bool { return v.Class != General }
+
+// String renders the classification, e.g. "free 2-persistent" or "1-ray".
+func (v VarInfo) String() string {
+	switch v.Class {
+	case FreePersistent:
+		return fmt.Sprintf("free %d-persistent", v.N)
+	case LinkPersistent:
+		return fmt.Sprintf("link %d-persistent", v.N)
+	}
+	if v.Ray > 0 {
+		return fmt.Sprintf("general (%d-ray)", v.Ray)
+	}
+	return "general"
+}
+
+// New builds the a-graph of op and classifies its variables.
+func New(op *ast.Op) *Graph {
+	g := &Graph{Op: op}
+	g.Nodes = op.AllVars().Sorted()
+	for i, a := range op.NonRec {
+		if a.Arity() == 1 {
+			g.Static = append(g.Static, StaticArc{
+				From: a.Args[0].Name, To: a.Args[0].Name, Pred: a.Pred, AtomIdx: i,
+			})
+			continue
+		}
+		for p := 0; p+1 < a.Arity(); p++ {
+			g.Static = append(g.Static, StaticArc{
+				From: a.Args[p].Name, To: a.Args[p+1].Name, Pred: a.Pred, AtomIdx: i, Pos: p,
+			})
+		}
+	}
+	for p := range op.Head.Args {
+		g.Dynamic = append(g.Dynamic, DynamicArc{
+			From: op.Rec.Args[p].Name, To: op.Head.Args[p].Name, Pos: p,
+		})
+	}
+	g.classify()
+	return g
+}
+
+// classify computes VarInfo for every distinguished variable.
+func (g *Graph) classify() {
+	op := g.Op
+	g.classes = map[string]VarInfo{}
+	dist := op.Distinguished()
+	occ := occurrenceCount(op)
+
+	// Persistent variables are the h-cycles through distinguished
+	// variables: x is n-persistent if hⁿ(x) = x with all intermediates
+	// distinguished.
+	visited := map[string]bool{}
+	for _, t := range op.Head.Args {
+		x := t.Name
+		if visited[x] {
+			continue
+		}
+		cycle, ok := hCycle(op, x)
+		if !ok {
+			continue
+		}
+		// A member of the cycle is "free" persistent when no member
+		// occurs anywhere else in the rule: each occurs exactly once in
+		// the head (rectified) and exactly once in the recursive atom.
+		free := true
+		for _, m := range cycle {
+			if occ[m] != 1 { // one body occurrence: the Rec position
+				free = false
+				break
+			}
+		}
+		class := LinkPersistent
+		if free {
+			class = FreePersistent
+		}
+		for _, m := range cycle {
+			g.classes[m] = VarInfo{Class: class, N: len(cycle)}
+			visited[m] = true
+		}
+	}
+	for _, t := range op.Head.Args {
+		if _, ok := g.classes[t.Name]; !ok {
+			g.classes[t.Name] = VarInfo{Class: General}
+		}
+	}
+	_ = dist
+	g.computeRays()
+}
+
+// computeRays assigns Ray distances: a general distinguished variable whose
+// node reaches a link-persistent variable through dynamic arcs alone is
+// n-ray, n the length of the shortest such path (in the underlying
+// undirected dynamic-arc graph).
+func (g *Graph) computeRays() {
+	adj := map[string][]string{}
+	for _, d := range g.Dynamic {
+		if d.From == d.To {
+			continue
+		}
+		adj[d.From] = append(adj[d.From], d.To)
+		adj[d.To] = append(adj[d.To], d.From)
+	}
+	// Multi-source BFS from link-persistent variables.
+	type qe struct {
+		v string
+		d int
+	}
+	var queue []qe
+	distTo := map[string]int{}
+	for v, info := range g.classes {
+		if info.Class == LinkPersistent {
+			distTo[v] = 0
+			queue = append(queue, qe{v, 0})
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].v < queue[j].v })
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur.v] {
+			if _, seen := distTo[nb]; seen {
+				continue
+			}
+			distTo[nb] = cur.d + 1
+			queue = append(queue, qe{nb, cur.d + 1})
+		}
+	}
+	for v, info := range g.classes {
+		if info.Class != General {
+			continue
+		}
+		if d, ok := distTo[v]; ok && d > 0 {
+			info.Ray = d
+			g.classes[v] = info
+		}
+	}
+}
+
+// hCycle follows h from x; it returns the cycle (x, h(x), …) when h
+// eventually returns to x through distinguished variables only.
+func hCycle(op *ast.Op, x string) ([]string, bool) {
+	cycle := []string{x}
+	cur := x
+	for {
+		next, dist := op.H(cur)
+		if !dist {
+			return nil, false
+		}
+		if next == x {
+			return cycle, true
+		}
+		// Guard against non-cyclic h-chains re-entering elsewhere.
+		for _, m := range cycle {
+			if m == next {
+				return nil, false
+			}
+		}
+		if _, isDist := op.H(next); !isDist {
+			return nil, false
+		}
+		cycle = append(cycle, next)
+		cur = next
+		if len(cycle) > op.Arity() {
+			return nil, false
+		}
+	}
+}
+
+// occurrenceCount counts body occurrences of each variable (recursive atom
+// plus nonrecursive atoms).
+func occurrenceCount(op *ast.Op) map[string]int {
+	return op.Occurrences()
+}
+
+// Info returns the classification of a distinguished variable; ok is false
+// for nondistinguished names.
+func (g *Graph) Info(v string) (VarInfo, bool) {
+	info, ok := g.classes[v]
+	return info, ok
+}
+
+// Classes returns the classification map keyed by distinguished variable.
+func (g *Graph) Classes() map[string]VarInfo {
+	out := make(map[string]VarInfo, len(g.classes))
+	for k, v := range g.classes {
+		out[k] = v
+	}
+	return out
+}
+
+// LinkOnePersistent returns the sorted link 1-persistent variables — the
+// separating set V′ used for commutativity bridges (Section 5).
+func (g *Graph) LinkOnePersistent() []string {
+	var out []string
+	for v, info := range g.classes {
+		if info.Class == LinkPersistent && info.N == 1 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkPersistentAndRays returns the sorted set I = I_l ∪ I_r of
+// link-persistent and ray variables — the separating set for recursive
+// redundancy bridges (Section 6.2).
+func (g *Graph) LinkPersistentAndRays() []string {
+	var out []string
+	for v, info := range g.classes {
+		if info.Class == LinkPersistent || info.Ray > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DescribeClasses renders a deterministic one-line-per-variable summary in
+// head order, used by the CLI and the figure-reproduction driver.
+func (g *Graph) DescribeClasses() string {
+	var b strings.Builder
+	for _, t := range g.Op.Head.Args {
+		info := g.classes[t.Name]
+		fmt.Fprintf(&b, "%s: %s\n", t.Name, info)
+	}
+	return b.String()
+}

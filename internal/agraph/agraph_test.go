@@ -1,0 +1,315 @@
+package agraph
+
+import (
+	"testing"
+
+	"linrec/internal/algebra"
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+)
+
+func graph(t *testing.T, src string) *Graph {
+	t.Helper()
+	op, err := parser.ParseOp(src)
+	if err != nil {
+		t.Fatalf("ParseOp(%q): %v", src, err)
+	}
+	return New(op)
+}
+
+func wantClass(t *testing.T, g *Graph, v string, class Class, n int) {
+	t.Helper()
+	info, ok := g.Info(v)
+	if !ok {
+		t.Fatalf("variable %q not classified", v)
+	}
+	if info.Class != class || info.N != n {
+		t.Fatalf("%q classified %v (N=%d), want %v (N=%d)", v, info.Class, info.N, class, n)
+	}
+}
+
+// TestExample51Figure1 reproduces Example 5.1 / Figure 1: z free
+// 1-persistent, w and y link 1-persistent, u and v free 2-persistent, x
+// general.
+func TestExample51Figure1(t *testing.T) {
+	g := graph(t, "p(U,V,W,X,Y,Z) :- p(V,U,W,A,Y,Z), q(X,Y), r(W).")
+	wantClass(t, g, "Z", FreePersistent, 1)
+	wantClass(t, g, "W", LinkPersistent, 1)
+	wantClass(t, g, "Y", LinkPersistent, 1)
+	wantClass(t, g, "U", FreePersistent, 2)
+	wantClass(t, g, "V", FreePersistent, 2)
+	wantClass(t, g, "X", General, 0)
+}
+
+// fig2Rule is the second rule of Example 5.1 (Figure 2).
+const fig2Rule = "p(U,W,X,Y,Z) :- p(U,U,U,Y,Y), q(U,X,Y), r(W), s(X), t(Z)."
+
+// TestExample51Figure2Classes: u and y are link 1-persistent; the rest are
+// general.
+func TestExample51Figure2Classes(t *testing.T) {
+	g := graph(t, fig2Rule)
+	wantClass(t, g, "U", LinkPersistent, 1)
+	wantClass(t, g, "Y", LinkPersistent, 1)
+	wantClass(t, g, "W", General, 0)
+	wantClass(t, g, "X", General, 0)
+	wantClass(t, g, "Z", General, 0)
+}
+
+// TestExample51Figure2Bridges reproduces the three augmented bridges of
+// Figure 2 and their narrow and wide rules exactly as printed in the paper.
+func TestExample51Figure2Bridges(t *testing.T) {
+	g := graph(t, fig2Rule)
+	bridges := g.Bridges(CommutativitySeparator)
+	if len(bridges) != 3 {
+		t.Fatalf("got %d bridges, want 3", len(bridges))
+	}
+
+	narrowWant := []string{
+		"p(U,W) :- p(U,U), r(W).",
+		"p(U,X,Y) :- p(U,U,Y), q(U,X,Y), s(X).",
+		"p(Y,Z) :- p(Y,Y), t(Z).",
+	}
+	wideWant := []string{
+		"p(U,W,X,Y,Z) :- p(U,U,X,Y,Z), r(W).",
+		"p(U,W,X,Y,Z) :- p(U,W,U,Y,Z), q(U,X,Y), s(X).",
+		"p(U,W,X,Y,Z) :- p(U,W,X,Y,Y), t(Z).",
+	}
+	for i, b := range bridges {
+		nw, err := parser.ParseOp(narrowWant[i])
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		got := g.NarrowRule(b)
+		if !algebra.Equal(got, nw) {
+			t.Errorf("bridge %d narrow rule = %v, want %v", i, got, nw)
+		}
+		ww, err := parser.ParseOp(wideWant[i])
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		gotW := g.WideRule(b)
+		if !algebra.Equal(gotW, ww) {
+			t.Errorf("bridge %d wide rule = %v, want %v", i, gotW, ww)
+		}
+	}
+}
+
+func TestTransitiveClosureClasses(t *testing.T) {
+	// Left-linear TC: X free 1-persistent, Y general.
+	g := graph(t, "p(X,Y) :- p(X,Z), e(Z,Y).")
+	wantClass(t, g, "X", FreePersistent, 1)
+	wantClass(t, g, "Y", General, 0)
+
+	// Right-linear TC: Y free 1-persistent, X general.
+	g2 := graph(t, "p(X,Y) :- e(X,Z), p(Z,Y).")
+	wantClass(t, g2, "Y", FreePersistent, 1)
+	wantClass(t, g2, "X", General, 0)
+}
+
+func TestExample53Classes(t *testing.T) {
+	// r1: P(x,y,z) :- P(u,y,z), Q(x,y): y link 1-p, z free 1-p, x general.
+	g := graph(t, "p(X,Y,Z) :- p(U,Y,Z), q(X,Y).")
+	wantClass(t, g, "Y", LinkPersistent, 1)
+	wantClass(t, g, "Z", FreePersistent, 1)
+	wantClass(t, g, "X", General, 0)
+
+	// r2: P(x,y,z) :- P(x,y,u), R(z,y): y link 1-p, x free 1-p, z general.
+	g2 := graph(t, "p(X,Y,Z) :- p(X,Y,U), r(Z,Y).")
+	wantClass(t, g2, "Y", LinkPersistent, 1)
+	wantClass(t, g2, "X", FreePersistent, 1)
+	wantClass(t, g2, "Z", General, 0)
+}
+
+// TestExample61Rays reproduces Figure 6's structure: in
+// buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y), Y is link 1-persistent and
+// X is general (not a ray: X connects to nondistinguished Z dynamically).
+func TestExample61(t *testing.T) {
+	g := graph(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+	wantClass(t, g, "Y", LinkPersistent, 1)
+	wantClass(t, g, "X", General, 0)
+	info, _ := g.Info("X")
+	if info.Ray != 0 {
+		t.Fatalf("X should not be a ray variable, got %v", info)
+	}
+	i := g.LinkPersistentAndRays()
+	if len(i) != 1 || i[0] != "Y" {
+		t.Fatalf("I = %v, want [Y]", i)
+	}
+	bridges := g.Bridges(RedundancySeparator)
+	// Two bridges: {knows, Z→X dynamic} and {cheap}.
+	if len(bridges) != 2 {
+		t.Fatalf("got %d redundancy bridges, want 2", len(bridges))
+	}
+	var cheapBridge *Bridge
+	for _, b := range bridges {
+		for _, i := range b.AtomIdx {
+			if g.Op.NonRec[i].Pred == "cheap" {
+				cheapBridge = b
+			}
+		}
+	}
+	if cheapBridge == nil {
+		t.Fatalf("no bridge contains cheap")
+	}
+	wide := g.WideRule(cheapBridge)
+	want, _ := parser.ParseOp("buys(X,Y) :- buys(X,Y), cheap(Y).")
+	if !algebra.Equal(wide, want) {
+		t.Fatalf("cheap wide rule = %v, want %v", wide, want)
+	}
+}
+
+// ex62Rule is the rule of Example 6.2 (Figure 7).
+const ex62Rule = "p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), r(X,Y), s(U,Z)."
+
+func TestExample62Classification(t *testing.T) {
+	g := graph(t, ex62Rule)
+	wantClass(t, g, "W", LinkPersistent, 2)
+	wantClass(t, g, "X", LinkPersistent, 2)
+	wantClass(t, g, "Y", General, 0)
+	wantClass(t, g, "Z", General, 0)
+	yi, _ := g.Info("Y")
+	if yi.Ray != 1 {
+		t.Fatalf("Y should be 1-ray, got %v", yi)
+	}
+	zi, _ := g.Info("Z")
+	if zi.Ray != 0 {
+		t.Fatalf("Z should not be a ray, got %v", zi)
+	}
+	i := g.LinkPersistentAndRays()
+	if len(i) != 3 || i[0] != "W" || i[1] != "X" || i[2] != "Y" {
+		t.Fatalf("I = %v, want [W X Y]", i)
+	}
+}
+
+// TestExample62Bridges: w.r.t. G_I the rule has two bridges; the one with R
+// yields the paper's wide operator C and complement B (checked at L=1 via
+// Lemma 6.5: A = B·C).
+func TestExample62Bridges(t *testing.T) {
+	g := graph(t, ex62Rule)
+	bridges := g.Bridges(RedundancySeparator)
+	if len(bridges) != 2 {
+		t.Fatalf("got %d bridges, want 2", len(bridges))
+	}
+	var rBridge *Bridge
+	for _, b := range bridges {
+		for _, i := range b.AtomIdx {
+			if g.Op.NonRec[i].Pred == "r" {
+				rBridge = b
+			}
+		}
+	}
+	if rBridge == nil {
+		t.Fatalf("no bridge contains r")
+	}
+	if len(rBridge.AtomIdx) != 1 {
+		t.Fatalf("r's bridge should contain only r: %v", rBridge.AtomIdx)
+	}
+	// Augmentation must pull in the whole G_I component {W,X,Y}.
+	for _, v := range []string{"W", "X", "Y"} {
+		if !rBridge.AugVars.Has(v) {
+			t.Fatalf("augmented bridge misses %s: %v", v, rBridge.AugVars.Sorted())
+		}
+	}
+	c := g.WideRule(rBridge)
+	wantC, _ := parser.ParseOp("p(W,X,Y,Z) :- p(X,W,X,Z), r(X,Y).")
+	if !algebra.Equal(c, wantC) {
+		t.Fatalf("C = %v, want %v", c, wantC)
+	}
+	b := ComplementWideRule(g.Op, rBridge.AugVars, rBridge.AtomIdx)
+	// Lemma 6.5: A = B·C.
+	bc := algebra.MustCompose(b, c)
+	if !algebra.Equal(bc, g.Op) {
+		t.Fatalf("Lemma 6.5 violated: B·C = %v, want A = %v", bc, g.Op)
+	}
+}
+
+func TestEquivalentBridges(t *testing.T) {
+	// Example 5.3's rules share the link 1-persistent variable Y; the
+	// bridges {q} in r1 and {r} in r2 are NOT equivalent, while each rule's
+	// own bridge is equivalent to itself.
+	g1 := graph(t, "p(X,Y,Z) :- p(U,Y,Z), q(X,Y).")
+	g2 := graph(t, "p(X,Y,Z) :- p(X,Y,U), r(Z,Y).")
+	// r1 has two bridges: {q, U→X} around X and the free 1-persistent
+	// self-loop {Z→Z}; symmetrically for r2.
+	b1 := BridgeOf(g1.Bridges(CommutativitySeparator), "X")
+	b2 := BridgeOf(g2.Bridges(CommutativitySeparator), "Z")
+	if b1 == nil || b2 == nil {
+		t.Fatalf("missing bridges for X / Z")
+	}
+	if EquivalentBridges(g1, b1, g2, b2) {
+		t.Fatalf("q-bridge and r-bridge must not be equivalent")
+	}
+	if !EquivalentBridges(g1, b1, g1, b1) {
+		t.Fatalf("bridge should be equivalent to itself")
+	}
+}
+
+func TestEquivalentBridgesPositive(t *testing.T) {
+	// Two rules sharing an identical bridge around general variable X.
+	g1 := graph(t, "p(X,Y) :- p(U,Y), q(X,Y), a(Y).")
+	g2 := graph(t, "p(X,Y) :- p(V,Y), q(X,Y), b(Y).")
+	b1 := BridgeOf(g1.Bridges(CommutativitySeparator), "X")
+	b2 := BridgeOf(g2.Bridges(CommutativitySeparator), "X")
+	if b1 == nil || b2 == nil {
+		t.Fatalf("missing bridges: %v %v", b1, b2)
+	}
+	if !EquivalentBridges(g1, b1, g2, b2) {
+		t.Fatalf("identical q-bridges should be equivalent")
+	}
+}
+
+func TestBridgeOf(t *testing.T) {
+	g := graph(t, fig2Rule)
+	bridges := g.Bridges(CommutativitySeparator)
+	b := BridgeOf(bridges, "X")
+	if b == nil || !b.Vars.Has("X") {
+		t.Fatalf("BridgeOf(X) = %v", b)
+	}
+	bw := BridgeOf(bridges, "W")
+	if bw == nil {
+		t.Fatalf("BridgeOf(W) = nil")
+	}
+	if len(bw.AtomIdx) != 1 || g.Op.NonRec[bw.AtomIdx[0]].Pred != "r" {
+		t.Fatalf("W's bridge should contain exactly r: %v", bw.AtomIdx)
+	}
+	if BridgeOf(bridges, "Nope") != nil {
+		t.Fatalf("unknown variable should lie on no bridge")
+	}
+}
+
+func TestDescribeClasses(t *testing.T) {
+	g := graph(t, "p(X,Y) :- p(X,Z), e(Z,Y).")
+	got := g.DescribeClasses()
+	want := "X: free 1-persistent\nY: general\n"
+	if got != want {
+		t.Fatalf("DescribeClasses = %q, want %q", got, want)
+	}
+}
+
+func TestUnaryStaticArcIsSelfLoop(t *testing.T) {
+	g := graph(t, "p(X,Y) :- p(X,Y), u(Y).")
+	found := false
+	for _, s := range g.Static {
+		if s.From == "Y" && s.To == "Y" && s.Pred == "u" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unary predicate should contribute a static self-loop: %v", g.Static)
+	}
+}
+
+func TestFreePersistentCyclePair(t *testing.T) {
+	// Swap: both X and Y free 2-persistent.
+	g := graph(t, "p(X,Y) :- p(Y,X), e(Z,Z).")
+	wantClass(t, g, "X", FreePersistent, 2)
+	wantClass(t, g, "Y", FreePersistent, 2)
+}
+
+func TestLinkPersistentViaRepeatedRecOccurrence(t *testing.T) {
+	// X occurs twice in the recursive atom: link, not free.
+	g := graph(t, "p(X,Y) :- p(X,X), e(Y).")
+	wantClass(t, g, "X", LinkPersistent, 1)
+}
+
+var _ = ast.V

@@ -1,0 +1,61 @@
+package agraph
+
+import (
+	"fmt"
+	"testing"
+
+	"linrec/internal/ast"
+)
+
+// wideRuleOp builds a rule with n link 1-persistent variables, each with
+// its own unary decoration, plus n general variables with binary bridges —
+// 2n bridges in total.
+func wideRuleOp(n int) *ast.Op {
+	head := make([]ast.Term, 0, 2*n)
+	rec := make([]ast.Term, 0, 2*n)
+	op := &ast.Op{}
+	for i := 0; i < n; i++ {
+		l := ast.V(fmt.Sprintf("L%d", i))
+		g := ast.V(fmt.Sprintf("G%d", i))
+		u := ast.V(fmt.Sprintf("U%d", i))
+		head = append(head, l, g)
+		rec = append(rec, l, u)
+		op.NonRec = append(op.NonRec,
+			ast.NewAtom(fmt.Sprintf("d%d", i), l),
+			ast.NewAtom(fmt.Sprintf("e%d", i), u, g),
+		)
+	}
+	op.Head = ast.Atom{Pred: "p", Args: head}
+	op.Rec = ast.Atom{Pred: "p", Args: rec}
+	return op
+}
+
+// BenchmarkNewAndClassify: a-graph construction + classification cost.
+func BenchmarkNewAndClassify(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		op := wideRuleOp(n)
+		b.Run(fmt.Sprintf("positions=%d", 2*n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := New(op)
+				if _, ok := g.Info("L0"); !ok {
+					b.Fatal("classification missing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBridges: bridge partitioning (Lemma 5.3's O(n+e)).
+func BenchmarkBridges(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		g := New(wideRuleOp(n))
+		b.Run(fmt.Sprintf("positions=%d", 2*n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bs := g.Bridges(CommutativitySeparator)
+				if len(bs) == 0 {
+					b.Fatal("no bridges")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,322 @@
+package agraph
+
+import (
+	"sort"
+
+	"linrec/internal/ast"
+	"linrec/internal/cq"
+)
+
+// Bridge is a bridge of the a-graph with respect to a separating subgraph
+// G′ (Section 5, after Bondy–Murty): an equivalence class of the elements
+// outside G′ under "connected by a walk with no internal node in V′".
+//
+// Elements are kept at atom granularity: a whole nonrecursive atom (all of
+// its static arcs) or a single dynamic arc outside G′.  For the restricted
+// class of Theorem 5.2 this coincides with the paper's arc-level definition
+// and guarantees the narrow and wide rules below are well-formed.
+type Bridge struct {
+	AtomIdx []int        // indices into Op.NonRec, sorted
+	Dyn     []DynamicArc // dynamic arcs outside G′ in this bridge
+	// Vars are all variables on the bridge's own elements.
+	Vars ast.VarSet
+	// AugVars extends Vars with the variables of the G′ components
+	// connected to the bridge (the "augmented bridge").
+	AugVars ast.VarSet
+}
+
+// DistinguishedVars returns the sorted distinguished variables of the
+// augmented bridge.
+func (b *Bridge) DistinguishedVars(op *ast.Op) []string {
+	dist := op.Distinguished()
+	var out []string
+	for v := range b.AugVars {
+		if dist.Has(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeparatorKind selects which separating subgraph G′ the bridges are
+// computed against.
+type SeparatorKind int
+
+const (
+	// CommutativitySeparator: G′ is induced by the dynamic self-loops of
+	// the link 1-persistent variables (the default of Section 5).
+	CommutativitySeparator SeparatorKind = iota
+	// RedundancySeparator: G′ = G_I, induced by the dynamic arcs
+	// connecting variables in I = link-persistent ∪ ray (Section 6.2).
+	RedundancySeparator
+)
+
+// Bridges partitions the non-G′ elements of the a-graph into bridges with
+// respect to the chosen separator, in deterministic order.
+func (g *Graph) Bridges(kind SeparatorKind) []*Bridge {
+	sep := ast.VarSet{}
+	var sepList []string
+	switch kind {
+	case CommutativitySeparator:
+		sepList = g.LinkOnePersistent()
+	case RedundancySeparator:
+		sepList = g.LinkPersistentAndRays()
+	}
+	for _, v := range sepList {
+		sep.Add(v)
+	}
+
+	inGPrime := func(d DynamicArc) bool {
+		switch kind {
+		case CommutativitySeparator:
+			return d.From == d.To && sep.Has(d.From)
+		case RedundancySeparator:
+			return sep.Has(d.From) && sep.Has(d.To)
+		}
+		return false
+	}
+
+	// Elements: one per nonrecursive atom, one per non-G′ dynamic arc.
+	type elem struct {
+		atomIdx int // ≥ 0 for atoms, -1 for dynamic arcs
+		dyn     DynamicArc
+		vars    []string
+	}
+	var elems []elem
+	for i, a := range g.Op.NonRec {
+		elems = append(elems, elem{atomIdx: i, vars: a.Vars(nil)})
+	}
+	for _, d := range g.Dynamic {
+		if inGPrime(d) {
+			continue
+		}
+		vars := []string{d.From}
+		if d.To != d.From {
+			vars = append(vars, d.To)
+		}
+		elems = append(elems, elem{atomIdx: -1, dyn: d, vars: vars})
+	}
+
+	// Union-find: elements sharing a variable outside the separator merge.
+	parent := make([]int, len(elems))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	byVar := map[string][]int{}
+	for i, e := range elems {
+		for _, v := range e.vars {
+			if !sep.Has(v) {
+				byVar[v] = append(byVar[v], i)
+			}
+		}
+	}
+	for _, group := range byVar {
+		for i := 1; i < len(group); i++ {
+			union(group[0], group[i])
+		}
+	}
+
+	groups := map[int]*Bridge{}
+	var order []int
+	for i, e := range elems {
+		root := find(i)
+		b, ok := groups[root]
+		if !ok {
+			b = &Bridge{Vars: ast.VarSet{}, AugVars: ast.VarSet{}}
+			groups[root] = b
+			order = append(order, root)
+		}
+		if e.atomIdx >= 0 {
+			b.AtomIdx = append(b.AtomIdx, e.atomIdx)
+		} else {
+			b.Dyn = append(b.Dyn, e.dyn)
+		}
+		for _, v := range e.vars {
+			b.Vars.Add(v)
+		}
+	}
+
+	// Augment: add the G′ connected components touching each bridge.
+	comps := gPrimeComponents(g, sep, inGPrime)
+	var out []*Bridge
+	for _, root := range order {
+		b := groups[root]
+		sort.Ints(b.AtomIdx)
+		sort.Slice(b.Dyn, func(i, j int) bool { return b.Dyn[i].Pos < b.Dyn[j].Pos })
+		for v := range b.Vars {
+			b.AugVars.Add(v)
+		}
+		for v := range b.Vars {
+			if comp, ok := comps[v]; ok {
+				for _, u := range comp {
+					b.AugVars.Add(u)
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return bridgeKey(out[i]) < bridgeKey(out[j]) })
+	return out
+}
+
+// gPrimeComponents returns, for each separator variable, the sorted list of
+// variables in its G′ connected component.
+func gPrimeComponents(g *Graph, sep ast.VarSet, inGPrime func(DynamicArc) bool) map[string][]string {
+	adj := map[string][]string{}
+	for v := range sep {
+		adj[v] = nil
+	}
+	for _, d := range g.Dynamic {
+		if !inGPrime(d) || d.From == d.To {
+			continue
+		}
+		adj[d.From] = append(adj[d.From], d.To)
+		adj[d.To] = append(adj[d.To], d.From)
+	}
+	comp := map[string][]string{}
+	seen := map[string]bool{}
+	for v := range sep {
+		if seen[v] {
+			continue
+		}
+		var stack, members []string
+		stack = append(stack, v)
+		seen[v] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, cur)
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Strings(members)
+		for _, m := range members {
+			comp[m] = members
+		}
+	}
+	return comp
+}
+
+func bridgeKey(b *Bridge) string {
+	vars := b.Vars.Sorted()
+	key := ""
+	for _, v := range vars {
+		key += v + ","
+	}
+	return key
+}
+
+// BridgeOf returns the bridge containing the distinguished variable v, or
+// nil when v lies on no bridge (e.g. a free persistent or separator
+// variable).
+func BridgeOf(bridges []*Bridge, v string) *Bridge {
+	for _, b := range bridges {
+		if b.Vars.Has(v) {
+			return b
+		}
+	}
+	return nil
+}
+
+// NarrowRule builds the unique narrow rule of an augmented bridge
+// (Section 5): the head and recursive atom are projected onto the argument
+// positions whose consequent variable lies in the augmented bridge, and the
+// nonrecursive atoms are those of the bridge.
+func (g *Graph) NarrowRule(b *Bridge) *ast.Op {
+	op := g.Op
+	var headArgs, recArgs []ast.Term
+	for i, t := range op.Head.Args {
+		if b.AugVars.Has(t.Name) {
+			headArgs = append(headArgs, t)
+			recArgs = append(recArgs, op.Rec.Args[i])
+		}
+	}
+	out := &ast.Op{
+		Head: ast.Atom{Pred: op.Head.Pred, Args: headArgs},
+		Rec:  ast.Atom{Pred: op.Rec.Pred, Args: recArgs},
+	}
+	for _, i := range b.AtomIdx {
+		out.NonRec = append(out.NonRec, op.NonRec[i].Clone())
+	}
+	return out
+}
+
+// WideRule builds the unique wide rule of an augmented bridge: same as the
+// narrow rule but keeping the recursive predicate at full arity, with every
+// consequent variable outside the augmented bridge made free 1-persistent.
+func (g *Graph) WideRule(b *Bridge) *ast.Op {
+	return WideRuleOf(g.Op, b.AugVars, b.AtomIdx)
+}
+
+// WideRuleOf is the wide-rule construction exposed for callers that combine
+// several bridges (the redundancy decomposition of Theorem 6.4 uses the
+// union of a set of augmented bridges).
+func WideRuleOf(op *ast.Op, augVars ast.VarSet, atomIdx []int) *ast.Op {
+	out := &ast.Op{Head: op.Head.Clone(), Rec: op.Rec.Clone()}
+	for i, t := range op.Head.Args {
+		if !augVars.Has(t.Name) {
+			out.Rec.Args[i] = t // free 1-persistent
+		}
+	}
+	for _, i := range atomIdx {
+		out.NonRec = append(out.NonRec, op.NonRec[i].Clone())
+	}
+	return out
+}
+
+// ComplementWideRule builds the operator B of Lemma 6.5: remove the atoms of
+// the given bridges from the rule and make their distinguished variables
+// 1-persistent, keeping everything else unchanged, so that A = B·C for the
+// wide operator C of those bridges.
+func ComplementWideRule(op *ast.Op, augVars ast.VarSet, atomIdx []int) *ast.Op {
+	drop := map[int]bool{}
+	for _, i := range atomIdx {
+		drop[i] = true
+	}
+	out := &ast.Op{Head: op.Head.Clone(), Rec: op.Rec.Clone()}
+	for i, t := range op.Head.Args {
+		if augVars.Has(t.Name) {
+			out.Rec.Args[i] = t // 1-persistent in B
+		}
+	}
+	for i, a := range op.NonRec {
+		if !drop[i] {
+			out.NonRec = append(out.NonRec, a.Clone())
+		}
+	}
+	return out
+}
+
+// EquivalentBridges reports whether two augmented bridges (in the a-graphs
+// of two rules with the same consequent) are equivalent, defined as
+// equivalence of their narrow rules.  The distinguished variables must
+// coincide for the narrow heads to be comparable.
+func EquivalentBridges(g1 *Graph, b1 *Bridge, g2 *Graph, b2 *Bridge) bool {
+	d1 := b1.DistinguishedVars(g1.Op)
+	d2 := b2.DistinguishedVars(g2.Op)
+	if len(d1) != len(d2) {
+		return false
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			return false
+		}
+	}
+	n1 := g1.NarrowRule(b1)
+	n2 := g2.NarrowRule(b2)
+	return cq.Equivalent(cq.FromOp(n1), cq.FromOp(n2))
+}

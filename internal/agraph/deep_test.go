@@ -1,0 +1,166 @@
+package agraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLinkThreeCycle: a 3-cycle of distinguished variables with one member
+// decorated is link 3-persistent throughout.
+func TestLinkThreeCycle(t *testing.T) {
+	g := graph(t, "p(X,Y,Z,W) :- p(Y,Z,X,U), q(X,W).")
+	// h(X)=Y, h(Y)=Z, h(Z)=X: cycle (X Y Z); X occurs in q → link.
+	wantClass(t, g, "X", LinkPersistent, 3)
+	wantClass(t, g, "Y", LinkPersistent, 3)
+	wantClass(t, g, "Z", LinkPersistent, 3)
+	wantClass(t, g, "W", General, 0)
+}
+
+// TestFreeThreeCycle: the undecorated rotation is free 3-persistent.
+func TestFreeThreeCycle(t *testing.T) {
+	g := graph(t, "p(X,Y,Z,W) :- p(Y,Z,X,U), q(U,W).")
+	wantClass(t, g, "X", FreePersistent, 3)
+	wantClass(t, g, "Y", FreePersistent, 3)
+	wantClass(t, g, "Z", FreePersistent, 3)
+}
+
+// TestTwoRay: a general variable two dynamic hops from a link-persistent
+// one is a 2-ray.
+func TestTwoRay(t *testing.T) {
+	// h(Y)=X (X link 1-persistent), h(Z)=Y: Z is 2 dynamic hops from X.
+	g := graph(t, "p(X,Y,Z) :- p(X,X,Y), q(X,W).")
+	wantClass(t, g, "X", LinkPersistent, 1)
+	yi, _ := g.Info("Y")
+	if yi.Class != General || yi.Ray != 1 {
+		t.Fatalf("Y = %v, want general 1-ray", yi)
+	}
+	zi, _ := g.Info("Z")
+	if zi.Class != General || zi.Ray != 2 {
+		t.Fatalf("Z = %v, want general 2-ray", zi)
+	}
+	i := g.LinkPersistentAndRays()
+	if len(i) != 3 {
+		t.Fatalf("I = %v, want [X Y Z]", i)
+	}
+}
+
+// TestRayThroughNondistinguishedBlocked: dynamic arcs through
+// nondistinguished variables still connect nodes in the underlying graph,
+// so a general variable whose h-image is nondistinguished can still be a
+// ray if another dynamic path exists — but not through static arcs.
+func TestRayOnlyViaDynamicArcs(t *testing.T) {
+	// Y's only connection to link-persistent X is the static arc q(X,Y):
+	// not a ray.
+	g := graph(t, "p(X,Y) :- p(X,U), q(X,Y), r(X,V).")
+	wantClass(t, g, "X", LinkPersistent, 1)
+	yi, _ := g.Info("Y")
+	if yi.Ray != 0 {
+		t.Fatalf("Y should not be a ray (static connection only): %v", yi)
+	}
+}
+
+// TestMixedCycleBrokenByNondistinguished: an h-chain through a
+// nondistinguished variable is not persistent.
+func TestMixedCycleBrokenByNondistinguished(t *testing.T) {
+	// h(X)=Y, h(Y)=U (nondistinguished): neither is persistent.
+	g := graph(t, "p(X,Y) :- p(Y,U), q(X,V).")
+	wantClass(t, g, "X", General, 0)
+	wantClass(t, g, "Y", General, 0)
+}
+
+// TestRenderContainsEverything: the textual figure lists every node and
+// arc deterministically.
+func TestRenderContainsEverything(t *testing.T) {
+	g := graph(t, fig2Rule)
+	out := g.Render()
+	for _, want := range []string{
+		"U  [link 1-persistent]",
+		"W  [general (1-ray)]",
+		"V~", // no nondistinguished in this rule; ensure absent below
+	} {
+		if want == "V~" {
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "U --q--> X") || !strings.Contains(out, "X --q--> Y") {
+		t.Fatalf("Render missing q arcs:\n%s", out)
+	}
+	if !strings.Contains(out, "W --r--> W") {
+		t.Fatalf("Render missing unary self-loop:\n%s", out)
+	}
+	if !strings.Contains(out, "U ==1==> U") || !strings.Contains(out, "Y ==5==> Z") {
+		t.Fatalf("Render missing dynamic arcs:\n%s", out)
+	}
+	// Deterministic output.
+	if out != g.Render() {
+		t.Fatalf("Render not deterministic")
+	}
+}
+
+// TestRenderNondistinguished: nondistinguished variables labeled as such.
+func TestRenderNondistinguished(t *testing.T) {
+	g := graph(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	out := g.Render()
+	if !strings.Contains(out, "U  [nondistinguished]") {
+		t.Fatalf("Render missing nondistinguished label:\n%s", out)
+	}
+}
+
+// TestBridgesWithNoSeparator: with no link 1-persistent variables, all
+// connected elements form a single bridge per component.
+func TestBridgesWithNoSeparator(t *testing.T) {
+	g := graph(t, "p(X,Y) :- p(X,Z), e(Z,Y), f(Y,W).")
+	// X free 1-persistent; separator empty.
+	bridges := g.Bridges(CommutativitySeparator)
+	// Elements: e, f, dyn X→X, dyn Z→Y.  e,f,Z→Y connect via Y,Z; X→X
+	// alone.
+	if len(bridges) != 2 {
+		t.Fatalf("bridges = %d, want 2", len(bridges))
+	}
+	b := BridgeOf(bridges, "Y")
+	if b == nil || len(b.AtomIdx) != 2 {
+		t.Fatalf("Y's bridge should contain e and f: %+v", b)
+	}
+}
+
+// TestWideNarrowOnRedundancyBridges: wide∘narrow consistency — the narrow
+// rule's nonrecursive atoms equal the wide rule's.
+func TestWideNarrowConsistency(t *testing.T) {
+	g := graph(t, ex62Rule)
+	for _, b := range g.Bridges(RedundancySeparator) {
+		n := g.NarrowRule(b)
+		w := g.WideRule(b)
+		if len(n.NonRec) != len(w.NonRec) {
+			t.Fatalf("narrow/wide atom mismatch: %v vs %v", n, w)
+		}
+		if w.Head.Arity() != g.Op.Head.Arity() {
+			t.Fatalf("wide rule must keep full arity")
+		}
+		if n.Head.Arity() > w.Head.Arity() {
+			t.Fatalf("narrow rule wider than wide rule")
+		}
+	}
+}
+
+// TestDOTOutput: the Graphviz export is well-formed and deterministic.
+func TestDOTOutput(t *testing.T) {
+	g := graph(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+	out := g.DOT("fig6")
+	for _, want := range []string{
+		`digraph "fig6" {`,
+		`"X" -> "Z" [label="knows"];`,
+		`"Y" -> "Y" [label="cheap"];`,
+		`"Z" -> "X" [style=bold];`,
+		`"Z" [label="Z",style=dashed];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if out != g.DOT("fig6") {
+		t.Fatalf("DOT not deterministic")
+	}
+}

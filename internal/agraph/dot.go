@@ -1,0 +1,57 @@
+package agraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the a-graph in Graphviz dot syntax, mirroring the paper's
+// drawing conventions: static arcs as thin labeled edges, dynamic arcs as
+// bold edges, distinguished variables as solid nodes and nondistinguished
+// ones as dashed.  Output is deterministic.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	dist := g.Op.Distinguished()
+
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		attrs := []string{fmt.Sprintf("label=%q", nodeLabel(g, v))}
+		if !dist.Has(v) {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", v, strings.Join(attrs, ","))
+	}
+
+	statics := append([]StaticArc(nil), g.Static...)
+	sort.Slice(statics, func(i, j int) bool {
+		a, c := statics[i], statics[j]
+		if a.Pred != c.Pred {
+			return a.Pred < c.Pred
+		}
+		if a.AtomIdx != c.AtomIdx {
+			return a.AtomIdx < c.AtomIdx
+		}
+		return a.Pos < c.Pos
+	})
+	for _, s := range statics {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", s.From, s.To, s.Pred)
+	}
+	dyns := append([]DynamicArc(nil), g.Dynamic...)
+	sort.Slice(dyns, func(i, j int) bool { return dyns[i].Pos < dyns[j].Pos })
+	for _, d := range dyns {
+		fmt.Fprintf(&b, "  %q -> %q [style=bold];\n", d.From, d.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeLabel(g *Graph, v string) string {
+	if info, ok := g.Info(v); ok {
+		return fmt.Sprintf("%s\n%s", v, info)
+	}
+	return v
+}

@@ -1,0 +1,52 @@
+package agraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render produces a deterministic textual form of the a-graph — the
+// repository's stand-in for the paper's figures: one line per node with its
+// classification, then the static arcs (thin lines in the paper) and the
+// dynamic arcs (thick lines), in sorted order.
+func (g *Graph) Render() string {
+	var b strings.Builder
+	b.WriteString("nodes:\n")
+	dist := g.Op.Distinguished()
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if info, ok := g.Info(v); ok {
+			fmt.Fprintf(&b, "  %s  [%s]\n", v, info)
+		} else if dist.Has(v) {
+			fmt.Fprintf(&b, "  %s  [distinguished]\n", v)
+		} else {
+			fmt.Fprintf(&b, "  %s  [nondistinguished]\n", v)
+		}
+	}
+
+	b.WriteString("static arcs:\n")
+	statics := append([]StaticArc(nil), g.Static...)
+	sort.Slice(statics, func(i, j int) bool {
+		a, c := statics[i], statics[j]
+		if a.Pred != c.Pred {
+			return a.Pred < c.Pred
+		}
+		if a.AtomIdx != c.AtomIdx {
+			return a.AtomIdx < c.AtomIdx
+		}
+		return a.Pos < c.Pos
+	})
+	for _, s := range statics {
+		fmt.Fprintf(&b, "  %s --%s--> %s\n", s.From, s.Pred, s.To)
+	}
+
+	b.WriteString("dynamic arcs:\n")
+	dyns := append([]DynamicArc(nil), g.Dynamic...)
+	sort.Slice(dyns, func(i, j int) bool { return dyns[i].Pos < dyns[j].Pos })
+	for _, d := range dyns {
+		fmt.Fprintf(&b, "  %s ==%d==> %s\n", d.From, d.Pos+1, d.To)
+	}
+	return b.String()
+}

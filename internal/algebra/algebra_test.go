@@ -1,0 +1,196 @@
+package algebra
+
+import (
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+)
+
+func op(t *testing.T, src string) *astOp {
+	t.Helper()
+	o, err := parser.ParseOp(src)
+	if err != nil {
+		t.Fatalf("ParseOp(%q): %v", src, err)
+	}
+	return o
+}
+
+func TestComposeTransitiveClosure(t *testing.T) {
+	// Example 5.2: the two linear forms of transitive closure.
+	r1 := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	r2 := op(t, "p(X,Y) :- r(X,U), p(U,Y).")
+	c12 := MustCompose(r1, r2)
+	c21 := MustCompose(r2, r1)
+	// Both composites equal p(X,Y) :- R(X,u), P(u,v), Q(v,Y).
+	want := op(t, "p(X,Y) :- r(X,U), p(U,V), q(V,Y).")
+	if !Equal(c12, want) {
+		t.Fatalf("r1r2 = %v, want %v", c12, want)
+	}
+	if !Equal(c21, want) {
+		t.Fatalf("r2r1 = %v, want %v", c21, want)
+	}
+}
+
+func TestComposeIncompatible(t *testing.T) {
+	r1 := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	r2 := op(t, "s(X,Y,Z) :- s(X,Y,U), q(U,Z).")
+	if _, err := Compose(r1, r2); err == nil {
+		t.Fatalf("composition across different predicates should fail")
+	}
+}
+
+func TestComposeRenamesApart(t *testing.T) {
+	// Both rules use the nondistinguished variable U; composition must not
+	// conflate them.
+	r1 := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	r2 := op(t, "p(X,Y) :- p(X,U), s(U,Y).")
+	c := MustCompose(r1, r2)
+	// c = p(X,Y) :- p(X,u2), s(u2,u1), q(u1,Y) with u1 ≠ u2.
+	want := op(t, "p(X,Y) :- p(X,A), s(A,B), q(B,Y).")
+	if !Equal(c, want) {
+		t.Fatalf("composite = %v, want ≡ %v", c, want)
+	}
+}
+
+func TestPower(t *testing.T) {
+	r := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	p3, err := Power(r, 3)
+	if err != nil {
+		t.Fatalf("Power: %v", err)
+	}
+	want := op(t, "p(X,Y) :- p(X,A), q(A,B), q(B,C), q(C,Y).")
+	if !Equal(p3, want) {
+		t.Fatalf("r^3 = %v, want ≡ %v", p3, want)
+	}
+	if _, err := Power(r, 0); err == nil {
+		t.Fatalf("Power(_, 0) should error")
+	}
+}
+
+func TestLessEqAndEqual(t *testing.T) {
+	r := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	s := op(t, "p(X,Y) :- p(X,U), q(U,Y), q(U,W).") // extra atom folds away
+	if !Equal(r, s) {
+		t.Fatalf("fold-equivalent ops should be Equal")
+	}
+	strict := op(t, "p(X,Y) :- p(X,U), q(U,Y), t(X).")
+	if !LessEq(strict, r) {
+		t.Fatalf("adding a conjunct should give ≤")
+	}
+	if LessEq(r, strict) {
+		t.Fatalf("≤ should be strict here")
+	}
+}
+
+func TestMinimizeOperator(t *testing.T) {
+	r := op(t, "p(X,Y) :- p(X,U), q(U,Y), q(W,Y).")
+	m := Minimize(r)
+	if len(m.NonRec) != 1 {
+		t.Fatalf("Minimize left %d nonrec atoms: %v", len(m.NonRec), m)
+	}
+	if !Equal(r, m) {
+		t.Fatalf("Minimize broke operator equality")
+	}
+}
+
+func TestCommuteByDefinition(t *testing.T) {
+	r1 := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	r2 := op(t, "p(X,Y) :- r(X,U), p(U,Y).")
+	ok, err := Commute(r1, r2)
+	if err != nil || !ok {
+		t.Fatalf("TC forms should commute: ok=%v err=%v", ok, err)
+	}
+	// Same-side rules do not commute in general.
+	r3 := op(t, "p(X,Y) :- p(X,U), s(U,Y).")
+	ok, err = Commute(r1, r3)
+	if err != nil || ok {
+		t.Fatalf("left-linear q/s rules should not commute: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCommuteExample54(t *testing.T) {
+	// Example 5.4: rules that commute although Theorem 5.1's condition
+	// fails (they are outside the restricted class: repeated predicate Q).
+	r1 := op(t, "p(X,Y) :- p(Y,W), q(X).")
+	r2 := op(t, "p(X,Y) :- p(U,V), q(X), q(Y).")
+	ok, err := Commute(r1, r2)
+	if err != nil || !ok {
+		t.Fatalf("Example 5.4 rules should commute: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestUniformlyBoundedAndTorsion(t *testing.T) {
+	// C from Example 6.1's analysis: p(X,Y) :- p(X,Y), cheap(Y).
+	c := op(t, "p(X,Y) :- p(X,Y), cheap(Y).")
+	ub := UniformlyBounded(c, 4)
+	if !ub.Found || ub.K != 1 || ub.N != 2 {
+		t.Fatalf("UniformlyBounded = %+v, want K=1 N=2", ub)
+	}
+	tor := Torsion(c, 4)
+	if !tor.Found || tor.K != 1 || tor.N != 2 {
+		t.Fatalf("Torsion = %+v, want K=1 N=2", tor)
+	}
+	// Plain TC step is not bounded.
+	r := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	if UniformlyBounded(r, 5).Found {
+		t.Fatalf("transitive closure step reported bounded")
+	}
+}
+
+func TestTorsionPeriodTwo(t *testing.T) {
+	// C from Example 6.2: p(W,X,Y,Z) :- p(X,W,X,Z), r(X,Y).
+	// The swap makes powers alternate; torsion appears at higher exponents.
+	c := op(t, "p(W,X,Y,Z) :- p(X,W,X,Z), r(X,Y).")
+	tor := Torsion(c, 8)
+	if !tor.Found {
+		t.Fatalf("Example 6.2's C should be torsion within 8 powers")
+	}
+	if (tor.N-tor.K)%2 != 0 {
+		t.Fatalf("period should be even for the swapping operator, got K=%d N=%d", tor.K, tor.N)
+	}
+}
+
+func TestSumEqual(t *testing.T) {
+	r1 := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	r1b := op(t, "p(X,Y) :- p(X,W), q(W,Y).")
+	r2 := op(t, "p(X,Y) :- r(X,U), p(U,Y).")
+	if !SumEqual(Sum{r1, r2}, Sum{r2, r1b}) {
+		t.Fatalf("sums differing by order/renaming should be equal")
+	}
+	if SumEqual(Sum{r1}, Sum{r1, r2}) {
+		t.Fatalf("proper subset sum should not be equal")
+	}
+}
+
+func TestClosurePrefix(t *testing.T) {
+	r := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	pre, err := ClosurePrefix(r, 3)
+	if err != nil {
+		t.Fatalf("ClosurePrefix: %v", err)
+	}
+	if len(pre) != 3 {
+		t.Fatalf("len = %d", len(pre))
+	}
+	if len(pre[2].NonRec) != 3 {
+		t.Fatalf("r^3 should have 3 q-atoms, got %v", pre[2])
+	}
+}
+
+func TestComposePreservesTags(t *testing.T) {
+	r1 := op(t, "p(X,Y) :- p(X,U), q(U,Y).")
+	r2 := op(t, "p(X,Y) :- r(X,U), p(U,Y).")
+	r1.NonRec[0].Tag = 7
+	r2.NonRec[0].Tag = 9
+	c := MustCompose(r1, r2)
+	tags := map[int]bool{}
+	for _, a := range c.NonRec {
+		tags[a.Tag] = true
+	}
+	if !tags[7] || !tags[9] {
+		t.Fatalf("tags lost in composition: %v", c.NonRec)
+	}
+}
+
+// astOp keeps the helper signature short.
+type astOp = ast.Op

@@ -1,0 +1,179 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+)
+
+// genOp builds a random well-formed operator over predicate p/arity with a
+// mix of persistent and general positions — the generator mirrors the one
+// in package commute but lives here to keep the packages independent.
+func genOp(rng *rand.Rand, arity int, salt string) *ast.Op {
+	head := make([]ast.Term, arity)
+	rec := make([]ast.Term, arity)
+	for i := range head {
+		head[i] = ast.V(fmt.Sprintf("X%d", i))
+		rec[i] = head[i]
+	}
+	fresh := 0
+	nv := func() ast.Term {
+		fresh++
+		return ast.V(fmt.Sprintf("N%s%d", salt, fresh))
+	}
+	op := &ast.Op{
+		Head: ast.Atom{Pred: "p", Args: head},
+		Rec:  ast.Atom{Pred: "p", Args: rec},
+	}
+	for i := range rec {
+		if rng.Intn(2) == 0 {
+			v := nv()
+			rec[i] = v
+			op.NonRec = append(op.NonRec, ast.Atom{
+				Pred: fmt.Sprintf("q%s%d", salt, i),
+				Args: []ast.Term{head[i], v},
+			})
+		}
+	}
+	return op
+}
+
+// TestComposeAssociative: (r1·r2)·r3 = r1·(r2·r3) — multiplication in the
+// closed semi-ring is associative (Section 2).
+func TestComposeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		arity := 2 + rng.Intn(2)
+		r1 := genOp(rng, arity, "a")
+		r2 := genOp(rng, arity, "b")
+		r3 := genOp(rng, arity, "c")
+		left := MustCompose(MustCompose(r1, r2), r3)
+		right := MustCompose(r1, MustCompose(r2, r3))
+		if !Equal(left, right) {
+			t.Fatalf("trial %d: associativity failed\n(r1r2)r3 = %v\nr1(r2r3) = %v", trial, left, right)
+		}
+	}
+}
+
+// TestLessEqPartialOrder: ≤ is reflexive and transitive, and mutual ≤
+// coincides with Equal (antisymmetry up to equivalence).
+func TestLessEqPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ops []*ast.Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, genOp(rng, 2, fmt.Sprintf("s%d", i%3)))
+	}
+	for _, r := range ops {
+		if !LessEq(r, r) {
+			t.Fatalf("≤ not reflexive on %v", r)
+		}
+	}
+	for _, a := range ops {
+		for _, b := range ops {
+			for _, c := range ops {
+				if LessEq(a, b) && LessEq(b, c) && !LessEq(a, c) {
+					t.Fatalf("≤ not transitive: %v ≤ %v ≤ %v", a, b, c)
+				}
+			}
+			if LessEq(a, b) && LessEq(b, a) != Equal(a, b) {
+				t.Fatalf("mutual ≤ disagrees with Equal on %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// TestPowerHomomorphism: r^(m+n) = r^m · r^n.
+func TestPowerHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		r := genOp(rng, 2, "x")
+		m := 1 + rng.Intn(2)
+		n := 1 + rng.Intn(2)
+		pm, _ := Power(r, m)
+		pn, _ := Power(r, n)
+		pmn, _ := Power(r, m+n)
+		if !Equal(pmn, MustCompose(pm, pn)) {
+			t.Fatalf("trial %d: r^%d·r^%d ≠ r^%d for %v", trial, m, n, m+n, r)
+		}
+	}
+}
+
+// TestMinimizeIdempotentAndSound: Minimize is idempotent and preserves
+// operator equality.
+func TestMinimizeIdempotentAndSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		r := genOp(rng, 2+rng.Intn(2), "m")
+		// Inject a redundant atom: duplicate an existing one with a fresh
+		// variable where legal.
+		if len(r.NonRec) > 0 {
+			dup := r.NonRec[0].Clone()
+			for i, a := range dup.Args {
+				if a.IsVar() && !r.Distinguished().Has(a.Name) {
+					dup.Args[i] = ast.V(fmt.Sprintf("R%d", trial))
+				}
+			}
+			r.NonRec = append(r.NonRec, dup)
+		}
+		m1 := Minimize(r)
+		if !Equal(r, m1) {
+			t.Fatalf("trial %d: Minimize changed semantics of %v → %v", trial, r, m1)
+		}
+		m2 := Minimize(m1)
+		if len(m2.NonRec) != len(m1.NonRec) {
+			t.Fatalf("trial %d: Minimize not idempotent: %v → %v", trial, m1, m2)
+		}
+	}
+}
+
+// TestCommuteSymmetric: Commute(r1,r2) = Commute(r2,r1).
+func TestCommuteSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		r1 := genOp(rng, 2, "a")
+		r2 := genOp(rng, 2, "b")
+		ab, err1 := Commute(r1, r2)
+		ba, err2 := Commute(r2, r1)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v %v", trial, err1, err2)
+		}
+		if ab != ba {
+			t.Fatalf("trial %d: commutation not symmetric on\n%v\n%v", trial, r1, r2)
+		}
+	}
+}
+
+// TestTorsionImpliesUniformlyBounded: every torsion witness is also a
+// uniform-boundedness witness (the paper's remark after the definitions).
+func TestTorsionImpliesUniformlyBounded(t *testing.T) {
+	ops := []string{
+		"p(X,Y) :- p(X,Y), f(X).",
+		"p(W,X,Y,Z) :- p(X,W,X,Z), r(X,Y).",
+	}
+	for _, src := range ops {
+		r := mustParse(t, src)
+		tor := Torsion(r, 8)
+		if !tor.Found {
+			t.Fatalf("%s should be torsion", src)
+		}
+		ub := UniformlyBounded(r, 8)
+		if !ub.Found {
+			t.Fatalf("%s torsion but not uniformly bounded", src)
+		}
+		if ub.N > tor.N {
+			t.Fatalf("%s: uniform boundedness should be found no later than torsion (N=%d vs %d)", src, ub.N, tor.N)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *ast.Op {
+	t.Helper()
+	o, err := parser.ParseOp(src)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return o
+}

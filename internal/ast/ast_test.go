@@ -1,0 +1,311 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkTC1() Rule {
+	// P(x,y) :- P(x,z), e1(z,y).
+	return Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{
+			NewAtom("p", V("X"), V("Z")),
+			NewAtom("e1", V("Z"), V("Y")),
+		},
+	}
+}
+
+func TestTermAndAtomBasics(t *testing.T) {
+	a := NewAtom("edge", V("X"), C("c1"))
+	if a.Arity() != 2 {
+		t.Fatalf("arity = %d, want 2", a.Arity())
+	}
+	if a.IsGround() {
+		t.Fatalf("atom with variable reported ground")
+	}
+	g := NewAtom("edge", C("a"), C("b"))
+	if !g.IsGround() {
+		t.Fatalf("ground atom not reported ground")
+	}
+	if got := a.String(); got != "edge(X,c1)" {
+		t.Fatalf("String = %q", got)
+	}
+	vs := a.Vars(nil)
+	if len(vs) != 1 || vs[0] != "X" {
+		t.Fatalf("Vars = %v", vs)
+	}
+}
+
+func TestAtomCloneIndependence(t *testing.T) {
+	a := NewAtom("q", V("X"), V("Y"))
+	b := a.Clone()
+	b.Args[0] = V("Z")
+	if a.Args[0].Name != "X" {
+		t.Fatalf("Clone shares storage with original")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := mkTC1()
+	want := "p(X,Y) :- p(X,Z), e1(Z,Y)."
+	if got := r.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	fact := Rule{Head: NewAtom("e1", C("a"), C("b"))}
+	if got := fact.String(); got != "e1(a,b)." {
+		t.Fatalf("fact String = %q", got)
+	}
+}
+
+func TestFromRule(t *testing.T) {
+	op, err := FromRule(mkTC1())
+	if err != nil {
+		t.Fatalf("FromRule: %v", err)
+	}
+	if op.Head.Pred != "p" || op.Rec.Pred != "p" || len(op.NonRec) != 1 {
+		t.Fatalf("bad op decomposition: %v", op)
+	}
+	if op.NonRec[0].Pred != "e1" {
+		t.Fatalf("nonrec = %v", op.NonRec)
+	}
+}
+
+func TestFromRuleRejectsNonlinear(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{
+			NewAtom("p", V("X"), V("Z")),
+			NewAtom("p", V("Z"), V("Y")),
+		},
+	}
+	if _, err := FromRule(r); err == nil || !strings.Contains(err.Error(), "not linear") {
+		t.Fatalf("want not-linear error, got %v", err)
+	}
+}
+
+func TestFromRuleRejectsNonRecursive(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{NewAtom("e1", V("X"), V("Y"))},
+	}
+	if _, err := FromRule(r); err == nil || !strings.Contains(err.Error(), "not recursive") {
+		t.Fatalf("want not-recursive error, got %v", err)
+	}
+}
+
+func TestValidateRejectsRepeatedHeadVars(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("X")),
+		Body: []Atom{NewAtom("p", V("X"), V("X"))},
+	}
+	if _, err := FromRule(r); err == nil || !strings.Contains(err.Error(), "repeated variable") {
+		t.Fatalf("want repeated-variable error, got %v", err)
+	}
+}
+
+func TestValidateRejectsConstants(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{
+			NewAtom("p", V("X"), V("Z")),
+			NewAtom("e1", V("Z"), C("c")),
+		},
+	}
+	if _, err := FromRule(r); err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Fatalf("want constant error, got %v", err)
+	}
+}
+
+func TestHFunction(t *testing.T) {
+	op, _ := FromRule(mkTC1())
+	if hx, ok := op.H("X"); !ok || hx != "X" {
+		t.Fatalf("h(X) = %q,%v; want X", hx, ok)
+	}
+	if hy, ok := op.H("Y"); !ok || hy != "Z" {
+		t.Fatalf("h(Y) = %q,%v; want Z", hy, ok)
+	}
+	if _, ok := op.H("Z"); ok {
+		t.Fatalf("h(Z) should be undefined (Z nondistinguished)")
+	}
+}
+
+func TestHPow(t *testing.T) {
+	// p(X,Y) :- p(Y,Z), q(Z).  h(X)=Y (distinguished), h(Y)=Z (nondist).
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{
+			NewAtom("p", V("Y"), V("Z")),
+			NewAtom("q", V("Z")),
+		},
+	}
+	op, err := FromRule(r)
+	if err != nil {
+		t.Fatalf("FromRule: %v", err)
+	}
+	if v, ok := op.HPow("X", 1); !ok || v != "Y" {
+		t.Fatalf("h^1(X) = %q,%v", v, ok)
+	}
+	if v, ok := op.HPow("X", 2); !ok || v != "Z" {
+		t.Fatalf("h^2(X) = %q,%v", v, ok)
+	}
+	if _, ok := op.HPow("X", 3); ok {
+		t.Fatalf("h^3(X) should be undefined through nondistinguished Z")
+	}
+	if v, ok := op.HPow("X", 0); !ok || v != "X" {
+		t.Fatalf("h^0(X) = %q,%v", v, ok)
+	}
+}
+
+func TestRangeRestricted(t *testing.T) {
+	op, _ := FromRule(mkTC1())
+	if !op.IsRangeRestricted() {
+		t.Fatalf("TC rule should be range-restricted")
+	}
+	// p(X,Y) :- p(X,X).  Y does not occur in the antecedent.
+	bad := &Op{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Rec:  NewAtom("p", V("X"), V("X")),
+	}
+	if bad.IsRangeRestricted() {
+		t.Fatalf("rule with head-only variable reported range-restricted")
+	}
+}
+
+func TestRestrictedClass(t *testing.T) {
+	op, _ := FromRule(mkTC1())
+	if !op.InRestrictedClass() {
+		t.Fatalf("TC rule should be in the restricted class")
+	}
+	rep := &Op{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Rec:  NewAtom("p", V("Y"), V("X")),
+		NonRec: []Atom{
+			NewAtom("q", V("X")),
+			NewAtom("q", V("Y")),
+		},
+	}
+	if rep.InRestrictedClass() {
+		t.Fatalf("repeated nonrecursive predicate should leave the restricted class")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	op, _ := FromRule(mkTC1())
+	other, _ := FromRule(Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{
+			NewAtom("e2", V("X"), V("Z")),
+			NewAtom("p", V("Z"), V("Y")),
+		},
+	})
+	ren := other.RenameApart(op.AllVars())
+	if !SameConsequent(op, ren) {
+		t.Fatalf("RenameApart changed the consequent: %v", ren)
+	}
+	if ren.Rec.Args[0].Name == "Z" {
+		t.Fatalf("nondistinguished Z not renamed apart: %v", ren)
+	}
+	// The renamed op must share no nondistinguished variable with op.
+	dist := op.Distinguished()
+	for v := range ren.AllVars() {
+		if !dist.Has(v) && op.AllVars().Has(v) {
+			t.Fatalf("variable %q still shared after RenameApart", v)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	op, _ := FromRule(mkTC1())
+	s := op.Substitute(map[string]Term{"X": V("A"), "Z": V("B")})
+	if s.Head.Args[0].Name != "A" || s.Rec.Args[1].Name != "B" {
+		t.Fatalf("Substitute result: %v", s)
+	}
+	// Original untouched.
+	if op.Head.Args[0].Name != "X" {
+		t.Fatalf("Substitute mutated the receiver")
+	}
+}
+
+func TestRectifyHead(t *testing.T) {
+	r := Rule{
+		Head: NewAtom("p", V("X"), V("X")),
+		Body: []Atom{NewAtom("p", V("X"), V("X"))},
+	}
+	rect := RectifyHead(r)
+	if rect.Head.Args[0].Name == rect.Head.Args[1].Name {
+		t.Fatalf("head not rectified: %v", rect)
+	}
+	found := false
+	for _, a := range rect.Body {
+		if a.Pred == "eq" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no equality atom introduced: %v", rect)
+	}
+}
+
+func TestProgramPredSets(t *testing.T) {
+	p := &Program{
+		Rules: []Rule{mkTC1(), {
+			Head: NewAtom("p", V("X"), V("Y")),
+			Body: []Atom{NewAtom("e2", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y"))},
+		}},
+		Facts: []Atom{NewAtom("e1", C("a"), C("b"))},
+	}
+	idb := p.IDBPreds()
+	if len(idb) != 1 || idb[0] != "p" {
+		t.Fatalf("IDBPreds = %v", idb)
+	}
+	edb := p.EDBPreds()
+	if len(edb) != 2 || edb[0] != "e1" || edb[1] != "e2" {
+		t.Fatalf("EDBPreds = %v", edb)
+	}
+	if n := len(p.RulesFor("p")); n != 2 {
+		t.Fatalf("RulesFor(p) = %d rules", n)
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	op, _ := FromRule(mkTC1())
+	occ := op.Occurrences()
+	if occ["X"] != 1 || occ["Z"] != 2 || occ["Y"] != 1 {
+		t.Fatalf("Occurrences = %v", occ)
+	}
+	nro := op.NonRecOccurrences()
+	if nro["X"] != 0 || nro["Z"] != 1 || nro["Y"] != 1 {
+		t.Fatalf("NonRecOccurrences = %v", nro)
+	}
+}
+
+func TestSameConsequent(t *testing.T) {
+	a, _ := FromRule(mkTC1())
+	b, _ := FromRule(Rule{
+		Head: NewAtom("p", V("X"), V("Y")),
+		Body: []Atom{NewAtom("e2", V("X"), V("W")), NewAtom("p", V("W"), V("Y"))},
+	})
+	if !SameConsequent(a, b) {
+		t.Fatalf("same consequent not recognized")
+	}
+	c, _ := FromRule(Rule{
+		Head: NewAtom("p", V("Y"), V("X")),
+		Body: []Atom{NewAtom("e2", V("Y"), V("W")), NewAtom("p", V("W"), V("X"))},
+	})
+	if SameConsequent(a, c) {
+		t.Fatalf("different consequent order reported same")
+	}
+}
+
+func TestFreshNamerAvoidsCollisions(t *testing.T) {
+	avoid := VarSet{}.Add("X~1").Add("X~2")
+	n := newFreshNamer(avoid)
+	got := n.fresh("X")
+	if avoid.Has(got) && got != "X~3" {
+		t.Fatalf("fresh returned colliding name %q", got)
+	}
+	if got != "X~3" {
+		t.Fatalf("fresh = %q, want X~3", got)
+	}
+}

@@ -1,0 +1,356 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a linear relational operator in the sense of Section 2 of the paper:
+// the underlying nonrecursive rule of a linear recursive rule.  Given
+//
+//	P(x⁰) :- P(x^(k+1)), Q1(x¹), ..., Qm(x^m)
+//
+// the Op has Head = P(x⁰) (the paper's P₀, "output"), Rec = P(x^(k+1)) (the
+// paper's P₁, "input") and NonRec = the Qi atoms (the operator's parameter
+// relations).
+//
+// Invariants established by FromRule / checked by Validate:
+//   - Head and Rec have the same predicate and arity.
+//   - The head is rectified: its arguments are distinct variables
+//     (repeated head variables must be replaced by fresh ones plus equality
+//     atoms before analysis, per Section 5).
+//   - All terms are variables (constant-free, per Section 5).
+type Op struct {
+	Head   Atom
+	Rec    Atom
+	NonRec []Atom
+}
+
+// FromRule extracts the Op form from a linear recursive rule.  The rule must
+// contain exactly one body atom over the head predicate; everything else
+// becomes a parameter (nonrecursive) atom.
+func FromRule(r Rule) (*Op, error) {
+	op := &Op{Head: r.Head.Clone()}
+	recSeen := false
+	for _, a := range r.Body {
+		if a.Pred == r.Head.Pred {
+			if recSeen {
+				return nil, Errorf("rule %v is not linear: recursive predicate %q occurs more than once in the body", r, r.Head.Pred)
+			}
+			recSeen = true
+			op.Rec = a.Clone()
+			continue
+		}
+		op.NonRec = append(op.NonRec, a.Clone())
+	}
+	if !recSeen {
+		return nil, Errorf("rule %v is not recursive: body does not mention %q", r, r.Head.Pred)
+	}
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// Validate checks the Op invariants described on the type.
+func (o *Op) Validate() error {
+	if o.Head.Pred != o.Rec.Pred {
+		return Errorf("operator head predicate %q differs from recursive body predicate %q", o.Head.Pred, o.Rec.Pred)
+	}
+	if o.Head.Arity() != o.Rec.Arity() {
+		return Errorf("operator %v: head arity %d differs from recursive atom arity %d", o, o.Head.Arity(), o.Rec.Arity())
+	}
+	seen := map[string]bool{}
+	for _, t := range o.Head.Args {
+		if !t.IsVar() {
+			return Errorf("operator %v: constant %q in the consequent (rules must be constant-free)", o, t.Name)
+		}
+		if seen[t.Name] {
+			return Errorf("operator %v: repeated variable %q in the consequent; rectify the head first (replace repeats by fresh variables plus equality atoms)", o, t.Name)
+		}
+		seen[t.Name] = true
+	}
+	for _, a := range o.allBody() {
+		for _, t := range a.Args {
+			if !t.IsVar() {
+				return Errorf("operator %v: constant %q in the antecedent (rules must be constant-free)", o, t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (o *Op) allBody() []Atom {
+	body := make([]Atom, 0, len(o.NonRec)+1)
+	body = append(body, o.Rec)
+	body = append(body, o.NonRec...)
+	return body
+}
+
+// Rule converts the operator back into a linear recursive rule.
+func (o *Op) Rule() Rule {
+	return Rule{Head: o.Head.Clone(), Body: o.allBody()}
+}
+
+// Clone returns a deep copy of the operator.
+func (o *Op) Clone() *Op {
+	nr := make([]Atom, len(o.NonRec))
+	for i, a := range o.NonRec {
+		nr[i] = a.Clone()
+	}
+	return &Op{Head: o.Head.Clone(), Rec: o.Rec.Clone(), NonRec: nr}
+}
+
+// String renders the operator as its rule, with the recursive instances
+// annotated per the paper's P₀/P₁ convention only in debug output.
+func (o *Op) String() string { return o.Rule().String() }
+
+// Arity returns the arity of the recursive predicate.
+func (o *Op) Arity() int { return o.Head.Arity() }
+
+// HeadVars returns the distinguished variables in consequent order.
+func (o *Op) HeadVars() []string {
+	out := make([]string, o.Head.Arity())
+	for i, t := range o.Head.Args {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Distinguished returns the set of distinguished variables.
+func (o *Op) Distinguished() VarSet {
+	s := VarSet{}
+	for _, t := range o.Head.Args {
+		s.Add(t.Name)
+	}
+	return s
+}
+
+// AllVars returns the set of all variables of the operator.
+func (o *Op) AllVars() VarSet {
+	s := AtomsVars(o.allBody()...)
+	for _, t := range o.Head.Args {
+		s.Add(t.Name)
+	}
+	return s
+}
+
+// Occurrences counts, for every variable, its number of occurrences in the
+// antecedent (recursive atom plus nonrecursive atoms).  Head occurrences are
+// not counted.
+func (o *Op) Occurrences() map[string]int {
+	n := map[string]int{}
+	for _, a := range o.allBody() {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				n[t.Name]++
+			}
+		}
+	}
+	return n
+}
+
+// NonRecOccurrences counts occurrences of each variable in the nonrecursive
+// atoms only.
+func (o *Op) NonRecOccurrences() map[string]int {
+	n := map[string]int{}
+	for _, a := range o.NonRec {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				n[t.Name]++
+			}
+		}
+	}
+	return n
+}
+
+// H returns the paper's h function: for a distinguished variable x appearing
+// at position i of the consequent, h(x) is the variable at position i of the
+// recursive atom in the antecedent.  The second result is false if x is not
+// distinguished.
+func (o *Op) H(x string) (string, bool) {
+	for i, t := range o.Head.Args {
+		if t.Name == x {
+			return o.Rec.Args[i].Name, true
+		}
+	}
+	return "", false
+}
+
+// HPow returns hⁿ(x) when every intermediate image is distinguished, per the
+// paper's definition of powers of h; ok is false otherwise.
+func (o *Op) HPow(x string, n int) (string, bool) {
+	cur := x
+	for k := 0; k < n; k++ {
+		next, isDist := o.H(cur)
+		if !isDist {
+			return "", false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// IsRangeRestricted reports whether every distinguished variable also occurs
+// in the antecedent (the restriction of Theorem 5.2).
+func (o *Op) IsRangeRestricted() bool {
+	body := AtomsVars(o.allBody()...)
+	for _, t := range o.Head.Args {
+		if !body.Has(t.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasRepeatedNonRecPreds reports whether two nonrecursive atoms share a
+// predicate name (forbidden in the restricted class of Theorem 5.2).
+func (o *Op) HasRepeatedNonRecPreds() bool {
+	seen := map[string]bool{}
+	for _, a := range o.NonRec {
+		if seen[a.Pred] {
+			return true
+		}
+		seen[a.Pred] = true
+	}
+	return false
+}
+
+// InRestrictedClass reports whether the operator belongs to the class for
+// which Theorem 5.2 makes the syntactic commutativity condition necessary
+// and sufficient: range-restricted, no repeated variables in the consequent
+// (guaranteed by the Op invariant) and no repeated nonrecursive predicates
+// in the antecedent.
+func (o *Op) InRestrictedClass() bool {
+	return o.IsRangeRestricted() && !o.HasRepeatedNonRecPreds()
+}
+
+// SameConsequent reports whether two operators have identical consequents
+// (same predicate and the same variables in the same positions), the setting
+// assumed throughout Section 5.
+func SameConsequent(a, b *Op) bool {
+	if a.Head.Pred != b.Head.Pred || a.Head.Arity() != b.Head.Arity() {
+		return false
+	}
+	for i := range a.Head.Args {
+		if a.Head.Args[i].Name != b.Head.Args[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// freshNamer produces variable names guaranteed not to collide with any name
+// in the avoid set; generated names use a '~' which the parser never emits.
+type freshNamer struct {
+	avoid VarSet
+	n     int
+}
+
+func newFreshNamer(avoid VarSet) *freshNamer {
+	a := VarSet{}
+	for v := range avoid {
+		a.Add(v)
+	}
+	return &freshNamer{avoid: a}
+}
+
+func (f *freshNamer) fresh(base string) string {
+	if i := strings.IndexByte(base, '~'); i >= 0 {
+		base = base[:i]
+	}
+	for {
+		f.n++
+		cand := fmt.Sprintf("%s~%d", base, f.n)
+		if !f.avoid.Has(cand) {
+			f.avoid.Add(cand)
+			return cand
+		}
+	}
+}
+
+// RenameApart renames the nondistinguished variables of o so that they are
+// disjoint from the variables in avoid (typically the variable set of a
+// second operator).  Distinguished variables are never renamed: Section 5
+// assumes the two operators share their consequent.
+func (o *Op) RenameApart(avoid VarSet) *Op {
+	dist := o.Distinguished()
+	namer := newFreshNamer(mergeSets(avoid, o.AllVars()))
+	ren := map[string]string{}
+	sub := func(t Term) Term {
+		if !t.IsVar() || dist.Has(t.Name) {
+			return t
+		}
+		if !avoid.Has(t.Name) {
+			return t
+		}
+		nn, ok := ren[t.Name]
+		if !ok {
+			nn = namer.fresh(t.Name)
+			ren[t.Name] = nn
+		}
+		return V(nn)
+	}
+	return o.mapTerms(sub)
+}
+
+// Substitute applies a variable substitution to every term of the operator,
+// including the head.  Variables absent from the map are left unchanged.
+func (o *Op) Substitute(sub map[string]Term) *Op {
+	return o.mapTerms(func(t Term) Term {
+		if !t.IsVar() {
+			return t
+		}
+		if nt, ok := sub[t.Name]; ok {
+			return nt
+		}
+		return t
+	})
+}
+
+func (o *Op) mapTerms(f func(Term) Term) *Op {
+	c := o.Clone()
+	mapAtom := func(a *Atom) {
+		for i := range a.Args {
+			a.Args[i] = f(a.Args[i])
+		}
+	}
+	mapAtom(&c.Head)
+	mapAtom(&c.Rec)
+	for i := range c.NonRec {
+		mapAtom(&c.NonRec[i])
+	}
+	return c
+}
+
+func mergeSets(sets ...VarSet) VarSet {
+	out := VarSet{}
+	for _, s := range sets {
+		for v := range s {
+			out.Add(v)
+		}
+	}
+	return out
+}
+
+// RectifyHead rewrites a rule whose head repeats variables into an
+// equivalent rule with a rectified head, introducing fresh variables and
+// equality atoms (predicate "eq") in the body, as prescribed at the start of
+// Section 5.
+func RectifyHead(r Rule) Rule {
+	seen := map[string]bool{}
+	namer := newFreshNamer(AtomsVars(append([]Atom{r.Head}, r.Body...)...))
+	out := r.Clone()
+	for i, t := range out.Head.Args {
+		if !t.IsVar() || !seen[t.Name] {
+			if t.IsVar() {
+				seen[t.Name] = true
+			}
+			continue
+		}
+		nv := namer.fresh(t.Name)
+		out.Head.Args[i] = V(nv)
+		out.Body = append(out.Body, NewAtom("eq", V(t.Name), V(nv)))
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+// Package commute implements the paper's commutativity tests for pairs of
+// linear, function-free, constant-free recursive rules:
+//
+//   - Definition: form both composites r1·r2 and r2·r1 and test conjunctive-
+//     query equivalence (exponential worst case; always exact).
+//   - Sufficient (Theorem 5.1): the per-variable syntactic condition on the
+//     a-graphs; sound for all rules in the Section 5 setting, but silent
+//     ("unknown") when the condition fails.
+//   - Syntactic (Theorems 5.2 + 5.3): for the restricted class — range-
+//     restricted rules with no repeated variables in the consequent and no
+//     repeated nonrecursive predicates in the antecedent — the condition is
+//     necessary and sufficient and is tested in O(a log a) time.
+package commute
+
+import (
+	"fmt"
+	"strings"
+
+	"linrec/internal/agraph"
+	"linrec/internal/algebra"
+	"linrec/internal/ast"
+	"linrec/internal/cq"
+)
+
+// Verdict is the outcome of a commutativity test.
+type Verdict int
+
+const (
+	// Commute: the rules provably commute.
+	Commute Verdict = iota
+	// NotCommute: the rules provably do not commute.
+	NotCommute
+	// Unknown: the (sufficient-only) condition failed; no conclusion.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Commute:
+		return "commute"
+	case NotCommute:
+		return "do not commute"
+	default:
+		return "unknown"
+	}
+}
+
+// Condition identifies which clause of Theorem 5.1 a distinguished variable
+// satisfied.
+type Condition string
+
+const (
+	CondFreeOnePersistent Condition = "(a) free 1-persistent in one rule"
+	CondLinkOneBoth       Condition = "(b) link 1-persistent in both rules"
+	CondFreeCycleCommute  Condition = "(c) free persistent with h1h2 = h2h1"
+	CondEquivalentBridges Condition = "(d) equivalent augmented bridges"
+	CondFailed            Condition = "condition failed"
+)
+
+// VarResult records the per-variable outcome of the syntactic condition.
+type VarResult struct {
+	Var       string
+	Condition Condition
+	Detail    string
+}
+
+// Report is the full result of a syntactic commutativity test.
+type Report struct {
+	Verdict Verdict
+	// Exact records whether the verdict is exact (Theorem 5.2 applies) or
+	// only one-sided (Theorem 5.1).
+	Exact bool
+	Vars  []VarResult
+}
+
+// Failures returns the variables for which the condition failed.
+func (r *Report) Failures() []VarResult {
+	var out []VarResult
+	for _, v := range r.Vars {
+		if v.Condition == CondFailed {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the report for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict: %v (exact: %v)\n", r.Verdict, r.Exact)
+	for _, v := range r.Vars {
+		fmt.Fprintf(&b, "  %s: %s", v.Var, v.Condition)
+		if v.Detail != "" {
+			fmt.Fprintf(&b, " — %s", v.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Definition tests commutativity directly by the definition (compose both
+// ways, test equivalence).  Exponential in the worst case but exact for any
+// pair of compatible operators.
+func Definition(r1, r2 *ast.Op) (Verdict, error) {
+	pair, err := align(r1, r2, false)
+	if err != nil {
+		return Unknown, err
+	}
+	ok, err := algebra.Commute(pair.r1, pair.r2)
+	if err != nil {
+		return Unknown, err
+	}
+	if ok {
+		return Commute, nil
+	}
+	return NotCommute, nil
+}
+
+// Sufficient applies Theorem 5.1.  A Commute verdict is sound for any pair
+// of linear, function-free, constant-free rules with the same consequent; a
+// failed condition yields Unknown (Example 5.4 shows the condition is not
+// necessary in general).
+func Sufficient(r1, r2 *ast.Op) (*Report, error) {
+	pair, err := align(r1, r2, true)
+	if err != nil {
+		return nil, err
+	}
+	rep := checkCondition(pair, false)
+	rep.Exact = false
+	if rep.Verdict == NotCommute {
+		rep.Verdict = Unknown
+	}
+	return rep, nil
+}
+
+// Syntactic applies Theorems 5.2/5.3: for rules in the restricted class the
+// condition of Theorem 5.1 is necessary and sufficient and is evaluated
+// with the O(a log a) algorithm (sorted-predicate bridge equivalence).  It
+// returns an error when either rule is outside the restricted class.
+func Syntactic(r1, r2 *ast.Op) (*Report, error) {
+	// In the restricted class every rule is automatically in minimal form
+	// (folding a body atom onto another requires a repeated predicate), so
+	// alignment skips minimization and the whole test stays O(a log a).
+	pair, err := align(r1, r2, false)
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range []*ast.Op{pair.r1, pair.r2} {
+		if !op.IsRangeRestricted() {
+			return nil, fmt.Errorf("commute: rule %d is not range-restricted; Theorem 5.2 does not apply", i+1)
+		}
+		if op.HasRepeatedNonRecPreds() {
+			return nil, fmt.Errorf("commute: rule %d repeats a nonrecursive predicate; Theorem 5.2 does not apply", i+1)
+		}
+	}
+	rep := checkCondition(pair, true)
+	rep.Exact = true
+	return rep, nil
+}
+
+// alignedPair carries two operators with identical consequents, disjoint
+// nondistinguished variables, both minimized, plus their a-graphs.
+type alignedPair struct {
+	r1, r2 *ast.Op
+	g1, g2 *agraph.Graph
+}
+
+// align normalizes two operators into the Section 5 setting: same
+// consequent (r2's head variables are renamed to r1's) and no shared
+// nondistinguished variables.  With minimize set, each rule is additionally
+// put into its unique minimal form (required by Theorem 5.1's proof for
+// rules outside the restricted class; redundant within it).
+func align(r1, r2 *ast.Op, minimize bool) (*alignedPair, error) {
+	if r1.Head.Pred != r2.Head.Pred || r1.Head.Arity() != r2.Head.Arity() {
+		return nil, fmt.Errorf("commute: operators have different consequent schemas: %s/%d vs %s/%d",
+			r1.Head.Pred, r1.Head.Arity(), r2.Head.Pred, r2.Head.Arity())
+	}
+	a := r1.Clone()
+	b := r2.Clone()
+	if minimize {
+		a = algebra.Minimize(a)
+		b = algebra.Minimize(b)
+	}
+	if !ast.SameConsequent(a, b) {
+		// Two-phase rename of b's head variables onto a's to avoid
+		// clashes with b's other variables.
+		tmp := map[string]ast.Term{}
+		for i, t := range b.Head.Args {
+			tmp[t.Name] = ast.V(fmt.Sprintf("%s~h%d", t.Name, i))
+		}
+		b = b.Substitute(tmp)
+		fin := map[string]ast.Term{}
+		for i := range b.Head.Args {
+			fin[b.Head.Args[i].Name] = a.Head.Args[i]
+		}
+		b = b.Substitute(fin)
+	}
+	b = b.RenameApart(a.AllVars())
+	return &alignedPair{r1: a, r2: b, g1: agraph.New(a), g2: agraph.New(b)}, nil
+}
+
+// checkCondition evaluates the per-variable condition of Theorem 5.1 on an
+// aligned pair.  With fast=true, bridge equivalence uses the O(a log a)
+// sorted-isomorphism test of Lemma 5.4; otherwise full conjunctive-query
+// equivalence.
+func checkCondition(p *alignedPair, fast bool) *Report {
+	rep := &Report{Verdict: Commute}
+	var bridges1, bridges2 []*agraph.Bridge // computed lazily
+	bridgesOf := func() ([]*agraph.Bridge, []*agraph.Bridge) {
+		if bridges1 == nil {
+			bridges1 = p.g1.Bridges(agraph.CommutativitySeparator)
+			bridges2 = p.g2.Bridges(agraph.CommutativitySeparator)
+		}
+		return bridges1, bridges2
+	}
+
+	for _, t := range p.r1.Head.Args {
+		x := t.Name
+		i1, _ := p.g1.Info(x)
+		i2, _ := p.g2.Info(x)
+		res := VarResult{Var: x, Condition: CondFailed}
+
+		switch {
+		// (a) free 1-persistent in r1 or r2.
+		case i1.Class == agraph.FreePersistent && i1.N == 1,
+			i2.Class == agraph.FreePersistent && i2.N == 1:
+			res.Condition = CondFreeOnePersistent
+
+		// (b) link 1-persistent in both.
+		case i1.Class == agraph.LinkPersistent && i1.N == 1 &&
+			i2.Class == agraph.LinkPersistent && i2.N == 1:
+			res.Condition = CondLinkOneBoth
+
+		// (c) free persistent (m>1) in both with commuting h functions.
+		case i1.Class == agraph.FreePersistent && i1.N > 1 &&
+			i2.Class == agraph.FreePersistent && i2.N > 1:
+			h1, _ := p.r1.H(x)
+			h2, _ := p.r2.H(x)
+			h12, ok1 := p.r2.H(h1) // h2(h1(x))
+			h21, ok2 := p.r1.H(h2) // h1(h2(x))
+			if ok1 && ok2 && h12 == h21 {
+				res.Condition = CondFreeCycleCommute
+				res.Detail = fmt.Sprintf("h1(h2(%s)) = h2(h1(%s)) = %s", x, x, h12)
+			} else {
+				res.Detail = fmt.Sprintf("h1(h2(%s)) = %s but h2(h1(%s)) = %s", x, h21, x, h12)
+			}
+
+		// (d) link m-persistent (m>1) or general in both, with equivalent
+		// augmented bridges.
+		case classForBridges(i1) && classForBridges(i2):
+			b1s, b2s := bridgesOf()
+			b1 := agraph.BridgeOf(b1s, x)
+			b2 := agraph.BridgeOf(b2s, x)
+			if b1 != nil && b2 != nil && equivalentBridges(p, b1, b2, fast) {
+				res.Condition = CondEquivalentBridges
+			} else {
+				res.Detail = "augmented bridges differ"
+			}
+		default:
+			res.Detail = fmt.Sprintf("classes %v / %v match no clause", i1, i2)
+		}
+
+		if res.Condition == CondFailed {
+			rep.Verdict = NotCommute
+		}
+		rep.Vars = append(rep.Vars, res)
+	}
+	return rep
+}
+
+func classForBridges(i agraph.VarInfo) bool {
+	return i.Class == agraph.General || (i.Class == agraph.LinkPersistent && i.N > 1)
+}
+
+func equivalentBridges(p *alignedPair, b1, b2 *agraph.Bridge, fast bool) bool {
+	if !fast {
+		return agraph.EquivalentBridges(p.g1, b1, p.g2, b2)
+	}
+	d1 := b1.DistinguishedVars(p.g1.Op)
+	d2 := b2.DistinguishedVars(p.g2.Op)
+	if len(d1) != len(d2) {
+		return false
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			return false
+		}
+	}
+	n1 := cq.FromOp(p.g1.NarrowRule(b1))
+	n2 := cq.FromOp(p.g2.NarrowRule(b2))
+	if eq, ok := cq.EquivalentNoRepeatedPreds(n1, n2); ok {
+		return eq
+	}
+	// Precondition violated (should not happen in the restricted class):
+	// fall back to the exact test.
+	return cq.Equivalent(n1, n2)
+}
+
+// WeakSufficient is a deliberately weaker syntactic check kept as a
+// comparison baseline, in the spirit of the condition of Ramakrishnan,
+// Sagiv, Ullman and Vardi ([19] in the paper), which the paper notes "is
+// less general than the one presented in Section 5": it accepts only
+// clauses (a) and (b) — every distinguished variable free 1-persistent in
+// one rule or link 1-persistent in both — and never reasons about
+// persistence cycles or bridges.
+func WeakSufficient(r1, r2 *ast.Op) (Verdict, error) {
+	pair, err := align(r1, r2, false)
+	if err != nil {
+		return Unknown, err
+	}
+	for _, t := range pair.r1.Head.Args {
+		i1, _ := pair.g1.Info(t.Name)
+		i2, _ := pair.g2.Info(t.Name)
+		free1 := func(i agraph.VarInfo) bool { return i.Class == agraph.FreePersistent && i.N == 1 }
+		link1 := func(i agraph.VarInfo) bool { return i.Class == agraph.LinkPersistent && i.N == 1 }
+		if free1(i1) || free1(i2) || (link1(i1) && link1(i2)) {
+			continue
+		}
+		return Unknown, nil
+	}
+	return Commute, nil
+}

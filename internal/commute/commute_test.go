@@ -1,0 +1,326 @@
+package commute
+
+import (
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+)
+
+func ops(t *testing.T, src1, src2 string) (r1, r2 *opT) {
+	t.Helper()
+	a, err := parser.ParseOp(src1)
+	if err != nil {
+		t.Fatalf("ParseOp(%q): %v", src1, err)
+	}
+	b, err := parser.ParseOp(src2)
+	if err != nil {
+		t.Fatalf("ParseOp(%q): %v", src2, err)
+	}
+	return a, b
+}
+
+// TestExample52 reproduces Example 5.2 / Figure 3: the two linear forms of
+// transitive closure commute; every distinguished variable satisfies
+// condition (a).
+func TestExample52(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(X,U), q(U,Y).",
+		"p(X,Y) :- r(X,U), p(U,Y).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != Commute || !rep.Exact {
+		t.Fatalf("verdict = %v exact=%v, want commute/exact", rep.Verdict, rep.Exact)
+	}
+	for _, v := range rep.Vars {
+		if v.Condition != CondFreeOnePersistent {
+			t.Fatalf("%s satisfied %q, want condition (a)", v.Var, v.Condition)
+		}
+	}
+	// Definition-based test agrees.
+	d, err := Definition(r1, r2)
+	if err != nil || d != Commute {
+		t.Fatalf("Definition = %v, %v", d, err)
+	}
+}
+
+// TestExample53 reproduces Example 5.3 / Figure 4: the 3-ary rules commute;
+// X and Z satisfy (a), Y satisfies (b).
+func TestExample53(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y,Z) :- p(U,Y,Z), q(X,Y).",
+		"p(X,Y,Z) :- p(X,Y,U), r(Z,Y).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != Commute {
+		t.Fatalf("verdict = %v, want commute\n%s", rep.Verdict, rep)
+	}
+	conds := map[string]Condition{}
+	for _, v := range rep.Vars {
+		conds[v.Var] = v.Condition
+	}
+	if conds["X"] != CondFreeOnePersistent || conds["Z"] != CondFreeOnePersistent {
+		t.Fatalf("X/Z conditions = %v", conds)
+	}
+	if conds["Y"] != CondLinkOneBoth {
+		t.Fatalf("Y condition = %v, want (b)", conds["Y"])
+	}
+	d, _ := Definition(r1, r2)
+	if d != Commute {
+		t.Fatalf("Definition disagrees: %v", d)
+	}
+}
+
+// TestExample54 reproduces Example 5.4 / Figure 5: the rules commute (by
+// definition) although the condition of Theorem 5.1 fails; they are outside
+// the restricted class (repeated predicate q), so Syntactic refuses and
+// Sufficient answers Unknown.
+func TestExample54(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(Y,W), q(X).",
+		"p(X,Y) :- p(U,V), q(X), q(Y).")
+	if d, err := Definition(r1, r2); err != nil || d != Commute {
+		t.Fatalf("Definition = %v, %v; want commute", d, err)
+	}
+	if _, err := Syntactic(r1, r2); err == nil {
+		t.Fatalf("Syntactic should reject rules outside the restricted class")
+	}
+	rep, err := Sufficient(r1, r2)
+	if err != nil {
+		t.Fatalf("Sufficient: %v", err)
+	}
+	if rep.Verdict != Unknown {
+		t.Fatalf("Sufficient verdict = %v, want unknown", rep.Verdict)
+	}
+}
+
+// TestNonCommutingPair: two left-linear rules with different edge
+// predicates do not commute; the syntactic test must say so exactly.
+func TestNonCommutingPair(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(X,U), q(U,Y).",
+		"p(X,Y) :- p(X,U), s(U,Y).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != NotCommute {
+		t.Fatalf("verdict = %v, want not-commute\n%s", rep.Verdict, rep)
+	}
+	if d, _ := Definition(r1, r2); d != NotCommute {
+		t.Fatalf("Definition disagrees")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Var != "Y" {
+		t.Fatalf("failures = %v, want Y only", fails)
+	}
+}
+
+// TestFreeCycleConditionC exercises clause (c): free 2-persistent cycles in
+// both rules whose h functions commute (two disjoint swaps vs the same
+// swap).
+func TestFreeCycleConditionC(t *testing.T) {
+	// Both rules swap X and Y; h1 = h2 = the swap, which commutes with
+	// itself.  Extra free 1-persistent Z makes schemas interesting.
+	r1, r2 := ops(t,
+		"p(X,Y,Z) :- p(Y,X,Z), q(W,W).",
+		"p(X,Y,Z) :- p(Y,X,Z), r(V,V).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != Commute {
+		t.Fatalf("verdict = %v\n%s", rep.Verdict, rep)
+	}
+	conds := map[string]Condition{}
+	for _, v := range rep.Vars {
+		conds[v.Var] = v.Condition
+	}
+	if conds["X"] != CondFreeCycleCommute || conds["Y"] != CondFreeCycleCommute {
+		t.Fatalf("X/Y conditions = %v, want (c)", conds)
+	}
+	if d, _ := Definition(r1, r2); d != Commute {
+		t.Fatalf("Definition disagrees")
+	}
+}
+
+// TestFreeCycleNonCommutingH: 3-cycles rotating in opposite directions DO
+// commute (rotations of the same cycle group commute); rotations on
+// overlapping but distinct orbits do not.
+func TestFreeCycleNonCommutingH(t *testing.T) {
+	// r1 rotates (X Y Z) forward, r2 rotates backward: these commute.
+	r1, r2 := ops(t,
+		"p(X,Y,Z) :- p(Y,Z,X), q(W,W).",
+		"p(X,Y,Z) :- p(Z,X,Y), r(V,V).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != Commute {
+		t.Fatalf("inverse rotations should commute\n%s", rep)
+	}
+	if d, _ := Definition(r1, r2); d != Commute {
+		t.Fatalf("Definition disagrees on rotations")
+	}
+
+	// r3 swaps (X Y), r4 swaps (Y Z): h functions do not commute.
+	r3, r4 := ops(t,
+		"p(X,Y,Z) :- p(Y,X,Z), q(W,W).",
+		"p(X,Y,Z) :- p(X,Z,Y), r(V,V).")
+	rep2, err := Syntactic(r3, r4)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep2.Verdict != NotCommute {
+		t.Fatalf("overlapping swaps should not commute\n%s", rep2)
+	}
+	if d, _ := Definition(r3, r4); d != NotCommute {
+		t.Fatalf("Definition disagrees on overlapping swaps")
+	}
+}
+
+// TestConditionDEquivalentBridges: the same bridge structure around a
+// general variable in both rules (clause (d)).
+func TestConditionDEquivalentBridges(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(U,Y), q(X,Y), a(Y).",
+		"p(X,Y) :- p(V,Y), q(X,Y), b(Y).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != Commute {
+		t.Fatalf("verdict = %v\n%s", rep.Verdict, rep)
+	}
+	conds := map[string]Condition{}
+	for _, v := range rep.Vars {
+		conds[v.Var] = v.Condition
+	}
+	if conds["X"] != CondEquivalentBridges {
+		t.Fatalf("X condition = %v, want (d)", conds["X"])
+	}
+	if d, _ := Definition(r1, r2); d != Commute {
+		t.Fatalf("Definition disagrees")
+	}
+}
+
+// TestDifferentConsequentVariableNames: alignment renames r2's head onto
+// r1's before testing.
+func TestDifferentConsequentVariableNames(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(X,U), q(U,Y).",
+		"p(A,B) :- r(A,U), p(U,B).")
+	rep, err := Syntactic(r1, r2)
+	if err != nil {
+		t.Fatalf("Syntactic: %v", err)
+	}
+	if rep.Verdict != Commute {
+		t.Fatalf("verdict = %v, want commute", rep.Verdict)
+	}
+}
+
+func TestIncompatibleSchemas(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(X,U), q(U,Y).",
+		"s(X,Y,Z) :- s(X,Y,U), q(U,Z).")
+	if _, err := Syntactic(r1, r2); err == nil {
+		t.Fatalf("different schemas should be rejected")
+	}
+	if _, err := Definition(r1, r2); err == nil {
+		t.Fatalf("different schemas should be rejected by Definition too")
+	}
+}
+
+func TestWeakSufficientBaseline(t *testing.T) {
+	// The weak baseline accepts the TC pair...
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(X,U), q(U,Y).",
+		"p(X,Y) :- r(X,U), p(U,Y).")
+	v, err := WeakSufficient(r1, r2)
+	if err != nil || v != Commute {
+		t.Fatalf("WeakSufficient(TC) = %v, %v", v, err)
+	}
+	// ...but is silent on the condition-(d) pair that Theorem 5.1 accepts.
+	r3, r4 := ops(t,
+		"p(X,Y) :- p(U,Y), q(X,Y), a(Y).",
+		"p(X,Y) :- p(V,Y), q(X,Y), b(Y).")
+	v, err = WeakSufficient(r3, r4)
+	if err != nil || v != Unknown {
+		t.Fatalf("WeakSufficient(bridge pair) = %v, %v; want unknown", v, err)
+	}
+}
+
+func TestSufficientIsSoundOnCommutingPairs(t *testing.T) {
+	// Whenever Sufficient says Commute, Definition must agree.
+	pairs := [][2]string{
+		{"p(X,Y) :- p(X,U), q(U,Y).", "p(X,Y) :- r(X,U), p(U,Y)."},
+		{"p(X,Y,Z) :- p(U,Y,Z), q(X,Y).", "p(X,Y,Z) :- p(X,Y,U), r(Z,Y)."},
+		{"p(X,Y) :- p(U,Y), q(X,Y), a(Y).", "p(X,Y) :- p(V,Y), q(X,Y), b(Y)."},
+		{"p(X,Y,Z) :- p(Y,X,Z), q(W,W).", "p(X,Y,Z) :- p(Y,X,Z), r(V,V)."},
+	}
+	for _, pr := range pairs {
+		r1, r2 := ops(t, pr[0], pr[1])
+		rep, err := Sufficient(r1, r2)
+		if err != nil {
+			t.Fatalf("Sufficient(%q, %q): %v", pr[0], pr[1], err)
+		}
+		if rep.Verdict != Commute {
+			continue
+		}
+		d, err := Definition(r1, r2)
+		if err != nil || d != Commute {
+			t.Fatalf("soundness violated for %q, %q: sufficient=commute, definition=%v", pr[0], pr[1], d)
+		}
+	}
+}
+
+type opT = ast.Op
+
+// TestSufficientOutsideRestrictedClass: rules with repeated nonrecursive
+// predicates (outside Theorem 5.2's class) can still be certified by
+// Theorem 5.1 — bridge equivalence falls back to full conjunctive-query
+// equivalence.
+func TestSufficientOutsideRestrictedClass(t *testing.T) {
+	r1, r2 := ops(t,
+		"p(X,Y) :- p(U,Y), q(X,W), q(W,Y), a(Y).",
+		"p(X,Y) :- p(V,Y), q(X,W), q(W,Y), b(Y).")
+	if _, err := Syntactic(r1, r2); err == nil {
+		t.Fatalf("repeated q should put the pair outside the restricted class")
+	}
+	rep, err := Sufficient(r1, r2)
+	if err != nil {
+		t.Fatalf("Sufficient: %v", err)
+	}
+	if rep.Verdict != Commute {
+		t.Fatalf("Theorem 5.1 should certify this pair:\n%s", rep)
+	}
+	if d, _ := Definition(r1, r2); d != Commute {
+		t.Fatalf("Definition disagrees")
+	}
+}
+
+// TestSelfCommutes: every operator commutes with itself, under every test
+// that applies.
+func TestSelfCommutes(t *testing.T) {
+	for _, src := range []string{
+		"p(X,Y) :- p(X,U), q(U,Y).",
+		"p(X,Y,Z) :- p(U,Y,Z), q(X,Y).",
+		"buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).",
+	} {
+		r1, r2 := ops(t, src, src)
+		if d, err := Definition(r1, r2); err != nil || d != Commute {
+			t.Fatalf("%s does not self-commute: %v %v", src, d, err)
+		}
+		rep, err := Syntactic(r1, r2)
+		if err != nil {
+			t.Fatalf("Syntactic(%s): %v", src, err)
+		}
+		if rep.Verdict != Commute {
+			t.Fatalf("syntactic test fails self-commutation of %s:\n%s", src, rep)
+		}
+	}
+}

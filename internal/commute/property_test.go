@@ -1,0 +1,180 @@
+package commute
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"linrec/internal/ast"
+)
+
+// genOp generates a random operator in the restricted class of Theorem 5.2:
+// range-restricted, rectified head, no repeated nonrecursive predicates.
+// Head is p(X0..Xk-1).  predSalt makes the nonrecursive predicate pool of
+// the two generated rules overlap partially (shared pool "q*", private pool
+// per rule), which is what makes commutativity nontrivial.
+func genOp(rng *rand.Rand, arity int, predSalt string) *ast.Op {
+	head := make([]ast.Term, arity)
+	rec := make([]ast.Term, arity)
+	for i := range head {
+		head[i] = ast.V(fmt.Sprintf("X%d", i))
+	}
+
+	// Assign a persistence structure: positions are partitioned into
+	// 1-cycles, one optional 2-cycle, and general positions.
+	perm := rng.Perm(arity)
+	i := 0
+	var generals []int
+	freshID := 0
+	fresh := func() ast.Term {
+		freshID++
+		return ast.V(fmt.Sprintf("N%s%d", predSalt, freshID))
+	}
+	if arity >= 2 && rng.Intn(3) == 0 {
+		a, b := perm[0], perm[1]
+		rec[a] = head[b]
+		rec[b] = head[a]
+		i = 2
+	}
+	for ; i < arity; i++ {
+		p := perm[i]
+		switch rng.Intn(3) {
+		case 0, 1: // 1-persistent (free or link depending on atom usage)
+			rec[p] = head[p]
+		default: // general: fresh body variable
+			rec[p] = fresh()
+			generals = append(generals, p)
+		}
+	}
+
+	op := &ast.Op{
+		Head: ast.Atom{Pred: "p", Args: head},
+		Rec:  ast.Atom{Pred: "p", Args: rec},
+	}
+
+	// Nonrecursive atoms: every general head variable must occur in one
+	// (range restriction).  Predicates are drawn without repetition from a
+	// pool that mixes shared names (q0..q3) and salted private names.
+	used := map[string]bool{}
+	pickPred := func() string {
+		for {
+			var name string
+			if rng.Intn(2) == 0 {
+				name = fmt.Sprintf("q%d", rng.Intn(4))
+			} else {
+				name = fmt.Sprintf("r%s%d", predSalt, rng.Intn(4))
+			}
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	for _, p := range generals {
+		args := []ast.Term{head[p]}
+		// Optionally link the atom to another variable.
+		switch rng.Intn(3) {
+		case 0:
+			args = append(args, rec[p]) // connect to the h-image
+		case 1:
+			args = append(args, head[rng.Intn(arity)])
+		default:
+			args = append(args, fresh())
+		}
+		if rng.Intn(2) == 0 {
+			args[0], args[1] = args[1], args[0]
+		}
+		op.NonRec = append(op.NonRec, ast.Atom{Pred: pickPred(), Args: args})
+	}
+	// Occasionally decorate a persistent variable, turning it into a link
+	// 1-persistent one.
+	if rng.Intn(2) == 0 {
+		p := rng.Intn(arity)
+		if rec[p] == head[p] {
+			op.NonRec = append(op.NonRec, ast.Atom{Pred: pickPred(), Args: []ast.Term{head[p]}})
+		}
+	}
+	return op
+}
+
+// TestSyntacticMatchesDefinition is the repository's central correctness
+// property: on the restricted class, the O(a log a) syntactic test of
+// Theorem 5.2 must agree exactly with the definition-based test on every
+// generated pair.
+func TestSyntacticMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260612))
+	commuteCount, notCount := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		arity := 2 + rng.Intn(3)
+		r1 := genOp(rng, arity, "a")
+		r2 := genOp(rng, arity, "b")
+		rep, err := Syntactic(r1, r2)
+		if err != nil {
+			t.Fatalf("trial %d: Syntactic(%v, %v): %v", trial, r1, r2, err)
+		}
+		def, err := Definition(r1, r2)
+		if err != nil {
+			t.Fatalf("trial %d: Definition: %v", trial, err)
+		}
+		if rep.Verdict != def {
+			t.Fatalf("trial %d: syntactic=%v definition=%v\nr1: %v\nr2: %v\n%s",
+				trial, rep.Verdict, def, r1, r2, rep)
+		}
+		if def == Commute {
+			commuteCount++
+		} else {
+			notCount++
+		}
+	}
+	// The generator must exercise both outcomes to be meaningful.
+	if commuteCount < 20 || notCount < 20 {
+		t.Fatalf("generator imbalance: %d commuting, %d non-commuting", commuteCount, notCount)
+	}
+}
+
+// TestWeakSufficientNeverContradictsDefinition: the baseline's Commute
+// verdicts are sound too (they are a subset of Theorem 5.1's).
+func TestWeakSufficientNeverContradictsDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		arity := 2 + rng.Intn(3)
+		r1 := genOp(rng, arity, "a")
+		r2 := genOp(rng, arity, "b")
+		v, err := WeakSufficient(r1, r2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if v != Commute {
+			continue
+		}
+		def, err := Definition(r1, r2)
+		if err != nil || def != Commute {
+			t.Fatalf("trial %d: weak baseline unsound on\nr1: %v\nr2: %v (def=%v, err=%v)", trial, r1, r2, def, err)
+		}
+	}
+}
+
+// TestSufficientSubsumesWeak: whenever the weak baseline proves
+// commutativity, Theorem 5.1 does as well (it is strictly more general).
+func TestSufficientSubsumesWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		arity := 2 + rng.Intn(3)
+		r1 := genOp(rng, arity, "a")
+		r2 := genOp(rng, arity, "b")
+		w, err := WeakSufficient(r1, r2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if w != Commute {
+			continue
+		}
+		rep, err := Sufficient(r1, r2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.Verdict != Commute {
+			t.Fatalf("trial %d: weak proves commute but Theorem 5.1 does not\nr1: %v\nr2: %v", trial, r1, r2)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package core is the facade tying the substrates together: load a Datalog
+// program, analyze its linear recursion with the paper's machinery, choose
+// an evaluation plan and answer queries.  The root package linrec re-exports
+// this API for library users.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/planner"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+)
+
+// System holds a loaded program, its extensional database and the engine.
+type System struct {
+	Prog   *ast.Program
+	Engine *eval.Engine
+	DB     rel.DB
+
+	analyses map[string]*planner.Analysis
+}
+
+// Load parses a Datalog program and loads its facts.
+func Load(src string) (*System, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromProgram(prog)
+}
+
+// FromProgram wraps an already-parsed program.
+func FromProgram(prog *ast.Program) (*System, error) {
+	s := &System{
+		Prog:     prog,
+		Engine:   eval.NewEngine(nil),
+		DB:       rel.DB{},
+		analyses: map[string]*planner.Analysis{},
+	}
+	if err := s.Engine.LoadFacts(s.DB, prog.Facts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Analyze runs (and caches) the paper's full analysis for one recursive
+// predicate.
+func (s *System) Analyze(pred string) (*planner.Analysis, error) {
+	if a, ok := s.analyses[pred]; ok {
+		return a, nil
+	}
+	a, err := planner.Analyze(s.Prog, pred)
+	if err != nil {
+		return nil, err
+	}
+	s.analyses[pred] = a
+	return a, nil
+}
+
+// QueryResult pairs an answer with the plan that produced it.
+type QueryResult struct {
+	Query  ast.Atom
+	Answer *rel.Relation
+	Stats  eval.Stats
+	Plan   *planner.Plan
+}
+
+// Rows renders the answer tuples as symbol strings, sorted.
+func (qr *QueryResult) Rows(s *System) [][]string {
+	var out [][]string
+	for _, t := range qr.Answer.Tuples() {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = s.Engine.Syms.Name(v)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Query answers one query atom over a recursive predicate.  Constant
+// arguments become selections: the first constant drives the plan choice
+// (the separable algorithm when Theorem 4.1 applies); remaining constants
+// are applied as post-filters.
+func (s *System) Query(q ast.Atom) (*QueryResult, error) {
+	a, err := s.Analyze(q.Pred)
+	if err != nil {
+		return nil, err
+	}
+	if q.Arity() != a.Ops[0].Arity() {
+		return nil, fmt.Errorf("core: query %v has arity %d, predicate has %d", q, q.Arity(), a.Ops[0].Arity())
+	}
+
+	var sels []separable.Selection
+	for i, t := range q.Args {
+		if !t.IsVar() {
+			sels = append(sels, separable.Selection{Col: i, Value: s.Engine.Syms.Intern(t.Name)})
+		}
+	}
+
+	// With two or more constants on commuting operators, try the n-ary
+	// separable decomposition of Section 4.1:
+	// σ0σ1…σn(ΣAᵢ)* = (σ1A1*)…(σnAn*)σ0.
+	if len(sels) >= 2 && len(a.Ops) >= 2 && a.AllCommute() {
+		if res, ok, err := s.multiSeparable(a, sels); err != nil {
+			return nil, err
+		} else if ok {
+			res.Query = q
+			return res, nil
+		}
+	}
+
+	var primary *separable.Selection
+	if len(sels) > 0 {
+		primary = &sels[0]
+	}
+	plan := a.Choose(primary)
+
+	var execSel *separable.Selection
+	if plan.Kind != planner.Separable {
+		execSel = primary
+	}
+	res, err := a.Execute(s.Engine, s.DB, plan, execSel)
+	if err != nil {
+		return nil, err
+	}
+	ans := res.Answer
+	for _, sel := range sels[min(1, len(sels)):] {
+		ans = sel.Apply(ans)
+	}
+	return &QueryResult{Query: q, Answer: ans, Stats: res.Stats, Plan: plan}, nil
+}
+
+// multiSeparable attempts to assign every selection to an operator slot of
+// the n-ary separable formula: σ attached to Aᵢ must commute with every
+// other operator; σ commuting with all operators becomes a σ0.  ok is false
+// when no legal assignment exists (the caller falls back to other plans).
+func (s *System) multiSeparable(a *planner.Analysis, sels []separable.Selection) (*QueryResult, bool, error) {
+	taken := map[int]bool{}
+	var ms []separable.MultiSelection
+	for _, sel := range sels {
+		owner := -2 // unassigned
+		commutesWithAll := true
+		for i, op := range a.Ops {
+			if !sel.CommutesWith(op) {
+				if owner != -2 {
+					owner = -3 // fails against two operators: illegal
+					break
+				}
+				owner = i
+				commutesWithAll = false
+			}
+		}
+		switch {
+		case commutesWithAll:
+			ms = append(ms, separable.MultiSelection{OpIndex: -1, Sel: sel})
+		case owner >= 0 && !taken[owner]:
+			taken[owner] = true
+			ms = append(ms, separable.MultiSelection{OpIndex: owner, Sel: sel})
+		default:
+			return nil, false, nil
+		}
+	}
+
+	q := rel.NewRelation(a.Ops[0].Arity())
+	for _, r := range a.ExitRules {
+		t, err := s.Engine.EvalRule(s.DB, r)
+		if err != nil {
+			return nil, false, err
+		}
+		q.UnionInto(t)
+	}
+	out, stats, err := separable.EvalMulti(s.Engine, s.DB, a.Ops, ms, q)
+	if err != nil {
+		return nil, false, err
+	}
+	plan := &planner.Plan{
+		Kind: planner.Separable,
+		Why:  fmt.Sprintf("n-ary separable decomposition with %d selections (Section 4.1)", len(sels)),
+	}
+	return &QueryResult{Answer: out, Stats: stats, Plan: plan}, true, nil
+}
+
+// Run answers every "?-" query of the program in order.
+func (s *System) Run() ([]*QueryResult, error) {
+	var out []*QueryResult
+	for _, q := range s.Prog.Queries {
+		r, err := s.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Report renders the analysis of every recursive predicate in the program.
+func (s *System) Report() (string, error) {
+	var b strings.Builder
+	for _, pred := range s.Prog.IDBPreds() {
+		recursive := false
+		for _, r := range s.Prog.RulesFor(pred) {
+			if r.IsRecursiveWith(pred) {
+				recursive = true
+			}
+		}
+		if !recursive {
+			continue
+		}
+		a, err := s.Analyze(pred)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(a.Summary())
+		plan := a.Choose(nil)
+		fmt.Fprintf(&b, "\nplan: %v — %s\n", plan.Kind, plan.Why)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/planner"
+)
+
+const tcProgram = `
+path(X,Y) :- up(X,Y).
+path(X,Y) :- path(X,Z), up(Z,Y).
+path(X,Y) :- down(X,Z), path(Z,Y).
+up(a,b). up(b,c). up(c,d).
+down(b,a). down(c,b).
+?- path(a, Y).
+?- path(X, d).
+?- path(a, d).
+`
+
+func TestLoadAndRun(t *testing.T) {
+	sys, err := Load(tcProgram)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	results, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Query 1: path(a, Y) — separable plan expected (selection on col 0).
+	if results[0].Plan.Kind != planner.Separable {
+		t.Fatalf("query 1 plan = %v, want separable", results[0].Plan.Kind)
+	}
+	rows := results[0].Rows(sys)
+	if len(rows) == 0 {
+		t.Fatalf("path(a, Y) returned nothing")
+	}
+	for _, r := range rows {
+		if r[0] != "a" {
+			t.Fatalf("selection violated: %v", r)
+		}
+	}
+	// Query 3: fully ground — answer must be exactly path(a,d).
+	rows3 := results[2].Rows(sys)
+	if len(rows3) != 1 || rows3[0][0] != "a" || rows3[0][1] != "d" {
+		t.Fatalf("path(a,d) = %v", rows3)
+	}
+}
+
+func TestGroundQueriesAgreeWithOpenOnes(t *testing.T) {
+	sys, err := Load(tcProgram)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	open, err := sys.Query(ast.NewAtom("path", ast.V("X"), ast.V("Y")))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if open.Plan.Kind != planner.Decomposed {
+		t.Fatalf("open query plan = %v, want decomposed", open.Plan.Kind)
+	}
+	sel, err := sys.Query(ast.NewAtom("path", ast.C("a"), ast.V("Y")))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Every selected answer appears in the full closure.
+	for _, row := range sel.Answer.Tuples() {
+		if !open.Answer.Has(row) {
+			t.Fatalf("selected tuple %v missing from full closure", row)
+		}
+	}
+	// Counting check: full closure restricted to a = selection answer.
+	count := 0
+	a, _ := sys.Engine.Syms.Lookup("a")
+	for _, row := range open.Answer.Tuples() {
+		if row[0] == a {
+			count++
+		}
+	}
+	if count != sel.Answer.Len() {
+		t.Fatalf("selection lost tuples: %d vs %d", sel.Answer.Len(), count)
+	}
+}
+
+func TestQueryArityMismatch(t *testing.T) {
+	sys, _ := Load(tcProgram)
+	if _, err := sys.Query(ast.NewAtom("path", ast.V("X"))); err == nil {
+		t.Fatalf("arity mismatch should error")
+	}
+}
+
+func TestReport(t *testing.T) {
+	sys, _ := Load(tcProgram)
+	rep, err := sys.Report()
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	for _, want := range []string{"path", "commute", "separable: true", "decomposed"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestAnalyzeCached(t *testing.T) {
+	sys, _ := Load(tcProgram)
+	a1, err := sys.Analyze("path")
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	a2, _ := sys.Analyze("path")
+	if a1 != a2 {
+		t.Fatalf("analysis not cached")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("p(X,Y) :-"); err == nil {
+		t.Fatalf("syntax error should propagate")
+	}
+}
+
+// TestMultiConstantQueryUsesNArySeparable: a query with two constants on
+// commuting operators runs the Section 4.1 n-ary decomposition and returns
+// the same answer as the filtered full closure.
+func TestMultiConstantQueryUsesNArySeparable(t *testing.T) {
+	sys, err := Load(tcProgram)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ground, err := sys.Query(ast.NewAtom("path", ast.C("a"), ast.C("d")))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if ground.Plan.Kind != planner.Separable {
+		t.Fatalf("plan = %v (%s), want separable", ground.Plan.Kind, ground.Plan.Why)
+	}
+	if !strings.Contains(ground.Plan.Why, "n-ary") {
+		t.Fatalf("expected the n-ary path, got %q", ground.Plan.Why)
+	}
+	open, err := sys.Query(ast.NewAtom("path", ast.V("X"), ast.V("Y")))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	count := 0
+	aSym, _ := sys.Engine.Syms.Lookup("a")
+	dSym, _ := sys.Engine.Syms.Lookup("d")
+	for _, row := range open.Answer.Tuples() {
+		if row[0] == aSym && row[1] == dSym {
+			count++
+		}
+	}
+	if ground.Answer.Len() != count {
+		t.Fatalf("n-ary answer = %d rows, full closure has %d matching", ground.Answer.Len(), count)
+	}
+}

@@ -1,0 +1,95 @@
+package cq
+
+import (
+	"fmt"
+	"testing"
+
+	"linrec/internal/ast"
+)
+
+// chainCQ builds p(X0,Xn) :- q0(X0,V1), q1(V1,V2), …, q_{n-1}(V_{n-1},Xn).
+func chainCQ(n int, shared bool) *CQ {
+	q := &CQ{Head: ast.NewAtom("p", ast.V("X0"), ast.V("XN"))}
+	prev := ast.V("X0")
+	for i := 0; i < n; i++ {
+		var next ast.Term
+		if i == n-1 {
+			next = ast.V("XN")
+		} else {
+			next = ast.V(fmt.Sprintf("V%d", i+1))
+		}
+		pred := fmt.Sprintf("q%d", i)
+		if shared {
+			pred = "q"
+		}
+		q.Body = append(q.Body, ast.NewAtom(pred, prev, next))
+		prev = next
+	}
+	return q
+}
+
+// BenchmarkHomomorphismDistinctPreds: the easy case — unique predicates
+// propagate bindings deterministically.
+func BenchmarkHomomorphismDistinctPreds(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q1 := chainCQ(n, false)
+			q2 := chainCQ(n, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := Homomorphism(q1, q2); !ok {
+					b.Fatal("expected homomorphism")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHomomorphismSharedPred: the hard case — every atom has the same
+// predicate, so candidate sets are large and backtracking kicks in.
+func BenchmarkHomomorphismSharedPred(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q1 := chainCQ(n, true)
+			q2 := chainCQ(n, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := Homomorphism(q1, q2); !ok {
+					b.Fatal("expected homomorphism")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEquivalentNoRepeatedPreds: the Lemma 5.4 fast path.
+func BenchmarkEquivalentNoRepeatedPreds(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q1 := chainCQ(n, false)
+			q2 := chainCQ(n, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eq, ok := EquivalentNoRepeatedPreds(q1, q2)
+				if !ok || !eq {
+					b.Fatal("expected fast equivalence")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinimize: core computation on a query with foldable atoms.
+func BenchmarkMinimize(b *testing.B) {
+	q := chainCQ(8, false)
+	for i := 0; i < 4; i++ {
+		q.Body = append(q.Body, ast.NewAtom("q0", ast.V("X0"), ast.V(fmt.Sprintf("W%d", i))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := Minimize(q)
+		if len(m.Body) >= len(q.Body) {
+			b.Fatal("nothing minimized")
+		}
+	}
+}

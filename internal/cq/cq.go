@@ -1,0 +1,283 @@
+// Package cq implements conjunctive-query reasoning: homomorphisms,
+// containment, equivalence and minimization (core computation).
+//
+// These are the classical tools of Chandra–Merlin (reference [8] of the
+// paper): for conjunctive queries r, s with the same head, s ⊆ r iff there
+// is a homomorphism from r to s that fixes the distinguished (head)
+// variables.  Containment and equivalence of conjunctive queries are
+// NP-complete in general; the backtracking search here is exact and is used
+// both as the definition-based commutativity test (compose both ways, test
+// equivalence) and as the ground truth against which the paper's polynomial
+// syntactic test is validated.
+package cq
+
+import (
+	"sort"
+	"strings"
+
+	"linrec/internal/ast"
+)
+
+// CQ is a conjunctive query: a head atom over distinguished variables and a
+// body of positive literals.  For the operators of the paper the body
+// contains a renamed instance of the recursive predicate (see FromOp).
+type CQ struct {
+	Head ast.Atom
+	Body []ast.Atom
+}
+
+// inPredPrefix marks the body instance of the recursive predicate so that
+// homomorphism search never confuses it with a parameter predicate.  The
+// parser can never produce a predicate containing '$'.
+const inPredPrefix = "$in$"
+
+// FromOp converts a linear operator into its conjunctive query, renaming the
+// recursive body atom's predicate P to "$in$P" (the paper's P₁) so that the
+// query is over ordinary predicates.
+func FromOp(o *ast.Op) *CQ {
+	rec := o.Rec.Clone()
+	rec.Pred = inPredPrefix + rec.Pred
+	body := make([]ast.Atom, 0, len(o.NonRec)+1)
+	body = append(body, rec)
+	for _, a := range o.NonRec {
+		body = append(body, a.Clone())
+	}
+	return &CQ{Head: o.Head.Clone(), Body: body}
+}
+
+// ToOp converts a conjunctive query produced by FromOp back into operator
+// form.  It panics if the body does not contain exactly one "$in$" atom.
+func (q *CQ) ToOp() *ast.Op {
+	op := &ast.Op{Head: q.Head.Clone()}
+	found := false
+	for _, a := range q.Body {
+		if strings.HasPrefix(a.Pred, inPredPrefix) {
+			if found {
+				panic("cq: query has multiple recursive input atoms")
+			}
+			found = true
+			rec := a.Clone()
+			rec.Pred = strings.TrimPrefix(rec.Pred, inPredPrefix)
+			op.Rec = rec
+			continue
+		}
+		op.NonRec = append(op.NonRec, a.Clone())
+	}
+	if !found {
+		panic("cq: query has no recursive input atom")
+	}
+	return op
+}
+
+// Clone returns a deep copy of the query.
+func (q *CQ) Clone() *CQ {
+	body := make([]ast.Atom, len(q.Body))
+	for i, a := range q.Body {
+		body[i] = a.Clone()
+	}
+	return &CQ{Head: q.Head.Clone(), Body: body}
+}
+
+// String renders the query as a rule.
+func (q *CQ) String() string {
+	return ast.Rule{Head: q.Head, Body: q.Body}.String()
+}
+
+// Distinguished returns the set of head variables.
+func (q *CQ) Distinguished() ast.VarSet {
+	s := ast.VarSet{}
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			s.Add(t.Name)
+		}
+	}
+	return s
+}
+
+// Homomorphism searches for a homomorphism f: from → to, i.e. a mapping on
+// variables such that f fixes every distinguished variable of `from` and
+// maps every body atom of `from` onto some body atom of `to`.  Constants map
+// to themselves.  It returns the variable mapping and whether one exists.
+//
+// Both queries are assumed to have identical heads (the Section 5 setting);
+// Homomorphism does not check the heads beyond fixing distinguished
+// variables.
+func Homomorphism(from, to *CQ) (map[string]string, bool) {
+	dist := from.Distinguished()
+
+	// Bucket target atoms by predicate for candidate lookup.
+	buckets := map[string][]ast.Atom{}
+	for _, a := range to.Body {
+		buckets[a.Pred] = append(buckets[a.Pred], a)
+	}
+
+	// Order source atoms: fewest candidates first, which prunes early.
+	atoms := make([]ast.Atom, len(from.Body))
+	copy(atoms, from.Body)
+	sort.SliceStable(atoms, func(i, j int) bool {
+		return len(buckets[atoms[i].Pred]) < len(buckets[atoms[j].Pred])
+	})
+	for _, a := range atoms {
+		if len(buckets[a.Pred]) == 0 {
+			return nil, false
+		}
+	}
+
+	assign := map[string]string{}
+	for v := range dist {
+		assign[v] = v
+	}
+
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(atoms) {
+			return true
+		}
+		src := atoms[i]
+		for _, cand := range buckets[src.Pred] {
+			if cand.Arity() != src.Arity() {
+				continue
+			}
+			var touched []string
+			ok := true
+			for k := 0; k < src.Arity(); k++ {
+				st, ct := src.Args[k], cand.Args[k]
+				if !st.IsVar() {
+					// Constants must match exactly.
+					if ct.IsVar() || ct.Name != st.Name {
+						ok = false
+						break
+					}
+					continue
+				}
+				want := ct.Name
+				if cur, bound := assign[st.Name]; bound {
+					if cur != want {
+						ok = false
+						break
+					}
+					continue
+				}
+				assign[st.Name] = want
+				touched = append(touched, st.Name)
+			}
+			if ok && try(i+1) {
+				return true
+			}
+			for _, v := range touched {
+				delete(assign, v)
+			}
+		}
+		return false
+	}
+	if !try(0) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// Contains reports r ⊇ s, i.e. s ≤ r in the paper's partial order: for all
+// databases, the answer of s is a subset of the answer of r.  By the
+// Chandra–Merlin theorem this holds iff there is a homomorphism r → s.
+func Contains(r, s *CQ) bool {
+	_, ok := Homomorphism(r, s)
+	return ok
+}
+
+// Equivalent reports r ≡ s (mutual containment).
+func Equivalent(r, s *CQ) bool {
+	if r.Head.Pred != s.Head.Pred || r.Head.Arity() != s.Head.Arity() {
+		return false
+	}
+	return Contains(r, s) && Contains(s, r)
+}
+
+// Minimize computes the core of the query: a minimal equivalent subquery.
+// Section 5 assumes "every rule seen as a conjunctive query is in its unique
+// minimal form"; analyses call Minimize first to establish that.
+//
+// The result is a fresh query; the input is not modified.  Minimization
+// repeatedly removes a body atom if the full query has a homomorphism into
+// the reduced one (folding), which preserves equivalence.
+func Minimize(q *CQ) *CQ {
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := range cur.Body {
+			cand := &CQ{Head: cur.Head, Body: removeAt(cur.Body, i)}
+			// cand ⊆ cur always (dropping conjuncts enlarges the
+			// answer ... actually dropping body atoms weakens the
+			// constraint, so cur ⊆ cand trivially via identity).
+			// Equivalence therefore reduces to cand ⊆ cur, i.e. a
+			// homomorphism cur → cand.
+			if Contains(cur, cand) {
+				cur = cand.Clone()
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+func removeAt(atoms []ast.Atom, i int) []ast.Atom {
+	out := make([]ast.Atom, 0, len(atoms)-1)
+	out = append(out, atoms[:i]...)
+	out = append(out, atoms[i+1:]...)
+	return out
+}
+
+// DedupBody removes syntactically identical body atoms (same predicate and
+// argument names).  This is a cheap sound pre-pass before Minimize; it never
+// changes the query's meaning.
+func (q *CQ) DedupBody() *CQ {
+	seen := map[string]bool{}
+	out := q.Clone()
+	out.Body = out.Body[:0]
+	for _, a := range q.Body {
+		k := a.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Body = append(out.Body, a.Clone())
+	}
+	return out
+}
+
+// Isomorphic reports whether two queries are identical up to a bijective
+// renaming of nondistinguished variables and reordering of body atoms.
+// Isomorphism implies equivalence; for queries with no repeated predicates
+// it coincides with equivalence (Lemma 5.4).
+func Isomorphic(r, s *CQ) bool {
+	if len(r.Body) != len(s.Body) {
+		return false
+	}
+	f, ok := Homomorphism(r, s)
+	if !ok {
+		return false
+	}
+	// A homomorphism between same-size queries is an isomorphism iff it is
+	// injective on variables and surjective on atoms.
+	img := map[string]bool{}
+	for _, v := range f {
+		if img[v] {
+			return false
+		}
+		img[v] = true
+	}
+	g, ok := Homomorphism(s, r)
+	if !ok {
+		return false
+	}
+	img2 := map[string]bool{}
+	for _, v := range g {
+		if img2[v] {
+			return false
+		}
+		img2[v] = true
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package cq
+
+import (
+	"sort"
+
+	"linrec/internal/ast"
+)
+
+type astAtom = ast.Atom
+
+// EquivalentNoRepeatedPreds tests equivalence of two conjunctive queries
+// under the restrictions of Lemma 5.4: range-restricted, no repeated
+// variables in the consequent and no repeated predicates in the body.
+// Under those restrictions, equivalent queries are isomorphic and every
+// predicate can map to only one predicate in the other query, so
+// equivalence reduces to (1) equal sorted predicate lists and (2) the
+// induced position-wise variable mapping being a consistent bijection that
+// fixes distinguished variables.  The cost is O(a log a) in the total
+// number of argument positions a — this is the engine of the paper's
+// Theorem 5.3 polynomial bound.
+//
+// The caller is responsible for the "no repeated predicates" precondition;
+// if it is violated the function returns false, ok=false.
+func EquivalentNoRepeatedPreds(r, s *CQ) (equiv, ok bool) {
+	if len(r.Body) != len(s.Body) {
+		return false, true
+	}
+	ri := sortedByPred(r.Body)
+	si := sortedByPred(s.Body)
+	for i := range ri {
+		if i > 0 && r.Body[ri[i]].Pred == r.Body[ri[i-1]].Pred {
+			return false, false // repeated predicate: precondition violated
+		}
+		if i > 0 && s.Body[si[i]].Pred == s.Body[si[i-1]].Pred {
+			return false, false
+		}
+	}
+
+	dist := r.Distinguished()
+	f := map[string]string{}   // r variable → s variable
+	inv := map[string]string{} // injectivity witness
+	for i := range ri {
+		a, b := r.Body[ri[i]], s.Body[si[i]]
+		if a.Pred != b.Pred || a.Arity() != b.Arity() {
+			return false, true
+		}
+		for k := 0; k < a.Arity(); k++ {
+			x, y := a.Args[k], b.Args[k]
+			if x.IsVar() != y.IsVar() {
+				return false, true
+			}
+			if !x.IsVar() {
+				if x.Name != y.Name {
+					return false, true
+				}
+				continue
+			}
+			if dist.Has(x.Name) && x.Name != y.Name {
+				return false, true
+			}
+			if prev, seen := f[x.Name]; seen {
+				if prev != y.Name {
+					return false, true
+				}
+				continue
+			}
+			if prev, seen := inv[y.Name]; seen && prev != x.Name {
+				return false, true
+			}
+			f[x.Name] = y.Name
+			inv[y.Name] = x.Name
+		}
+	}
+	return true, true
+}
+
+func sortedByPred(atoms []astAtom) []int {
+	idx := make([]int, len(atoms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return atoms[idx[a]].Pred < atoms[idx[b]].Pred })
+	return idx
+}

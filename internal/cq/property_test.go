@@ -1,0 +1,168 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"linrec/internal/ast"
+)
+
+// genCQ builds a random conjunctive query over binary predicates q0..q3
+// with head p(X0, X1) and a small variable pool.
+func genCQ(rng *rand.Rand, salt string) *CQ {
+	pool := []ast.Term{ast.V("X0"), ast.V("X1")}
+	for i := 0; i < 3; i++ {
+		pool = append(pool, ast.V(fmt.Sprintf("N%s%d", salt, i)))
+	}
+	q := &CQ{Head: ast.NewAtom("p", ast.V("X0"), ast.V("X1"))}
+	n := 2 + rng.Intn(4)
+	used := ast.VarSet{}
+	for i := 0; i < n; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		q.Body = append(q.Body, ast.NewAtom(fmt.Sprintf("q%d", rng.Intn(4)), a, b))
+		used.Add(a.Name).Add(b.Name)
+	}
+	// Keep the query safe: head variables must appear in the body.
+	for _, h := range q.Head.Args {
+		if !used.Has(h.Name) {
+			q.Body = append(q.Body, ast.NewAtom("anchor", h))
+		}
+	}
+	return q
+}
+
+// TestContainmentPreorder: ⊆ is reflexive and transitive on random queries,
+// and Equivalent is symmetric.
+func TestContainmentPreorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var qs []*CQ
+	for i := 0; i < 10; i++ {
+		qs = append(qs, genCQ(rng, "p"))
+	}
+	for _, q := range qs {
+		if !Contains(q, q) {
+			t.Fatalf("containment not reflexive on %v", q)
+		}
+	}
+	for _, a := range qs {
+		for _, b := range qs {
+			if Equivalent(a, b) != Equivalent(b, a) {
+				t.Fatalf("equivalence not symmetric: %v / %v", a, b)
+			}
+			for _, c := range qs {
+				if Contains(a, b) && Contains(b, c) && !Contains(a, c) {
+					t.Fatalf("containment not transitive:\n%v\n%v\n%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestAddingConjunctsShrinks: for random q, q with one more atom is always
+// contained in q.
+func TestAddingConjunctsShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		q := genCQ(rng, "s")
+		bigger := q.Clone()
+		bigger.Body = append(bigger.Body, ast.NewAtom("extra", ast.V("X0"), ast.V(fmt.Sprintf("E%d", trial))))
+		if !Contains(q, bigger) {
+			t.Fatalf("trial %d: q should contain q∧extra:\n%v\n%v", trial, q, bigger)
+		}
+	}
+}
+
+// TestMinimizeProperties: Minimize yields an equivalent query that no
+// further minimization shrinks, never larger than the input.
+func TestMinimizeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 80; trial++ {
+		q := genCQ(rng, "m")
+		m := Minimize(q)
+		if len(m.Body) > len(q.Body) {
+			t.Fatalf("trial %d: Minimize grew the query", trial)
+		}
+		if !Equivalent(q, m) {
+			t.Fatalf("trial %d: Minimize broke equivalence:\n%v\n%v", trial, q, m)
+		}
+		m2 := Minimize(m)
+		if len(m2.Body) != len(m.Body) {
+			t.Fatalf("trial %d: Minimize not idempotent", trial)
+		}
+	}
+}
+
+// TestEquivalentNoRepeatedPredsAgreesWithGeneral: on random queries with
+// forced-unique predicates, the O(a log a) test agrees with the general
+// equivalence test.
+func TestEquivalentNoRepeatedPredsAgreesWithGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	uniq := func(q *CQ) *CQ {
+		out := q.Clone()
+		for i := range out.Body {
+			out.Body[i].Pred = fmt.Sprintf("u%d", i)
+		}
+		return out
+	}
+	renameVars := func(q *CQ, salt string) *CQ {
+		sub := map[string]string{}
+		dist := q.Distinguished()
+		out := q.Clone()
+		for i := range out.Body {
+			for j, a := range out.Body[i].Args {
+				if !a.IsVar() || dist.Has(a.Name) {
+					continue
+				}
+				nn, ok := sub[a.Name]
+				if !ok {
+					nn = a.Name + salt
+					sub[a.Name] = nn
+				}
+				out.Body[i].Args[j] = ast.V(nn)
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 60; trial++ {
+		q1 := uniq(genCQ(rng, "f"))
+		var q2 *CQ
+		if rng.Intn(2) == 0 {
+			q2 = renameVars(q1, "r") // alpha-variant: must be equivalent
+		} else {
+			q2 = uniq(genCQ(rng, "g")) // unrelated query
+			if len(q2.Body) != len(q1.Body) {
+				continue
+			}
+		}
+		fast, ok := EquivalentNoRepeatedPreds(q1, q2)
+		if !ok {
+			t.Fatalf("trial %d: precondition unexpectedly violated", trial)
+		}
+		slow := Equivalent(q1, q2)
+		if fast != slow {
+			t.Fatalf("trial %d: fast=%v general=%v\nq1: %v\nq2: %v", trial, fast, slow, q1, q2)
+		}
+	}
+}
+
+// TestHomomorphismComposition: homomorphisms compose — if hom r→s and hom
+// s→u exist then hom r→u exists (this is what containment transitivity
+// rests on, checked directly at the hom level).
+func TestHomomorphismComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 40; trial++ {
+		r := genCQ(rng, "h")
+		s := r.Clone()
+		s.Body = append(s.Body, genCQ(rng, "h2").Body...)
+		u := s.Clone()
+		u.Body = append(u.Body, genCQ(rng, "h3").Body...)
+		_, rs := Homomorphism(r, s)
+		_, su := Homomorphism(s, u)
+		_, ru := Homomorphism(r, u)
+		if rs && su && !ru {
+			t.Fatalf("trial %d: homs do not compose:\n%v\n%v\n%v", trial, r, s, u)
+		}
+	}
+}

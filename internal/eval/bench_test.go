@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+)
+
+func benchDB(b *testing.B, n int) (*Engine, rel.DB, *rel.Relation) {
+	b.Helper()
+	e := NewEngine(nil)
+	db := rel.DB{}
+	r := db.Rel("e", 2)
+	for i := 0; i < n; i++ {
+		r.Insert(rel.Tuple{
+			e.Syms.Intern(fmt.Sprintf("v%d", i)),
+			e.Syms.Intern(fmt.Sprintf("v%d", i+1)),
+		})
+	}
+	return e, db, r.Clone()
+}
+
+// BenchmarkApply: one operator application over a chain.
+func BenchmarkApply(b *testing.B) {
+	e, db, q := benchDB(b, 512)
+	op := parser.MustParseOp("p(X,Y) :- p(X,Z), e(Z,Y).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := rel.NewRelation(2)
+		var stats Stats
+		e.Apply(db, op, q, out, &stats)
+	}
+}
+
+// BenchmarkSemiNaiveChain: full TC closure on chains of growing length.
+func BenchmarkSemiNaiveChain(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, db, q := benchDB(b, n)
+			op := parser.MustParseOp("p(X,Y) :- p(X,Z), e(Z,Y).")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _ := e.SemiNaive(db, []*ast.Op{op}, q)
+				if out.Len() == 0 {
+					b.Fatal("empty closure")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveVsSemiNaive: the classical ablation — naive re-derivation
+// vs delta iteration on the same workload.
+func BenchmarkNaiveVsSemiNaive(b *testing.B) {
+	e, db, q := benchDB(b, 96)
+	op := parser.MustParseOp("p(X,Y) :- p(X,Z), e(Z,Y).")
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Naive(db, []*ast.Op{op}, q)
+		}
+	})
+	b.Run("seminaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.SemiNaive(db, []*ast.Op{op}, q)
+		}
+	})
+}

@@ -1,0 +1,455 @@
+// Package eval is the bottom-up evaluation engine: conjunctive-query
+// application, naive and semi-naive closure of sums of linear operators,
+// decomposed closures (B*C*Q), and the duplicate-derivation accounting that
+// realizes the cost model of Theorem 3.1.
+//
+// A "derivation" is one successful instantiation of a rule body producing a
+// head tuple; a "duplicate" is a derivation whose tuple was already known.
+// The number of derivations equals the in-degree sum of the paper's
+// derivation graph, so Theorem 3.1's comparison is measured exactly.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"linrec/internal/ast"
+	"linrec/internal/rel"
+)
+
+// Stats accumulates evaluation effort.
+type Stats struct {
+	Derivations int64 // successful body instantiations (including duplicates)
+	Duplicates  int64 // derivations of already-known tuples
+	Iterations  int   // semi-naive rounds across all phases
+	MaxDepth    int   // recursion depth reached (rounds with new tuples)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Derivations += other.Derivations
+	s.Duplicates += other.Duplicates
+	s.Iterations += other.Iterations
+	if other.MaxDepth > s.MaxDepth {
+		s.MaxDepth = other.MaxDepth
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("derivations=%d duplicates=%d iterations=%d depth=%d",
+		s.Derivations, s.Duplicates, s.Iterations, s.MaxDepth)
+}
+
+// compiled is an operator lowered onto dense variable slots with a fixed
+// greedy join order.
+type compiled struct {
+	op        *ast.Op
+	nslots    int
+	headSlots []int
+	recSlots  []int
+	atoms     []compiledAtom
+}
+
+type compiledAtom struct {
+	pred  string
+	arity int
+	// slot[i] ≥ 0: variable slot for position i; -1: constant constVal[i].
+	slot     []int
+	constVal []rel.Value
+}
+
+// compileOp lowers an operator.  Atom order: greedy, preferring atoms with
+// the most variables already bound (starting from the recursive atom's
+// variables), which keeps intermediate results small.
+func compileOp(op *ast.Op, syms *rel.Symtab) *compiled {
+	slots := map[string]int{}
+	slotOf := func(v string) int {
+		if s, ok := slots[v]; ok {
+			return s
+		}
+		s := len(slots)
+		slots[v] = s
+		return s
+	}
+
+	c := &compiled{op: op}
+	for _, t := range op.Rec.Args {
+		c.recSlots = append(c.recSlots, slotOf(t.Name))
+	}
+
+	// Greedy ordering of the nonrecursive atoms.
+	remaining := make([]ast.Atom, len(op.NonRec))
+	copy(remaining, op.NonRec)
+	bound := map[string]bool{}
+	for _, t := range op.Rec.Args {
+		bound[t.Name] = true
+	}
+	var ordered []ast.Atom
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Args {
+				if t.IsVar() && bound[t.Name] {
+					score++
+				}
+			}
+			// Prefer more bound vars; tie-break toward smaller atoms.
+			score = score*16 - a.Arity()
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		ordered = append(ordered, a)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+
+	for _, a := range ordered {
+		ca := compiledAtom{pred: a.Pred, arity: a.Arity()}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				ca.slot = append(ca.slot, slotOf(t.Name))
+				ca.constVal = append(ca.constVal, 0)
+			} else {
+				ca.slot = append(ca.slot, -1)
+				ca.constVal = append(ca.constVal, syms.Intern(t.Name))
+			}
+		}
+		c.atoms = append(c.atoms, ca)
+	}
+	for _, t := range op.Head.Args {
+		c.headSlots = append(c.headSlots, slotOf(t.Name))
+	}
+	c.nslots = len(slots)
+	return c
+}
+
+const unbound = rel.Value(-1)
+
+// joinFrom enumerates all bindings extending the current partial binding
+// over atoms[i:], invoking emit for each complete one.
+func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit func()) {
+	if i == len(atoms) {
+		emit()
+		return
+	}
+	a := atoms[i]
+	r := db.Rel(a.pred, a.arity)
+
+	// Pick a bound column for index access if possible.
+	idxCol := -1
+	for k, s := range a.slot {
+		if s == -1 || binding[s] != unbound {
+			idxCol = k
+			break
+		}
+	}
+
+	match := func(t rel.Tuple) {
+		var touched []int
+		ok := true
+		for k, s := range a.slot {
+			if s == -1 {
+				if t[k] != a.constVal[k] {
+					ok = false
+					break
+				}
+				continue
+			}
+			if binding[s] != unbound {
+				if binding[s] != t[k] {
+					ok = false
+					break
+				}
+				continue
+			}
+			binding[s] = t[k]
+			touched = append(touched, s)
+		}
+		if ok {
+			joinFrom(db, atoms, binding, i+1, emit)
+		}
+		for _, s := range touched {
+			binding[s] = unbound
+		}
+	}
+
+	if idxCol >= 0 {
+		var v rel.Value
+		if s := a.slot[idxCol]; s == -1 {
+			v = a.constVal[idxCol]
+		} else {
+			v = binding[s]
+		}
+		for _, t := range r.Index(idxCol)[v] {
+			match(t)
+		}
+		return
+	}
+	r.Each(match)
+}
+
+// applyCompiled joins the operator body with src as the recursive-atom
+// relation and emits every derived head tuple.
+func applyCompiled(db rel.DB, c *compiled, src *rel.Relation, emit func(rel.Tuple)) {
+	binding := make([]rel.Value, c.nslots)
+	out := make(rel.Tuple, len(c.headSlots))
+	src.Each(func(t rel.Tuple) {
+		for i := range binding {
+			binding[i] = unbound
+		}
+		ok := true
+		for i, s := range c.recSlots {
+			if binding[s] != unbound && binding[s] != t[i] {
+				ok = false
+				break
+			}
+			binding[s] = t[i]
+		}
+		if !ok {
+			return
+		}
+		joinFrom(db, c.atoms, binding, 0, func() {
+			for i, s := range c.headSlots {
+				out[i] = binding[s]
+			}
+			emit(out)
+		})
+	})
+}
+
+// Engine caches compiled operators against a symbol table.
+type Engine struct {
+	Syms  *rel.Symtab
+	cache map[*ast.Op]*compiled
+}
+
+// NewEngine returns an engine over the given symbol table (a fresh one when
+// nil).
+func NewEngine(syms *rel.Symtab) *Engine {
+	if syms == nil {
+		syms = rel.NewSymtab()
+	}
+	return &Engine{Syms: syms, cache: map[*ast.Op]*compiled{}}
+}
+
+func (e *Engine) compiledFor(op *ast.Op) *compiled {
+	c, ok := e.cache[op]
+	if !ok {
+		c = compileOp(op, e.Syms)
+		e.cache[op] = c
+	}
+	return c
+}
+
+// Apply computes f(src) for one operator: the set of head tuples derivable
+// with src as the recursive input relation, accumulated into dst.  Stats
+// count one derivation per emitted tuple and one duplicate per emission of
+// a tuple already in dst.
+func (e *Engine) Apply(db rel.DB, op *ast.Op, src, dst *rel.Relation, stats *Stats) int {
+	added := 0
+	applyCompiled(db, e.compiledFor(op), src, func(t rel.Tuple) {
+		stats.Derivations++
+		if dst.Insert(t) {
+			added++
+		} else {
+			stats.Duplicates++
+		}
+	})
+	return added
+}
+
+// ApplyNew is Apply but collects the genuinely new tuples into a separate
+// delta relation as well.
+func (e *Engine) ApplyNew(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, stats *Stats) int {
+	added := 0
+	applyCompiled(db, e.compiledFor(op), src, func(t rel.Tuple) {
+		stats.Derivations++
+		if dst.Insert(t) {
+			added++
+			delta.Insert(t)
+		} else {
+			stats.Duplicates++
+		}
+	})
+	return added
+}
+
+// SemiNaive computes (Σᵢ opsᵢ)* q by semi-naive iteration: each round
+// applies every operator to the previous round's delta only.  The paper's
+// model of computation in Theorem 3.1 ("the same tuple is not derived
+// through the same arc more than once") is exactly this discipline.
+func (e *Engine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
+	var stats Stats
+	total := q.Clone()
+	delta := q.Clone()
+	for delta.Len() > 0 {
+		stats.Iterations++
+		next := rel.NewRelation(total.Arity())
+		for _, op := range ops {
+			e.ApplyNew(db, op, delta, total, next, &stats)
+		}
+		if next.Len() > 0 {
+			stats.MaxDepth++
+		}
+		delta = next
+	}
+	return total, stats
+}
+
+// Naive computes the same closure by re-deriving from the full relation
+// every round; kept as a correctness oracle and duplicate-cost baseline.
+func (e *Engine) Naive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
+	var stats Stats
+	total := q.Clone()
+	for {
+		stats.Iterations++
+		added := 0
+		snapshot := total.Clone()
+		for _, op := range ops {
+			added += e.Apply(db, op, snapshot, total, &stats)
+		}
+		if added == 0 {
+			return total, stats
+		}
+		stats.MaxDepth++
+	}
+}
+
+// Decomposed computes B*C*q as two chained semi-naive closures — the
+// decomposition (B+C)* = B*C* that commutativity licenses (Section 3).
+func (e *Engine) Decomposed(db rel.DB, b, c []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
+	mid, s1 := e.SemiNaive(db, c, q)
+	out, s2 := e.SemiNaive(db, b, mid)
+	s1.Add(s2)
+	return out, s1
+}
+
+// EvalRule evaluates one nonrecursive rule (every body predicate resolved
+// against db) and returns its head tuples; used for exit rules and ground
+// query filters.  Constants are allowed.
+func (e *Engine) EvalRule(db rel.DB, r ast.Rule) (*rel.Relation, error) {
+	for _, t := range r.Head.Args {
+		if t.IsVar() {
+			found := false
+			for _, a := range r.Body {
+				for _, bt := range a.Args {
+					if bt.IsVar() && bt.Name == t.Name {
+						found = true
+					}
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("eval: head variable %s of %v unbound in body", t.Name, r)
+			}
+		}
+	}
+	// Reuse the operator machinery with a pseudo-recursive unit atom.
+	slots := map[string]int{}
+	slotOf := func(v string) int {
+		if s, ok := slots[v]; ok {
+			return s
+		}
+		s := len(slots)
+		slots[v] = s
+		return s
+	}
+	var atoms []compiledAtom
+	ordered := orderAtoms(r.Body)
+	for _, a := range ordered {
+		ca := compiledAtom{pred: a.Pred, arity: a.Arity()}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				ca.slot = append(ca.slot, slotOf(t.Name))
+				ca.constVal = append(ca.constVal, 0)
+			} else {
+				ca.slot = append(ca.slot, -1)
+				ca.constVal = append(ca.constVal, e.Syms.Intern(t.Name))
+			}
+		}
+		atoms = append(atoms, ca)
+	}
+	headSlot := make([]int, r.Head.Arity())
+	headConst := make([]rel.Value, r.Head.Arity())
+	for i, t := range r.Head.Args {
+		if t.IsVar() {
+			headSlot[i] = slotOf(t.Name)
+		} else {
+			headSlot[i] = -1
+			headConst[i] = e.Syms.Intern(t.Name)
+		}
+	}
+
+	out := rel.NewRelation(r.Head.Arity())
+	binding := make([]rel.Value, len(slots))
+	for i := range binding {
+		binding[i] = unbound
+	}
+	row := make(rel.Tuple, r.Head.Arity())
+	joinFrom(db, atoms, binding, 0, func() {
+		for i, s := range headSlot {
+			if s == -1 {
+				row[i] = headConst[i]
+			} else {
+				row[i] = binding[s]
+			}
+		}
+		out.Insert(row)
+	})
+	return out, nil
+}
+
+// orderAtoms orders body atoms greedily by connectivity, smallest-first.
+func orderAtoms(body []ast.Atom) []ast.Atom {
+	remaining := make([]ast.Atom, len(body))
+	copy(remaining, body)
+	sort.SliceStable(remaining, func(i, j int) bool {
+		return remaining[i].Arity() < remaining[j].Arity()
+	})
+	bound := map[string]bool{}
+	var out []ast.Atom
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || bound[t.Name] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		out = append(out, a)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// LoadFacts interns and inserts ground atoms into db.
+func (e *Engine) LoadFacts(db rel.DB, facts []ast.Atom) error {
+	for _, f := range facts {
+		if !f.IsGround() {
+			return fmt.Errorf("eval: fact %v is not ground", f)
+		}
+		t := make(rel.Tuple, f.Arity())
+		for i, a := range f.Args {
+			t[i] = e.Syms.Intern(a.Name)
+		}
+		db.Rel(f.Pred, f.Arity()).Insert(t)
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"linrec/internal/ast"
+	"linrec/internal/commute"
+	"linrec/internal/eval"
+	"linrec/internal/redundant"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+	"linrec/internal/workload"
+)
+
+// T31Result is one row of the Theorem 3.1 duplicate comparison.
+type T31Result struct {
+	Workload    string
+	N           int
+	Tuples      int
+	MonoDerivs  int64
+	MonoDups    int64
+	DecDerivs   int64
+	DecDups     int64
+	MonoElapsed time.Duration
+	DecElapsed  time.Duration
+}
+
+// T31Run measures (B+C)* q vs B*C* q for the commuting transitive-closure
+// pair on one workload instance.
+func T31Run(kind string, n int, seed int64) (T31Result, error) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	switch kind {
+	case "chain":
+		workload.ChainShared(e, db, "up", n)
+		workload.ChainShared(e, db, "down", n)
+	case "cycle":
+		workload.Cycle(e, db, "up", n)
+		workload.Cycle(e, db, "down", n)
+	case "random":
+		workload.Random(e, db, "up", n, 2*n, seed)
+		workload.Random(e, db, "down", n, 2*n, seed+1)
+	case "dag":
+		workload.LayeredDAG(e, db, "up", n/8+2, 8, 2, seed)
+		workload.LayeredDAG(e, db, "down", n/8+2, 8, 2, seed+1)
+	default:
+		return T31Result{}, fmt.Errorf("unknown workload %q", kind)
+	}
+	b := mustOp("p(X,Y) :- p(X,U), up(U,Y).")
+	c := mustOp("p(X,Y) :- down(X,U), p(U,Y).")
+	q := db["up"].Clone()
+
+	start := time.Now()
+	mono, monoStats := e.SemiNaive(db, []*ast.Op{b, c}, q)
+	monoTime := time.Since(start)
+
+	start = time.Now()
+	dec, decStats := e.Decomposed(db, []*ast.Op{b}, []*ast.Op{c}, q)
+	decTime := time.Since(start)
+
+	if !mono.Equal(dec) {
+		return T31Result{}, fmt.Errorf("decomposition changed the answer: %d vs %d", mono.Len(), dec.Len())
+	}
+	return T31Result{
+		Workload: kind, N: n, Tuples: mono.Len(),
+		MonoDerivs: monoStats.Derivations, MonoDups: monoStats.Duplicates,
+		DecDerivs: decStats.Derivations, DecDups: decStats.Duplicates,
+		MonoElapsed: monoTime, DecElapsed: decTime,
+	}, nil
+}
+
+// T31Table prints the duplicate-count table across workloads and sizes.
+func T31Table(w io.Writer) error {
+	fmt.Fprintf(w, "(B+C)*q vs B*C*q, B = left-linear 'up', C = right-linear 'down' (commuting)\n\n")
+	fmt.Fprintf(w, "%-8s %6s %8s | %12s %10s | %12s %10s | %s\n",
+		"graph", "n", "tuples", "mono derivs", "mono dups", "dec derivs", "dec dups", "dup ratio")
+	for _, kind := range []string{"chain", "cycle", "random", "dag"} {
+		for _, n := range []int{32, 64, 128} {
+			r, err := T31Run(kind, n, 11)
+			if err != nil {
+				return err
+			}
+			ratio := "—"
+			if r.MonoDups > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(r.MonoDups)/float64(max64(r.DecDups, 1)))
+			}
+			fmt.Fprintf(w, "%-8s %6d %8d | %12d %10d | %12d %10d | %s\n",
+				r.Workload, r.N, r.Tuples, r.MonoDerivs, r.MonoDups, r.DecDerivs, r.DecDups, ratio)
+			if r.DecDups > r.MonoDups {
+				return fmt.Errorf("Theorem 3.1 violated on %s/%d", kind, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\npaper's claim: the decomposed evaluation never produces more duplicates (Theorem 3.1)\n")
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// A41Result is one row of the separable-algorithm comparison.
+type A41Result struct {
+	N            int
+	Answer       int
+	BaseDerivs   int64
+	SepDerivs    int64
+	BaseElapsed  time.Duration
+	SepElapsed   time.Duration
+	UsedMagic    bool
+	ResultsAgree bool
+}
+
+// A41Run compares σ(A1+A2)*q evaluated monolithically vs by Algorithm 4.1
+// on a chain+random workload with the selection bound to one node.
+func A41Run(n int, seed int64) (A41Result, error) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.ChainShared(e, db, "up", n)
+	workload.Random(e, db, "down", n+1, 2*n, seed)
+	a1 := mustOp("p(X,Y) :- p(X,U), up(U,Y).")
+	a2 := mustOp("p(X,Y) :- down(X,U), p(U,Y).")
+	q := db["up"].Clone()
+	sel := separable.Selection{Col: 0, Value: e.Syms.Intern("v0")}
+
+	start := time.Now()
+	base, err := separable.Baseline(e, db, a1, a2, q, sel)
+	if err != nil {
+		return A41Result{}, err
+	}
+	baseTime := time.Since(start)
+
+	start = time.Now()
+	sep, err := separable.Eval(e, db, a1, a2, q, sel)
+	if err != nil {
+		return A41Result{}, err
+	}
+	sepTime := time.Since(start)
+
+	return A41Result{
+		N: n, Answer: sep.Rel.Len(),
+		BaseDerivs: base.Stats.Derivations, SepDerivs: sep.Stats.Derivations,
+		BaseElapsed: baseTime, SepElapsed: sepTime,
+		UsedMagic:    sep.UsedMagic,
+		ResultsAgree: sep.Rel.Equal(base.Rel),
+	}, nil
+}
+
+// A41Table prints the separable-evaluation comparison across sizes.
+func A41Table(w io.Writer) error {
+	fmt.Fprintf(w, "σ(A1+A2)*q with σ: col0 = v0; baseline = full closure + filter,\n")
+	fmt.Fprintf(w, "separable = Algorithm 4.1 via Theorem 4.1 (A1*(σA2*q))\n\n")
+	fmt.Fprintf(w, "%6s %8s | %12s %12s | %10s %10s | %s\n",
+		"n", "answer", "base derivs", "sep derivs", "base time", "sep time", "speedup")
+	for _, n := range []int{32, 64, 128, 256} {
+		r, err := A41Run(n, 23)
+		if err != nil {
+			return err
+		}
+		if !r.ResultsAgree {
+			return fmt.Errorf("A41: results disagree at n=%d", n)
+		}
+		fmt.Fprintf(w, "%6d %8d | %12d %12d | %10v %10v | %.1fx derivs\n",
+			r.N, r.Answer, r.BaseDerivs, r.SepDerivs, r.BaseElapsed.Round(time.Microsecond),
+			r.SepElapsed.Round(time.Microsecond),
+			float64(r.BaseDerivs)/float64(max64(r.SepDerivs, 1)))
+	}
+	fmt.Fprintf(w, "\npaper's claim: the separable algorithm avoids computing the unselected closure\n")
+	return nil
+}
+
+// T53Result is one row of the test-complexity comparison.
+type T53Result struct {
+	Arity        int
+	Atoms        int
+	ArgPositions int
+	Syntactic    time.Duration
+	Definition   time.Duration
+}
+
+// t53Pair builds a commuting pair with chains of shared predicates; the
+// composites contain two atoms per predicate, which drives the
+// definition-based equivalence search toward its exponential behaviour.
+func t53Pair(k int) (*ast.Op, *ast.Op) {
+	head := make([]ast.Term, k+2)
+	rec1 := make([]ast.Term, k+2)
+	rec2 := make([]ast.Term, k+2)
+	for i := range head {
+		head[i] = ast.V(fmt.Sprintf("X%d", i))
+		rec1[i] = head[i]
+		rec2[i] = head[i]
+	}
+	// r1 drives position 0, r2 drives position 1; both carry a long chain
+	// of shared binary predicates over their own nondistinguished
+	// variables anchored at a shared link 1-persistent variable X2.
+	rec1[0] = ast.V("U0")
+	rec2[1] = ast.V("W0")
+	r1 := &ast.Op{Head: ast.Atom{Pred: "p", Args: head}, Rec: ast.Atom{Pred: "p", Args: rec1}}
+	r2 := &ast.Op{Head: ast.Atom{Pred: "p", Args: head}, Rec: ast.Atom{Pred: "p", Args: rec2}}
+	r1.NonRec = append(r1.NonRec, ast.NewAtom("q0", ast.V("X0"), ast.V("U0")))
+	r2.NonRec = append(r2.NonRec, ast.NewAtom("q0", ast.V("X1"), ast.V("W0")))
+	for i := 1; i < k; i++ {
+		r1.NonRec = append(r1.NonRec, ast.NewAtom(fmt.Sprintf("q%d", i),
+			ast.V(fmt.Sprintf("U%d", i-1)), ast.V(fmt.Sprintf("U%d", i))))
+		r2.NonRec = append(r2.NonRec, ast.NewAtom(fmt.Sprintf("q%d", i),
+			ast.V(fmt.Sprintf("W%d", i-1)), ast.V(fmt.Sprintf("W%d", i))))
+	}
+	return r1, r2
+}
+
+// T53Run times the syntactic test vs the definition-based test on the
+// size-k pair, verifying they agree.
+func T53Run(k int) (T53Result, error) {
+	r1, r2 := t53Pair(k)
+	res := T53Result{Arity: r1.Arity(), Atoms: len(r1.NonRec) + len(r2.NonRec)}
+	res.ArgPositions = 2 * (r1.Arity() + 2*len(r1.NonRec))
+
+	start := time.Now()
+	rep, err := commute.Syntactic(r1, r2)
+	if err != nil {
+		return res, err
+	}
+	res.Syntactic = time.Since(start)
+
+	start = time.Now()
+	def, err := commute.Definition(r1, r2)
+	if err != nil {
+		return res, err
+	}
+	res.Definition = time.Since(start)
+	if rep.Verdict != def {
+		return res, fmt.Errorf("T53: tests disagree at k=%d: %v vs %v", k, rep.Verdict, def)
+	}
+	return res, nil
+}
+
+// T53RunSyntacticOnly times just the Theorem 5.2 test on the size-k pair
+// (benchmark helper).
+func T53RunSyntacticOnly(k int) (commute.Verdict, error) {
+	r1, r2 := t53Pair(k)
+	rep, err := commute.Syntactic(r1, r2)
+	if err != nil {
+		return commute.Unknown, err
+	}
+	return rep.Verdict, nil
+}
+
+// T53RunDefinitionOnly times just the definition-based test on the size-k
+// pair (benchmark helper).
+func T53RunDefinitionOnly(k int) (commute.Verdict, error) {
+	r1, r2 := t53Pair(k)
+	return commute.Definition(r1, r2)
+}
+
+// T53Table prints the scaling comparison.
+func T53Table(w io.Writer) error {
+	fmt.Fprintf(w, "commutativity test cost vs rule size (Theorem 5.3: O(a log a) vs NP-hard definition)\n\n")
+	fmt.Fprintf(w, "%6s %8s %8s | %14s %14s | %s\n",
+		"k", "atoms", "a", "syntactic", "definition", "ratio")
+	for _, k := range []int{2, 4, 8, 12, 16, 20} {
+		r, err := T53Run(k)
+		if err != nil {
+			return err
+		}
+		ratio := float64(r.Definition) / float64(maxDur(r.Syntactic, time.Nanosecond))
+		fmt.Fprintf(w, "%6d %8d %8d | %14v %14v | %.0fx\n",
+			k, r.Atoms, r.ArgPositions, r.Syntactic.Round(time.Microsecond),
+			r.Definition.Round(time.Microsecond), ratio)
+	}
+	fmt.Fprintf(w, "\npaper's claim: the syntactic test is polynomial while the definition test composes\n")
+	fmt.Fprintf(w, "and minimizes conjunctive queries (exponential worst case)\n")
+	return nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// T42Result is one row of the redundancy-elimination comparison.
+type T42Result struct {
+	N           int
+	CheapPct    int
+	Answer      int
+	FullDerivs  int64
+	OptDerivs   int64
+	ComDerivs   int64 // EvalCommuting (B·C^L = C^L·B schedule)
+	FullElapsed time.Duration
+	OptElapsed  time.Duration
+	ComElapsed  time.Duration
+	Agree       bool
+}
+
+// T42Run compares full semi-naive evaluation of Example 6.1's rule against
+// the Theorem 4.2 schedule (cheap applied at most N·L−1 = 1 time).
+// cheapPct controls the selectivity of the redundant predicate: the
+// schedule drops the cheap join from the fixpoint but gives up its early
+// pruning, so selectivity decides who wins — an ablation the table makes
+// explicit.
+func T42Run(n int, cheapPct int, seed int64) (T42Result, error) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Random(e, db, "knows", n, 3*n, seed)
+	workload.Unary(e, db, "cheap", n, func(i int) bool { return i*100/n < cheapPct })
+	a := mustOp(ex61Rule)
+	q := rel.NewRelation(2)
+	for i := 0; i < n; i += 7 {
+		q.Insert(rel.Tuple{
+			e.Syms.Intern(fmt.Sprintf("v%d", i)),
+			e.Syms.Intern(fmt.Sprintf("v%d", (i*3+1)%n)),
+		})
+	}
+	fs := redundant.Analyze(a, 0)
+	if len(fs) == 0 {
+		return T42Result{}, fmt.Errorf("no redundancy found")
+	}
+	dec, err := redundant.Decompose(a, fs[0], 0)
+	if err != nil {
+		return T42Result{}, err
+	}
+
+	start := time.Now()
+	full, fullStats := e.SemiNaive(db, []*ast.Op{a}, q)
+	fullTime := time.Since(start)
+
+	start = time.Now()
+	opt, optStats := redundant.EvalOptimized(e, db, dec, q)
+	optTime := time.Since(start)
+
+	start = time.Now()
+	com, comStats, err := redundant.EvalCommuting(e, db, dec, q)
+	if err != nil {
+		return T42Result{}, err
+	}
+	comTime := time.Since(start)
+
+	return T42Result{
+		N: n, CheapPct: cheapPct, Answer: full.Len(),
+		FullDerivs: fullStats.Derivations, OptDerivs: optStats.Derivations,
+		ComDerivs:   comStats.Derivations,
+		FullElapsed: fullTime, OptElapsed: optTime, ComElapsed: comTime,
+		Agree: full.Equal(opt) && full.Equal(com),
+	}, nil
+}
+
+// T42Table prints the redundancy-elimination comparison across sizes.
+func T42Table(w io.Writer) error {
+	fmt.Fprintf(w, "Example 6.1 rule: buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y)\n")
+	fmt.Fprintf(w, "full closure vs Theorem 4.2 schedule (cheap applied ≤ N·L−1 times)\n\n")
+	fmt.Fprintf(w, "%6s %7s %8s | %11s %11s %11s | %9s %9s %9s\n",
+		"n", "cheap%", "answer", "full drv", "t42 drv", "com drv", "full t", "t42 t", "com t")
+	for _, n := range []int{64, 128, 256} {
+		for _, pct := range []int{100, 95, 50} {
+			r, err := T42Run(n, pct, 31)
+			if err != nil {
+				return err
+			}
+			if !r.Agree {
+				return fmt.Errorf("T42: results disagree at n=%d pct=%d", n, pct)
+			}
+			fmt.Fprintf(w, "%6d %7d %8d | %11d %11d %11d | %9v %9v %9v\n",
+				r.N, r.CheapPct, r.Answer, r.FullDerivs, r.OptDerivs, r.ComDerivs,
+				r.FullElapsed.Round(time.Microsecond), r.OptElapsed.Round(time.Microsecond),
+				r.ComElapsed.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintf(w, "\npaper's claim: beyond a bounded prefix only B is processed (t42 = the general\n")
+	fmt.Fprintf(w, "Theorem 4.2 schedule; its final full A-passes roughly double derivations).\n")
+	fmt.Fprintf(w, "'com' is the sharper schedule available when B·C^L = C^L·B (the commutation\n")
+	fmt.Fprintf(w, "the paper observes in Example 6.2): B-closures start from C-filtered seeds,\n")
+	fmt.Fprintf(w, "matching the full closure's derivation count while the redundant join is\n")
+	fmt.Fprintf(w, "evaluated at most (N−1)·L times instead of once per fixpoint round.\n")
+	return nil
+}

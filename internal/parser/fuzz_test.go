@@ -1,0 +1,42 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that accepted programs
+// round-trip through String back to an equivalent parse.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(X,Y) :- p(X,Z), e(Z,Y).",
+		"edge(a,b). edge(1,2).",
+		"?- path(a, Y).",
+		"% comment\np(X) :- q(X).",
+		"p.",
+		"p(X,Y) :- p(Y,X).",
+		"p(_A, B1) :- q(_A), p(_A, B1).",
+		"p(X :- q(X).",
+		":-",
+		"p(X,Y)",
+		"p(!).",
+		strings.Repeat("p(a). ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted programs round-trip.
+		again, err := Parse(prog.String())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\noriginal: %q\nprinted: %q", err, src, prog.String())
+		}
+		if prog.String() != again.String() {
+			t.Fatalf("round-trip not stable:\n%q\n%q", prog.String(), again.String())
+		}
+	})
+}

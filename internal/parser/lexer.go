@@ -1,0 +1,172 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// concrete Datalog syntax used throughout this repository:
+//
+//	% comments run to end of line
+//	path(X,Y) :- edge(X,Y).          % rule
+//	path(X,Y) :- path(X,Z), edge(Z,Y).
+//	edge(a,b).  edge(1,2).           % facts (constants: lower-case or ints)
+//	?- path(a, Y).                   % query
+//
+// Variables begin with an upper-case letter or '_'; predicate and constant
+// symbols begin with a lower-case letter or a digit.
+package parser
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent          // lower-case identifier or integer: predicate/constant
+	tokVar            // upper-case identifier: variable
+	tokLParen         // (
+	tokRParen         // )
+	tokComma          // ,
+	tokPeriod         // .
+	tokImplies        // :-
+	tokQuery          // ?-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPeriod:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLower(r) || unicode.IsDigit(r)
+}
+
+func isVarStart(r rune) bool {
+	return unicode.IsUpper(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token, or an error describing the offending rune
+// with its position.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case r == '.':
+		l.advance()
+		return token{tokPeriod, ".", line, col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, fmt.Errorf("%d:%d: expected '-' after ':'", line, col)
+		}
+		l.advance()
+		return token{tokImplies, ":-", line, col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, fmt.Errorf("%d:%d: expected '-' after '?'", line, col)
+		}
+		l.advance()
+		return token{tokQuery, "?-", line, col}, nil
+	case isVarStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return token{tokVar, string(l.src[start:l.pos]), line, col}, nil
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return token{tokIdent, string(l.src[start:l.pos]), line, col}, nil
+	}
+	return token{}, fmt.Errorf("%d:%d: unexpected character %q", line, col, string(r))
+}

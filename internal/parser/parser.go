@@ -1,0 +1,181 @@
+package parser
+
+import (
+	"fmt"
+
+	"linrec/internal/ast"
+)
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+// Parse parses a complete Datalog program from src.  Errors carry
+// line:column positions.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokQuery {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			q, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPeriod); err != nil {
+				return nil, err
+			}
+			prog.Queries = append(prog.Queries, q)
+			continue
+		}
+		head, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case tokPeriod:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if !head.IsGround() {
+				return nil, fmt.Errorf("%d:%d: fact %v contains variables", p.tok.line, p.tok.col, head)
+			}
+			prog.Facts = append(prog.Facts, head)
+		case tokImplies:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			body, err := p.body()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body})
+		default:
+			return nil, fmt.Errorf("%d:%d: expected '.' or ':-' after atom, got %s", p.tok.line, p.tok.col, p.tok.kind)
+		}
+	}
+	return prog, nil
+}
+
+// ParseRule parses a single rule (terminated by '.').
+func ParseRule(src string) (ast.Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if len(prog.Rules) != 1 || len(prog.Facts) != 0 || len(prog.Queries) != 0 {
+		return ast.Rule{}, fmt.Errorf("parser: expected exactly one rule in %q", src)
+	}
+	return prog.Rules[0], nil
+}
+
+// MustParseRule is ParseRule for tests and examples with literal inputs; it
+// panics on error.
+func MustParseRule(src string) ast.Rule {
+	r, err := ParseRule(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseOp parses a single linear recursive rule and converts it to Op form.
+func ParseOp(src string) (*ast.Op, error) {
+	r, err := ParseRule(src)
+	if err != nil {
+		return nil, err
+	}
+	return ast.FromRule(r)
+}
+
+// MustParseOp is ParseOp for literal inputs; it panics on error.
+func MustParseOp(src string) *ast.Op {
+	op, err := ParseOp(src)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if p.tok.kind != k {
+		return fmt.Errorf("%d:%d: expected %s, got %s %q", p.tok.line, p.tok.col, k, p.tok.kind, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) body() ([]ast.Atom, error) {
+	var atoms []ast.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.expect(tokPeriod); err != nil {
+			return nil, err
+		}
+		return atoms, nil
+	}
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	if p.tok.kind != tokIdent {
+		return ast.Atom{}, fmt.Errorf("%d:%d: expected predicate name, got %s %q", p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+	}
+	pred := p.tok.text
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	a := ast.Atom{Pred: pred}
+	if p.tok.kind != tokLParen {
+		return a, nil // propositional atom
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokVar:
+			a.Args = append(a.Args, ast.V(p.tok.text))
+		case tokIdent:
+			a.Args = append(a.Args, ast.C(p.tok.text))
+		default:
+			return ast.Atom{}, fmt.Errorf("%d:%d: expected term, got %s %q", p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return ast.Atom{}, err
+		}
+		return a, nil
+	}
+}

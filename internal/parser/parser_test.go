@@ -1,0 +1,141 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"linrec/internal/ast"
+)
+
+func TestParseProgram(t *testing.T) {
+	src := `
+% transitive closure, two linear forms
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+edge(a,b).
+edge(b,c).
+?- path(a, Y).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(prog.Rules))
+	}
+	if len(prog.Facts) != 2 {
+		t.Fatalf("facts = %d, want 2", len(prog.Facts))
+	}
+	if len(prog.Queries) != 1 {
+		t.Fatalf("queries = %d, want 1", len(prog.Queries))
+	}
+	if got := prog.Rules[1].String(); got != "path(X,Y) :- path(X,Z), edge(Z,Y)." {
+		t.Fatalf("rule 1 = %q", got)
+	}
+	q := prog.Queries[0]
+	if q.Pred != "path" {
+		t.Fatalf("query = %v", q)
+	}
+	if q.Args[0].IsVar() || !q.Args[1].IsVar() {
+		t.Fatalf("query terms wrong: %v", q)
+	}
+}
+
+func TestParseNumericConstants(t *testing.T) {
+	prog, err := Parse("edge(1,2).")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Facts) != 1 || prog.Facts[0].Args[0].Name != "1" {
+		t.Fatalf("facts = %v", prog.Facts)
+	}
+}
+
+func TestParseUnderscoreVariable(t *testing.T) {
+	r, err := ParseRule("p(X,Y) :- p(X,_Z), q(_Z,Y).")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Body[0].Args[1].Name != "_Z" || !r.Body[0].Args[1].IsVar() {
+		t.Fatalf("underscore variable mishandled: %v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"p(X,Y :- q(X).", "expected"},
+		{"p(X,Y).", "contains variables"},
+		{"p(X,Y) :- q(X,Y)", "expected"},
+		{":- q(X).", "expected predicate name"},
+		{"p(X,Y) :- q(X,!).", "unexpected character"},
+		{"p : q.", "expected '-' after ':'"},
+		{"? p(X).", "expected '-' after '?'"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("p(a,b).\nq(X,!).\n")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error should carry line 2 position, got %v", err)
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	op, err := ParseOp("p(X,Y) :- p(X,Z), e1(Z,Y).")
+	if err != nil {
+		t.Fatalf("ParseOp: %v", err)
+	}
+	if op.Rec.String() != "p(X,Z)" || op.NonRec[0].String() != "e1(Z,Y)" {
+		t.Fatalf("op = %v", op)
+	}
+	if _, err := ParseOp("p(X,Y) :- q(X,Y)."); err == nil {
+		t.Fatalf("nonrecursive rule should be rejected by ParseOp")
+	}
+}
+
+func TestParseRuleSingleOnly(t *testing.T) {
+	if _, err := ParseRule("p(X) :- p(X). q(X) :- q(X)."); err == nil {
+		t.Fatalf("ParseRule should reject multiple rules")
+	}
+}
+
+func TestPropositionalAtom(t *testing.T) {
+	prog, err := Parse("ok.")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Facts) != 1 || prog.Facts[0].Pred != "ok" || prog.Facts[0].Arity() != 0 {
+		t.Fatalf("facts = %v", prog.Facts)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := "p(X,Y) :- p(X,Z), e1(Z,Y).\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.String() != src {
+		t.Fatalf("round trip = %q, want %q", prog.String(), src)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "   % leading comment\n\tp(X,Y)%inline\n :- p(X,Z),\n    e1(Z,Y). % done\n"
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if r.Head.Pred != "p" || len(r.Body) != 2 {
+		t.Fatalf("rule = %v", r)
+	}
+}
+
+var _ = ast.V // keep the ast import live for future assertions

@@ -1,0 +1,173 @@
+package planner
+
+import (
+	"testing"
+
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+	"linrec/internal/workload"
+)
+
+// partialProgram has three recursive rules: rules 1 and 2 (both
+// left-linear over different predicates) do not commute with each other,
+// but each commutes with rule 3 (right-linear).  Partial commutativity
+// (Section 7) groups {1,2} against {3}.
+const partialProgram = `
+p(X,Y) :- seed(X,Y).
+p(X,Y) :- p(X,Z), e1(Z,Y).
+p(X,Y) :- p(X,Z), e2(Z,Y).
+p(X,Y) :- e3(X,Z), p(Z,Y).
+`
+
+func TestCommutingGroupsPartition(t *testing.T) {
+	a := analyze(t, partialProgram, "p")
+	if a.AllCommute() {
+		t.Fatalf("rules 1,2 should not commute")
+	}
+	groups := a.CommutingGroups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 groups", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Fatalf("first group = %v, want [0 1]", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 2 {
+		t.Fatalf("second group = %v, want [2]", groups[1])
+	}
+}
+
+func TestChoosePartialDecomposition(t *testing.T) {
+	a := analyze(t, partialProgram, "p")
+	plan := a.Choose(nil)
+	if plan.Kind != Decomposed {
+		t.Fatalf("plan = %v, want decomposed via partial commutativity (%s)", plan.Kind, plan.Why)
+	}
+	if len(plan.Groups) != 2 {
+		t.Fatalf("plan groups = %v", plan.Groups)
+	}
+}
+
+// TestPartialDecompositionCorrect: the grouped plan returns exactly the
+// semi-naive closure of the whole sum.
+func TestPartialDecompositionCorrect(t *testing.T) {
+	a := analyze(t, partialProgram, "p")
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.ChainShared(e, db, "seed", 1)
+	workload.ChainShared(e, db, "e1", 10)
+	workload.Random(e, db, "e2", 11, 15, 3)
+	workload.Random(e, db, "e3", 11, 15, 4)
+
+	grouped, err := a.Execute(e, db, a.Choose(nil), nil)
+	if err != nil {
+		t.Fatalf("Execute grouped: %v", err)
+	}
+	flat, err := a.Execute(e, db, &Plan{Kind: SemiNaive}, nil)
+	if err != nil {
+		t.Fatalf("Execute flat: %v", err)
+	}
+	if !grouped.Answer.Equal(flat.Answer) {
+		t.Fatalf("partial decomposition changed the answer: %d vs %d tuples",
+			grouped.Answer.Len(), flat.Answer.Len())
+	}
+	if flat.Answer.Len() == 0 {
+		t.Fatalf("degenerate workload")
+	}
+}
+
+// TestSingleGroupFallsBack: three mutually non-commuting rules form one
+// group, so no decomposition applies.
+func TestSingleGroupFallsBack(t *testing.T) {
+	a := analyze(t, `
+p(X,Y) :- seed(X,Y).
+p(X,Y) :- p(X,Z), e1(Z,Y).
+p(X,Y) :- p(X,Z), e2(Z,Y).
+p(X,Y) :- p(X,Z), e3(Z,Y).
+`, "p")
+	groups := a.CommutingGroups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want a single group", groups)
+	}
+	if plan := a.Choose(nil); plan.Kind != SemiNaive {
+		t.Fatalf("plan = %v, want semi-naive fallback", plan.Kind)
+	}
+}
+
+// TestThreeWayDecomposition: three pairwise-commuting rules decompose into
+// three singleton groups and the result matches the flat closure.
+func TestThreeWayDecomposition(t *testing.T) {
+	a := analyze(t, `
+p(X,Y,Z) :- seed(X,Y,Z).
+p(X,Y,Z) :- p(U,Y,Z), q(X,U).
+p(X,Y,Z) :- p(X,U,Z), r(Y,U).
+p(X,Y,Z) :- p(X,Y,U), s(Z,U).
+`, "p")
+	if !a.AllCommute() {
+		t.Fatalf("the three one-column rules should pairwise commute")
+	}
+	groups := a.CommutingGroups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want 3 singletons", groups)
+	}
+
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Pairs(e, db, "q", [][2]int{{1, 0}, {2, 1}})
+	workload.Pairs(e, db, "r", [][2]int{{3, 0}, {4, 3}})
+	workload.Pairs(e, db, "s", [][2]int{{5, 0}})
+	seed := db.Rel("seed", 3)
+	seed.Insert(rel.Tuple{e.Syms.Intern("v0"), e.Syms.Intern("v0"), e.Syms.Intern("v0")})
+
+	grouped, err := a.Execute(e, db, a.Choose(nil), nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	flat, _ := a.Execute(e, db, &Plan{Kind: SemiNaive}, nil)
+	if !grouped.Answer.Equal(flat.Answer) {
+		t.Fatalf("3-way decomposition diverged: %d vs %d", grouped.Answer.Len(), flat.Answer.Len())
+	}
+	// 3 q-steps × 3 r-steps × 2 s-steps of independent closure.
+	if flat.Answer.Len() != 3*3*2 {
+		t.Fatalf("closure = %d tuples, want 18", flat.Answer.Len())
+	}
+}
+
+// TestBoundedPlan: a single uniformly bounded rule gets the truncated-series
+// plan and the result matches the full semi-naive closure.
+func TestBoundedPlan(t *testing.T) {
+	a := analyze(t, `
+p(X,Y) :- seed(X,Y).
+p(X,Y) :- p(Y,X), e(X,Y).
+`, "p")
+	plan := a.Choose(nil)
+	if plan.Kind != Bounded {
+		t.Fatalf("plan = %v (%s), want bounded", plan.Kind, plan.Why)
+	}
+	if plan.Rounds < 1 {
+		t.Fatalf("rounds = %d", plan.Rounds)
+	}
+
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Random(e, db, "seed", 10, 12, 1)
+	workload.Random(e, db, "e", 10, 30, 2)
+	bounded, err := a.Execute(e, db, plan, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	flat, _ := a.Execute(e, db, &Plan{Kind: SemiNaive}, nil)
+	if !bounded.Answer.Equal(flat.Answer) {
+		t.Fatalf("bounded plan diverged: %d vs %d tuples", bounded.Answer.Len(), flat.Answer.Len())
+	}
+}
+
+// TestUnboundedSingleRuleFallsBack: plain TC is not uniformly bounded.
+func TestUnboundedSingleRuleFallsBack(t *testing.T) {
+	a := analyze(t, `
+p(X,Y) :- seed(X,Y).
+p(X,Y) :- p(X,Z), e(Z,Y).
+`, "p")
+	if plan := a.Choose(nil); plan.Kind != SemiNaive {
+		t.Fatalf("plan = %v, want semi-naive", plan.Kind)
+	}
+}

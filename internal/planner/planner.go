@@ -1,0 +1,340 @@
+// Package planner analyzes a linear recursive program with the paper's
+// toolbox — pairwise commutativity (Section 5), separability (Section 6.1),
+// recursive redundancy (Section 6.2) — and selects an evaluation plan:
+//
+//   - redundancy rewrite (Theorem 4.2/6.4 schedule) per operator;
+//   - decomposed closure A* = B*C* when the operators commute (Section 3);
+//   - the separable algorithm A1*(σ A2*) for selection queries (Thm 4.1);
+//   - semi-naive closure of the sum as the fallback.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"linrec/internal/agraph"
+	"linrec/internal/algebra"
+	"linrec/internal/ast"
+	"linrec/internal/commute"
+	"linrec/internal/eval"
+	"linrec/internal/redundant"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+)
+
+// Analysis is the symbolic analysis of one recursive predicate's rules.
+type Analysis struct {
+	Pred      string
+	Ops       []*ast.Op
+	ExitRules []ast.Rule
+	Graphs    []*agraph.Graph
+
+	// Commutes[i][j] for i<j: verdict for the pair (Ops[i], Ops[j]).
+	Commutes map[[2]int]commute.Verdict
+	// CommuteReports holds the syntactic reports where available.
+	CommuteReports map[[2]int]*commute.Report
+	// Separable holds Naughton separability per pair.
+	Separable map[[2]int]separable.Report
+	// Redundancies per operator index.
+	Redundancies map[int][]redundant.Finding
+}
+
+// Analyze extracts the rules for pred from prog and runs the full analysis.
+// Commutativity uses the exact syntactic test when the pair is in the
+// restricted class and falls back to the definition otherwise.
+func Analyze(prog *ast.Program, pred string) (*Analysis, error) {
+	a := &Analysis{
+		Pred:           pred,
+		Commutes:       map[[2]int]commute.Verdict{},
+		CommuteReports: map[[2]int]*commute.Report{},
+		Separable:      map[[2]int]separable.Report{},
+		Redundancies:   map[int][]redundant.Finding{},
+	}
+	for _, r := range prog.RulesFor(pred) {
+		if r.IsRecursiveWith(pred) {
+			op, err := ast.FromRule(r)
+			if err != nil {
+				return nil, err
+			}
+			a.Ops = append(a.Ops, op)
+			a.Graphs = append(a.Graphs, agraph.New(op))
+		} else {
+			a.ExitRules = append(a.ExitRules, r)
+		}
+	}
+	if len(a.Ops) == 0 {
+		return nil, fmt.Errorf("planner: no recursive rules for predicate %q", pred)
+	}
+	if len(a.ExitRules) == 0 {
+		return nil, fmt.Errorf("planner: no exit (nonrecursive) rules for predicate %q", pred)
+	}
+
+	for i := 0; i < len(a.Ops); i++ {
+		for j := i + 1; j < len(a.Ops); j++ {
+			key := [2]int{i, j}
+			if rep, err := commute.Syntactic(a.Ops[i], a.Ops[j]); err == nil {
+				a.Commutes[key] = rep.Verdict
+				a.CommuteReports[key] = rep
+			} else if v, err := commute.Definition(a.Ops[i], a.Ops[j]); err == nil {
+				a.Commutes[key] = v
+			} else {
+				return nil, err
+			}
+			if sep, err := separable.IsSeparable(a.Ops[i], a.Ops[j]); err == nil {
+				a.Separable[key] = sep
+			}
+		}
+	}
+	for i, op := range a.Ops {
+		if fs := redundant.Analyze(op, 0); len(fs) > 0 {
+			a.Redundancies[i] = fs
+		}
+	}
+	return a, nil
+}
+
+// AllCommute reports whether every pair of operators commutes.
+func (a *Analysis) AllCommute() bool {
+	for i := 0; i < len(a.Ops); i++ {
+		for j := i + 1; j < len(a.Ops); j++ {
+			if a.Commutes[[2]int{i, j}] != commute.Commute {
+				return false
+			}
+		}
+	}
+	return len(a.Ops) >= 1
+}
+
+// CommutingGroups partitions the operators so that any two operators in
+// different groups commute: operators of a non-commuting (or unknown) pair
+// are forced into the same group (union-find).  With B = ΣG₁, C = ΣG₂ and
+// every cross pair commuting, CB = BC, hence (B+C)* = B*C* — the paper's
+// Section 7 "partial commutativity" decomposition.  Groups are returned
+// with ascending smallest member; a single group means no decomposition.
+func (a *Analysis) CommutingGroups() [][]int {
+	parent := make([]int, len(a.Ops))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < len(a.Ops); i++ {
+		for j := i + 1; j < len(a.Ops); j++ {
+			if a.Commutes[[2]int{i, j}] != commute.Commute {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	var order []int
+	for i := range a.Ops {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(order))
+	for _, r := range order {
+		groups = append(groups, byRoot[r])
+	}
+	sort.Slice(groups, func(x, y int) bool { return groups[x][0] < groups[y][0] })
+	return groups
+}
+
+// Summary renders a human-readable analysis report.
+func (a *Analysis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "predicate %s: %d recursive rule(s), %d exit rule(s)\n",
+		a.Pred, len(a.Ops), len(a.ExitRules))
+	for i, op := range a.Ops {
+		fmt.Fprintf(&b, "\nrule %d: %v\n", i+1, op)
+		b.WriteString(indent(a.Graphs[i].DescribeClasses(), "  "))
+		if fs, ok := a.Redundancies[i]; ok {
+			for _, f := range fs {
+				fmt.Fprintf(&b, "  recursively redundant: %s (C^%d ≤ C^%d)\n",
+					strings.Join(f.Preds, ", "), f.Bound.N, f.Bound.K)
+			}
+		}
+	}
+	var keys [][2]int
+	for k := range a.Commutes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		return keys[x][0] < keys[y][0] || (keys[x][0] == keys[y][0] && keys[x][1] < keys[y][1])
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "\nrules %d,%d: %v", k[0]+1, k[1]+1, a.Commutes[k])
+		if sep, ok := a.Separable[k]; ok {
+			fmt.Fprintf(&b, "; %v", sep)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Kind enumerates evaluation strategies.
+type Kind int
+
+const (
+	// SemiNaive: closure of the sum of all operators (fallback).
+	SemiNaive Kind = iota
+	// Decomposed: sequence of single-operator closures A1*…An* justified
+	// by pairwise commutativity.
+	Decomposed
+	// Separable: A1*(σ A2*) per Theorem 4.1 (two operators, selection).
+	Separable
+	// Bounded: the single operator is uniformly bounded (Aᴺ ≤ Aᴷ), so
+	// A* = Σ_{m<N} A^m — one of the special classes the paper's
+	// introduction lists alongside commutativity.
+	Bounded
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Decomposed:
+		return "decomposed closure (B*C*)"
+	case Separable:
+		return "separable algorithm (A1*(σA2*))"
+	case Bounded:
+		return "bounded iteration (A* = Σ_{m<N} A^m)"
+	default:
+		return "semi-naive closure ((ΣAᵢ)*)"
+	}
+}
+
+// Plan is an executable strategy for one query.
+type Plan struct {
+	Kind Kind
+	// Order is the operator application order for Separable plans:
+	// A1 = Ops[Order[0]], A2 = Ops[Order[1]].
+	Order []int
+	// Groups is the group sequence for Decomposed plans: closures run
+	// right-to-left (the last group's closure runs first), mirroring the
+	// product (ΣG₀)*·(ΣG₁)*·….  Singleton groups are single-operator
+	// closures; larger groups run semi-naive over their sum.
+	Groups [][]int
+	// Sel is the selection for Separable plans.
+	Sel separable.Selection
+	// Rounds is the iteration cap for Bounded plans (N−1 applications).
+	Rounds int
+	// Why explains the choice.
+	Why string
+}
+
+// Choose picks a plan.  sel, when non-nil, is a selection on the answer.
+func (a *Analysis) Choose(sel *separable.Selection) *Plan {
+	if sel != nil && len(a.Ops) == 2 && a.AllCommute() {
+		// Theorem 4.1 needs σ to commute with one of the operators; that
+		// one becomes A1 (applied last).
+		for i := 0; i < 2; i++ {
+			if sel.CommutesWith(a.Ops[i]) {
+				return &Plan{
+					Kind:  Separable,
+					Order: []int{i, 1 - i},
+					Sel:   *sel,
+					Why:   fmt.Sprintf("operators commute and σ[%d] commutes with rule %d (Theorem 4.1)", sel.Col, i+1),
+				}
+			}
+		}
+	}
+	if groups := a.CommutingGroups(); len(groups) >= 2 {
+		why := "all operator pairs commute, so (ΣAᵢ)* = A1*…An* (Sections 3, 5)"
+		if !a.AllCommute() {
+			why = fmt.Sprintf("operators split into %d mutually commuting groups (partial commutativity, Section 7)", len(groups))
+		}
+		return &Plan{Kind: Decomposed, Groups: groups, Why: why}
+	}
+	if len(a.Ops) == 1 {
+		if ub := algebra.UniformlyBounded(a.Ops[0], redundant.DefaultMaxPow); ub.Found {
+			return &Plan{
+				Kind:   Bounded,
+				Rounds: ub.N - 1,
+				Why:    fmt.Sprintf("operator is uniformly bounded (A^%d ≤ A^%d), so A* truncates", ub.N, ub.K),
+			}
+		}
+	}
+	return &Plan{Kind: SemiNaive, Why: "no decomposition applies"}
+}
+
+// Result of executing a plan.
+type Result struct {
+	Answer *rel.Relation
+	Stats  eval.Stats
+	Plan   *Plan
+}
+
+// Execute runs the plan.  The initial relation Q is the union of the exit
+// rules evaluated on db; for Separable plans the selection is applied per
+// Theorem 4.1, for other plans it is applied to the final answer (when sel
+// is non-nil).
+func (a *Analysis) Execute(e *eval.Engine, db rel.DB, plan *Plan, sel *separable.Selection) (*Result, error) {
+	q := rel.NewRelation(a.Ops[0].Arity())
+	for _, r := range a.ExitRules {
+		t, err := e.EvalRule(db, r)
+		if err != nil {
+			return nil, err
+		}
+		q.UnionInto(t)
+	}
+
+	res := &Result{Plan: plan}
+	switch plan.Kind {
+	case Separable:
+		r, err := separable.Eval(e, db, a.Ops[plan.Order[0]], a.Ops[plan.Order[1]], q, plan.Sel)
+		if err != nil {
+			return nil, err
+		}
+		res.Answer, res.Stats = r.Rel, r.Stats
+		return res, nil
+	case Decomposed:
+		cur := q
+		var stats eval.Stats
+		for i := len(plan.Groups) - 1; i >= 0; i-- {
+			ops := make([]*ast.Op, 0, len(plan.Groups[i]))
+			for _, idx := range plan.Groups[i] {
+				ops = append(ops, a.Ops[idx])
+			}
+			next, s := e.SemiNaive(db, ops, cur)
+			stats.Add(s)
+			cur = next
+		}
+		res.Answer, res.Stats = cur, stats
+	case Bounded:
+		out := q.Clone()
+		cur := q
+		var stats eval.Stats
+		for m := 0; m < plan.Rounds; m++ {
+			next := rel.NewRelation(q.Arity())
+			e.Apply(db, a.Ops[0], cur, next, &stats)
+			if out.UnionInto(next) == 0 {
+				break
+			}
+			cur = next
+			stats.Iterations++
+		}
+		res.Answer, res.Stats = out, stats
+	default:
+		res.Answer, res.Stats = e.SemiNaive(db, a.Ops, q)
+	}
+	if sel != nil {
+		res.Answer = sel.Apply(res.Answer)
+	}
+	return res, nil
+}

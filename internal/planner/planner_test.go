@@ -1,0 +1,151 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"linrec/internal/commute"
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+	"linrec/internal/workload"
+)
+
+const tcProgram = `
+path(X,Y) :- up(X,Y).
+path(X,Y) :- path(X,Z), up(Z,Y).
+path(X,Y) :- down(X,Z), path(Z,Y).
+`
+
+func analyze(t *testing.T, src, pred string) *Analysis {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, err := Analyze(prog, pred)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+func TestAnalyzeTC(t *testing.T) {
+	a := analyze(t, tcProgram, "path")
+	if len(a.Ops) != 2 || len(a.ExitRules) != 1 {
+		t.Fatalf("ops=%d exits=%d", len(a.Ops), len(a.ExitRules))
+	}
+	if a.Commutes[[2]int{0, 1}] != commute.Commute {
+		t.Fatalf("TC pair should commute")
+	}
+	if !a.AllCommute() {
+		t.Fatalf("AllCommute should hold")
+	}
+	sep := a.Separable[[2]int{0, 1}]
+	if !sep.Separable() {
+		t.Fatalf("TC pair should be separable: %v", sep)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	prog, _ := parser.Parse("p(X,Y) :- p(X,Z), e(Z,Y).")
+	if _, err := Analyze(prog, "p"); err == nil || !strings.Contains(err.Error(), "exit") {
+		t.Fatalf("missing exit rules should error, got %v", err)
+	}
+	prog2, _ := parser.Parse("p(X,Y) :- e(X,Y).")
+	if _, err := Analyze(prog2, "p"); err == nil || !strings.Contains(err.Error(), "no recursive rules") {
+		t.Fatalf("missing recursive rules should error, got %v", err)
+	}
+}
+
+func TestChooseDecomposed(t *testing.T) {
+	a := analyze(t, tcProgram, "path")
+	plan := a.Choose(nil)
+	if plan.Kind != Decomposed {
+		t.Fatalf("plan = %v, want decomposed", plan.Kind)
+	}
+}
+
+func TestChooseSeparable(t *testing.T) {
+	a := analyze(t, tcProgram, "path")
+	sel := &separable.Selection{Col: 0, Value: 1}
+	plan := a.Choose(sel)
+	if plan.Kind != Separable {
+		t.Fatalf("plan = %v, want separable (%s)", plan.Kind, plan.Why)
+	}
+	// A1 must be the operator σ commutes with: rule 1 (left-linear, X
+	// free 1-persistent).
+	if plan.Order[0] != 0 {
+		t.Fatalf("order = %v, want A1 = rule 1", plan.Order)
+	}
+}
+
+func TestChooseFallback(t *testing.T) {
+	a := analyze(t, `
+p(X,Y) :- e(X,Y).
+p(X,Y) :- p(X,Z), e1(Z,Y).
+p(X,Y) :- p(X,Z), e2(Z,Y).
+`, "p")
+	if a.AllCommute() {
+		t.Fatalf("same-side rules should not commute")
+	}
+	plan := a.Choose(nil)
+	if plan.Kind != SemiNaive {
+		t.Fatalf("plan = %v, want semi-naive fallback", plan.Kind)
+	}
+}
+
+func TestExecutePlansAgree(t *testing.T) {
+	prog, err := parser.Parse(tcProgram)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, err := Analyze(prog, "path")
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.ChainShared(e, db, "up", 12)
+	workload.Random(e, db, "down", 13, 20, 5)
+
+	fallback, err := a.Execute(e, db, &Plan{Kind: SemiNaive}, nil)
+	if err != nil {
+		t.Fatalf("Execute fallback: %v", err)
+	}
+	dec, err := a.Execute(e, db, a.Choose(nil), nil)
+	if err != nil {
+		t.Fatalf("Execute decomposed: %v", err)
+	}
+	if !fallback.Answer.Equal(dec.Answer) {
+		t.Fatalf("plans disagree: %d vs %d tuples", fallback.Answer.Len(), dec.Answer.Len())
+	}
+
+	sel := separable.Selection{Col: 0, Value: e.Syms.Intern("v0")}
+	sepRes, err := a.Execute(e, db, a.Choose(&sel), nil)
+	if err != nil {
+		t.Fatalf("Execute separable: %v", err)
+	}
+	filtered, err := a.Execute(e, db, &Plan{Kind: SemiNaive}, &sel)
+	if err != nil {
+		t.Fatalf("Execute filtered: %v", err)
+	}
+	if !sepRes.Answer.Equal(filtered.Answer) {
+		t.Fatalf("separable plan disagrees: %d vs %d tuples",
+			sepRes.Answer.Len(), filtered.Answer.Len())
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	a := analyze(t, `
+buys(X,Y) :- trust(X,Y).
+buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).
+`, "buys")
+	sum := a.Summary()
+	for _, want := range []string{"buys", "link 1-persistent", "recursively redundant: cheap"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package redundant
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+	"linrec/internal/workload"
+)
+
+func decomposeFor(t *testing.T, src, pred string) *Decomposition {
+	t.Helper()
+	a := op(t, src)
+	fs := Analyze(a, 0)
+	for i := range fs {
+		for _, p := range fs[i].Preds {
+			if p == pred {
+				dec, err := Decompose(a, fs[i], 0)
+				if err != nil {
+					t.Fatalf("Decompose: %v", err)
+				}
+				return dec
+			}
+		}
+	}
+	t.Fatalf("no finding for %s in %s", pred, src)
+	return nil
+}
+
+// TestEvalCommutingExample61 checks the sharper schedule on Example 6.1:
+// same answer, and strictly fewer derivations than both the full closure
+// and the general Theorem 4.2 schedule when cheap is selective.
+func TestEvalCommutingExample61(t *testing.T) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	const n = 80
+	workload.Random(e, db, "knows", n, 3*n, 17)
+	workload.Unary(e, db, "cheap", n, func(i int) bool { return i%2 == 0 })
+	q := rel.NewRelation(2)
+	for i := 0; i < n; i += 6 {
+		q.Insert(rel.Tuple{
+			e.Syms.Intern(fmt.Sprintf("v%d", i)),
+			e.Syms.Intern(fmt.Sprintf("v%d", (i*5+3)%n)),
+		})
+	}
+	dec := decomposeFor(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).", "cheap")
+	if !dec.BCLCommute {
+		t.Fatalf("Example 6.1's B and C should commute")
+	}
+	want, fullStats := e.SemiNaive(db, []*ast.Op{dec.A}, q)
+	got, s, err := EvalCommuting(e, db, dec, q)
+	if err != nil {
+		t.Fatalf("EvalCommuting: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("EvalCommuting differs: %d vs %d tuples", got.Len(), want.Len())
+	}
+	if s.Derivations >= fullStats.Derivations+int64(q.Len()) {
+		t.Fatalf("commuting schedule should not exceed full closure by more than the seed filter: %d vs %d",
+			s.Derivations, fullStats.Derivations)
+	}
+}
+
+// TestEvalCommutingExample62: L=2, K=3, N=5 — the deep-torsion case.
+func TestEvalCommutingExample62(t *testing.T) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	rng := rand.New(rand.NewSource(4))
+	v := func(i int) rel.Value { return e.Syms.Intern(fmt.Sprintf("v%d", i)) }
+	qr := db.Rel("q", 2)
+	rr := db.Rel("r", 2)
+	sr := db.Rel("s", 2)
+	for i := 0; i < 24; i++ {
+		qr.Insert(rel.Tuple{v(rng.Intn(8)), v(10 + rng.Intn(8))})
+		rr.Insert(rel.Tuple{v(rng.Intn(8)), v(rng.Intn(8))})
+		sr.Insert(rel.Tuple{v(10 + rng.Intn(8)), v(20 + rng.Intn(8))})
+	}
+	q := rel.NewRelation(4)
+	for i := 0; i < 5; i++ {
+		q.Insert(rel.Tuple{v(rng.Intn(8)), v(rng.Intn(8)), v(rng.Intn(8)), v(20 + rng.Intn(8))})
+	}
+	dec := decomposeFor(t, ex62, "r")
+	if !dec.BCLCommute {
+		t.Fatalf("Example 6.2's B and C² should commute")
+	}
+	want, _ := e.SemiNaive(db, []*ast.Op{dec.A}, q)
+	got, _, err := EvalCommuting(e, db, dec, q)
+	if err != nil {
+		t.Fatalf("EvalCommuting: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("EvalCommuting differs on Example 6.2: %d vs %d tuples\n got: %v\nwant: %v",
+			got.Len(), want.Len(), got.Tuples(), want.Tuples())
+	}
+}
+
+// TestEvalCommutingRejectsExample63: the premise B·C² = C²·B fails, so the
+// sharper schedule must refuse (the general schedule still applies).
+func TestEvalCommutingRejectsExample63(t *testing.T) {
+	dec := decomposeFor(t, ex63, "r")
+	if dec.BCLCommute {
+		t.Fatalf("Example 6.3's B and C² must not commute")
+	}
+	e := eval.NewEngine(nil)
+	if _, _, err := EvalCommuting(e, rel.DB{}, dec, rel.NewRelation(4)); err == nil {
+		t.Fatalf("EvalCommuting should reject the non-commuting decomposition")
+	}
+}
+
+// TestSchedulesAgreeOnRandomData cross-validates the three evaluation
+// strategies (full, Theorem 4.2 schedule, commuting schedule) on random
+// Example 6.1 instances.
+func TestSchedulesAgreeOnRandomData(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		e := eval.NewEngine(nil)
+		db := rel.DB{}
+		n := 30 + int(seed)*10
+		workload.Random(e, db, "knows", n, 2*n, seed)
+		workload.Unary(e, db, "cheap", n, func(i int) bool { return (i+int(seed))%3 != 0 })
+		q := rel.NewRelation(2)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for i := 0; i < 8; i++ {
+			q.Insert(rel.Tuple{
+				e.Syms.Intern(fmt.Sprintf("v%d", rng.Intn(n))),
+				e.Syms.Intern(fmt.Sprintf("v%d", rng.Intn(n))),
+			})
+		}
+		dec := decomposeFor(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).", "cheap")
+		want, _ := e.SemiNaive(db, []*ast.Op{dec.A}, q)
+		gen, _ := EvalOptimized(e, db, dec, q)
+		com, _, err := EvalCommuting(e, db, dec, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !gen.Equal(want) {
+			t.Fatalf("seed %d: Theorem 4.2 schedule diverged: %d vs %d", seed, gen.Len(), want.Len())
+		}
+		if !com.Equal(want) {
+			t.Fatalf("seed %d: commuting schedule diverged: %d vs %d", seed, com.Len(), want.Len())
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package redundant implements the paper's treatment of recursively
+// redundant predicates (Sections 4.2 and 6.2):
+//
+//   - Theorem 6.3: a nonrecursive predicate is recursively redundant iff it
+//     appears in a uniformly bounded augmented bridge of the a-graph with
+//     respect to G_I (I = link-persistent ∪ ray variables).
+//   - Lemma 6.3(b): the exponent L at which all link-persistent variables
+//     become link 1-persistent and all rays 1-ray.
+//   - Lemma 6.5 / Theorem 6.4: the decomposition A^L = B·C^L with C
+//     uniformly bounded (hence torsion, Lemma 6.2) and
+//     C^L(B·C^L) = C^L(C^L·B).
+//   - Theorem 4.2's evaluation consequence: A*Q can be computed with C
+//     applied at most N·L−1 times, after which only B is iterated:
+//
+//     A*Q = Σ_{m<KL} A^m Q  ∪  Σ_{m=KL}^{NL−1} A^m Y,   Y = (B^{N−K})* Q.
+package redundant
+
+import (
+	"fmt"
+	"sort"
+
+	"linrec/internal/agraph"
+	"linrec/internal/algebra"
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+)
+
+// DefaultMaxPow bounds the power searches (torsion, uniform boundedness).
+// Detection is sound; predicates whose witnesses lie beyond the bound are
+// reported non-redundant.
+const DefaultMaxPow = 8
+
+// Finding is one uniformly bounded augmented bridge and the redundancy it
+// certifies.
+type Finding struct {
+	Bridge *agraph.Bridge
+	// Wide is the paper's operator C: the wide rule of the bridge in A.
+	Wide *ast.Op
+	// Preds are the recursively redundant nonrecursive predicates (those
+	// appearing in the bridge).
+	Preds []string
+	// Bound is the uniform-boundedness witness for Wide (K < N, Wᴺ ≤ Wᴷ).
+	Bound algebra.BoundResult
+}
+
+// Analyze applies Theorem 6.3: it returns one Finding per uniformly bounded
+// augmented bridge of op's a-graph with respect to G_I.  maxPow ≤ 0 selects
+// DefaultMaxPow.
+func Analyze(op *ast.Op, maxPow int) []Finding {
+	if maxPow <= 0 {
+		maxPow = DefaultMaxPow
+	}
+	g := agraph.New(op)
+	var out []Finding
+	for _, b := range g.Bridges(agraph.RedundancySeparator) {
+		if len(b.AtomIdx) == 0 {
+			continue // bridges of dynamic arcs only carry no predicates
+		}
+		wide := g.WideRule(b)
+		ub := algebra.UniformlyBounded(wide, maxPow)
+		if !ub.Found {
+			continue
+		}
+		f := Finding{Bridge: b, Wide: wide, Bound: ub}
+		for _, i := range b.AtomIdx {
+			f.Preds = append(f.Preds, op.NonRec[i].Pred)
+		}
+		sort.Strings(f.Preds)
+		out = append(out, f)
+	}
+	return out
+}
+
+// RedundantPredicates returns the sorted set of recursively redundant
+// nonrecursive predicates of op.
+func RedundantPredicates(op *ast.Op, maxPow int) []string {
+	seen := map[string]bool{}
+	for _, f := range Analyze(op, maxPow) {
+		for _, p := range f.Preds {
+			seen[p] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Decomposition is the Theorem 6.4 factorization of A at level L.
+type Decomposition struct {
+	A  *ast.Op
+	L  int
+	K  int // torsion witnesses of C: Cᴺ = Cᴷ, K < N
+	N  int
+	AL *ast.Op // A^L
+	B  *ast.Op // complement operator: A^L = B·C^L, C's predicates absent
+	CL *ast.Op // wide operator of the generated bridges in A^L
+	C  *ast.Op // wide operator of the bridge in A
+	// BCLCommute records whether B·C^L = C^L·B.  The paper observes this
+	// holds in Example 6.2 (via Theorem 5.1) but not in Example 6.3; when
+	// it holds, the sharper EvalCommuting schedule applies.
+	BCLCommute bool
+}
+
+// Decompose builds the decomposition certified by a Finding and verifies
+// every premise of Theorem 6.4 symbolically: A^L = B·C^L, C torsion, and
+// C^L(B·C^L) = C^L(C^L·B).  An error reports which premise failed.
+func Decompose(op *ast.Op, f Finding, maxPow int) (*Decomposition, error) {
+	if maxPow <= 0 {
+		maxPow = DefaultMaxPow
+	}
+	g := agraph.New(op)
+	l := persistenceLevel(g)
+
+	// Tag the atoms of A so the generated instances in A^L are traceable
+	// (Lemma 6.4 guarantees they form whole bridges of A^L w.r.t. G_I^L).
+	tagged := op.Clone()
+	for i := range tagged.NonRec {
+		tagged.NonRec[i].Tag = i + 1
+	}
+	al, err := algebra.Power(tagged, l)
+	if err != nil {
+		return nil, err
+	}
+	bridgeTags := map[int]bool{}
+	for _, i := range f.Bridge.AtomIdx {
+		bridgeTags[i+1] = true
+	}
+
+	gl := agraph.New(al)
+	genAtoms := map[int]bool{}
+	for j, a := range al.NonRec {
+		if bridgeTags[a.Tag] {
+			genAtoms[j] = true
+		}
+	}
+	augVars := ast.VarSet{}
+	var atomIdx []int
+	for _, b := range gl.Bridges(agraph.RedundancySeparator) {
+		touches := false
+		for _, j := range b.AtomIdx {
+			if genAtoms[j] {
+				touches = true
+			}
+		}
+		if !touches {
+			continue
+		}
+		// Lemma 6.4: the generated arcs form whole bridges; atoms of other
+		// origin in the same bridge would falsify the lemma.
+		for _, j := range b.AtomIdx {
+			if !genAtoms[j] {
+				return nil, fmt.Errorf("redundant: bridge of A^%d mixes generated and original atoms (Lemma 6.4 violated)", l)
+			}
+		}
+		for v := range b.AugVars {
+			augVars.Add(v)
+		}
+		atomIdx = append(atomIdx, b.AtomIdx...)
+	}
+	sort.Ints(atomIdx)
+
+	cl := agraph.WideRuleOf(al, augVars, atomIdx)
+	b := agraph.ComplementWideRule(al, augVars, atomIdx)
+	stripTags(cl)
+	stripTags(b)
+	stripTags(al)
+
+	// Premise: A^L = B·C^L.
+	bcl, err := algebra.Compose(b, cl)
+	if err != nil {
+		return nil, err
+	}
+	if !algebra.Equal(al, bcl) {
+		return nil, fmt.Errorf("redundant: A^%d ≠ B·C^%d:\n  A^L: %v\n  B·C^L: %v", l, l, al, bcl)
+	}
+
+	// Premise: C torsion (Lemma 6.2 from uniform boundedness in the
+	// restricted class; verified directly here).
+	tor := algebra.Torsion(f.Wide, maxPow)
+	if !tor.Found {
+		return nil, fmt.Errorf("redundant: C = %v is not torsion within %d powers", f.Wide, maxPow)
+	}
+
+	// Premise: C^L(B·C^L) = C^L(C^L·B).
+	clb, err := algebra.Compose(cl, b)
+	if err != nil {
+		return nil, err
+	}
+	lhs, err := algebra.Compose(cl, bcl)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := algebra.Compose(cl, clb)
+	if err != nil {
+		return nil, err
+	}
+	if !algebra.Equal(lhs, rhs) {
+		return nil, fmt.Errorf("redundant: C^L(B·C^L) ≠ C^L(C^L·B)")
+	}
+
+	return &Decomposition{
+		A: op, L: l, K: tor.K, N: tor.N,
+		AL: al, B: b, CL: cl, C: f.Wide,
+		BCLCommute: algebra.Equal(bcl, clb),
+	}, nil
+}
+
+func stripTags(op *ast.Op) {
+	for i := range op.NonRec {
+		op.NonRec[i].Tag = 0
+	}
+}
+
+// persistenceLevel computes L per Lemma 6.3(b): the least common multiple
+// of the link-persistence cardinalities that is at least the maximum ray
+// length.
+func persistenceLevel(g *agraph.Graph) int {
+	lcmv := 1
+	maxRay := 1
+	for _, info := range g.Classes() {
+		if info.Class == agraph.LinkPersistent {
+			lcmv = lcm(lcmv, info.N)
+		}
+		if info.Ray > maxRay {
+			maxRay = info.Ray
+		}
+	}
+	l := lcmv
+	for l < maxRay {
+		l += lcmv
+	}
+	return l
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// EvalOptimized evaluates A*Q by the Theorem 4.2 schedule: C participates
+// in at most N·L−1 operator applications, after which only B is iterated:
+//
+//	A*Q = Σ_{m<K·L} A^m Q ∪ Σ_{m=K·L}^{N·L−1} A^m Y,  Y = (B^{N−K})* Q.
+func EvalOptimized(e *eval.Engine, db rel.DB, dec *Decomposition, q *rel.Relation) (*rel.Relation, eval.Stats) {
+	var stats eval.Stats
+
+	// Y = (B^{N−K})* Q.
+	bPow, err := algebra.Power(dec.B, dec.N-dec.K)
+	if err != nil {
+		panic(fmt.Sprintf("redundant: B^%d: %v", dec.N-dec.K, err))
+	}
+	y, s := e.SemiNaive(db, []*ast.Op{bPow}, q)
+	stats.Add(s)
+
+	out := q.Clone()
+	kl := dec.K * dec.L
+	nl := dec.N * dec.L
+
+	// Σ_{m<KL} A^m Q (m = 0 is Q itself).
+	cur := q.Clone()
+	for m := 1; m < kl; m++ {
+		next := rel.NewRelation(q.Arity())
+		e.Apply(db, dec.A, cur, next, &stats)
+		out.UnionInto(next)
+		cur = next
+		stats.Iterations++
+	}
+
+	// Σ_{m=KL}^{NL−1} A^m Y: first raise Y to A^{KL}, then accumulate.
+	cur = y
+	for m := 1; m <= kl; m++ {
+		next := rel.NewRelation(q.Arity())
+		e.Apply(db, dec.A, cur, next, &stats)
+		cur = next
+		stats.Iterations++
+	}
+	out.UnionInto(cur)
+	for m := kl + 1; m < nl; m++ {
+		next := rel.NewRelation(q.Arity())
+		e.Apply(db, dec.A, cur, next, &stats)
+		out.UnionInto(next)
+		cur = next
+		stats.Iterations++
+	}
+	return out, stats
+}
+
+// EvalCommuting evaluates A*Q under the additional premise B·C^L = C^L·B
+// (true in Example 6.2, false in 6.3).  Then (A^L)^m = (B·C^L)^m =
+// B^m·C^{mL}, and with C torsion (C^{mL} = C^{(m+i(N−K))L} for m ≥ K) the
+// series regroups into C-filtered seeds closed under B only:
+//
+//	(A^L)* = Σ_{m<K} B^m C^{mL}
+//	       + Σ_{r=0}^{N−K−1} B^{K+r} (B^{N−K})* C^{(K+r)L}
+//	A*     = (Σ_{n<L} A^n) (A^L)*.
+//
+// Unlike the general Theorem 4.2 schedule, every B-closure starts from a
+// C-filtered relation, so the redundant predicate's selectivity is not
+// given up.  Returns an error when the premise fails.
+func EvalCommuting(e *eval.Engine, db rel.DB, dec *Decomposition, q *rel.Relation) (*rel.Relation, eval.Stats, error) {
+	if !dec.BCLCommute {
+		return nil, eval.Stats{}, fmt.Errorf("redundant: B·C^%d ≠ C^%d·B; EvalCommuting does not apply", dec.L, dec.L)
+	}
+	var stats eval.Stats
+	applyN := func(op *ast.Op, n int, src *rel.Relation) *rel.Relation {
+		cur := src
+		for i := 0; i < n; i++ {
+			next := rel.NewRelation(src.Arity())
+			e.Apply(db, op, cur, next, &stats)
+			cur = next
+			stats.Iterations++
+		}
+		return cur
+	}
+
+	acc := rel.NewRelation(q.Arity())
+	// Prefix: Σ_{m<K} B^m C^{mL} Q.
+	for m := 0; m < dec.K; m++ {
+		t := applyN(dec.CL, m, q)
+		t = applyN(dec.B, m, t)
+		acc.UnionInto(t)
+	}
+	// Residues: Σ_r B^{K+r} (B^{N−K})* C^{(K+r)L} Q.
+	bPow, err := algebra.Power(dec.B, dec.N-dec.K)
+	if err != nil {
+		return nil, stats, err
+	}
+	for r := 0; r < dec.N-dec.K; r++ {
+		// Powers of B commute with each other, so B^{K+r}(B^{N−K})* =
+		// (B^{N−K})* B^{K+r}: apply the bounded B power to the small
+		// C-filtered seed first, then close — never a full-relation pass.
+		t := applyN(dec.CL, dec.K+r, q)
+		t = applyN(dec.B, dec.K+r, t)
+		u, s := e.SemiNaive(db, []*ast.Op{bPow}, t)
+		stats.Add(s)
+		acc.UnionInto(u)
+	}
+	// Left factor: Σ_{n<L} A^n.
+	out := acc.Clone()
+	cur := acc
+	for n := 1; n < dec.L; n++ {
+		next := rel.NewRelation(q.Arity())
+		e.Apply(db, dec.A, cur, next, &stats)
+		out.UnionInto(next)
+		cur = next
+		stats.Iterations++
+	}
+	return out, stats, nil
+}

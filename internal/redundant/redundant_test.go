@@ -1,0 +1,257 @@
+package redundant
+
+import (
+	"fmt"
+	"testing"
+
+	"linrec/internal/agraph"
+	"linrec/internal/algebra"
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+	"linrec/internal/workload"
+)
+
+func op(t *testing.T, src string) *ast.Op {
+	t.Helper()
+	o, err := parser.ParseOp(src)
+	if err != nil {
+		t.Fatalf("ParseOp(%q): %v", src, err)
+	}
+	return o
+}
+
+// TestExample61Analysis reproduces Example 6.1 / Figure 6: cheap is
+// recursively redundant in the knows/buys rule.
+func TestExample61Analysis(t *testing.T) {
+	a := op(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+	preds := RedundantPredicates(a, 0)
+	if len(preds) != 1 || preds[0] != "cheap" {
+		t.Fatalf("redundant predicates = %v, want [cheap]", preds)
+	}
+	findings := Analyze(a, 0)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(findings))
+	}
+	f := findings[0]
+	if f.Bound.K != 1 || f.Bound.N != 2 {
+		t.Fatalf("bound witnesses = %+v, want K=1 N=2", f.Bound)
+	}
+	wantC := op(t, "buys(X,Y) :- buys(X,Y), cheap(Y).")
+	if !algebra.Equal(f.Wide, wantC) {
+		t.Fatalf("C = %v, want %v", f.Wide, wantC)
+	}
+}
+
+// TestExample61Decompose: L=1, A = B·C with B the cheap-free rule.
+func TestExample61Decompose(t *testing.T) {
+	a := op(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+	fs := Analyze(a, 0)
+	dec, err := Decompose(a, fs[0], 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if dec.L != 1 || dec.K != 1 || dec.N != 2 {
+		t.Fatalf("L,K,N = %d,%d,%d; want 1,1,2", dec.L, dec.K, dec.N)
+	}
+	wantB := op(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y).")
+	if !algebra.Equal(dec.B, wantB) {
+		t.Fatalf("B = %v, want %v", dec.B, wantB)
+	}
+}
+
+// TestExample61Eval: the optimized evaluation (cheap checked a bounded
+// number of times) returns exactly A*Q.
+func TestExample61Eval(t *testing.T) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Random(e, db, "knows", 40, 120, 3)
+	workload.Unary(e, db, "cheap", 40, func(i int) bool { return i%3 != 0 })
+	a := op(t, "buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+	// Q: everyone buys a few seed items.
+	q := rel.NewRelation(2)
+	for i := 0; i < 40; i += 5 {
+		q.Insert(rel.Tuple{e.Syms.Intern(fmt.Sprintf("v%d", i)), e.Syms.Intern(fmt.Sprintf("v%d", (i*7+1)%40))})
+	}
+	dec, err := Decompose(a, Analyze(a, 0)[0], 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	want, _ := e.SemiNaive(db, []*ast.Op{a}, q)
+	got, _ := EvalOptimized(e, db, dec, q)
+	if !got.Equal(want) {
+		t.Fatalf("optimized eval differs: %d vs %d tuples", got.Len(), want.Len())
+	}
+}
+
+// ex62 is the rule of Example 6.2 / Figure 7.
+const ex62 = "p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), r(X,Y), s(U,Z)."
+
+// TestExample62Analysis: R is recursively redundant; Q and S are not.
+func TestExample62Analysis(t *testing.T) {
+	a := op(t, ex62)
+	preds := RedundantPredicates(a, 0)
+	if len(preds) != 1 || preds[0] != "r" {
+		t.Fatalf("redundant predicates = %v, want [r]", preds)
+	}
+}
+
+// TestExample62Decompose reproduces the paper's A² = B·C² with the exact
+// operators printed in the example, and checks B and C² commute (as the
+// paper observes via Theorem 5.1).
+func TestExample62Decompose(t *testing.T) {
+	a := op(t, ex62)
+	fs := Analyze(a, 0)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %d, want 1", len(fs))
+	}
+	dec, err := Decompose(a, fs[0], 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if dec.L != 2 {
+		t.Fatalf("L = %d, want 2", dec.L)
+	}
+	wantA2 := op(t, "p(W,X,Y,Z) :- p(W,X,W,V), q(W,V), r(W,X), s(V,U), q(X,U), r(X,Y), s(U,Z).")
+	if !algebra.Equal(dec.AL, wantA2) {
+		t.Fatalf("A² = %v, want %v", dec.AL, wantA2)
+	}
+	wantB := op(t, "p(W,X,Y,Z) :- p(W,X,Y,V), q(W,V), s(V,U), q(X,U), s(U,Z).")
+	if !algebra.Equal(dec.B, wantB) {
+		t.Fatalf("B = %v, want %v", dec.B, wantB)
+	}
+	wantC2 := op(t, "p(W,X,Y,Z) :- p(W,X,W,Z), r(W,X), r(X,Y).")
+	if !algebra.Equal(dec.CL, wantC2) {
+		t.Fatalf("C² = %v, want %v", dec.CL, wantC2)
+	}
+	// The paper: "By Theorem 5.1, C² and B commute" — check by definition.
+	ok, err := algebra.Commute(dec.B, dec.CL)
+	if err != nil || !ok {
+		t.Fatalf("B and C² should commute: %v %v", ok, err)
+	}
+}
+
+// TestExample62Eval: optimized evaluation equals full closure on data.
+func TestExample62Eval(t *testing.T) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Pairs(e, db, "q", [][2]int{{0, 10}, {1, 11}, {0, 11}, {2, 12}})
+	workload.Pairs(e, db, "r", [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	workload.Pairs(e, db, "s", [][2]int{{10, 20}, {11, 21}, {12, 22}, {11, 20}})
+	a := op(t, ex62)
+	q := rel.NewRelation(4)
+	v := func(i int) rel.Value { return e.Syms.Intern(fmt.Sprintf("v%d", i)) }
+	q.Insert(rel.Tuple{v(0), v(1), v(2), v(20)})
+	q.Insert(rel.Tuple{v(1), v(0), v(3), v(21)})
+	q.Insert(rel.Tuple{v(2), v(0), v(1), v(22)})
+	dec, err := Decompose(a, Analyze(a, 0)[0], 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	want, _ := e.SemiNaive(db, []*ast.Op{a}, q)
+	got, _ := EvalOptimized(e, db, dec, q)
+	if !got.Equal(want) {
+		t.Fatalf("optimized eval differs: %d vs %d tuples\n got: %v\nwant: %v",
+			got.Len(), want.Len(), got.Tuples(), want.Tuples())
+	}
+}
+
+// ex63 is Example 6.3 / Figure 9: q(Y,U) instead of q(X,U).
+const ex63 = "p(W,X,Y,Z) :- p(X,W,X,U), q(Y,U), r(X,Y), s(U,Z)."
+
+// TestExample63 reproduces the subtle case: A² = B·C² holds but B·C² ≠
+// C²·B; nevertheless C²(B·C²) = C²(C²·B), so Theorem 6.4 is satisfied.
+func TestExample63(t *testing.T) {
+	a := op(t, ex63)
+	fs := Analyze(a, 0)
+	var rf *Finding
+	for i := range fs {
+		for _, p := range fs[i].Preds {
+			if p == "r" {
+				rf = &fs[i]
+			}
+		}
+	}
+	if rf == nil {
+		t.Fatalf("r should be redundant in Example 6.3; findings: %+v", fs)
+	}
+	dec, err := Decompose(a, *rf, 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	// B·C² ≠ C²·B in this example.
+	ok, err := algebra.Commute(dec.B, dec.CL)
+	if err != nil {
+		t.Fatalf("Commute: %v", err)
+	}
+	if ok {
+		t.Fatalf("Example 6.3's B and C² must NOT commute")
+	}
+}
+
+// TestExample63Eval: despite non-commutation, the optimized schedule is
+// still exact (the weaker premise suffices).
+func TestExample63Eval(t *testing.T) {
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Pairs(e, db, "q", [][2]int{{1, 10}, {2, 11}, {3, 10}, {1, 11}})
+	workload.Pairs(e, db, "r", [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 3}})
+	workload.Pairs(e, db, "s", [][2]int{{10, 20}, {11, 21}, {10, 21}})
+	a := op(t, ex63)
+	q := rel.NewRelation(4)
+	v := func(i int) rel.Value { return e.Syms.Intern(fmt.Sprintf("v%d", i)) }
+	q.Insert(rel.Tuple{v(0), v(1), v(2), v(10)})
+	q.Insert(rel.Tuple{v(1), v(2), v(3), v(11)})
+	q.Insert(rel.Tuple{v(2), v(1), v(1), v(20)})
+	fs := Analyze(a, 0)
+	var rf *Finding
+	for i := range fs {
+		for _, p := range fs[i].Preds {
+			if p == "r" {
+				rf = &fs[i]
+			}
+		}
+	}
+	dec, err := Decompose(a, *rf, 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	want, _ := e.SemiNaive(db, []*ast.Op{a}, q)
+	got, _ := EvalOptimized(e, db, dec, q)
+	if !got.Equal(want) {
+		t.Fatalf("optimized eval differs: %d vs %d tuples", got.Len(), want.Len())
+	}
+}
+
+// TestNoRedundancyInTransitiveClosure: the TC step has no redundant
+// predicate.
+func TestNoRedundancyInTransitiveClosure(t *testing.T) {
+	a := op(t, "p(X,Y) :- p(X,Z), e(Z,Y).")
+	if preds := RedundantPredicates(a, 0); len(preds) != 0 {
+		t.Fatalf("TC should have no redundant predicates, got %v", preds)
+	}
+}
+
+// TestPersistenceLevel: link 2-persistent variables need L=2; plain link
+// 1-persistent rules need L=1.
+func TestPersistenceLevel(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).", 1},
+		{ex62, 2},
+	}
+	for _, tc := range cases {
+		g := newGraph(t, tc.src)
+		if got := persistenceLevel(g); got != tc.want {
+			t.Errorf("persistenceLevel(%q) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func newGraph(t *testing.T, src string) *agraph.Graph {
+	t.Helper()
+	return agraph.New(op(t, src))
+}

@@ -1,0 +1,239 @@
+// Package rel is the storage substrate: interned constants, set-semantics
+// relations over integer tuples, and per-column hash indexes used by the
+// join machinery in package eval.
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an interned constant.
+type Value = int32
+
+// Tuple is a row of interned constants.
+type Tuple []Value
+
+// Key encodes a tuple as a map key.  The encoding is unambiguous for a
+// fixed arity.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 5)
+	for _, v := range t {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// Clone copies the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Symtab interns constant symbols as dense int32 values.
+type Symtab struct {
+	byName map[string]Value
+	names  []string
+}
+
+// NewSymtab returns an empty symbol table.
+func NewSymtab() *Symtab {
+	return &Symtab{byName: map[string]Value{}}
+}
+
+// Intern returns the value for name, assigning a fresh one on first use.
+func (s *Symtab) Intern(name string) Value {
+	if v, ok := s.byName[name]; ok {
+		return v
+	}
+	v := Value(len(s.names))
+	s.byName[name] = v
+	s.names = append(s.names, name)
+	return v
+}
+
+// Lookup returns the value for name without interning.
+func (s *Symtab) Lookup(name string) (Value, bool) {
+	v, ok := s.byName[name]
+	return v, ok
+}
+
+// Name returns the symbol for an interned value.
+func (s *Symtab) Name(v Value) string {
+	if int(v) < 0 || int(v) >= len(s.names) {
+		return fmt.Sprintf("#%d", v)
+	}
+	return s.names[v]
+}
+
+// Len returns the number of interned symbols.
+func (s *Symtab) Len() int { return len(s.names) }
+
+// Relation is a set of same-arity tuples with optional per-column indexes.
+type Relation struct {
+	arity   int
+	rows    map[string]Tuple
+	indexes map[int]map[Value][]Tuple // column → value → rows
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, rows: map[string]Tuple{}}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds the tuple; it reports whether the tuple was new.  The tuple
+// is copied, so callers may reuse the slice.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("rel: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.rows[k]; ok {
+		return false
+	}
+	c := t.Clone()
+	r.rows[k] = c
+	for col, idx := range r.indexes {
+		idx[c[col]] = append(idx[c[col]], c)
+	}
+	return true
+}
+
+// Has reports membership.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// Each calls f on every tuple; iteration order is unspecified.
+func (r *Relation) Each(f func(Tuple)) {
+	for _, t := range r.rows {
+		f(t)
+	}
+}
+
+// Tuples returns all tuples in deterministic (sorted) order; intended for
+// tests and output, not inner loops.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Index returns (building on first use) the hash index on column col.
+func (r *Relation) Index(col int) map[Value][]Tuple {
+	if r.indexes == nil {
+		r.indexes = map[int]map[Value][]Tuple{}
+	}
+	if idx, ok := r.indexes[col]; ok {
+		return idx
+	}
+	idx := map[Value][]Tuple{}
+	for _, t := range r.rows {
+		idx[t[col]] = append(idx[t[col]], t)
+	}
+	r.indexes[col] = idx
+	return idx
+}
+
+// Clone returns an independent copy (without indexes).
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.arity)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out
+}
+
+// UnionInto inserts every tuple of other into r, returning the number of
+// new tuples.
+func (r *Relation) UnionInto(other *Relation) int {
+	added := 0
+	other.Each(func(t Tuple) {
+		if r.Insert(t) {
+			added++
+		}
+	})
+	return added
+}
+
+// Select returns the tuples with t[col] == v as a new relation.
+func (r *Relation) Select(col int, v Value) *Relation {
+	out := NewRelation(r.arity)
+	for _, t := range r.Index(col)[v] {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Filter returns the tuples satisfying pred as a new relation.
+func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
+	out := NewRelation(r.arity)
+	r.Each(func(t Tuple) {
+		if pred(t) {
+			out.Insert(t)
+		}
+	})
+	return out
+}
+
+// Equal reports set equality of two relations.
+func (r *Relation) Equal(other *Relation) bool {
+	if r.arity != other.arity || r.Len() != other.Len() {
+		return false
+	}
+	for k := range r.rows {
+		if _, ok := other.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DB maps predicate names to relations.
+type DB map[string]*Relation
+
+// Rel returns the relation for pred, creating an empty one of the given
+// arity on first use.
+func (db DB) Rel(pred string, arity int) *Relation {
+	r, ok := db[pred]
+	if !ok {
+		r = NewRelation(arity)
+		db[pred] = r
+	}
+	if r.arity != arity {
+		panic(fmt.Sprintf("rel: predicate %q used with arity %d and %d", pred, r.arity, arity))
+	}
+	return r
+}
+
+// Clone deep-copies the database.
+func (db DB) Clone() DB {
+	out := DB{}
+	for k, v := range db {
+		out[k] = v.Clone()
+	}
+	return out
+}

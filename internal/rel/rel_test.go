@@ -1,0 +1,197 @@
+package rel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymtabIntern(t *testing.T) {
+	s := NewSymtab()
+	a := s.Intern("a")
+	b := s.Intern("b")
+	if a == b {
+		t.Fatalf("distinct names share a value")
+	}
+	if s.Intern("a") != a {
+		t.Fatalf("re-interning changed the value")
+	}
+	if s.Name(a) != "a" || s.Name(b) != "b" {
+		t.Fatalf("Name round-trip failed")
+	}
+	if _, ok := s.Lookup("c"); ok {
+		t.Fatalf("Lookup invented a symbol")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Name(99) != "#99" {
+		t.Fatalf("out-of-range Name = %q", s.Name(99))
+	}
+}
+
+func TestRelationInsertHas(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Insert(Tuple{1, 2}) {
+		t.Fatalf("first insert not new")
+	}
+	if r.Insert(Tuple{1, 2}) {
+		t.Fatalf("duplicate insert reported new")
+	}
+	if !r.Has(Tuple{1, 2}) || r.Has(Tuple{2, 1}) {
+		t.Fatalf("membership wrong")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := NewRelation(2)
+	tu := Tuple{1, 2}
+	r.Insert(tu)
+	tu[0] = 9
+	if !r.Has(Tuple{1, 2}) {
+		t.Fatalf("relation shares storage with caller")
+	}
+}
+
+func TestInsertWrongArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic on arity mismatch")
+		}
+	}()
+	NewRelation(2).Insert(Tuple{1})
+}
+
+func TestIndexAndSelect(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{1, 10})
+	r.Insert(Tuple{1, 11})
+	r.Insert(Tuple{2, 12})
+	idx := r.Index(0)
+	if len(idx[1]) != 2 || len(idx[2]) != 1 {
+		t.Fatalf("index contents wrong: %v", idx)
+	}
+	// Index stays correct across later inserts.
+	r.Insert(Tuple{1, 13})
+	if len(r.Index(0)[1]) != 3 {
+		t.Fatalf("index not maintained after insert")
+	}
+	sel := r.Select(0, 1)
+	if sel.Len() != 3 {
+		t.Fatalf("Select returned %d tuples", sel.Len())
+	}
+}
+
+func TestTuplesDeterministicOrder(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{2, 1})
+	r.Insert(Tuple{1, 2})
+	r.Insert(Tuple{1, 1})
+	ts := r.Tuples()
+	if ts[0][0] != 1 || ts[0][1] != 1 || ts[2][0] != 2 {
+		t.Fatalf("Tuples order = %v", ts)
+	}
+}
+
+func TestUnionIntoAndEqual(t *testing.T) {
+	a := NewRelation(1)
+	a.Insert(Tuple{1})
+	b := NewRelation(1)
+	b.Insert(Tuple{1})
+	b.Insert(Tuple{2})
+	if a.Equal(b) {
+		t.Fatalf("unequal relations reported equal")
+	}
+	added := a.UnionInto(b)
+	if added != 1 || !a.Equal(b) {
+		t.Fatalf("UnionInto added %d; equal=%v", added, a.Equal(b))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{1, 5})
+	r.Insert(Tuple{2, 6})
+	f := r.Filter(func(t Tuple) bool { return t[1] == 5 })
+	if f.Len() != 1 || !f.Has(Tuple{1, 5}) {
+		t.Fatalf("Filter = %v", f.Tuples())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := NewRelation(1)
+	r.Insert(Tuple{1})
+	c := r.Clone()
+	c.Insert(Tuple{2})
+	if r.Len() != 1 {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestDBRel(t *testing.T) {
+	db := DB{}
+	r := db.Rel("e", 2)
+	if r.Arity() != 2 {
+		t.Fatalf("arity = %d", r.Arity())
+	}
+	if db.Rel("e", 2) != r {
+		t.Fatalf("Rel not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic on arity conflict")
+		}
+	}()
+	db.Rel("e", 3)
+}
+
+func TestDBClone(t *testing.T) {
+	db := DB{}
+	db.Rel("e", 1).Insert(Tuple{1})
+	c := db.Clone()
+	c["e"].Insert(Tuple{2})
+	if db["e"].Len() != 1 {
+		t.Fatalf("DB clone shares relations")
+	}
+}
+
+// TestTupleKeyInjective: distinct same-arity tuples have distinct keys
+// (property-based, testing/quick).
+func TestTupleKeyInjective(t *testing.T) {
+	f := func(a, b []int32) bool {
+		ta := Tuple(a)
+		tb := Tuple(b)
+		if len(ta) != len(tb) {
+			return true // keys only compared within a relation (fixed arity)
+		}
+		eq := true
+		for i := range ta {
+			if ta[i] != tb[i] {
+				eq = false
+			}
+		}
+		return (ta.Key() == tb.Key()) == eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertIdempotentProperty: inserting any tuple twice leaves Len
+// unchanged the second time (testing/quick).
+func TestInsertIdempotentProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := NewRelation(len(vals))
+		first := r.Insert(Tuple(vals))
+		second := r.Insert(Tuple(vals))
+		return first && !second && r.Len() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

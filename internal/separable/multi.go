@@ -1,0 +1,110 @@
+package separable
+
+import (
+	"fmt"
+
+	"linrec/internal/ast"
+	"linrec/internal/commute"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+)
+
+// MultiSelection pairs an operator index with the selection that commutes
+// with every *other* operator, per the n-ary generalization in Section 4.1:
+//
+//	σ0 σ1 … σn (A1 + … + An)* = (σ1 A1*)(σ2 A2*) … (σn An*) σ0
+//
+// where each σi (i ≥ 1) commutes with every operator except Ai, and σ0
+// commutes with all of them.  In the single-column-selection setting
+// implemented here, "σ commutes with A" means the selected column is
+// 1-persistent in A (see Selection.CommutesWith).
+type MultiSelection struct {
+	// OpIndex is the operator the selection does NOT need to commute with
+	// (the σi of Aᵢ); -1 marks the σ0 that commutes with every operator.
+	OpIndex int
+	Sel     Selection
+}
+
+// EvalMulti evaluates σ0 σ1 … σn (ΣAᵢ)* q by the n-ary separable
+// decomposition.  Premises verified: all operator pairs commute, and each
+// selection commutes with the operators the formula requires.  The closure
+// chain runs right-to-left: σ0 is applied to q, then for i = n..1 the
+// closure Aᵢ* runs followed by σᵢ's filter.
+func EvalMulti(e *eval.Engine, db rel.DB, ops []*ast.Op, sels []MultiSelection, q *rel.Relation) (*rel.Relation, eval.Stats, error) {
+	var stats eval.Stats
+	if len(ops) == 0 {
+		return nil, stats, fmt.Errorf("separable: no operators")
+	}
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			ok, err := pairCommutes(ops[i], ops[j])
+			if err != nil {
+				return nil, stats, err
+			}
+			if !ok {
+				return nil, stats, fmt.Errorf("separable: operators %d and %d do not commute", i+1, j+1)
+			}
+		}
+	}
+	perOp := map[int]*Selection{}
+	for idx := range sels {
+		ms := sels[idx]
+		if ms.OpIndex >= len(ops) {
+			return nil, stats, fmt.Errorf("separable: selection references operator %d of %d", ms.OpIndex+1, len(ops))
+		}
+		for j, op := range ops {
+			if j == ms.OpIndex {
+				continue
+			}
+			if !ms.Sel.CommutesWith(op) {
+				return nil, stats, fmt.Errorf("separable: σ[%d] must commute with operator %d", ms.Sel.Col, j+1)
+			}
+		}
+		if ms.OpIndex >= 0 {
+			if _, dup := perOp[ms.OpIndex]; dup {
+				return nil, stats, fmt.Errorf("separable: two selections attached to operator %d", ms.OpIndex+1)
+			}
+			sel := ms.Sel
+			perOp[ms.OpIndex] = &sel
+		}
+	}
+
+	// σ0's (and any selection commuting with everything) filter q first.
+	cur := q
+	for _, ms := range sels {
+		if ms.OpIndex == -1 {
+			cur = ms.Sel.Apply(cur)
+		}
+	}
+	// Right-to-left product: (σ1 A1*)…(σn An*) applied innermost-first.
+	for i := len(ops) - 1; i >= 0; i-- {
+		next, s := e.SemiNaive(db, []*ast.Op{ops[i]}, cur)
+		stats.Add(s)
+		if sel := perOp[i]; sel != nil {
+			next = sel.Apply(next)
+		}
+		cur = next
+	}
+	return cur, stats, nil
+}
+
+// BaselineMulti computes the same query monolithically: full closure of the
+// sum, then every selection as a filter.
+func BaselineMulti(e *eval.Engine, db rel.DB, ops []*ast.Op, sels []MultiSelection, q *rel.Relation) (*rel.Relation, eval.Stats) {
+	full, stats := e.SemiNaive(db, ops, q)
+	for _, ms := range sels {
+		full = ms.Sel.Apply(full)
+	}
+	return full, stats
+}
+
+func pairCommutes(a, b *ast.Op) (bool, error) {
+	if rep, err := commute.Syntactic(a, b); err == nil {
+		return rep.Verdict == commute.Commute, nil
+	}
+	v, err := commute.Definition(a, b)
+	if err != nil {
+		return false, err
+	}
+	return v == commute.Commute, nil
+}

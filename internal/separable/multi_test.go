@@ -1,0 +1,137 @@
+package separable
+
+import (
+	"fmt"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+	"linrec/internal/workload"
+)
+
+// threeOps builds the three mutually commuting one-column rules used by the
+// n-ary tests: each drives one column of p/3 and passes the others through.
+func threeOps(t *testing.T) []*ast.Op {
+	t.Helper()
+	var ops []*ast.Op
+	srcs := []string{
+		"p(X,Y,Z) :- p(U,Y,Z), q(X,U).",
+		"p(X,Y,Z) :- p(X,U,Z), r(Y,U).",
+		"p(X,Y,Z) :- p(X,Y,U), s(Z,U).",
+	}
+	for _, src := range srcs {
+		a, b := two(t, src, src)
+		_ = b
+		ops = append(ops, a)
+	}
+	return ops
+}
+
+func multiDB(t *testing.T) (*eval.Engine, rel.DB, *rel.Relation) {
+	t.Helper()
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	workload.Pairs(e, db, "q", [][2]int{{1, 0}, {2, 1}, {3, 1}})
+	workload.Pairs(e, db, "r", [][2]int{{4, 0}, {5, 4}})
+	workload.Pairs(e, db, "s", [][2]int{{6, 0}, {7, 6}})
+	q := rel.NewRelation(3)
+	v := func(i int) rel.Value { return e.Syms.Intern(fmt.Sprintf("v%d", i)) }
+	q.Insert(rel.Tuple{v(0), v(0), v(0)})
+	return e, db, q
+}
+
+// TestEvalMultiMatchesBaseline: the n-ary decomposition with two attached
+// selections equals the monolithic closure + filters.
+func TestEvalMultiMatchesBaseline(t *testing.T) {
+	ops := threeOps(t)
+	e, db, q := multiDB(t)
+	v1, _ := e.Syms.Lookup("v1")
+	v4, _ := e.Syms.Lookup("v4")
+	sels := []MultiSelection{
+		{OpIndex: 0, Sel: Selection{Col: 0, Value: v1}}, // commutes with ops 2,3
+		{OpIndex: 1, Sel: Selection{Col: 1, Value: v4}}, // commutes with ops 1,3
+	}
+	got, _, err := EvalMulti(e, db, ops, sels, q)
+	if err != nil {
+		t.Fatalf("EvalMulti: %v", err)
+	}
+	want, _ := BaselineMulti(e, db, ops, sels, q)
+	if !got.Equal(want) {
+		t.Fatalf("EvalMulti differs: %d vs %d tuples\n got: %v\nwant: %v",
+			got.Len(), want.Len(), got.Tuples(), want.Tuples())
+	}
+	if want.Len() == 0 {
+		t.Fatalf("degenerate: empty answer")
+	}
+}
+
+// TestEvalMultiSigmaZero: a σ0 that commutes with every operator filters
+// the initial relation.
+func TestEvalMultiSigmaZero(t *testing.T) {
+	ops := threeOps(t)
+	e, db, q := multiDB(t)
+	v0, _ := e.Syms.Lookup("v0")
+	// Column 2 is 1-persistent in ops 1 and 2; attach σ0 to no operator is
+	// illegal unless it commutes with all three — use ops[0..1] only.
+	sels := []MultiSelection{{OpIndex: -1, Sel: Selection{Col: 2, Value: v0}}}
+	got, _, err := EvalMulti(e, db, ops[:2], sels, q)
+	if err != nil {
+		t.Fatalf("EvalMulti: %v", err)
+	}
+	want, _ := BaselineMulti(e, db, ops[:2], sels, q)
+	if !got.Equal(want) {
+		t.Fatalf("σ0 evaluation differs: %d vs %d", got.Len(), want.Len())
+	}
+}
+
+// TestEvalMultiRejectsBadPremises: non-commuting selections and operator
+// pairs are refused.
+func TestEvalMultiRejectsBadPremises(t *testing.T) {
+	ops := threeOps(t)
+	e, db, q := multiDB(t)
+	// σ on column 0 attached to operator 2: must commute with operator 1,
+	// but column 0 is general in operator 1 → reject.
+	sels := []MultiSelection{{OpIndex: 1, Sel: Selection{Col: 0, Value: 0}}}
+	if _, _, err := EvalMulti(e, db, ops, sels, q); err == nil {
+		t.Fatalf("selection not commuting with op 1 must be rejected")
+	}
+	// Two selections on the same operator.
+	v1, _ := e.Syms.Lookup("v1")
+	dup := []MultiSelection{
+		{OpIndex: 0, Sel: Selection{Col: 0, Value: v1}},
+		{OpIndex: 0, Sel: Selection{Col: 0, Value: v1}},
+	}
+	if _, _, err := EvalMulti(e, db, ops, dup, q); err == nil {
+		t.Fatalf("duplicate per-operator selections must be rejected")
+	}
+	// Non-commuting operator pair.
+	b1, b2 := two(t,
+		"p(X,Y,Z) :- p(U,Y,Z), q(X,U).",
+		"p(X,Y,Z) :- p(U,Y,Z), s(X,U).")
+	if _, _, err := EvalMulti(e, db, []*ast.Op{b1, b2}, nil, q); err == nil {
+		t.Fatalf("non-commuting operators must be rejected")
+	}
+	// Out-of-range operator index.
+	oob := []MultiSelection{{OpIndex: 9, Sel: Selection{Col: 0, Value: v1}}}
+	if _, _, err := EvalMulti(e, db, ops, oob, q); err == nil {
+		t.Fatalf("out-of-range op index must be rejected")
+	}
+	if _, _, err := EvalMulti(e, db, nil, nil, q); err == nil {
+		t.Fatalf("empty operator list must be rejected")
+	}
+}
+
+// TestEvalMultiNoSelections degenerates to the plain decomposed closure.
+func TestEvalMultiNoSelections(t *testing.T) {
+	ops := threeOps(t)
+	e, db, q := multiDB(t)
+	got, _, err := EvalMulti(e, db, ops, nil, q)
+	if err != nil {
+		t.Fatalf("EvalMulti: %v", err)
+	}
+	want, _ := e.SemiNaive(db, ops, q)
+	if !got.Equal(want) {
+		t.Fatalf("no-selection EvalMulti differs: %d vs %d", got.Len(), want.Len())
+	}
+}

@@ -1,0 +1,83 @@
+// Package linrec is a reproduction, as a reusable Go library, of
+//
+//	Yannis E. Ioannidis, "Commutativity and its Role in the Processing of
+//	Linear Recursion" (VLDB 1989; extended version in J. Logic
+//	Programming 14:223–252, 1992).
+//
+// It implements the paper's algebraic model of linear recursion, the
+// a-graph machinery and syntactic commutativity tests of Section 5
+// (Theorems 5.1–5.3), the separable algorithm and its widening to
+// commutative rules (Theorem 4.1), recursive-redundancy detection and
+// elimination (Theorems 4.2, 6.3, 6.4), and a bottom-up Datalog engine
+// with plan selection that exploits all of the above.
+//
+// Quick start:
+//
+//	sys, err := linrec.Load(`
+//	    path(X,Y) :- edge(X,Y).
+//	    path(X,Y) :- path(X,Z), edge(Z,Y).
+//	    edge(a,b). edge(b,c).
+//	    ?- path(a, Y).
+//	`)
+//	results, err := sys.Run()
+//
+// The deeper machinery (operator algebra, a-graphs, commutativity reports,
+// redundancy decompositions) is exposed through System.Analyze and the
+// re-exported report types below.
+package linrec
+
+import (
+	"linrec/internal/ast"
+	"linrec/internal/commute"
+	"linrec/internal/core"
+	"linrec/internal/planner"
+	"linrec/internal/separable"
+)
+
+// System is a loaded Datalog program with its database and analyses.
+type System = core.System
+
+// QueryResult is an answered query with its plan and statistics.
+type QueryResult = core.QueryResult
+
+// Analysis is the paper's full symbolic analysis of one recursive
+// predicate.
+type Analysis = planner.Analysis
+
+// Plan is a selected evaluation strategy.
+type Plan = planner.Plan
+
+// CommuteVerdict is the outcome of a commutativity test.
+type CommuteVerdict = commute.Verdict
+
+// Re-exported verdicts.
+const (
+	Commute    = commute.Commute
+	NotCommute = commute.NotCommute
+	Unknown    = commute.Unknown
+)
+
+// Selection is a single-column equality selection on a query answer.
+type Selection = separable.Selection
+
+// Atom, Rule, Program and Term are the syntax-tree types used by queries
+// and programmatic construction.
+type (
+	Atom    = ast.Atom
+	Rule    = ast.Rule
+	Program = ast.Program
+	Term    = ast.Term
+)
+
+// V builds a variable term; C builds a constant term.
+func V(name string) Term { return ast.V(name) }
+
+// C builds a constant term.
+func C(name string) Term { return ast.C(name) }
+
+// Load parses a Datalog program (rules, facts, queries) and loads its
+// facts into a fresh system.
+func Load(src string) (*System, error) { return core.Load(src) }
+
+// FromProgram wraps an already-constructed program.
+func FromProgram(p *Program) (*System, error) { return core.FromProgram(p) }

@@ -1,0 +1,53 @@
+package linrec
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start path through
+// the re-exported facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := Load(`
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+edge(a,b). edge(b,c).
+?- path(a, Y).
+`)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	results, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	rows := results[0].Rows(sys)
+	if len(rows) != 2 {
+		t.Fatalf("path(a, Y) = %v, want 2 rows", rows)
+	}
+}
+
+// TestPublicAPIAnalysis: the analysis types round-trip through the facade.
+func TestPublicAPIAnalysis(t *testing.T) {
+	sys, err := Load(`
+p(X,Y) :- base(X,Y).
+p(X,Y) :- p(X,Z), up(Z,Y).
+p(X,Y) :- down(X,Z), p(Z,Y).
+base(a,b).
+`)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, err := sys.Analyze("p")
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if v := a.Commutes[[2]int{0, 1}]; v != Commute {
+		t.Fatalf("verdict = %v, want Commute", v)
+	}
+	var _ CommuteVerdict = v(a)
+}
+
+func v(a *Analysis) CommuteVerdict { return a.Commutes[[2]int{0, 1}] }
