@@ -7,9 +7,11 @@
 //	lrbench              # run every experiment
 //	lrbench -exp F3      # run one experiment by id
 //	lrbench -list        # list experiment ids and titles
+//	lrbench -json        # run the substrate benchmark, write BENCH_eval.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +22,33 @@ import (
 func main() {
 	expID := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "run the substrate benchmark and write BENCH_eval.json")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-5s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *jsonOut {
+		rep, err := experiments.PTCJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile("BENCH_eval.json", data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote BENCH_eval.json (speedup at 8 workers: %.2fx)\n", rep.SpeedupAt8)
 		return
 	}
 

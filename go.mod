@@ -1,0 +1,3 @@
+module linrec
+
+go 1.21

@@ -6,7 +6,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"linrec/internal/ast"
 	"linrec/internal/eval"
@@ -16,30 +18,63 @@ import (
 	"linrec/internal/separable"
 )
 
+// Options configure a System's evaluation.
+type Options struct {
+	// Workers sizes the closure worker pool: every semi-naive round shards
+	// its delta across this many goroutines.  0 or 1 evaluates
+	// sequentially; negative selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Strategy optionally overrides the analysis-driven plan choice.
+	Strategy planner.Strategy
+}
+
+func (o Options) normalize() Options {
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
 // System holds a loaded program, its extensional database and the engine.
+// After loading, a System is safe for concurrent queries: Query, Run,
+// Analyze and Report may be called from any number of goroutines over the
+// shared database snapshot.
 type System struct {
 	Prog   *ast.Program
 	Engine *eval.Engine
 	DB     rel.DB
+	Opts   Options
 
+	mu       sync.Mutex
 	analyses map[string]*planner.Analysis
 }
 
 // Load parses a Datalog program and loads its facts.
 func Load(src string) (*System, error) {
+	return LoadOptions(src, Options{})
+}
+
+// LoadOptions is Load with evaluation options.
+func LoadOptions(src string, opts Options) (*System, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return FromProgram(prog)
+	return FromProgramOptions(prog, opts)
 }
 
 // FromProgram wraps an already-parsed program.
 func FromProgram(prog *ast.Program) (*System, error) {
+	return FromProgramOptions(prog, Options{})
+}
+
+// FromProgramOptions is FromProgram with evaluation options.
+func FromProgramOptions(prog *ast.Program, opts Options) (*System, error) {
 	s := &System{
 		Prog:     prog,
 		Engine:   eval.NewEngine(nil),
 		DB:       rel.DB{},
+		Opts:     opts.normalize(),
 		analyses: map[string]*planner.Analysis{},
 	}
 	if err := s.Engine.LoadFacts(s.DB, prog.Facts); err != nil {
@@ -51,6 +86,8 @@ func FromProgram(prog *ast.Program) (*System, error) {
 // Analyze runs (and caches) the paper's full analysis for one recursive
 // predicate.
 func (s *System) Analyze(pred string) (*planner.Analysis, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if a, ok := s.analyses[pred]; ok {
 		return a, nil
 	}
@@ -60,6 +97,11 @@ func (s *System) Analyze(pred string) (*planner.Analysis, error) {
 	}
 	s.analyses[pred] = a
 	return a, nil
+}
+
+// planOpts maps the system options onto the planner's.
+func (s *System) planOpts() planner.Options {
+	return planner.Options{Workers: s.Opts.Workers, Strategy: s.Opts.Strategy}
 }
 
 // QueryResult pairs an answer with the plan that produced it.
@@ -119,13 +161,13 @@ func (s *System) Query(q ast.Atom) (*QueryResult, error) {
 	if len(sels) > 0 {
 		primary = &sels[0]
 	}
-	plan := a.Choose(primary)
+	plan := a.ChooseOpts(primary, s.planOpts())
 
 	var execSel *separable.Selection
 	if plan.Kind != planner.Separable {
 		execSel = primary
 	}
-	res, err := a.Execute(s.Engine, s.DB, plan, execSel)
+	res, err := a.ExecuteOpts(s.Engine, s.DB, plan, execSel, s.planOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +259,7 @@ func (s *System) Report() (string, error) {
 			return "", err
 		}
 		b.WriteString(a.Summary())
-		plan := a.Choose(nil)
+		plan := a.ChooseOpts(nil, s.planOpts())
 		fmt.Fprintf(&b, "\nplan: %v — %s\n", plan.Kind, plan.Why)
 	}
 	return b.String(), nil

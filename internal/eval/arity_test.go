@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+)
+
+// TestArityMismatchPanics: probing a predicate at the wrong arity panics
+// with a diagnostic (the guard the seed's db.Rel enforced), instead of
+// silently mis-joining or crashing on a raw index error.
+func TestArityMismatchPanics(t *testing.T) {
+	e := NewEngine(nil)
+	db := rel.DB{}
+	db.Rel("e", 2).Insert(rel.Tuple{1, 2})
+
+	r, err := parser.Parse("q(X) :- e(X).")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.Contains(msg, `"e"`) || !strings.Contains(msg, "arity") {
+			t.Fatalf("want arity panic naming the predicate, got %v", msg)
+		}
+	}()
+	e.EvalRule(db, r.Rules[0])
+	t.Fatalf("no panic on arity mismatch")
+}

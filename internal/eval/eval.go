@@ -12,6 +12,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
@@ -56,6 +57,42 @@ type compiledAtom struct {
 	// slot[i] ≥ 0: variable slot for position i; -1: constant constVal[i].
 	slot     []int
 	constVal []rel.Value
+	// idxCol is the column probed through the relation's hash index: the
+	// first position that is a constant or a slot bound by the recursive
+	// atom or an earlier body atom.  -1 means full scan.  Because the join
+	// order is fixed at compile time, the bound-slot set at each atom is
+	// static, so the choice the seed engine made per probe is precomputed.
+	idxCol int
+	// binds[i] marks positions that assign a fresh slot during the match
+	// (first occurrence of a slot not bound by earlier atoms); the other
+	// variable positions are equality checks.  Precomputing this removes
+	// the per-probe bookkeeping of which slots to unbind.
+	binds []bool
+}
+
+// finishAtoms computes idxCol and binds for atoms joined in order, given
+// the slots already bound before the first atom (mutates bound).
+func finishAtoms(atoms []compiledAtom, bound map[int]bool) {
+	for i := range atoms {
+		a := &atoms[i]
+		// idxCol considers only slots bound before this atom: a slot first
+		// assigned by an earlier position of the same atom has no value yet
+		// when the probe column is chosen.
+		a.idxCol = -1
+		for k, s := range a.slot {
+			if s == -1 || bound[s] {
+				a.idxCol = k
+				break
+			}
+		}
+		a.binds = make([]bool, len(a.slot))
+		for k, s := range a.slot {
+			if s >= 0 && !bound[s] {
+				a.binds[k] = true
+				bound[s] = true
+			}
+		}
+	}
 }
 
 // compileOp lowers an operator.  Atom order: greedy, preferring atoms with
@@ -123,6 +160,11 @@ func compileOp(op *ast.Op, syms *rel.Symtab) *compiled {
 		}
 		c.atoms = append(c.atoms, ca)
 	}
+	boundSlots := map[int]bool{}
+	for _, s := range c.recSlots {
+		boundSlots[s] = true
+	}
+	finishAtoms(c.atoms, boundSlots)
 	for _, t := range op.Head.Args {
 		c.headSlots = append(c.headSlots, slotOf(t.Name))
 	}
@@ -133,26 +175,24 @@ func compileOp(op *ast.Op, syms *rel.Symtab) *compiled {
 const unbound = rel.Value(-1)
 
 // joinFrom enumerates all bindings extending the current partial binding
-// over atoms[i:], invoking emit for each complete one.
+// over atoms[i:], invoking emit for each complete one.  The probe column
+// and the set of slots each position binds are precomputed (finishAtoms),
+// so the inner loop allocates nothing.
 func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit func()) {
 	if i == len(atoms) {
 		emit()
 		return
 	}
-	a := atoms[i]
-	r := db.Rel(a.pred, a.arity)
-
-	// Pick a bound column for index access if possible.
-	idxCol := -1
-	for k, s := range a.slot {
-		if s == -1 || binding[s] != unbound {
-			idxCol = k
-			break
-		}
+	a := &atoms[i]
+	r := db.Probe(a.pred)
+	// Arity guard (the check db.Rel used to make): an absent predicate
+	// probes as the shared arity-0 empty relation, which is not a
+	// mismatch; a declared relation — even an empty one — must agree.
+	if r.Arity() != a.arity && (r.Len() > 0 || r.Arity() != 0) {
+		panic(fmt.Sprintf("eval: predicate %q used with arity %d and %d", a.pred, r.Arity(), a.arity))
 	}
 
 	match := func(t rel.Tuple) {
-		var touched []int
 		ok := true
 		for k, s := range a.slot {
 			if s == -1 {
@@ -162,32 +202,33 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 				}
 				continue
 			}
-			if binding[s] != unbound {
-				if binding[s] != t[k] {
-					ok = false
-					break
-				}
+			if a.binds[k] {
+				binding[s] = t[k]
 				continue
 			}
-			binding[s] = t[k]
-			touched = append(touched, s)
+			if binding[s] != t[k] {
+				ok = false
+				break
+			}
 		}
 		if ok {
 			joinFrom(db, atoms, binding, i+1, emit)
 		}
-		for _, s := range touched {
-			binding[s] = unbound
+		for k, fresh := range a.binds {
+			if fresh {
+				binding[a.slot[k]] = unbound
+			}
 		}
 	}
 
-	if idxCol >= 0 {
+	if a.idxCol >= 0 {
 		var v rel.Value
-		if s := a.slot[idxCol]; s == -1 {
-			v = a.constVal[idxCol]
+		if s := a.slot[a.idxCol]; s == -1 {
+			v = a.constVal[a.idxCol]
 		} else {
 			v = binding[s]
 		}
-		for _, t := range r.Index(idxCol)[v] {
+		for _, t := range r.Lookup(a.idxCol, v) {
 			match(t)
 		}
 		return
@@ -195,12 +236,16 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 	r.Each(match)
 }
 
-// applyCompiled joins the operator body with src as the recursive-atom
-// relation and emits every derived head tuple.
-func applyCompiled(db rel.DB, c *compiled, src *rel.Relation, emit func(rel.Tuple)) {
+// applyCompiledRange joins the operator body with rows [lo, hi) of src as
+// the recursive-atom relation and emits every derived head tuple.  Taking
+// a row range rather than a relation lets the parallel engine feed each
+// worker its shard of the delta.  The emitted tuple is reused across
+// emissions; receivers must copy what they keep.
+func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, emit func(rel.Tuple)) {
 	binding := make([]rel.Value, c.nslots)
 	out := make(rel.Tuple, len(c.headSlots))
-	src.Each(func(t rel.Tuple) {
+	for row := lo; row < hi; row++ {
+		t := src.Row(row)
 		for i := range binding {
 			binding[i] = unbound
 		}
@@ -213,7 +258,7 @@ func applyCompiled(db rel.DB, c *compiled, src *rel.Relation, emit func(rel.Tupl
 			binding[s] = t[i]
 		}
 		if !ok {
-			return
+			continue
 		}
 		joinFrom(db, c.atoms, binding, 0, func() {
 			for i, s := range c.headSlots {
@@ -221,12 +266,23 @@ func applyCompiled(db rel.DB, c *compiled, src *rel.Relation, emit func(rel.Tupl
 			}
 			emit(out)
 		})
-	})
+	}
 }
 
-// Engine caches compiled operators against a symbol table.
+// applyCompiled is applyCompiledRange over a whole relation.
+func applyCompiled(db rel.DB, c *compiled, src *rel.Relation, emit func(rel.Tuple)) {
+	applyCompiledRange(db, c, src, 0, src.Len(), emit)
+}
+
+// Engine caches compiled operators against a symbol table.  Compilation
+// and the cache are safe for concurrent use; the closure methods
+// (SemiNaive, Naive, …) build fresh result relations per call and only
+// read the database, so one Engine may serve concurrent evaluations over
+// a shared DB snapshot.
 type Engine struct {
-	Syms  *rel.Symtab
+	Syms *rel.Symtab
+
+	mu    sync.Mutex
 	cache map[*ast.Op]*compiled
 }
 
@@ -240,6 +296,8 @@ func NewEngine(syms *rel.Symtab) *Engine {
 }
 
 func (e *Engine) compiledFor(op *ast.Op) *compiled {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	c, ok := e.cache[op]
 	if !ok {
 		c = compileOp(op, e.Syms)
@@ -375,6 +433,7 @@ func (e *Engine) EvalRule(db rel.DB, r ast.Rule) (*rel.Relation, error) {
 		}
 		atoms = append(atoms, ca)
 	}
+	finishAtoms(atoms, map[int]bool{})
 	headSlot := make([]int, r.Head.Arity())
 	headConst := make([]rel.Value, r.Head.Arity())
 	for i, t := range r.Head.Args {
@@ -439,17 +498,28 @@ func orderAtoms(body []ast.Atom) []ast.Atom {
 	return out
 }
 
-// LoadFacts interns and inserts ground atoms into db.
+// LoadFacts interns and inserts ground atoms into db.  Relations are
+// pre-sized to their fact counts, so bulk loads avoid incremental key-table
+// rehashes.
 func (e *Engine) LoadFacts(db rel.DB, facts []ast.Atom) error {
+	counts := map[string]int{}
+	for _, f := range facts {
+		counts[f.Pred]++
+	}
 	for _, f := range facts {
 		if !f.IsGround() {
 			return fmt.Errorf("eval: fact %v is not ground", f)
+		}
+		r := db.Rel(f.Pred, f.Arity())
+		if n := counts[f.Pred]; n > 0 {
+			r.Reserve(r.Len() + n)
+			counts[f.Pred] = 0
 		}
 		t := make(rel.Tuple, f.Arity())
 		for i, a := range f.Args {
 			t[i] = e.Syms.Intern(a.Name)
 		}
-		db.Rel(f.Pred, f.Arity()).Insert(t)
+		r.Insert(t)
 	}
 	return nil
 }

@@ -1,0 +1,214 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+)
+
+// The differential harness: generate a random linear-recursive program and
+// database, evaluate its closure with the sequential Engine and with the
+// ParallelEngine at a random worker count, and require bit-for-bit
+// agreement — same answer set and same statistics (derivations,
+// duplicates, iterations, depth).  Run under testing/quick for ≥ 200
+// random cases per strategy.
+
+func mustParseOp(t *testing.T, src string) *ast.Op {
+	t.Helper()
+	op, err := parser.ParseOp(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return op
+}
+
+// edgePreds names the EDB predicates random operators draw from.
+var edgePreds = []string{"e0", "e1", "e2"}
+
+// randBinaryOps builds 1–3 random left- or right-linear binary operators
+// over the shared edge predicates.
+func randBinaryOps(t *testing.T, rng *rand.Rand) []*ast.Op {
+	n := 1 + rng.Intn(3)
+	ops := make([]*ast.Op, 0, n)
+	for i := 0; i < n; i++ {
+		pred := edgePreds[rng.Intn(len(edgePreds))]
+		var src string
+		if rng.Intn(2) == 0 {
+			src = fmt.Sprintf("p(X,Y) :- p(X,U), %s(U,Y).", pred)
+		} else {
+			src = fmt.Sprintf("p(X,Y) :- %s(X,U), p(U,Y).", pred)
+		}
+		ops = append(ops, mustParseOp(t, src))
+	}
+	return ops
+}
+
+// randBinaryDB fills the edge predicates with random digraphs over a small
+// shared node space and returns a random nonempty seed relation.
+func randBinaryDB(rng *rand.Rand) (rel.DB, *rel.Relation) {
+	db := rel.DB{}
+	nodes := 3 + rng.Intn(18)
+	for _, pred := range edgePreds {
+		r := db.Rel(pred, 2)
+		m := rng.Intn(3 * nodes)
+		for i := 0; i < m; i++ {
+			r.Insert(rel.Tuple{rel.Value(rng.Intn(nodes)), rel.Value(rng.Intn(nodes))})
+		}
+	}
+	q := rel.NewRelation(2)
+	for i := 0; i < 1+rng.Intn(2*nodes); i++ {
+		q.Insert(rel.Tuple{rel.Value(rng.Intn(nodes)), rel.Value(rng.Intn(nodes))})
+	}
+	return db, q
+}
+
+// checkAgreement runs one random case for one strategy and reports any
+// divergence between the sequential and the parallel evaluation.
+func checkAgreement(t *testing.T, strategy string, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ops := randBinaryOps(t, rng)
+	db, q := randBinaryDB(rng)
+	workers := 2 + rng.Intn(7) // 2..8
+
+	seq := NewEngine(nil)
+	par := Parallel(seq, workers) // shared symtab and compiled cache
+
+	var (
+		wantRel, gotRel     *rel.Relation
+		wantStats, gotStats Stats
+	)
+	switch strategy {
+	case "seminaive":
+		wantRel, wantStats = seq.SemiNaive(db, ops, q)
+		gotRel, gotStats = par.SemiNaive(db, ops, q)
+	case "naive":
+		wantRel, wantStats = seq.Naive(db, ops, q)
+		gotRel, gotStats = par.Naive(db, ops, q)
+	case "decomposed":
+		// Split the operators into the B and C factors at a random point.
+		cut := rng.Intn(len(ops) + 1)
+		b, c := ops[:cut], ops[cut:]
+		wantRel, wantStats = seq.Decomposed(db, b, c, q)
+		gotRel, gotStats = par.Decomposed(db, b, c, q)
+	default:
+		t.Fatalf("unknown strategy %q", strategy)
+	}
+
+	if !wantRel.Equal(gotRel) {
+		return fmt.Errorf("seed %d workers %d: answers differ: sequential %d tuples, parallel %d",
+			seed, workers, wantRel.Len(), gotRel.Len())
+	}
+	if wantStats != gotStats {
+		return fmt.Errorf("seed %d workers %d: stats differ: sequential %v, parallel %v",
+			seed, workers, wantStats, gotStats)
+	}
+	return nil
+}
+
+// TestParallelMatchesSequentialProperty is the differential property test:
+// ≥ 200 random (program, database, workers) cases per strategy.
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	for _, strategy := range []string{"seminaive", "naive", "decomposed"} {
+		strategy := strategy
+		t.Run(strategy, func(t *testing.T) {
+			f := func(seed int64) bool {
+				if err := checkAgreement(t, strategy, seed); err != nil {
+					t.Log(err)
+					return false
+				}
+				return true
+			}
+			cfg := &quick.Config{
+				MaxCount: 220,
+				Rand:     rand.New(rand.NewSource(7 + int64(len(strategy)))),
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialWideArity covers the hashed-key storage
+// path: ternary recursion p(X,Y,Z) with a passenger column, so every
+// relation in the closure uses collision-bucket membership.
+func TestParallelMatchesSequentialWideArity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := []*ast.Op{
+			mustParseOp(t, "p(X,Y,Z) :- p(X,U,Z), e0(U,Y)."),
+			mustParseOp(t, "p(X,Y,Z) :- e1(X,U), p(U,Y,Z)."),
+		}
+		db := rel.DB{}
+		nodes := 3 + rng.Intn(10)
+		for _, pred := range []string{"e0", "e1"} {
+			r := db.Rel(pred, 2)
+			for i := 0; i < rng.Intn(2*nodes); i++ {
+				r.Insert(rel.Tuple{rel.Value(rng.Intn(nodes)), rel.Value(rng.Intn(nodes))})
+			}
+		}
+		q := rel.NewRelation(3)
+		for i := 0; i < 1+rng.Intn(nodes); i++ {
+			q.Insert(rel.Tuple{
+				rel.Value(rng.Intn(nodes)), rel.Value(rng.Intn(nodes)), rel.Value(rng.Intn(3)),
+			})
+		}
+		seq := NewEngine(nil)
+		par := Parallel(seq, 2+rng.Intn(7))
+		want, ws := seq.SemiNaive(db, ops, q)
+		got, gs := par.SemiNaive(db, ops, q)
+		return want.Equal(got) && ws == gs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSingleWorkerDelegates: Workers ≤ 1 takes the sequential path
+// and still agrees.
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := randBinaryOps(t, rng)
+	db, q := randBinaryDB(rng)
+	seq := NewEngine(nil)
+	par := Parallel(seq, 1)
+	want, ws := seq.SemiNaive(db, ops, q)
+	got, gs := par.SemiNaive(db, ops, q)
+	if !want.Equal(got) || ws != gs {
+		t.Fatalf("single-worker parallel diverges: %v vs %v", ws, gs)
+	}
+}
+
+// TestParallelEngineConcurrentClosures: one ParallelEngine serving many
+// concurrent closure calls over a shared database (run under -race).
+func TestParallelEngineConcurrentClosures(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ops := randBinaryOps(t, rng)
+	db, q := randBinaryDB(rng)
+	seq := NewEngine(nil)
+	want, _ := seq.SemiNaive(db, ops, q)
+
+	par := Parallel(NewEngine(nil), 4)
+	const callers = 8
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			got, _ := par.SemiNaive(db, ops, q)
+			if !got.Equal(want) {
+				errs <- fmt.Errorf("concurrent closure diverged: %d vs %d tuples", got.Len(), want.Len())
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"I31", "Formula (3.1): closure splits into CB-free and CB terms", I31},
 		{"P7", "Section 7 extension: partial commutativity (grouped decomposition)", P7},
 		{"R19", "Certification power: Theorem 5.1 vs the weaker [19]-style baseline", R19},
+		{"PTC", "Substrate rework: seed string-keyed engine vs packed-key parallel closure", PTCTable},
 	}
 }
 

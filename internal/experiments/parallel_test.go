@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+// TestPTCRunAgrees: the seed-substrate replica and the parallel engine
+// compute the same closure, at a size small enough for the test suite.
+func TestPTCRunAgrees(t *testing.T) {
+	r, err := PTCRun(4001, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples <= r.Edges {
+		t.Fatalf("closure did not grow: %+v", r)
+	}
+	if r.SeedElapsed <= 0 || r.ParElapsed <= 0 {
+		t.Fatalf("timings missing: %+v", r)
+	}
+}

@@ -219,6 +219,42 @@ func (k Kind) String() string {
 	}
 }
 
+// Strategy lets callers force an evaluation strategy instead of the
+// analysis-driven choice.
+type Strategy int
+
+const (
+	// Auto picks by the paper's analysis (the default).
+	Auto Strategy = iota
+	// ForceSemiNaive always evaluates the flat closure of the sum.  With
+	// Workers > 1 this is the fully parallel single-phase evaluation: every
+	// round shards across the pool with no inter-group barriers.
+	ForceSemiNaive
+	// ForceDecomposed always uses the grouped decomposition when the
+	// commutativity analysis yields ≥ 2 groups (flat closure otherwise).
+	ForceDecomposed
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case ForceSemiNaive:
+		return "force-seminaive"
+	case ForceDecomposed:
+		return "force-decomposed"
+	default:
+		return "auto"
+	}
+}
+
+// Options configure plan choice and execution.
+type Options struct {
+	// Workers is the closure worker-pool size: ≤ 1 evaluates sequentially,
+	// > 1 shards every semi-naive round across that many goroutines.
+	Workers int
+	// Strategy optionally overrides the analysis-driven plan choice.
+	Strategy Strategy
+}
+
 // Plan is an executable strategy for one query.
 type Plan struct {
 	Kind Kind
@@ -234,12 +270,47 @@ type Plan struct {
 	Sel separable.Selection
 	// Rounds is the iteration cap for Bounded plans (N−1 applications).
 	Rounds int
+	// Workers is the closure worker-pool size the plan executes with.
+	Workers int
 	// Why explains the choice.
 	Why string
 }
 
 // Choose picks a plan.  sel, when non-nil, is a selection on the answer.
 func (a *Analysis) Choose(sel *separable.Selection) *Plan {
+	return a.ChooseOpts(sel, Options{})
+}
+
+// ChooseOpts picks a plan under the given options.  The strategy override
+// wins when set; otherwise the paper's analysis decides, weighing the
+// worker pool: a grouped decomposition (Theorem 3.1's duplicate savings)
+// composes with parallelism — each group closure shards its rounds — so it
+// stays preferred over flat parallel semi-naive whenever commutativity
+// licenses it, and the plan records the pool it will run on.
+func (a *Analysis) ChooseOpts(sel *separable.Selection, opts Options) *Plan {
+	plan := a.chooseKind(sel, opts)
+	plan.Workers = opts.Workers
+	if opts.Workers > 1 {
+		switch plan.Kind {
+		case SemiNaive:
+			plan.Why += fmt.Sprintf("; rounds shard across %d workers", opts.Workers)
+		case Decomposed:
+			plan.Why += fmt.Sprintf("; each group closure shards across %d workers", opts.Workers)
+		}
+	}
+	return plan
+}
+
+func (a *Analysis) chooseKind(sel *separable.Selection, opts Options) *Plan {
+	switch opts.Strategy {
+	case ForceSemiNaive:
+		return &Plan{Kind: SemiNaive, Why: "forced by Options.Strategy"}
+	case ForceDecomposed:
+		if groups := a.CommutingGroups(); len(groups) >= 2 {
+			return &Plan{Kind: Decomposed, Groups: groups, Why: "forced by Options.Strategy"}
+		}
+		return &Plan{Kind: SemiNaive, Why: "decomposition forced but operators form a single group"}
+	}
 	if sel != nil && len(a.Ops) == 2 && a.AllCommute() {
 		// Theorem 4.1 needs σ to commute with one of the operators; that
 		// one becomes A1 (applied last).
@@ -285,6 +356,14 @@ type Result struct {
 // Theorem 4.1, for other plans it is applied to the final answer (when sel
 // is non-nil).
 func (a *Analysis) Execute(e *eval.Engine, db rel.DB, plan *Plan, sel *separable.Selection) (*Result, error) {
+	return a.ExecuteOpts(e, db, plan, sel, Options{Workers: plan.Workers})
+}
+
+// ExecuteOpts runs the plan with an explicit worker-pool size.  With
+// Workers > 1 the SemiNaive and Decomposed closures shard every round
+// across the pool; results (and statistics) are identical to sequential
+// execution.
+func (a *Analysis) ExecuteOpts(e *eval.Engine, db rel.DB, plan *Plan, sel *separable.Selection, opts Options) (*Result, error) {
 	q := rel.NewRelation(a.Ops[0].Arity())
 	for _, r := range a.ExitRules {
 		t, err := e.EvalRule(db, r)
@@ -293,6 +372,7 @@ func (a *Analysis) Execute(e *eval.Engine, db rel.DB, plan *Plan, sel *separable
 		}
 		q.UnionInto(t)
 	}
+	pe := eval.Parallel(e, max(1, opts.Workers))
 
 	res := &Result{Plan: plan}
 	switch plan.Kind {
@@ -311,7 +391,7 @@ func (a *Analysis) Execute(e *eval.Engine, db rel.DB, plan *Plan, sel *separable
 			for _, idx := range plan.Groups[i] {
 				ops = append(ops, a.Ops[idx])
 			}
-			next, s := e.SemiNaive(db, ops, cur)
+			next, s := pe.SemiNaive(db, ops, cur)
 			stats.Add(s)
 			cur = next
 		}
@@ -331,7 +411,7 @@ func (a *Analysis) Execute(e *eval.Engine, db rel.DB, plan *Plan, sel *separable
 		}
 		res.Answer, res.Stats = out, stats
 	default:
-		res.Answer, res.Stats = e.SemiNaive(db, a.Ops, q)
+		res.Answer, res.Stats = pe.SemiNaive(db, a.Ops, q)
 	}
 	if sel != nil {
 		res.Answer = sel.Apply(res.Answer)

@@ -1,0 +1,244 @@
+package rel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKeyPackingRoundTrip: for the exact arities the packed key decodes
+// back to the original columns, including negative and extreme values.
+func TestKeyPackingRoundTrip(t *testing.T) {
+	values := []Value{0, 1, -1, 2, -2, 127, -128, math.MaxInt32, math.MinInt32, 65535, -65536}
+	for _, a := range values {
+		k := Tuple{a}.Key()
+		if got := Value(uint32(k)); got != a {
+			t.Fatalf("arity-1 round trip: %d → key %#x → %d", a, k, got)
+		}
+		for _, b := range values {
+			k := Tuple{a, b}.Key()
+			ga := Value(uint32(k >> 32))
+			gb := Value(uint32(k))
+			if ga != a || gb != b {
+				t.Fatalf("arity-2 round trip: (%d,%d) → key %#x → (%d,%d)", a, b, k, ga, gb)
+			}
+		}
+	}
+}
+
+// TestKeyExactArities: the packed keys are injective across a dense grid of
+// small (interned-style) values plus the negative sentinels.
+func TestKeyExactArities(t *testing.T) {
+	var values []Value
+	for i := Value(0); i < 24; i++ {
+		values = append(values, i)
+	}
+	values = append(values, -1, -2, math.MinInt32, math.MaxInt32)
+
+	seen1 := map[uint64]Tuple{}
+	seen2 := map[uint64]Tuple{}
+	for _, a := range values {
+		t1 := Tuple{a}
+		if prev, ok := seen1[t1.Key()]; ok && !prev.Eq(t1) {
+			t.Fatalf("arity-1 key collision: %v vs %v", prev, t1)
+		}
+		seen1[t1.Key()] = t1.Clone()
+		for _, b := range values {
+			t2 := Tuple{a, b}
+			if prev, ok := seen2[t2.Key()]; ok && !prev.Eq(t2) {
+				t.Fatalf("arity-2 key collision: %v vs %v", prev, t2)
+			}
+			seen2[t2.Key()] = t2.Clone()
+		}
+	}
+}
+
+// TestRelationWideArities: relations over hashed keys (arity 3 and 4)
+// behave as sets across dense and negative values.
+func TestRelationWideArities(t *testing.T) {
+	for _, arity := range []int{3, 4} {
+		r := NewRelation(arity)
+		mk := func(i int) Tuple {
+			tu := make(Tuple, arity)
+			for c := range tu {
+				tu[c] = Value(i*arity + c - 50) // spans negatives
+			}
+			return tu
+		}
+		const n = 500
+		for i := 0; i < n; i++ {
+			if !r.Insert(mk(i)) {
+				t.Fatalf("arity %d: tuple %d not new", arity, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if r.Insert(mk(i)) {
+				t.Fatalf("arity %d: duplicate %d accepted", arity, i)
+			}
+			if !r.Has(mk(i)) {
+				t.Fatalf("arity %d: tuple %d missing", arity, i)
+			}
+		}
+		if r.Has(mk(n + 1)) {
+			t.Fatalf("arity %d: phantom member", arity)
+		}
+		if r.Len() != n {
+			t.Fatalf("arity %d: Len = %d, want %d", arity, r.Len(), n)
+		}
+	}
+}
+
+// TestCollisionBuckets forces every wide tuple onto a single hash key and
+// checks that the overflow buckets still give exact set semantics.
+func TestCollisionBuckets(t *testing.T) {
+	orig := hashKey
+	hashKey = func(Tuple) uint64 { return 42 }
+	defer func() { hashKey = orig }()
+
+	r := NewRelation(3)
+	tuples := []Tuple{
+		{1, 2, 3},
+		{3, 2, 1},
+		{1, 2, 4},
+		{-1, -2, -3},
+		{0, 0, 0},
+	}
+	for i, tu := range tuples {
+		if !r.Insert(tu) {
+			t.Fatalf("colliding tuple %d not inserted", i)
+		}
+	}
+	for i, tu := range tuples {
+		if !r.Has(tu) {
+			t.Fatalf("colliding tuple %d missing", i)
+		}
+		if r.Insert(tu) {
+			t.Fatalf("colliding duplicate %d accepted", i)
+		}
+	}
+	if r.Has(Tuple{9, 9, 9}) {
+		t.Fatalf("phantom member under collisions")
+	}
+	if r.Len() != len(tuples) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(tuples))
+	}
+
+	// Clone preserves the buckets.
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Fatalf("clone lost collision buckets")
+	}
+	c.Insert(Tuple{7, 7, 7})
+	if r.Len() != len(tuples) {
+		t.Fatalf("clone shares bucket storage")
+	}
+}
+
+// TestProbePathZeroAllocs: Has (the join/dedup probe) allocates nothing,
+// for both packed and hashed keys.
+func TestProbePathZeroAllocs(t *testing.T) {
+	r2 := NewRelation(2)
+	r4 := NewRelation(4)
+	for i := Value(0); i < 1000; i++ {
+		r2.Insert(Tuple{i, i + 1})
+		r4.Insert(Tuple{i, i + 1, i + 2, i + 3})
+	}
+	hit2, miss2 := Tuple{10, 11}, Tuple{10, 99}
+	hit4, miss4 := Tuple{10, 11, 12, 13}, Tuple{10, 11, 12, 99}
+	for name, probe := range map[string]func(){
+		"arity2-hit":  func() { r2.Has(hit2) },
+		"arity2-miss": func() { r2.Has(miss2) },
+		"arity4-hit":  func() { r4.Has(hit4) },
+		"arity4-miss": func() { r4.Has(miss4) },
+	} {
+		if n := testing.AllocsPerRun(100, probe); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+	// Duplicate Insert is also a pure probe.
+	if n := testing.AllocsPerRun(100, func() { r2.Insert(hit2) }); n != 0 {
+		t.Errorf("duplicate insert: %v allocs/op, want 0", n)
+	}
+}
+
+// TestReserve: pre-sizing leaves set semantics intact and spares later
+// inserts the incremental rehashes.
+func TestReserve(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{-7, -8}) // outside the generated range below
+	r.Reserve(5000)
+	for i := Value(0); i < 5000; i++ {
+		r.Insert(Tuple{i, i + 1})
+	}
+	if r.Len() != 5001 {
+		t.Fatalf("Len = %d, want 5001", r.Len())
+	}
+	for i := Value(0); i < 5000; i++ {
+		if !r.Has(Tuple{i, i + 1}) {
+			t.Fatalf("missing tuple %d after Reserve", i)
+		}
+	}
+	if !r.Has(Tuple{-7, -8}) {
+		t.Fatalf("pre-Reserve tuple lost")
+	}
+}
+
+// BenchmarkProbe measures the allocation-free membership probe.
+func BenchmarkProbe(b *testing.B) {
+	for _, arity := range []int{2, 4} {
+		r := NewRelation(arity)
+		tu := make(Tuple, arity)
+		for i := 0; i < 100000; i++ {
+			for c := range tu {
+				tu[c] = Value(i + c)
+			}
+			r.Insert(tu)
+		}
+		b.Run(map[int]string{2: "packed", 4: "hashed"}[arity], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for c := range tu {
+					tu[c] = Value(i%100000 + c)
+				}
+				if !r.Has(tu) {
+					b.Fatal("missing tuple")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsert measures amortized insert cost with the arena-backed
+// tuple copies.
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRelation(2)
+	tu := Tuple{0, 0}
+	for i := 0; i < b.N; i++ {
+		tu[0], tu[1] = Value(i), Value(i>>1)
+		r.Insert(tu)
+	}
+}
+
+// TestSparseIndexValues: huge positive and negative column values take the
+// sparse map path instead of sizing a dense array by the raw value.
+func TestSparseIndexValues(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert(Tuple{1 << 30, 1})
+	r.Insert(Tuple{-5, 2})
+	r.Insert(Tuple{3, 3})
+	if got := r.Lookup(0, 1<<30); len(got) != 1 || got[0][1] != 1 {
+		t.Fatalf("huge value lookup = %v", got)
+	}
+	if got := r.Lookup(0, -5); len(got) != 1 || got[0][1] != 2 {
+		t.Fatalf("negative value lookup = %v", got)
+	}
+	if got := r.Lookup(0, 3); len(got) != 1 || got[0][1] != 3 {
+		t.Fatalf("dense value lookup = %v", got)
+	}
+	if got := r.Lookup(0, 4); got != nil {
+		t.Fatalf("absent value lookup = %v", got)
+	}
+	if len(r.Index(0)) != 3 {
+		t.Fatalf("Index view = %v", r.Index(0))
+	}
+}

@@ -1,12 +1,27 @@
 // Package rel is the storage substrate: interned constants, set-semantics
 // relations over integer tuples, and per-column hash indexes used by the
 // join machinery in package eval.
+//
+// Tuples are keyed by 64-bit integers rather than strings: for arity ≤ 2
+// the key is an exact bit-packing of the columns (injective, so the key
+// alone decides membership), and for wider tuples it is an FNV-1a hash
+// whose collisions are resolved by comparing columns.  Row storage is a
+// single flat []Value per relation — no per-tuple allocation, nothing for
+// the garbage collector to trace — with an open-addressing key table for
+// membership.  The probe path (Key/Has/duplicate-Insert) performs no
+// allocations.
+//
+// Concurrency: a Relation supports any number of concurrent readers
+// (Has/Row/Each/Index/Select/…), including lazy index construction, which
+// is guarded internally.  Writes (Insert/UnionInto) must not race with
+// readers or each other; the evaluation engine upholds this by mutating
+// only at single-threaded merge points.
 package rel
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
 )
 
 // Value is an interned constant.
@@ -15,18 +30,52 @@ type Value = int32
 // Tuple is a row of interned constants.
 type Tuple []Value
 
-// Key encodes a tuple as a map key.  The encoding is unambiguous for a
-// fixed arity.
-func (t Tuple) Key() string {
-	var b strings.Builder
-	b.Grow(len(t) * 5)
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashKey is the FNV-1a fallback for arity ≥ 3.  It is a variable so the
+// collision handling can be tested against a deliberately bad hash.
+var hashKey = func(t Tuple) uint64 {
+	h := fnvOffset64
 	for _, v := range t {
-		b.WriteByte(byte(v))
-		b.WriteByte(byte(v >> 8))
-		b.WriteByte(byte(v >> 16))
-		b.WriteByte(byte(v >> 24))
+		u := uint32(v)
+		h = (h ^ uint64(u&0xff)) * fnvPrime64
+		h = (h ^ uint64((u>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((u>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(u>>24)) * fnvPrime64
 	}
-	return b.String()
+	return h
+}
+
+// Key encodes a tuple as a 64-bit map key without allocating.  For arity
+// ≤ 2 the encoding is an exact packing (distinct tuples of the same arity
+// have distinct keys); for wider tuples it is a hash, and membership
+// additionally compares columns (see Relation).
+func (t Tuple) Key() uint64 {
+	switch len(t) {
+	case 0:
+		return 0
+	case 1:
+		return uint64(uint32(t[0]))
+	case 2:
+		return uint64(uint32(t[0]))<<32 | uint64(uint32(t[1]))
+	}
+	return hashKey(t)
+}
+
+// keyExact reports whether Key is injective at this arity.
+func keyExact(arity int) bool { return arity <= 2 }
+
+// Eq reports column-wise equality with a same-length tuple.
+func (t Tuple) Eq(o Tuple) bool {
+	for i, v := range t {
+		if o[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone copies the tuple.
@@ -36,8 +85,10 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// Symtab interns constant symbols as dense int32 values.
+// Symtab interns constant symbols as dense int32 values.  It is safe for
+// concurrent use.
 type Symtab struct {
+	mu     sync.RWMutex
 	byName map[string]Value
 	names  []string
 }
@@ -49,10 +100,18 @@ func NewSymtab() *Symtab {
 
 // Intern returns the value for name, assigning a fresh one on first use.
 func (s *Symtab) Intern(name string) Value {
+	s.mu.RLock()
+	v, ok := s.byName[name]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if v, ok := s.byName[name]; ok {
 		return v
 	}
-	v := Value(len(s.names))
+	v = Value(len(s.names))
 	s.byName[name] = v
 	s.names = append(s.names, name)
 	return v
@@ -60,12 +119,16 @@ func (s *Symtab) Intern(name string) Value {
 
 // Lookup returns the value for name without interning.
 func (s *Symtab) Lookup(name string) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.byName[name]
 	return v, ok
 }
 
 // Name returns the symbol for an interned value.
 func (s *Symtab) Name(v Value) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if int(v) < 0 || int(v) >= len(s.names) {
 		return fmt.Sprintf("#%d", v)
 	}
@@ -73,63 +136,249 @@ func (s *Symtab) Name(v Value) string {
 }
 
 // Len returns the number of interned symbols.
-func (s *Symtab) Len() int { return len(s.names) }
+func (s *Symtab) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
+
+// table is an open-addressing hash set over tuple keys: slots hold the key
+// and a 1-based row number (0 = empty).  Linear probing with a
+// splitmix64-mixed start slot; the packed keys themselves are too regular
+// to probe on directly.  For non-exact arities several distinct tuples may
+// share a key; each occupies its own slot and lookups compare columns
+// through the row storage.
+type table struct {
+	keys []uint64
+	rows []int32
+	mask uint64
+	n    int
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche 64→64 mix.
+func mix64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+const tableMinSlots = 16
+
+func newTable(slots int) table {
+	s := tableMinSlots
+	for s < slots {
+		s <<= 1
+	}
+	return table{keys: make([]uint64, s), rows: make([]int32, s), mask: uint64(s - 1)}
+}
+
+// grow rehashes into a table twice the size.
+func (tb *table) grow() {
+	nt := newTable(len(tb.keys) * 2)
+	for i, row := range tb.rows {
+		if row != 0 {
+			nt.place(tb.keys[i], row)
+		}
+	}
+	*tb = nt
+}
+
+// place inserts without duplicate checking (rehash path).
+func (tb *table) place(k uint64, row int32) {
+	slot := mix64(k) & tb.mask
+	for tb.rows[slot] != 0 {
+		slot = (slot + 1) & tb.mask
+	}
+	tb.keys[slot] = k
+	tb.rows[slot] = row
+	tb.n++
+}
+
+// maxDenseBucket caps the direct-array half of a column index: values in
+// [0, maxDenseBucket) get array buckets, everything else (negatives, or
+// un-interned outliers far beyond any real symbol space) the map.  The cap
+// bounds the array at ~24 MB of headers no matter what values appear.
+const maxDenseBucket = 1 << 20
+
+// colIndex is a per-column hash index.  Interned values are dense small
+// ints, so the common case is a direct array of buckets; values outside
+// the dense range (never produced by Symtab, but legal in tuples) fall
+// back to a map.
+type colIndex struct {
+	buckets [][]Tuple
+	sparse  map[Value][]Tuple
+}
+
+func (ci *colIndex) add(v Value, t Tuple) {
+	if v < 0 || v >= maxDenseBucket {
+		if ci.sparse == nil {
+			ci.sparse = map[Value][]Tuple{}
+		}
+		ci.sparse[v] = append(ci.sparse[v], t)
+		return
+	}
+	if int(v) >= len(ci.buckets) {
+		grown := make([][]Tuple, int(v)+1+len(ci.buckets)/2)
+		copy(grown, ci.buckets)
+		ci.buckets = grown
+	}
+	ci.buckets[v] = append(ci.buckets[v], t)
+}
+
+func (ci *colIndex) lookup(v Value) []Tuple {
+	if v < 0 || v >= maxDenseBucket {
+		return ci.sparse[v]
+	}
+	if int(v) >= len(ci.buckets) {
+		return nil
+	}
+	return ci.buckets[v]
+}
 
 // Relation is a set of same-arity tuples with optional per-column indexes.
+// Rows live back to back in one flat value array; the key table maps tuple
+// keys to row numbers.
 type Relation struct {
-	arity   int
-	rows    map[string]Tuple
-	indexes map[int]map[Value][]Tuple // column → value → rows
+	arity int
+	exact bool // Key() is injective at this arity
+
+	data []Value // flat row storage, arity values per row
+	n    int     // number of rows
+	tab  table   // key → 1-based row number
+
+	idxMu   sync.RWMutex
+	indexes map[int]*colIndex // column → index
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
-	return &Relation{arity: arity, rows: map[string]Tuple{}}
+	return &Relation{
+		arity: arity,
+		exact: keyExact(arity),
+		tab:   newTable(0),
+	}
 }
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
+
+// Row returns the i-th tuple (insertion order) as a view into the row
+// storage; it must not be mutated.  Row views stay valid across later
+// inserts.
+func (r *Relation) Row(i int) Tuple {
+	off := i * r.arity
+	return Tuple(r.data[off : off+r.arity : off+r.arity])
+}
+
+// rowEq compares the 1-based table row against t.
+func (r *Relation) rowEq(row int32, t Tuple) bool {
+	off := (int(row) - 1) * r.arity
+	for k, v := range t {
+		if r.data[off+k] != v {
+			return false
+		}
+	}
+	return true
+}
 
 // Insert adds the tuple; it reports whether the tuple was new.  The tuple
-// is copied, so callers may reuse the slice.
+// is copied into the flat row storage, so callers may reuse the slice.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("rel: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
 	k := t.Key()
-	if _, ok := r.rows[k]; ok {
-		return false
+	slot := mix64(k) & r.tab.mask
+	for {
+		row := r.tab.rows[slot]
+		if row == 0 {
+			break
+		}
+		if r.tab.keys[slot] == k && (r.exact || r.rowEq(row, t)) {
+			return false
+		}
+		slot = (slot + 1) & r.tab.mask
 	}
-	c := t.Clone()
-	r.rows[k] = c
-	for col, idx := range r.indexes {
-		idx[c[col]] = append(idx[c[col]], c)
+	r.data = append(r.data, t...)
+	r.n++
+	if r.indexes != nil {
+		c := r.Row(r.n - 1)
+		for col, ci := range r.indexes {
+			ci.add(c[col], c)
+		}
 	}
+	// Past ~7/8 load the probe chains degrade: grow and rehash (which
+	// moves slots, so place afresh rather than reusing the probe above).
+	if 8*(r.tab.n+1) > 7*len(r.tab.keys) {
+		r.tab.grow()
+		r.tab.place(k, int32(r.n))
+		return true
+	}
+	r.tab.keys[slot] = k
+	r.tab.rows[slot] = int32(r.n)
+	r.tab.n++
 	return true
 }
 
-// Has reports membership.
-func (r *Relation) Has(t Tuple) bool {
-	_, ok := r.rows[t.Key()]
-	return ok
+// Reserve pre-sizes the key table and row storage for n tuples, avoiding
+// incremental rehashes during bulk loads.
+func (r *Relation) Reserve(n int) {
+	if need := n + n/7 + 1; need > len(r.tab.keys)*7/8 {
+		nt := newTable(need * 8 / 7)
+		for i, row := range r.tab.rows {
+			if row != 0 {
+				nt.place(r.tab.keys[i], row)
+			}
+		}
+		r.tab = nt
+	}
+	if cap(r.data) < n*r.arity {
+		grown := make([]Value, len(r.data), n*r.arity)
+		copy(grown, r.data)
+		r.data = grown
+	}
 }
 
-// Each calls f on every tuple; iteration order is unspecified.
+// Has reports membership.  The probe performs no allocations.
+func (r *Relation) Has(t Tuple) bool {
+	if r.n == 0 {
+		return false
+	}
+	k := t.Key()
+	slot := mix64(k) & r.tab.mask
+	for {
+		row := r.tab.rows[slot]
+		if row == 0 {
+			return false
+		}
+		if r.tab.keys[slot] == k && (r.exact || r.rowEq(row, t)) {
+			return true
+		}
+		slot = (slot + 1) & r.tab.mask
+	}
+}
+
+// Each calls f on every tuple; iteration order is unspecified.  The tuple
+// passed to f is a storage view: it must not be mutated or retained
+// without cloning.
 func (r *Relation) Each(f func(Tuple)) {
-	for _, t := range r.rows {
-		f(t)
+	for i := 0; i < r.n; i++ {
+		f(r.Row(i))
 	}
 }
 
 // Tuples returns all tuples in deterministic (sorted) order; intended for
 // tests and output, not inner loops.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.rows))
-	for _, t := range r.rows {
-		out = append(out, t)
+	out := make([]Tuple, r.n)
+	for i := range out {
+		out[i] = r.Row(i)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		for k := range out[i] {
@@ -142,29 +391,79 @@ func (r *Relation) Tuples() []Tuple {
 	return out
 }
 
-// Index returns (building on first use) the hash index on column col.
-func (r *Relation) Index(col int) map[Value][]Tuple {
+// index returns (building on first use) the index on column col.
+// Concurrent callers are safe: the lazy build is guarded, and a published
+// index is only mutated by Insert, which by contract does not run
+// concurrently with readers.
+func (r *Relation) index(col int) *colIndex {
+	r.idxMu.RLock()
+	ci, ok := r.indexes[col]
+	r.idxMu.RUnlock()
+	if ok {
+		return ci
+	}
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	if ci, ok := r.indexes[col]; ok {
+		return ci
+	}
+	ci = &colIndex{}
+	for i := 0; i < r.n; i++ {
+		t := r.Row(i)
+		ci.add(t[col], t)
+	}
 	if r.indexes == nil {
-		r.indexes = map[int]map[Value][]Tuple{}
+		r.indexes = map[int]*colIndex{}
 	}
-	if idx, ok := r.indexes[col]; ok {
-		return idx
-	}
-	idx := map[Value][]Tuple{}
-	for _, t := range r.rows {
-		idx[t[col]] = append(idx[t[col]], t)
-	}
-	r.indexes[col] = idx
-	return idx
+	r.indexes[col] = ci
+	return ci
 }
 
-// Clone returns an independent copy (without indexes).
-func (r *Relation) Clone() *Relation {
-	out := NewRelation(r.arity)
-	for _, t := range r.rows {
-		out.Insert(t)
+// Lookup returns the rows with t[col] == v, building the column index on
+// first use.  This is the join engine's probe; the returned slice must not
+// be mutated.
+func (r *Relation) Lookup(col int, v Value) []Tuple {
+	return r.index(col).lookup(v)
+}
+
+// BuildIndex forces construction of the index on col (used to pre-build
+// before fanning out parallel readers).
+func (r *Relation) BuildIndex(col int) {
+	r.index(col)
+}
+
+// Index renders the column index as a value → rows map.  The map is built
+// fresh on every call: it is a diagnostic/test convenience, not a probe
+// path — inner loops use Lookup.
+func (r *Relation) Index(col int) map[Value][]Tuple {
+	ci := r.index(col)
+	out := make(map[Value][]Tuple, len(ci.buckets)+len(ci.sparse))
+	for v, rows := range ci.sparse {
+		out[v] = rows
+	}
+	for v, rows := range ci.buckets {
+		if len(rows) > 0 {
+			out[Value(v)] = rows
+		}
 	}
 	return out
+}
+
+// Clone returns an independent copy (without indexes): two flat memcpys,
+// regardless of row count.
+func (r *Relation) Clone() *Relation {
+	return &Relation{
+		arity: r.arity,
+		exact: r.exact,
+		data:  append([]Value(nil), r.data...),
+		n:     r.n,
+		tab: table{
+			keys: append([]uint64(nil), r.tab.keys...),
+			rows: append([]int32(nil), r.tab.rows...),
+			mask: r.tab.mask,
+			n:    r.tab.n,
+		},
+	}
 }
 
 // UnionInto inserts every tuple of other into r, returning the number of
@@ -182,7 +481,7 @@ func (r *Relation) UnionInto(other *Relation) int {
 // Select returns the tuples with t[col] == v as a new relation.
 func (r *Relation) Select(col int, v Value) *Relation {
 	out := NewRelation(r.arity)
-	for _, t := range r.Index(col)[v] {
+	for _, t := range r.Lookup(col, v) {
 		out.Insert(t)
 	}
 	return out
@@ -201,11 +500,11 @@ func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
 
 // Equal reports set equality of two relations.
 func (r *Relation) Equal(other *Relation) bool {
-	if r.arity != other.arity || r.Len() != other.Len() {
+	if r.arity != other.arity || r.n != other.n {
 		return false
 	}
-	for k := range r.rows {
-		if _, ok := other.rows[k]; !ok {
+	for i := 0; i < r.n; i++ {
+		if !other.Has(r.Row(i)) {
 			return false
 		}
 	}
@@ -227,6 +526,20 @@ func (db DB) Rel(pred string, arity int) *Relation {
 		panic(fmt.Sprintf("rel: predicate %q used with arity %d and %d", pred, r.arity, arity))
 	}
 	return r
+}
+
+// emptyRel is returned by Probe for absent predicates; it is never
+// inserted into, so sharing one instance across DBs is safe.
+var emptyRel = NewRelation(0)
+
+// Probe returns the relation for pred, or a shared empty relation when the
+// predicate has no facts.  Unlike Rel it never mutates db, which makes it
+// safe for concurrent readers.
+func (db DB) Probe(pred string) *Relation {
+	if r, ok := db[pred]; ok {
+		return r
+	}
+	return emptyRel
 }
 
 // Clone deep-copies the database.

@@ -277,7 +277,7 @@ func contextProgram(a2 *ast.Op, c int) (contextOp, bool) {
 func magicPhase(e *eval.Engine, db rel.DB, ctx contextOp, q *rel.Relation, sel Selection, stats *eval.Stats) *rel.Relation {
 	out := rel.NewRelation(q.Arity())
 	collect := func(v rel.Value) {
-		for _, t := range q.Index(sel.Col)[v] {
+		for _, t := range q.Lookup(sel.Col, v) {
 			nt := t.Clone()
 			nt[sel.Col] = sel.Value
 			stats.Derivations++

@@ -72,6 +72,19 @@ func Tree(e *eval.Engine, db rel.DB, pred string, branching, depth int) {
 	}
 }
 
+// RandomTree inserts the n−1 parent→child edges of a uniform random
+// recursive tree over n nodes: node i's parent is drawn uniformly from
+// 0..i−1.  Expected depth is O(log n), so transitive closures stay near
+// n·ln n tuples — a random graph whose closure doesn't explode, used by
+// the substrate benchmarks.
+func RandomTree(e *eval.Engine, db rel.DB, pred string, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	r := db.Rel(pred, 2)
+	for i := 1; i < n; i++ {
+		r.Insert(rel.Tuple{node(e, "t", rng.Intn(i)), node(e, "t", i)})
+	}
+}
+
 // LayeredDAG inserts a DAG of `layers` layers of `width` nodes; each node
 // has outDeg random edges into the next layer.  Shape matches the
 // "expanding frontier" workloads that stress duplicate elimination.

@@ -37,6 +37,20 @@ import (
 // System is a loaded Datalog program with its database and analyses.
 type System = core.System
 
+// Options configure evaluation: Workers sizes the parallel closure pool
+// (0/1 sequential, negative = GOMAXPROCS), Strategy can force a plan.
+type Options = core.Options
+
+// Strategy forces an evaluation strategy; see the planner constants below.
+type Strategy = planner.Strategy
+
+// Re-exported strategies.
+const (
+	Auto            = planner.Auto
+	ForceSemiNaive  = planner.ForceSemiNaive
+	ForceDecomposed = planner.ForceDecomposed
+)
+
 // QueryResult is an answered query with its plan and statistics.
 type QueryResult = core.QueryResult
 
@@ -79,5 +93,14 @@ func C(name string) Term { return ast.C(name) }
 // facts into a fresh system.
 func Load(src string) (*System, error) { return core.Load(src) }
 
+// LoadOptions is Load with evaluation options (worker pool, forced
+// strategy).
+func LoadOptions(src string, opts Options) (*System, error) { return core.LoadOptions(src, opts) }
+
 // FromProgram wraps an already-constructed program.
 func FromProgram(p *Program) (*System, error) { return core.FromProgram(p) }
+
+// FromProgramOptions is FromProgram with evaluation options.
+func FromProgramOptions(p *Program, opts Options) (*System, error) {
+	return core.FromProgramOptions(p, opts)
+}
