@@ -1,0 +1,173 @@
+// Command linrecd is the linrec query server: it loads a Datalog program
+// once, keeps the compiled analyses and plans warm, and serves
+// linear-recursion queries to many concurrent clients over HTTP+JSON.
+//
+//	linrecd -program examples/server/paths.dl -addr 127.0.0.1:8080
+//	linrecd -gen tree:240001 -workers 8        # synthetic 240k-edge TC workload
+//
+// Endpoints:
+//
+//	POST /v1/query  {"query":"path(a,Y)","timeout_ms":1000,"workers":2}
+//	POST /v1/facts  {"facts":"edge(c,d). edge(d,e)."}   (snapshot swap)
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// Facts pushed while queries are in flight swap in atomically
+// (copy-on-write snapshots); per-query timeouts cancel the engine's
+// closure rounds; a global worker budget with a bounded admission queue
+// sheds overload with 429/503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"linrec/internal/core"
+	"linrec/internal/server"
+	"linrec/internal/workload"
+)
+
+// genProgram is the rule set of the synthetic -gen workload: transitive
+// closure with a commuting left/right-linear pair, so selection queries
+// run the paper's separable algorithm instead of a full closure.
+const genProgram = `
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,U), edge(U,Y).
+path(X,Y) :- edge(X,U), path(U,Y).
+`
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		program      = flag.String("program", "", "Datalog program file (rules + facts)")
+		gen          = flag.String("gen", "", "synthetic workload instead of -program: tree:<nodes>[:seed] generates a random recursive tree under 'edge' with transitive-closure rules over 'path'")
+		workers      = flag.Int("workers", 0, "global closure-worker budget (0 = GOMAXPROCS)")
+		queryWorkers = flag.Int("query-workers", 1, "default per-query worker grant")
+		queue        = flag.Int("queue", 0, "admission queue bound (0 = 4x workers)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		maxTimeout   = flag.Duration("max-timeout", 120*time.Second, "cap on requested per-query timeouts")
+		maxRows      = flag.Int("max-rows", 1_000_000, "reject answers larger than this with 413 (0 = unlimited)")
+		portFile     = flag.String("port-file", "", "write the bound listen address to this file (for scripts wrapping -addr :0)")
+	)
+	flag.Parse()
+
+	sys, desc, err := loadSystem(*program, *gen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linrecd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		System:         sys,
+		TotalWorkers:   *workers,
+		QueryWorkers:   *queryWorkers,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRows:        *maxRows,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linrecd: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "linrecd: port file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("linrecd: serving %s on http://%s\n", desc, bound)
+
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Slow or stalled clients must not pin server resources: header
+		// and body reads are bounded, idle keep-alives are reaped.  No
+		// WriteTimeout — large streamed answers may take a while, and the
+		// worker budget is released before serialization starts.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "linrecd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("linrecd: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+	}
+}
+
+// loadSystem builds the served System from -program or -gen.
+func loadSystem(program, gen string) (*core.System, string, error) {
+	switch {
+	case program != "" && gen != "":
+		return nil, "", fmt.Errorf("-program and -gen are mutually exclusive")
+	case program != "":
+		src, err := os.ReadFile(program)
+		if err != nil {
+			return nil, "", err
+		}
+		sys, err := core.Load(string(src))
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", program, err)
+		}
+		return sys, program, nil
+	case gen != "":
+		nodes, seed, err := parseGen(gen)
+		if err != nil {
+			return nil, "", err
+		}
+		sys, err := core.Load(genProgram)
+		if err != nil {
+			return nil, "", err
+		}
+		// Bulk-load the generated edges straight into the initial snapshot;
+		// the System is not shared yet, so this pre-serve mutation is safe.
+		workload.RandomTree(sys.Engine, sys.DB(), "edge", nodes, seed)
+		return sys, fmt.Sprintf("synthetic tree TC (%d edges)", nodes-1), nil
+	default:
+		return nil, "", fmt.Errorf("one of -program or -gen is required")
+	}
+}
+
+// parseGen parses "tree:<nodes>[:seed]".
+func parseGen(gen string) (nodes int, seed int64, err error) {
+	parts := strings.Split(gen, ":")
+	if parts[0] != "tree" || len(parts) < 2 || len(parts) > 3 {
+		return 0, 0, fmt.Errorf("bad -gen %q (want tree:<nodes>[:seed])", gen)
+	}
+	nodes, err = strconv.Atoi(parts[1])
+	if err != nil || nodes < 2 {
+		return 0, 0, fmt.Errorf("bad -gen node count %q", parts[1])
+	}
+	seed = 47
+	if len(parts) == 3 {
+		seed, err = strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad -gen seed %q", parts[2])
+		}
+	}
+	return nodes, seed, nil
+}

@@ -8,6 +8,7 @@
 //	lrbench -exp F3      # run one experiment by id
 //	lrbench -list        # list experiment ids and titles
 //	lrbench -json        # run the substrate benchmark, write BENCH_eval.json
+//	lrbench -server      # run the linrecd server lane, merge into BENCH_eval.json
 package main
 
 import (
@@ -19,10 +20,54 @@ import (
 	"linrec/internal/experiments"
 )
 
+// mergeBenchFile folds key: value into BENCH_eval.json, preserving every
+// other top-level field (so the substrate and server lanes compose in
+// either order).
+func mergeBenchFile(key string, value any) error {
+	doc := map[string]any{}
+	data, err := os.ReadFile("BENCH_eval.json")
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing BENCH_eval.json: %w", err)
+		}
+	case os.IsNotExist(err):
+		// First run: start an empty document.
+	default:
+		// Any other read failure must not silently drop the other lanes.
+		return fmt.Errorf("existing BENCH_eval.json: %w", err)
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return err
+	}
+	if key == "" {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return fmt.Errorf("top-level bench report must be an object")
+		}
+		for k, val := range m {
+			doc[k] = val
+		}
+	} else {
+		doc[key] = v
+	}
+	data, err = json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_eval.json", append(data, '\n'), 0o644)
+}
+
 func main() {
 	expID := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	jsonOut := flag.Bool("json", false, "run the substrate benchmark and write BENCH_eval.json")
+	jsonOut := flag.Bool("json", false, "run the substrate benchmark and merge it into BENCH_eval.json")
+	serverOut := flag.Bool("server", false, "run the linrecd server throughput/latency lane and merge it into BENCH_eval.json")
 	flag.Parse()
 
 	if *list {
@@ -38,17 +83,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lrbench: benchmark failed: %v\n", err)
 			os.Exit(1)
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
-			os.Exit(1)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile("BENCH_eval.json", data, 0o644); err != nil {
+		if err := mergeBenchFile("", rep); err != nil {
 			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote BENCH_eval.json (speedup at 8 workers: %.2fx)\n", rep.SpeedupAt8)
+	}
+
+	if *serverOut {
+		rep, err := experiments.ServerJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: server benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("server", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged server lane into BENCH_eval.json (%d clients: %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, 0 failures)\n",
+			rep.Clients, rep.ThroughputQPS, rep.P50MS, rep.P99MS, rep.SwapsMidRun)
+	}
+
+	if *jsonOut || *serverOut {
 		return
 	}
 

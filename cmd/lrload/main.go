@@ -1,0 +1,165 @@
+// Command lrload drives concurrent query traffic against a running
+// linrecd and reports throughput and latency percentiles.
+//
+//	lrload -addr 127.0.0.1:8080 -query "path(a, Y)" -clients 64 -duration 10s
+//	lrload -addr 127.0.0.1:8080 -rate 500 -duration 10s     # open loop, 500 qps
+//	lrload -addr 127.0.0.1:8080 -smoke                      # CI smoke: one query, one fact swap
+//
+// With -range N and a query containing %d, each request draws a distinct
+// goal (round-robin over path(t0,Y) … path(tN-1,Y)-style pools).  With
+// -facts-every D the generator also pushes a fresh fact batch on that
+// period, exercising snapshot swaps under load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"linrec/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "linrecd address (host:port or full URL)")
+		query      = flag.String("query", "path(a, Y)", "goal atom; may contain %d with -range")
+		rangeN     = flag.Int("range", 0, "expand %d in -query over [0, range) as a round-robin pool")
+		clients    = flag.Int("clients", 8, "closed-loop client count (and in-flight cap for -rate)")
+		rate       = flag.Float64("rate", 0, "open-loop offered load in requests/sec (0 = closed loop)")
+		duration   = flag.Duration("duration", 5*time.Second, "run length")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-query timeout")
+		workers    = flag.Int("workers", 0, "per-query worker grant to request (0 = server default)")
+		factsEvery = flag.Duration("facts-every", 0, "push a fresh fact batch on this period during the run (0 = never)")
+		smoke      = flag.Bool("smoke", false, "smoke test: health check, one query, one fact update, verify the swap, exit")
+		jsonOut    = flag.Bool("json", false, "print the report as JSON")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	if *smoke {
+		if err := runSmoke(base, *query, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "lrload: smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("lrload: smoke ok")
+		return
+	}
+
+	queries := []string{*query}
+	if *rangeN > 0 && strings.Contains(*query, "%d") {
+		queries = make([]string, *rangeN)
+		for i := range queries {
+			queries[i] = fmt.Sprintf(*query, i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *factsEvery > 0 {
+		go pushFacts(ctx, base, *factsEvery)
+	}
+
+	rep, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL:  base,
+		Queries:  queries,
+		Clients:  *clients,
+		Rate:     *rate,
+		Duration: *duration,
+		Timeout:  *timeout,
+		Workers:  *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrload: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("requests %d (failures %d, shed %d, dropped %d), %.0f rows\n",
+			rep.Requests, rep.Failures, rep.Shed, rep.Dropped, float64(rep.Rows))
+		fmt.Printf("throughput %.1f qps over %.2fs\n", rep.Throughput, rep.ElapsedS)
+		fmt.Printf("latency p50 %.2fms  p99 %.2fms  max %.2fms\n", rep.P50MS, rep.P99MS, rep.MaxMS)
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// pushFacts posts one fresh-node edge per period until ctx fires — each
+// post forces a copy-on-write snapshot swap on the server.
+func pushFacts(ctx context.Context, base string, every time.Duration) {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			facts := fmt.Sprintf("edge(lrload_%d_a, lrload_%d_b).", i, i)
+			if _, err := server.PostFacts(ctx, hc, base, facts); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "lrload: facts push: %v\n", err)
+			}
+		}
+	}
+}
+
+// runSmoke checks the full serve-query-swap loop once: health, a query,
+// a fact batch referencing fresh nodes, and a second query that must see
+// a strictly newer snapshot.
+func runSmoke(base, query string, timeout time.Duration) error {
+	hc := &http.Client{Timeout: timeout + 5*time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*timeout+10*time.Second)
+	defer cancel()
+
+	resp, err := hc.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	before, err := server.QueryOnce(ctx, hc, base, query, timeout, 0)
+	if err != nil {
+		return fmt.Errorf("query %q: %w", query, err)
+	}
+	fmt.Printf("lrload: %q -> %d rows at snapshot %d (%s)\n",
+		query, before.RowCount, before.SnapshotVersion, before.Plan)
+
+	stamp := time.Now().UnixNano()
+	facts := fmt.Sprintf("edge(smoke_%d_a, smoke_%d_b).", stamp, stamp)
+	fr, err := server.PostFacts(ctx, hc, base, facts)
+	if err != nil {
+		return fmt.Errorf("facts: %w", err)
+	}
+	if fr.SnapshotVersion <= before.SnapshotVersion {
+		return fmt.Errorf("fact update did not advance the snapshot: %d -> %d",
+			before.SnapshotVersion, fr.SnapshotVersion)
+	}
+	fmt.Printf("lrload: fact swap -> snapshot %d\n", fr.SnapshotVersion)
+
+	after, err := server.QueryOnce(ctx, hc, base, query, timeout, 0)
+	if err != nil {
+		return fmt.Errorf("re-query: %w", err)
+	}
+	if after.SnapshotVersion < fr.SnapshotVersion {
+		return fmt.Errorf("re-query saw stale snapshot %d < %d", after.SnapshotVersion, fr.SnapshotVersion)
+	}
+	if after.RowCount < before.RowCount {
+		return fmt.Errorf("rows shrank across an additive swap: %d -> %d", before.RowCount, after.RowCount)
+	}
+	return nil
+}

@@ -2,13 +2,21 @@
 // program, analyze its linear recursion with the paper's machinery, choose
 // an evaluation plan and answer queries.  The root package linrec re-exports
 // this API for library users.
+//
+// The extensional database lives behind an atomically-swapped immutable
+// Snapshot: queries pin the snapshot current when they start and evaluate
+// entirely against it, while writers publish new snapshots copy-on-write
+// (AddFacts), so online fact updates never tear an in-flight query.
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"linrec/internal/ast"
 	"linrec/internal/eval"
@@ -35,18 +43,98 @@ func (o Options) normalize() Options {
 	return o
 }
 
+// planOpts maps the options onto the planner's.
+func (o Options) planOpts() planner.Options {
+	return planner.Options{Workers: o.Workers, Strategy: o.Strategy}
+}
+
+// Snapshot is an immutable version of the extensional database.  Once
+// published it is never mutated: queries evaluate against whichever
+// snapshot they pinned, and fact updates build a successor copy-on-write.
+// Relations untouched by an update are shared between versions, so a swap
+// costs one shallow map copy plus a clone of only the grown relations.
+type Snapshot struct {
+	DB      rel.DB
+	Version uint64
+}
+
 // System holds a loaded program, its extensional database and the engine.
-// After loading, a System is safe for concurrent queries: Query, Run,
-// Analyze and Report may be called from any number of goroutines over the
-// shared database snapshot.
+// After loading, a System is safe for concurrent use: Query, Run, Analyze
+// and Report may be called from any number of goroutines, and AddFacts may
+// swap in new fact snapshots concurrently with in-flight queries (writers
+// are serialized internally).
 type System struct {
 	Prog   *ast.Program
 	Engine *eval.Engine
-	DB     rel.DB
 	Opts   Options
+
+	// snap is the current database snapshot; readers load it once per
+	// query and never look again (snapshot isolation).
+	snap atomic.Pointer[Snapshot]
+	// factMu serializes snapshot writers (AddFacts).
+	factMu sync.Mutex
+
+	// idb is the set of rule-head predicates: evaluation derives them, it
+	// never reads their db relation, so AddFacts rejects them (facts for
+	// a derived predicate would be stored yet invisible to every query).
+	idb map[string]bool
 
 	mu       sync.Mutex
 	analyses map[string]*planner.Analysis
+
+	// seeds caches the materialized exit-rule seed per predicate for the
+	// current snapshot version.  Seeds are immutable once built (plans
+	// clone them; their lazy indexes build concurrency-safely), so one
+	// build serves every concurrent query on that snapshot — without it, a
+	// busy server re-materializes the (possibly huge) exit-rule union per
+	// request.  Single-flight: concurrent first queries share one build.
+	seedMu      sync.Mutex
+	seedVersion uint64
+	seeds       map[string]*seedFuture
+}
+
+type seedFuture struct {
+	once sync.Once
+	done chan struct{}
+	q    *rel.Relation
+	err  error
+}
+
+// seedFor returns the evaluation seed for a on snap, cached per
+// (predicate, snapshot version).  Queries pinned to superseded snapshots
+// compute their seed fresh rather than repopulating the cache.  The
+// build itself runs detached (it is bounded work every later query on
+// this snapshot reuses), but waiters honor ctx: a query whose deadline
+// fires during a seed build returns immediately instead of pinning its
+// worker grant until the build completes.
+func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapshot) (*rel.Relation, error) {
+	s.seedMu.Lock()
+	if snap.Version != s.seedVersion {
+		if snap.Version < s.seedVersion {
+			s.seedMu.Unlock()
+			return a.Seed(s.Engine, snap.DB)
+		}
+		s.seedVersion = snap.Version
+		s.seeds = map[string]*seedFuture{}
+	}
+	f, ok := s.seeds[a.Pred]
+	if !ok {
+		f = &seedFuture{done: make(chan struct{})}
+		s.seeds[a.Pred] = f
+	}
+	s.seedMu.Unlock()
+	f.once.Do(func() {
+		go func() {
+			f.q, f.err = a.Seed(s.Engine, snap.DB)
+			close(f.done)
+		}()
+	})
+	select {
+	case <-f.done:
+		return f.q, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Load parses a Datalog program and loads its facts.
@@ -73,14 +161,118 @@ func FromProgramOptions(prog *ast.Program, opts Options) (*System, error) {
 	s := &System{
 		Prog:     prog,
 		Engine:   eval.NewEngine(nil),
-		DB:       rel.DB{},
 		Opts:     opts.normalize(),
+		idb:      map[string]bool{},
 		analyses: map[string]*planner.Analysis{},
 	}
-	if err := s.Engine.LoadFacts(s.DB, prog.Facts); err != nil {
+	for _, r := range prog.Rules {
+		s.idb[r.Head.Pred] = true
+	}
+	db := rel.DB{}
+	if err := s.Engine.LoadFacts(db, prog.Facts); err != nil {
 		return nil, err
 	}
+	// Pre-intern every rule constant: afterwards, a query constant that
+	// Lookup cannot resolve provably occurs in no rule and no snapshot
+	// relation, so the query path can answer "empty" without interning —
+	// otherwise remote clients could grow the symbol table without bound
+	// through fresh constants in read-only queries.
+	for _, r := range prog.Rules {
+		internAtomConstants(s.Engine.Syms, r.Head)
+		for _, a := range r.Body {
+			internAtomConstants(s.Engine.Syms, a)
+		}
+	}
+	s.snap.Store(&Snapshot{DB: db, Version: 1})
 	return s, nil
+}
+
+func internAtomConstants(syms *rel.Symtab, a ast.Atom) {
+	for _, t := range a.Args {
+		if !t.IsVar() {
+			syms.Intern(t.Name)
+		}
+	}
+}
+
+// Snapshot returns the current database snapshot.  The returned snapshot
+// stays valid (and immutable) forever; queries running against it are
+// unaffected by later AddFacts swaps.
+func (s *System) Snapshot() *Snapshot {
+	return s.snap.Load()
+}
+
+// DB returns the current snapshot's database.  Mutating it is only safe
+// before the System is shared across goroutines (e.g. bulk-loading
+// generated facts right after FromProgram); once concurrent queries or
+// AddFacts run, all updates must go through AddFacts.
+func (s *System) DB() rel.DB {
+	return s.snap.Load().DB
+}
+
+// AddFacts publishes a new database snapshot extended with the given
+// ground facts, returning it along with the number of genuinely new
+// tuples.  The swap is copy-on-write: only relations receiving new
+// tuples are cloned, everything else is shared with the previous
+// snapshot, and the new snapshot becomes visible to subsequent queries
+// atomically.  In-flight queries keep the snapshot they pinned.  A batch
+// of pure duplicates publishes nothing — the current snapshot comes back
+// with added == 0, so idempotent re-pushes don't flush warm caches.
+func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
+	if len(facts) == 0 {
+		return s.Snapshot(), 0, nil
+	}
+	for _, f := range facts {
+		if !f.IsGround() {
+			return nil, 0, fmt.Errorf("core: fact %v is not ground", f)
+		}
+		if s.idb[f.Pred] {
+			return nil, 0, fmt.Errorf("core: %q is a derived (rule-head) predicate; facts for it would be invisible to queries", f.Pred)
+		}
+	}
+	s.factMu.Lock()
+	defer s.factMu.Unlock()
+	old := s.snap.Load()
+	db := make(rel.DB, len(old.DB)+1)
+	for k, v := range old.DB {
+		db[k] = v
+	}
+	counts := map[string]int{}
+	for _, f := range facts {
+		counts[f.Pred]++
+	}
+	added := 0
+	cloned := map[string]bool{}
+	for _, f := range facts {
+		r, ok := db[f.Pred]
+		if ok && r.Arity() != f.Arity() {
+			return nil, 0, fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
+				f, f.Arity(), f.Pred, r.Arity())
+		}
+		if !cloned[f.Pred] {
+			if ok {
+				r = r.Clone()
+			} else {
+				r = rel.NewRelation(f.Arity())
+			}
+			r.Reserve(r.Len() + counts[f.Pred])
+			db[f.Pred] = r
+			cloned[f.Pred] = true
+		}
+		t := make(rel.Tuple, f.Arity())
+		for i, a := range f.Args {
+			t[i] = s.Engine.Syms.Intern(a.Name)
+		}
+		if db[f.Pred].Insert(t) {
+			added++
+		}
+	}
+	if added == 0 {
+		return old, 0, nil
+	}
+	next := &Snapshot{DB: db, Version: old.Version + 1}
+	s.snap.Store(next)
+	return next, added, nil
 }
 
 // Analyze runs (and caches) the paper's full analysis for one recursive
@@ -99,30 +291,114 @@ func (s *System) Analyze(pred string) (*planner.Analysis, error) {
 	return a, nil
 }
 
-// planOpts maps the system options onto the planner's.
-func (s *System) planOpts() planner.Options {
-	return planner.Options{Workers: s.Opts.Workers, Strategy: s.Opts.Strategy}
-}
-
 // QueryResult pairs an answer with the plan that produced it.
 type QueryResult struct {
 	Query  ast.Atom
 	Answer *rel.Relation
 	Stats  eval.Stats
 	Plan   *planner.Plan
+	// Version is the snapshot the query evaluated against.
+	Version uint64
 }
 
-// Rows renders the answer tuples as symbol strings, sorted.
+// Rows renders the answer tuples as symbol strings in deterministic
+// (lexicographically sorted) order, so output is stable across engines,
+// worker counts and snapshot layouts.
 func (qr *QueryResult) Rows(s *System) [][]string {
-	var out [][]string
-	for _, t := range qr.Answer.Tuples() {
+	return qr.RowsSyms(s.Engine.Syms)
+}
+
+// RowsSyms is Rows against an explicit symbol table.
+func (qr *QueryResult) RowsSyms(syms *rel.Symtab) [][]string {
+	// One symbol-table snapshot for the whole answer: large results would
+	// otherwise pay a lock round-trip per cell.
+	names := syms.Names()
+	name := func(v rel.Value) string {
+		if int(v) >= 0 && int(v) < len(names) {
+			return names[v]
+		}
+		return fmt.Sprintf("#%d", v)
+	}
+	out := make([][]string, 0, qr.Answer.Len())
+	qr.Answer.Each(func(t rel.Tuple) {
 		row := make([]string, len(t))
 		for i, v := range t {
-			row[i] = s.Engine.Syms.Name(v)
+			row[i] = name(v)
 		}
 		out = append(out, row)
-	}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 	return out
+}
+
+// resolveQuery analyzes q and resolves its constant arguments into
+// selections — the shared front half of Query and PlanFor.  unknown names
+// a constant that occurs in no rule and no fact (the answer is provably
+// empty); resolution uses Lookup, never Intern, so remote queries cannot
+// grow the shared symbol table.
+func (s *System) resolveQuery(q ast.Atom) (a *planner.Analysis, sels []separable.Selection, unknown string, err error) {
+	a, err = s.Analyze(q.Pred)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if q.Arity() != a.Ops[0].Arity() {
+		return nil, nil, "", fmt.Errorf("core: query %v has arity %d, predicate has %d", q, q.Arity(), a.Ops[0].Arity())
+	}
+	for i, t := range q.Args {
+		if t.IsVar() {
+			continue
+		}
+		v, ok := s.Engine.Syms.Lookup(t.Name)
+		if !ok {
+			return a, nil, t.Name, nil
+		}
+		sels = append(sels, separable.Selection{Col: i, Value: v})
+	}
+	return a, sels, "", nil
+}
+
+// nArySeparableCandidate reports whether Query would attempt the n-ary
+// separable decomposition (Section 4.1) — strictly sequential — for this
+// analysis/selection shape.  Assignment legality is only decided at
+// execution, so this can say true for a query that falls back to another
+// plan; PlanFor errs toward the sequential grant in that case.
+func nArySeparableCandidate(a *planner.Analysis, sels []separable.Selection) bool {
+	return len(sels) >= 2 && len(a.Ops) >= 2 && a.AllCommute()
+}
+
+// PlanFor returns the plan Query would select for q under opts, without
+// executing anything.  The server front end uses it to size per-query
+// worker grants: separable and bounded plans evaluate sequentially, so
+// granting them a multi-worker budget slice would only starve other
+// queries.  The result is for inspection, not execution — the n-ary and
+// unknown-constant cases return stubs that the Execute entry points
+// reject with an error rather than run.
+func (s *System) PlanFor(q ast.Atom, opts Options) (*planner.Plan, error) {
+	opts = opts.normalize()
+	a, sels, unknown, err := s.resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if unknown != "" {
+		// Unknown constant: Query answers empty without evaluating.
+		return &planner.Plan{Kind: planner.SemiNaive, Why: "unknown constant: empty answer"}, nil
+	}
+	if nArySeparableCandidate(a, sels) {
+		return &planner.Plan{Kind: planner.Separable, Why: "n-ary separable candidate (Section 4.1)"}, nil
+	}
+	var primary *separable.Selection
+	if len(sels) > 0 {
+		primary = &sels[0]
+	}
+	return a.ChooseOpts(primary, opts.planOpts()), nil
 }
 
 // Query answers one query atom over a recursive predicate.  Constant
@@ -130,26 +406,42 @@ func (qr *QueryResult) Rows(s *System) [][]string {
 // (the separable algorithm when Theorem 4.1 applies); remaining constants
 // are applied as post-filters.
 func (s *System) Query(q ast.Atom) (*QueryResult, error) {
-	a, err := s.Analyze(q.Pred)
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with cancellation: the evaluation polls ctx at round
+// barriers and inside worker shard scans, returning ctx's error promptly
+// once it fires.
+func (s *System) QueryCtx(ctx context.Context, q ast.Atom) (*QueryResult, error) {
+	return s.QueryOn(ctx, s.Snapshot(), q, s.Opts)
+}
+
+// QueryOn answers a query against an explicitly pinned snapshot with
+// per-query options — the full-control entry point the server front end
+// uses to grant each query its own worker budget and deadline while many
+// queries share one System.
+func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options) (*QueryResult, error) {
+	opts = opts.normalize()
+	a, sels, unknown, err := s.resolveQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	if q.Arity() != a.Ops[0].Arity() {
-		return nil, fmt.Errorf("core: query %v has arity %d, predicate has %d", q, q.Arity(), a.Ops[0].Arity())
-	}
-
-	var sels []separable.Selection
-	for i, t := range q.Args {
-		if !t.IsVar() {
-			sels = append(sels, separable.Selection{Col: i, Value: s.Engine.Syms.Intern(t.Name)})
-		}
+	if unknown != "" {
+		// A constant occurring in no rule and no fact can appear in no
+		// tuple of this (or any) snapshot: the answer is empty.
+		return &QueryResult{
+			Query:   q,
+			Answer:  rel.NewRelation(q.Arity()),
+			Plan:    &planner.Plan{Kind: planner.SemiNaive, Why: fmt.Sprintf("constant %q occurs in no rule or fact: empty answer", unknown)},
+			Version: snap.Version,
+		}, nil
 	}
 
 	// With two or more constants on commuting operators, try the n-ary
 	// separable decomposition of Section 4.1:
 	// σ0σ1…σn(ΣAᵢ)* = (σ1A1*)…(σnAn*)σ0.
-	if len(sels) >= 2 && len(a.Ops) >= 2 && a.AllCommute() {
-		if res, ok, err := s.multiSeparable(a, sels); err != nil {
+	if nArySeparableCandidate(a, sels) {
+		if res, ok, err := s.multiSeparable(ctx, snap, a, sels); err != nil {
 			return nil, err
 		} else if ok {
 			res.Query = q
@@ -161,13 +453,17 @@ func (s *System) Query(q ast.Atom) (*QueryResult, error) {
 	if len(sels) > 0 {
 		primary = &sels[0]
 	}
-	plan := a.ChooseOpts(primary, s.planOpts())
+	plan := a.ChooseOpts(primary, opts.planOpts())
 
 	var execSel *separable.Selection
 	if plan.Kind != planner.Separable {
 		execSel = primary
 	}
-	res, err := a.ExecuteOpts(s.Engine, s.DB, plan, execSel, s.planOpts())
+	seed, err := s.seedFor(ctx, a, snap)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.ExecuteSeeded(ctx, s.Engine, snap.DB, plan, execSel, opts.planOpts(), seed)
 	if err != nil {
 		return nil, err
 	}
@@ -175,14 +471,14 @@ func (s *System) Query(q ast.Atom) (*QueryResult, error) {
 	for _, sel := range sels[min(1, len(sels)):] {
 		ans = sel.Apply(ans)
 	}
-	return &QueryResult{Query: q, Answer: ans, Stats: res.Stats, Plan: plan}, nil
+	return &QueryResult{Query: q, Answer: ans, Stats: res.Stats, Plan: plan, Version: snap.Version}, nil
 }
 
 // multiSeparable attempts to assign every selection to an operator slot of
 // the n-ary separable formula: σ attached to Aᵢ must commute with every
 // other operator; σ commuting with all operators becomes a σ0.  ok is false
 // when no legal assignment exists (the caller falls back to other plans).
-func (s *System) multiSeparable(a *planner.Analysis, sels []separable.Selection) (*QueryResult, bool, error) {
+func (s *System) multiSeparable(ctx context.Context, snap *Snapshot, a *planner.Analysis, sels []separable.Selection) (*QueryResult, bool, error) {
 	taken := map[int]bool{}
 	var ms []separable.MultiSelection
 	for _, sel := range sels {
@@ -209,15 +505,11 @@ func (s *System) multiSeparable(a *planner.Analysis, sels []separable.Selection)
 		}
 	}
 
-	q := rel.NewRelation(a.Ops[0].Arity())
-	for _, r := range a.ExitRules {
-		t, err := s.Engine.EvalRule(s.DB, r)
-		if err != nil {
-			return nil, false, err
-		}
-		q.UnionInto(t)
+	q, err := s.seedFor(ctx, a, snap)
+	if err != nil {
+		return nil, false, err
 	}
-	out, stats, err := separable.EvalMulti(s.Engine, s.DB, a.Ops, ms, q)
+	out, stats, err := separable.EvalMultiCtx(ctx, s.Engine, snap.DB, a.Ops, ms, q)
 	if err != nil {
 		return nil, false, err
 	}
@@ -225,14 +517,21 @@ func (s *System) multiSeparable(a *planner.Analysis, sels []separable.Selection)
 		Kind: planner.Separable,
 		Why:  fmt.Sprintf("n-ary separable decomposition with %d selections (Section 4.1)", len(sels)),
 	}
-	return &QueryResult{Answer: out, Stats: stats, Plan: plan}, true, nil
+	return &QueryResult{Answer: out, Stats: stats, Plan: plan, Version: snap.Version}, true, nil
 }
 
 // Run answers every "?-" query of the program in order.
 func (s *System) Run() ([]*QueryResult, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation.  All queries evaluate against the one
+// snapshot current when RunCtx started.
+func (s *System) RunCtx(ctx context.Context) ([]*QueryResult, error) {
+	snap := s.Snapshot()
 	var out []*QueryResult
 	for _, q := range s.Prog.Queries {
-		r, err := s.Query(q)
+		r, err := s.QueryOn(ctx, snap, q, s.Opts)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +558,7 @@ func (s *System) Report() (string, error) {
 			return "", err
 		}
 		b.WriteString(a.Summary())
-		plan := a.ChooseOpts(nil, s.planOpts())
+		plan := a.ChooseOpts(nil, s.Opts.planOpts())
 		fmt.Fprintf(&b, "\nplan: %v — %s\n", plan.Kind, plan.Why)
 	}
 	return b.String(), nil

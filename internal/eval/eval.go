@@ -10,20 +10,23 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
 )
 
-// Stats accumulates evaluation effort.
+// Stats accumulates evaluation effort.  The JSON tags are the wire form
+// the linrecd server returns per query.
 type Stats struct {
-	Derivations int64 // successful body instantiations (including duplicates)
-	Duplicates  int64 // derivations of already-known tuples
-	Iterations  int   // semi-naive rounds across all phases
-	MaxDepth    int   // recursion depth reached (rounds with new tuples)
+	Derivations int64 `json:"derivations"` // successful body instantiations (including duplicates)
+	Duplicates  int64 `json:"duplicates"`  // derivations of already-known tuples
+	Iterations  int   `json:"iterations"`  // semi-naive rounds across all phases
+	MaxDepth    int   `json:"depth"`       // recursion depth reached (rounds with new tuples)
 }
 
 // Add accumulates other into s.
@@ -240,11 +243,22 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 // the recursive-atom relation and emits every derived head tuple.  Taking
 // a row range rather than a relation lets the parallel engine feed each
 // worker its shard of the delta.  The emitted tuple is reused across
-// emissions; receivers must copy what they keep.
-func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, emit func(rel.Tuple)) {
+// emissions; receivers must copy what they keep.  A non-nil stop flag is
+// polled every cancelCheckRows rows; it reports false when the scan was
+// abandoned (emissions so far may be partial).
+func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, stop *atomic.Bool, emit func(rel.Tuple)) bool {
 	binding := make([]rel.Value, c.nslots)
 	out := make(rel.Tuple, len(c.headSlots))
+	check := cancelCheckRows
 	for row := lo; row < hi; row++ {
+		if stop != nil {
+			if check--; check <= 0 {
+				if stop.Load() {
+					return false
+				}
+				check = cancelCheckRows
+			}
+		}
 		t := src.Row(row)
 		for i := range binding {
 			binding[i] = unbound
@@ -267,11 +281,13 @@ func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, e
 			emit(out)
 		})
 	}
+	return true
 }
 
-// applyCompiled is applyCompiledRange over a whole relation.
+// applyCompiled is applyCompiledRange over a whole relation, without
+// cancellation.
 func applyCompiled(db rel.DB, c *compiled, src *rel.Relation, emit func(rel.Tuple)) {
-	applyCompiledRange(db, c, src, 0, src.Len(), emit)
+	applyCompiledRange(db, c, src, 0, src.Len(), nil, emit)
 }
 
 // Engine caches compiled operators against a symbol table.  Compilation
@@ -339,26 +355,62 @@ func (e *Engine) ApplyNew(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, 
 	return added
 }
 
+// applyNewStop is ApplyNew with a pollable stop flag; it reports false
+// when the scan was abandoned mid-way.
+func (e *Engine) applyNewStop(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, stats *Stats, stop *atomic.Bool) bool {
+	return applyCompiledRange(db, e.compiledFor(op), src, 0, src.Len(), stop, func(t rel.Tuple) {
+		stats.Derivations++
+		if dst.Insert(t) {
+			delta.Insert(t)
+		} else {
+			stats.Duplicates++
+		}
+	})
+}
+
 // SemiNaive computes (Σᵢ opsᵢ)* q by semi-naive iteration: each round
 // applies every operator to the previous round's delta only.  The paper's
 // model of computation in Theorem 3.1 ("the same tuple is not derived
 // through the same arc more than once") is exactly this discipline.
 func (e *Engine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
+	total, stats, _ := e.semiNaive(db, ops, q, nil)
+	return total, stats
+}
+
+// SemiNaiveCtx is SemiNaive with cancellation: the loop polls ctx at every
+// round barrier and every cancelCheckRows delta rows within a round, and
+// returns ctx's error (with a partial, unusable relation) once it fires.
+func (e *Engine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
+	stop, release := watchContext(ctx)
+	defer release()
+	total, stats, ok := e.semiNaive(db, ops, q, stop)
+	if !ok {
+		return nil, stats, ctxErr(ctx)
+	}
+	return total, stats, nil
+}
+
+func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool) (*rel.Relation, Stats, bool) {
 	var stats Stats
 	total := q.Clone()
 	delta := q.Clone()
 	for delta.Len() > 0 {
+		if stop != nil && stop.Load() {
+			return total, stats, false
+		}
 		stats.Iterations++
 		next := rel.NewRelation(total.Arity())
 		for _, op := range ops {
-			e.ApplyNew(db, op, delta, total, next, &stats)
+			if !e.applyNewStop(db, op, delta, total, next, &stats, stop) {
+				return total, stats, false
+			}
 		}
 		if next.Len() > 0 {
 			stats.MaxDepth++
 		}
 		delta = next
 	}
-	return total, stats
+	return total, stats, true
 }
 
 // Naive computes the same closure by re-deriving from the full relation
@@ -387,6 +439,20 @@ func (e *Engine) Decomposed(db rel.DB, b, c []*ast.Op, q *rel.Relation) (*rel.Re
 	out, s2 := e.SemiNaive(db, b, mid)
 	s1.Add(s2)
 	return out, s1
+}
+
+// DecomposedCtx is Decomposed with cancellation (see SemiNaiveCtx).
+func (e *Engine) DecomposedCtx(ctx context.Context, db rel.DB, b, c []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
+	mid, s1, err := e.SemiNaiveCtx(ctx, db, c, q)
+	if err != nil {
+		return nil, s1, err
+	}
+	out, s2, err := e.SemiNaiveCtx(ctx, db, b, mid)
+	s1.Add(s2)
+	if err != nil {
+		return nil, s1, err
+	}
+	return out, s1, nil
 }
 
 // EvalRule evaluates one nonrecursive rule (every body predicate resolved

@@ -10,8 +10,10 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
@@ -79,8 +81,11 @@ func prebuildIndexes(db rel.DB, cs []*compiled) {
 // the worker pool, and returns one flat emission buffer per worker:
 // derived tuples laid out back to back, arity values each.  Flat buffers
 // keep the round's output pointer-free, so the garbage collector never
-// scans the (potentially millions of) in-flight derivations.
-func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int) [][]rel.Value {
+// scans the (potentially millions of) in-flight derivations.  A non-nil
+// stop flag makes every worker abandon its shard within cancelCheckRows
+// rows of the flag being set; the waitgroup barrier still joins every
+// worker, so cancellation never leaks goroutines.
+func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int, stop *atomic.Bool) [][]rel.Value {
 	bounds := shardBounds(hi-lo, p.Workers)
 	bufs := make([][]rel.Value, len(bounds)-1)
 	var wg sync.WaitGroup
@@ -97,7 +102,9 @@ func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation
 				buf = append(buf, t...)
 			}
 			for _, c := range cs {
-				applyCompiledRange(db, c, src, slo, shi, emit)
+				if !applyCompiledRange(db, c, src, slo, shi, stop, emit) {
+					break
+				}
 			}
 			bufs[w] = buf
 		}(w, slo, shi)
@@ -127,10 +134,32 @@ func mergeRound(total *rel.Relation, bufs [][]rel.Value, arity int, stats *Stats
 // to the total relation last round.  Results and statistics equal the
 // sequential Engine.SemiNaive on the same inputs.
 func (p *ParallelEngine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
+	total, stats, _ := p.semiNaive(db, ops, q, nil)
+	return total, stats
+}
+
+// SemiNaiveCtx is SemiNaive with cancellation: the round barrier polls ctx
+// before fanning out and before merging, and every worker polls it while
+// scanning its shard, so a cancelled closure returns within a few hundred
+// row-joins with all workers joined (no goroutine leaks).
+func (p *ParallelEngine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
+	if p.Workers <= 1 || q.Arity() == 0 {
+		return p.Engine.SemiNaiveCtx(ctx, db, ops, q)
+	}
+	stop, release := watchContext(ctx)
+	defer release()
+	total, stats, ok := p.semiNaive(db, ops, q, stop)
+	if !ok {
+		return nil, stats, ctxErr(ctx)
+	}
+	return total, stats, nil
+}
+
+func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool) (*rel.Relation, Stats, bool) {
 	// Nullary relations carry no per-tuple payload for the flat round
 	// buffers; the (degenerate) case runs sequentially.
 	if p.Workers <= 1 || q.Arity() == 0 {
-		return p.Engine.SemiNaive(db, ops, q)
+		return p.Engine.semiNaive(db, ops, q, stop)
 	}
 	cs := make([]*compiled, len(ops))
 	for i, op := range ops {
@@ -142,15 +171,23 @@ func (p *ParallelEngine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*
 	total := q.Clone()
 	lo, hi := 0, total.Len()
 	for lo < hi {
+		if stop != nil && stop.Load() {
+			return total, stats, false
+		}
 		stats.Iterations++
-		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity())
+		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity(), stop)
+		// A cancelled round leaves partial worker buffers; discard them
+		// rather than merging a torn delta.
+		if stop != nil && stop.Load() {
+			return total, stats, false
+		}
 		mergeRound(total, bufs, total.Arity(), &stats)
 		lo, hi = hi, total.Len()
 		if hi > lo {
 			stats.MaxDepth++
 		}
 	}
-	return total, stats
+	return total, stats, true
 }
 
 // Naive computes the same closure by re-deriving from the full relation
@@ -171,7 +208,7 @@ func (p *ParallelEngine) Naive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.
 	for {
 		stats.Iterations++
 		before := total.Len()
-		bufs := p.applyRound(db, cs, total, 0, before, total.Arity())
+		bufs := p.applyRound(db, cs, total, 0, before, total.Arity(), nil)
 		mergeRound(total, bufs, total.Arity(), &stats)
 		if total.Len() == before {
 			return total, stats
@@ -187,4 +224,18 @@ func (p *ParallelEngine) Decomposed(db rel.DB, b, c []*ast.Op, q *rel.Relation) 
 	out, s2 := p.SemiNaive(db, b, mid)
 	s1.Add(s2)
 	return out, s1
+}
+
+// DecomposedCtx is Decomposed with cancellation (see SemiNaiveCtx).
+func (p *ParallelEngine) DecomposedCtx(ctx context.Context, db rel.DB, b, c []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
+	mid, s1, err := p.SemiNaiveCtx(ctx, db, c, q)
+	if err != nil {
+		return nil, s1, err
+	}
+	out, s2, err := p.SemiNaiveCtx(ctx, db, b, mid)
+	s1.Add(s2)
+	if err != nil {
+		return nil, s1, err
+	}
+	return out, s1, nil
 }

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"linrec/internal/core"
+	"linrec/internal/server"
+	"linrec/internal/workload"
+)
+
+// The server lane measures linrecd end to end: the 240k-edge
+// transitive-closure workload served over HTTP to 64 concurrent clients,
+// with snapshot swaps forced mid-run.  Queries are selections
+// path(t<i>, Y), so every request exercises the paper's separable
+// algorithm (context iteration + seeded closure) instead of the full
+// 2.8M-tuple closure — the per-query payoff of plan selection that the
+// ISSUE's server workload is built around.
+
+// ServerReport is the server lane of BENCH_eval.json.
+type ServerReport struct {
+	Bench         string  `json:"bench"`
+	Workload      string  `json:"workload"`
+	Clients       int     `json:"clients"`
+	WorkerBudget  int     `json:"worker_budget"`
+	DurationS     float64 `json:"duration_s"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	RowsServed    int64   `json:"rows_served"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	SwapsMidRun   int64   `json:"snapshot_swaps_mid_run"`
+	FinalVersion  uint64  `json:"final_snapshot_version"`
+}
+
+// serverBenchProgram: TC with a commuting left/right-linear pair so
+// selection queries take the separable plan.
+const serverBenchProgram = `
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,U), edge(U,Y).
+path(X,Y) :- edge(X,U), path(U,Y).
+`
+
+// ServerBench boots linrecd's server core on an ephemeral port over the
+// PTC workload graph and drives clients closed-loop for the given
+// duration, swapping fact snapshots every swapEvery (0 disables).
+func ServerBench(nodes, clients int, duration, swapEvery time.Duration) (ServerReport, error) {
+	rep := ServerReport{
+		Bench:        "server_tc",
+		Workload:     fmt.Sprintf("random recursive tree, %d edges, separable selection queries over HTTP", nodes-1),
+		Clients:      clients,
+		WorkerBudget: runtime.GOMAXPROCS(0),
+	}
+	sys, err := core.Load(serverBenchProgram)
+	if err != nil {
+		return rep, err
+	}
+	// Bulk-load the graph into the initial snapshot (pre-serve, unshared).
+	workload.RandomTree(sys.Engine, sys.DB(), "edge", nodes, 47)
+
+	srv := server.New(server.Config{
+		System:       sys,
+		TotalWorkers: rep.WorkerBudget,
+		QueryWorkers: 1,
+		MaxQueue:     4 * clients,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Query pool: selections on nodes from the shallow half of the index
+	// range — node k's subtree has expected size ~nodes/k, so k ≥ nodes/16
+	// keeps answers small and latencies query-bound, not transfer-bound.
+	rng := rand.New(rand.NewSource(71))
+	queries := make([]string, 512)
+	for i := range queries {
+		k := nodes/16 + rng.Intn(nodes-nodes/16)
+		queries[i] = fmt.Sprintf("path(t%d, Y)", k)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if swapEvery > 0 {
+		go func() {
+			hc := &http.Client{Timeout: 30 * time.Second}
+			t := time.NewTicker(swapEvery)
+			defer t.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					facts := fmt.Sprintf("edge(bench_%d_a, bench_%d_b).", i, i)
+					_, _ = server.PostFacts(ctx, hc, base, facts)
+				}
+			}
+		}()
+	}
+
+	load, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL:  base,
+		Queries:  queries,
+		Clients:  clients,
+		Duration: duration,
+		Timeout:  30 * time.Second,
+	})
+	cancel()
+	if err != nil {
+		return rep, err
+	}
+
+	stats := srv.Stats()
+	rep.DurationS = load.ElapsedS
+	rep.Requests = load.Requests
+	rep.Failures = load.Failures
+	rep.RowsServed = load.Rows
+	rep.ThroughputQPS = load.Throughput
+	rep.P50MS = load.P50MS
+	rep.P99MS = load.P99MS
+	rep.MaxMS = load.MaxMS
+	rep.SwapsMidRun = stats.FactBatches
+	rep.FinalVersion = stats.SnapshotVersion
+	if load.Failures > 0 {
+		return rep, fmt.Errorf("server bench: %d of %d queries failed", load.Failures, load.Requests)
+	}
+	return rep, nil
+}
+
+// ServerJSONReport is the BENCH_eval.json server lane: 64 clients on the
+// 240k-edge graph for 6 seconds with a snapshot swap every 500ms.
+func ServerJSONReport() (ServerReport, error) {
+	return ServerBench(PTCNodes, 64, 6*time.Second, 500*time.Millisecond)
+}

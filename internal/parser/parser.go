@@ -2,6 +2,7 @@ package parser
 
 import (
 	"fmt"
+	"strings"
 
 	"linrec/internal/ast"
 )
@@ -101,6 +102,24 @@ func MustParseOp(src string) *ast.Op {
 		panic(err)
 	}
 	return op
+}
+
+// ParseAtom parses a single goal atom such as "path(a, Y)".  The query
+// marker and terminating period are optional, so "?- path(a,Y)." and
+// "path(a,Y)" both parse — the lenient form the server's query endpoint
+// accepts.
+func ParseAtom(src string) (ast.Atom, error) {
+	s := strings.TrimSpace(src)
+	s = strings.TrimPrefix(s, "?-")
+	s = strings.TrimSuffix(strings.TrimSpace(s), ".")
+	prog, err := Parse("?- " + s + ".")
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if len(prog.Queries) != 1 || len(prog.Rules) != 0 || len(prog.Facts) != 0 {
+		return ast.Atom{}, fmt.Errorf("parser: expected exactly one atom in %q", src)
+	}
+	return prog.Queries[0], nil
 }
 
 func (p *parser) advance() error {

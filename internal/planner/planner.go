@@ -9,6 +9,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -364,6 +365,15 @@ func (a *Analysis) Execute(e *eval.Engine, db rel.DB, plan *Plan, sel *separable
 // across the pool; results (and statistics) are identical to sequential
 // execution.
 func (a *Analysis) ExecuteOpts(e *eval.Engine, db rel.DB, plan *Plan, sel *separable.Selection, opts Options) (*Result, error) {
+	return a.ExecuteCtx(context.Background(), e, db, plan, sel, opts)
+}
+
+// Seed materializes the evaluation seed: the union of the exit rules
+// over db.  The result depends only on (analysis, db), so callers serving
+// many queries over one immutable database snapshot may compute it once
+// and share it — the seed is only ever read by ExecuteSeeded (closures
+// clone it; lazy index builds on it are concurrency-safe).
+func (a *Analysis) Seed(e *eval.Engine, db rel.DB) (*rel.Relation, error) {
 	q := rel.NewRelation(a.Ops[0].Arity())
 	for _, r := range a.ExitRules {
 		t, err := e.EvalRule(db, r)
@@ -372,12 +382,35 @@ func (a *Analysis) ExecuteOpts(e *eval.Engine, db rel.DB, plan *Plan, sel *separ
 		}
 		q.UnionInto(t)
 	}
+	return q, nil
+}
+
+// ExecuteCtx is ExecuteOpts with cancellation: every closure phase of
+// every plan kind polls ctx (at round barriers and, for the sharded
+// engine, inside each worker's shard scan) and returns ctx's error once
+// it fires, with all worker goroutines joined.
+func (a *Analysis) ExecuteCtx(ctx context.Context, e *eval.Engine, db rel.DB, plan *Plan, sel *separable.Selection, opts Options) (*Result, error) {
+	q, err := a.Seed(e, db)
+	if err != nil {
+		return nil, err
+	}
+	return a.ExecuteSeeded(ctx, e, db, plan, sel, opts, q)
+}
+
+// ExecuteSeeded is ExecuteCtx with a pre-materialized seed (see Seed).
+// The seed is shared, not consumed: no plan kind mutates it.
+func (a *Analysis) ExecuteSeeded(ctx context.Context, e *eval.Engine, db rel.DB, plan *Plan, sel *separable.Selection, opts Options, q *rel.Relation) (*Result, error) {
 	pe := eval.Parallel(e, max(1, opts.Workers))
 
 	res := &Result{Plan: plan}
 	switch plan.Kind {
 	case Separable:
-		r, err := separable.Eval(e, db, a.Ops[plan.Order[0]], a.Ops[plan.Order[1]], q, plan.Sel)
+		// Guard against inspection-only stubs (e.g. core.PlanFor's n-ary
+		// candidate) reaching execution: fail cleanly, don't index nil.
+		if len(plan.Order) < 2 {
+			return nil, fmt.Errorf("planner: separable plan has no operator order; it is not executable")
+		}
+		r, err := separable.EvalCtx(ctx, e, db, a.Ops[plan.Order[0]], a.Ops[plan.Order[1]], q, plan.Sel)
 		if err != nil {
 			return nil, err
 		}
@@ -391,8 +424,11 @@ func (a *Analysis) ExecuteOpts(e *eval.Engine, db rel.DB, plan *Plan, sel *separ
 			for _, idx := range plan.Groups[i] {
 				ops = append(ops, a.Ops[idx])
 			}
-			next, s := pe.SemiNaive(db, ops, cur)
+			next, s, err := pe.SemiNaiveCtx(ctx, db, ops, cur)
 			stats.Add(s)
+			if err != nil {
+				return nil, err
+			}
 			cur = next
 		}
 		res.Answer, res.Stats = cur, stats
@@ -401,6 +437,9 @@ func (a *Analysis) ExecuteOpts(e *eval.Engine, db rel.DB, plan *Plan, sel *separ
 		cur := q
 		var stats eval.Stats
 		for m := 0; m < plan.Rounds; m++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			next := rel.NewRelation(q.Arity())
 			e.Apply(db, a.Ops[0], cur, next, &stats)
 			if out.UnionInto(next) == 0 {
@@ -411,7 +450,11 @@ func (a *Analysis) ExecuteOpts(e *eval.Engine, db rel.DB, plan *Plan, sel *separ
 		}
 		res.Answer, res.Stats = out, stats
 	default:
-		res.Answer, res.Stats = pe.SemiNaive(db, a.Ops, q)
+		var err error
+		res.Answer, res.Stats, err = pe.SemiNaiveCtx(ctx, db, a.Ops, q)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if sel != nil {
 		res.Answer = sel.Apply(res.Answer)

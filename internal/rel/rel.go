@@ -142,6 +142,16 @@ func (s *Symtab) Len() int {
 	return len(s.names)
 }
 
+// Names returns a point-in-time view of the interned symbols, indexed by
+// value.  The returned slice is capacity-clipped and its elements are
+// never mutated, so callers may read it lock-free — bulk renderers use
+// this instead of paying one lock round-trip per Name call.
+func (s *Symtab) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.names[:len(s.names):len(s.names)]
+}
+
 // table is an open-addressing hash set over tuple keys: slots hold the key
 // and a 1-based row number (0 = empty).  Linear probing with a
 // splitmix64-mixed start slot; the packed keys themselves are too regular

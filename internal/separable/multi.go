@@ -1,6 +1,7 @@
 package separable
 
 import (
+	"context"
 	"fmt"
 
 	"linrec/internal/ast"
@@ -31,6 +32,12 @@ type MultiSelection struct {
 // chain runs right-to-left: σ0 is applied to q, then for i = n..1 the
 // closure Aᵢ* runs followed by σᵢ's filter.
 func EvalMulti(e *eval.Engine, db rel.DB, ops []*ast.Op, sels []MultiSelection, q *rel.Relation) (*rel.Relation, eval.Stats, error) {
+	return EvalMultiCtx(context.Background(), e, db, ops, sels, q)
+}
+
+// EvalMultiCtx is EvalMulti with cancellation: every closure in the chain
+// runs under ctx (see eval.SemiNaiveCtx).
+func EvalMultiCtx(ctx context.Context, e *eval.Engine, db rel.DB, ops []*ast.Op, sels []MultiSelection, q *rel.Relation) (*rel.Relation, eval.Stats, error) {
 	var stats eval.Stats
 	if len(ops) == 0 {
 		return nil, stats, fmt.Errorf("separable: no operators")
@@ -78,8 +85,11 @@ func EvalMulti(e *eval.Engine, db rel.DB, ops []*ast.Op, sels []MultiSelection, 
 	}
 	// Right-to-left product: (σ1 A1*)…(σn An*) applied innermost-first.
 	for i := len(ops) - 1; i >= 0; i-- {
-		next, s := e.SemiNaive(db, []*ast.Op{ops[i]}, cur)
+		next, s, err := e.SemiNaiveCtx(ctx, db, []*ast.Op{ops[i]}, cur)
 		stats.Add(s)
+		if err != nil {
+			return nil, stats, err
+		}
 		if sel := perOp[i]; sel != nil {
 			next = sel.Apply(next)
 		}

@@ -10,6 +10,7 @@
 package separable
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -176,6 +177,13 @@ type Result struct {
 // by definition otherwise) and σ commutes with A1 — and returns an error
 // when they fail.
 func Eval(e *eval.Engine, db rel.DB, a1, a2 *ast.Op, q *rel.Relation, sel Selection) (Result, error) {
+	return EvalCtx(context.Background(), e, db, a1, a2, q, sel)
+}
+
+// EvalCtx is Eval with cancellation: both phases (the context iteration or
+// A2 closure, then the A1 closure) poll ctx and return its error once it
+// fires.
+func EvalCtx(cx context.Context, e *eval.Engine, db rel.DB, a1, a2 *ast.Op, q *rel.Relation, sel Selection) (Result, error) {
 	if !sel.CommutesWith(a1) {
 		return Result{}, fmt.Errorf("separable: selection on column %d does not commute with A1", sel.Col)
 	}
@@ -189,17 +197,27 @@ func Eval(e *eval.Engine, db rel.DB, a1, a2 *ast.Op, q *rel.Relation, sel Select
 	// Phase 1: R := σ(A2* q).
 	var mid *rel.Relation
 	if ctx, ok := contextProgram(a2, sel.Col); ok {
-		mid = magicPhase(e, db, ctx, q, sel, &res.Stats)
+		var err error
+		mid, err = magicPhase(cx, e, db, ctx, q, sel, &res.Stats)
+		if err != nil {
+			return Result{}, err
+		}
 		res.UsedMagic = true
 	} else {
-		full, s := e.SemiNaive(db, []*ast.Op{a2}, q)
+		full, s, err := e.SemiNaiveCtx(cx, db, []*ast.Op{a2}, q)
 		res.Stats.Add(s)
+		if err != nil {
+			return Result{}, err
+		}
 		mid = sel.Apply(full)
 	}
 
 	// Phase 2: semi-naive closure of A1 seeded with R.
-	out, s2 := e.SemiNaive(db, []*ast.Op{a1}, mid)
+	out, s2, err := e.SemiNaiveCtx(cx, db, []*ast.Op{a1}, mid)
 	res.Stats.Add(s2)
+	if err != nil {
+		return Result{}, err
+	}
 	res.Rel = out
 	return res, nil
 }
@@ -274,7 +292,8 @@ func contextProgram(a2 *ast.Op, c int) (contextOp, bool) {
 // magicPhase runs Algorithm 4.1's first loop: starting from the selection
 // constant, repeatedly push the context through A2's nonrecursive atoms,
 // and join every context generation against q.  It returns σ(A2* q).
-func magicPhase(e *eval.Engine, db rel.DB, ctx contextOp, q *rel.Relation, sel Selection, stats *eval.Stats) *rel.Relation {
+// The frontier loop polls cx once per generation.
+func magicPhase(cx context.Context, e *eval.Engine, db rel.DB, ctx contextOp, q *rel.Relation, sel Selection, stats *eval.Stats) (*rel.Relation, error) {
 	out := rel.NewRelation(q.Arity())
 	collect := func(v rel.Value) {
 		for _, t := range q.Lookup(sel.Col, v) {
@@ -300,6 +319,9 @@ func magicPhase(e *eval.Engine, db rel.DB, ctx contextOp, q *rel.Relation, sel S
 		scratch[k] = v
 	}
 	for frontier.Len() > 0 {
+		if err := cx.Err(); err != nil {
+			return nil, err
+		}
 		stats.Iterations++
 		scratch["$seed"] = frontier
 		next, err := e.EvalRule(scratch, ctx.rule)
@@ -316,5 +338,5 @@ func magicPhase(e *eval.Engine, db rel.DB, ctx contextOp, q *rel.Relation, sel S
 			}
 		})
 	}
-	return out
+	return out, nil
 }

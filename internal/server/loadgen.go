@@ -1,0 +1,268 @@
+// Load generation against a running linrecd: the engine behind cmd/lrload
+// and the lrbench -server lane.  Closed-loop mode keeps a fixed number of
+// clients saturated; open-loop mode fires requests on a fixed schedule
+// regardless of completions (so queueing delay shows up as latency, not as
+// reduced offered load).  Latencies are recorded exactly client-side and
+// reduced to p50/p99 by sorting, independent of the server's bucketed
+// histogram.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configure one load-generation run.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Queries are goal atoms issued round-robin per client.  At least one.
+	Queries []string
+	// Clients is the closed-loop concurrency (ignored when Rate > 0 for
+	// scheduling, but still caps in-flight requests).
+	Clients int
+	// Rate > 0 selects open-loop mode at that many requests/second.
+	Rate float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// Timeout is the per-request deadline, sent to the server as
+	// timeout_ms and enforced client-side with headroom.
+	Timeout time.Duration
+	// Workers is the per-query worker grant to request (0 = server default).
+	Workers int
+}
+
+// LoadReport aggregates a run.
+type LoadReport struct {
+	Requests   int64   `json:"requests"`
+	Failures   int64   `json:"failures"` // transport errors + non-200s
+	Shed       int64   `json:"shed"`     // 429/503 admission rejections (subset of Failures)
+	Dropped    int64   `json:"dropped"`  // open-loop ticks never sent: the client's in-flight cap was full (client capacity, not a server failure)
+	Rows       int64   `json:"rows"`
+	ElapsedS   float64 `json:"elapsed_s"`
+	Throughput float64 `json:"throughput_qps"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+}
+
+// loadClient is a reusable HTTP client sized for many concurrent
+// keep-alive connections to one host.
+func loadClient(clients int, timeout time.Duration) *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        clients + 8,
+		MaxIdleConnsPerHost: clients + 8,
+	}
+	return &http.Client{Transport: tr, Timeout: timeout + 5*time.Second}
+}
+
+// QueryOnce issues one query and returns the decoded response.
+func QueryOnce(ctx context.Context, hc *http.Client, baseURL, query string, timeout time.Duration, workers int) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{
+		Query:     query,
+		TimeoutMS: timeout.Milliseconds(),
+		Workers:   workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &HTTPError{Status: resp.StatusCode, Body: string(msg)}
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PostFacts pushes a batch of ground facts and returns the new snapshot
+// version.
+func PostFacts(ctx context.Context, hc *http.Client, baseURL, facts string) (*FactsResponse, error) {
+	body, err := json.Marshal(FactsRequest{Facts: facts})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/facts", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &HTTPError{Status: resp.StatusCode, Body: string(msg)}
+	}
+	var out FactsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// HTTPError is a non-200 server reply.
+type HTTPError struct {
+	Status int
+	Body   string
+}
+
+func (e *HTTPError) Error() string { return fmt.Sprintf("http %d: %s", e.Status, e.Body) }
+
+// Shedding reports whether the error is an admission-control rejection.
+func (e *HTTPError) Shedding() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// RunLoad drives traffic per opts and aggregates a report.  ctx cancels
+// the run early (the partial report is still returned).
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	if opts.BaseURL == "" || len(opts.Queries) == 0 {
+		return LoadReport{}, fmt.Errorf("server: load needs a BaseURL and at least one query")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	hc := loadClient(opts.Clients, opts.Timeout)
+	defer hc.CloseIdleConnections()
+
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  atomic.Int64
+		failures  atomic.Int64
+		shed      atomic.Int64
+		dropped   atomic.Int64
+		rows      atomic.Int64
+	)
+	oneRequest := func(query string) {
+		start := time.Now()
+		resp, err := QueryOnce(ctx, hc, opts.BaseURL, query, opts.Timeout, opts.Workers)
+		lat := time.Since(start)
+		requests.Add(1)
+		if err != nil {
+			failures.Add(1)
+			var he *HTTPError
+			if errors.As(err, &he) && he.Shedding() {
+				shed.Add(1)
+			}
+			return
+		}
+		rows.Add(int64(resp.RowCount))
+		mu.Lock()
+		latencies = append(latencies, lat)
+		mu.Unlock()
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	if opts.Rate > 0 {
+		// Open loop: fire on schedule; Clients caps in-flight so a stalled
+		// server can't accumulate unbounded goroutines.
+		interval := time.Duration(float64(time.Second) / opts.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		slots := make(chan struct{}, opts.Clients)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		i := 0
+	open:
+		for {
+			select {
+			case <-runCtx.Done():
+				break open
+			case <-ticker.C:
+				select {
+				case slots <- struct{}{}:
+				default:
+					// All in-flight slots busy: the tick is dropped from
+					// the schedule.  Counted separately from Failures —
+					// this is client capacity, not a server error.
+					dropped.Add(1)
+					continue
+				}
+				q := opts.Queries[i%len(opts.Queries)]
+				i++
+				wg.Add(1)
+				go func(q string) {
+					defer wg.Done()
+					defer func() { <-slots }()
+					oneRequest(q)
+				}(q)
+			}
+		}
+	} else {
+		// Closed loop: Clients workers, each issuing back to back.
+		for c := 0; c < opts.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; ; i += opts.Clients {
+					select {
+					case <-runCtx.Done():
+						return
+					default:
+					}
+					oneRequest(opts.Queries[i%len(opts.Queries)])
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	rep := LoadReport{
+		Requests: requests.Load(),
+		Failures: failures.Load(),
+		Shed:     shed.Load(),
+		Dropped:  dropped.Load(),
+		Rows:     rows.Load(),
+		ElapsedS: elapsed.Seconds(),
+	}
+	ok := rep.Requests - rep.Failures
+	if elapsed > 0 {
+		rep.Throughput = float64(ok) / elapsed.Seconds()
+	}
+	mu.Lock()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		rep.P50MS = float64(latencies[n/2]) / 1e6
+		rep.P99MS = float64(latencies[(n-1)*99/100]) / 1e6
+		rep.MaxMS = float64(latencies[n-1]) / 1e6
+	}
+	mu.Unlock()
+	return rep, nil
+}

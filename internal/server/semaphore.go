@@ -1,0 +1,135 @@
+// A weighted semaphore implementing the server's global worker budget:
+// each admitted query acquires its per-query worker grant from the shared
+// pool and releases it when the query finishes, so the sum of all
+// in-flight closure workers never exceeds the budget.  FIFO handoff keeps
+// heavy (high-weight) queries from being starved by a stream of light
+// ones.  Hand-rolled because the module deliberately has no external
+// dependencies (golang.org/x/sync is not vendored).
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+type semWaiter struct {
+	n     int64
+	ready chan struct{} // closed by Release when the grant is assigned
+}
+
+// Semaphore is a weighted counting semaphore with FIFO waiters and
+// context-aware acquisition.
+type Semaphore struct {
+	size int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *semWaiter
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(n int64) *Semaphore {
+	if n <= 0 {
+		panic(fmt.Sprintf("server: semaphore capacity %d", n))
+	}
+	return &Semaphore{size: n}
+}
+
+// Size returns the capacity.
+func (s *Semaphore) Size() int64 { return s.size }
+
+// InUse returns the currently acquired weight.
+func (s *Semaphore) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Waiting returns the number of blocked Acquire calls.
+func (s *Semaphore) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiters.Len()
+}
+
+// TryAcquire acquires weight n without blocking; it reports success.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// Acquire blocks until weight n is available or ctx fires.  Waiters are
+// served strictly in arrival order; a request wider than the capacity
+// fails immediately rather than deadlocking.
+func (s *Semaphore) Acquire(ctx context.Context, n int64) error {
+	if n > s.size {
+		return fmt.Errorf("server: acquire %d exceeds semaphore capacity %d", n, s.size)
+	}
+	s.mu.Lock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost the race: the grant was already handed over.  Keep it
+			// would-be-leaked weight and report success instead.
+			s.mu.Unlock()
+			return nil
+		default:
+			s.waiters.Remove(elem)
+			// Removing a waiter can unblock the ones behind it.
+			s.handoffLocked()
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+}
+
+// Release returns weight n to the pool and hands it to queued waiters in
+// FIFO order.
+func (s *Semaphore) Release(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur -= n
+	if s.cur < 0 {
+		panic("server: semaphore released more than held")
+	}
+	s.handoffLocked()
+}
+
+// handoffLocked grants capacity to the longest-waiting requests that fit.
+// FIFO is strict: a wide waiter at the front blocks narrower ones behind
+// it until its grant fits (no starvation).
+func (s *Semaphore) handoffLocked() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*semWaiter)
+		if s.cur+w.n > s.size {
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBasics(t *testing.T) {
+	s := NewSemaphore(4)
+	if !s.TryAcquire(3) {
+		t.Fatalf("TryAcquire(3) failed on empty semaphore")
+	}
+	if s.TryAcquire(2) {
+		t.Fatalf("TryAcquire(2) succeeded with only 1 free")
+	}
+	if got := s.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	s.Release(3)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+func TestSemaphoreOverCapacity(t *testing.T) {
+	s := NewSemaphore(2)
+	if err := s.Acquire(context.Background(), 3); err == nil {
+		t.Fatalf("acquiring beyond capacity should fail, not deadlock")
+	}
+}
+
+func TestSemaphoreCancelWhileWaiting(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := s.Waiting(); got != 0 {
+		t.Fatalf("cancelled waiter still queued: %d", got)
+	}
+	s.Release(1)
+	// The pool must be whole again.
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("Acquire after cancel/release: %v", err)
+	}
+}
+
+// TestSemaphoreFIFO: a wide waiter at the front is served before narrower
+// latecomers (no starvation of heavy queries).
+func TestSemaphoreFIFO(t *testing.T) {
+	s := NewSemaphore(4)
+	if err := s.Acquire(context.Background(), 4); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // wide waiter, enqueued first
+		defer wg.Done()
+		if err := s.Acquire(context.Background(), 3); err != nil {
+			t.Errorf("wide Acquire: %v", err)
+			return
+		}
+		order <- 3
+		s.Release(3)
+	}()
+	// Ensure the wide waiter is queued before the narrow one.
+	for s.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() { // narrow waiter, enqueued second; 3+2 > 4, so it cannot
+		// be granted alongside the wide one
+		defer wg.Done()
+		if err := s.Acquire(context.Background(), 2); err != nil {
+			t.Errorf("narrow Acquire: %v", err)
+			return
+		}
+		order <- 2
+		s.Release(2)
+	}()
+	for s.Waiting() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	s.Release(4)
+	wg.Wait()
+	if first := <-order; first != 3 {
+		t.Fatalf("FIFO violated: weight-%d waiter served first", first)
+	}
+}
+
+// TestSemaphoreBudgetInvariant: hammered from many goroutines, in-use
+// weight never exceeds capacity.
+func TestSemaphoreBudgetInvariant(t *testing.T) {
+	const capacity = 8
+	s := NewSemaphore(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := int64(g%3 + 1)
+			for i := 0; i < 200; i++ {
+				if err := s.Acquire(context.Background(), n); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				if got := s.InUse(); got > capacity {
+					t.Errorf("budget exceeded: %d > %d", got, capacity)
+				}
+				s.Release(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("leaked weight: %d", got)
+	}
+}

@@ -1,0 +1,436 @@
+// Package server is the linrecd network front end: it multiplexes many
+// concurrent HTTP clients onto one loaded core.System, serving
+// linear-recursion queries over snapshot-isolated databases.
+//
+//	POST /v1/query  {"query":"path(a,Y)","timeout_ms":1000,"workers":2}
+//	POST /v1/facts  {"facts":"edge(c,d). edge(d,e)."}
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// Each query pins the database snapshot current at admission and runs
+// entirely against it; POST /v1/facts publishes a new snapshot
+// copy-on-write (core.System.AddFacts), so updates never block or tear
+// in-flight queries.  Admission control partitions a global worker budget
+// into per-query grants through a weighted FIFO semaphore: a bounded
+// queue sheds excess load with 429 (queue full) and 503 (budget
+// unavailable before the query's deadline), and per-query timeouts
+// propagate as context cancellation all the way into the engine's closure
+// round barriers, so a slow query is killed promptly (504) without
+// leaking its workers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"linrec/internal/core"
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/planner"
+)
+
+// Config sizes the server.  Zero values select the documented defaults.
+type Config struct {
+	// System is the loaded program the server fronts.  Required.
+	System *core.System
+	// TotalWorkers is the global closure-worker budget shared by all
+	// in-flight queries.  Default: GOMAXPROCS.
+	TotalWorkers int
+	// QueryWorkers is the per-query worker grant when the request doesn't
+	// ask for one.  Default: 1 (sequential evaluation per query; the
+	// budget then equals the maximum number of concurrent queries).
+	QueryWorkers int
+	// MaxQueue bounds the admission queue: requests beyond it are shed
+	// with 429 instead of waiting for budget.  Default: 4 × TotalWorkers.
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Default: 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout.  Default: 120s.
+	MaxTimeout time.Duration
+	// MaxRows rejects answers larger than this with 413 before they are
+	// materialized as strings — result materialization happens after the
+	// worker grant is released, so without a cap, huge open-query answers
+	// would be the one unmetered resource.  0 = unlimited.
+	MaxRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TotalWorkers <= 0 {
+		c.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = 1
+	}
+	if c.QueryWorkers > c.TotalWorkers {
+		c.QueryWorkers = c.TotalWorkers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.TotalWorkers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 120 * time.Second
+	}
+	return c
+}
+
+// Server serves one core.System over HTTP.  Safe for concurrent use.
+type Server struct {
+	cfg      Config
+	sys      *core.System
+	sem      *Semaphore
+	queued   atomic.Int64
+	inflight atomic.Int64
+	start    time.Time
+	ctr      counters
+	lat      latencyHist
+	mux      *http.ServeMux
+}
+
+// New builds a server over a loaded system.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.System == nil {
+		panic("server: Config.System is required")
+	}
+	s := &Server{
+		cfg:   cfg,
+		sys:   cfg.System,
+		sem:   NewSemaphore(int64(cfg.TotalWorkers)),
+		start: time.Now(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/facts", s.handleFacts)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	// Query is a goal atom, e.g. "path(a, Y)"; the "?-" marker and
+	// trailing "." are optional.
+	Query string `json:"query"`
+	// TimeoutMS is the per-query deadline; 0 selects the server default,
+	// values above the server cap are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers is the requested closure worker grant; 0 selects the server
+	// default, values above the global budget are clamped.
+	Workers int `json:"workers,omitempty"`
+}
+
+// QueryResponse is the POST /v1/query answer.
+type QueryResponse struct {
+	Rows            [][]string `json:"rows"`
+	RowCount        int        `json:"row_count"`
+	Plan            string     `json:"plan"`
+	Why             string     `json:"why"`
+	Stats           eval.Stats `json:"stats"`
+	SnapshotVersion uint64     `json:"snapshot_version"`
+	Workers         int        `json:"workers"`
+	ElapsedMS       float64    `json:"elapsed_ms"`
+}
+
+// FactsRequest is the POST /v1/facts body.
+type FactsRequest struct {
+	// Facts is Datalog source containing only ground facts,
+	// e.g. "edge(c,d). edge(d,e)."
+	Facts string `json:"facts"`
+}
+
+// FactsResponse is the POST /v1/facts answer.
+type FactsResponse struct {
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	FactsAdded      int     `json:"facts_added"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+const maxBodyBytes = 16 << 20 // fact batches can be large; queries are tiny
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		s.ctr.queryErrors.Add(1)
+		return
+	}
+	goal, err := parser.ParseAtom(req.Query)
+	if err != nil {
+		s.ctr.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	workers := s.cfg.QueryWorkers
+	if req.Workers > 0 {
+		workers = req.Workers
+	}
+	if workers > s.cfg.TotalWorkers {
+		workers = s.cfg.TotalWorkers
+	}
+	opts := core.Options{Workers: workers, Strategy: s.sys.Opts.Strategy}
+
+	// Size the grant by the plan the query will actually run: separable
+	// and bounded plans evaluate sequentially, so handing them a wide
+	// budget slice would hold workers idle and starve other queries.
+	// This also rejects unknown predicates before they burn a queue slot.
+	plan, err := s.sys.PlanFor(goal, opts)
+	if err != nil {
+		s.ctr.queryErrors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		return
+	}
+	grant := workers
+	if plan.Kind != planner.SemiNaive && plan.Kind != planner.Decomposed {
+		grant = 1
+	}
+	opts.Workers = grant
+
+	// Admission: a bounded queue in front of the worker budget.  The
+	// counter includes requests currently acquiring, so the bound holds
+	// under any interleaving; beyond it, shed immediately.
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.ctr.shedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full (%d waiting)", s.cfg.MaxQueue)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	err = s.sem.Acquire(ctx, int64(grant))
+	s.queued.Add(-1)
+	if err != nil {
+		s.ctr.shedBudget.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"no worker budget within the %v query deadline: %v", timeout, err)
+		return
+	}
+
+	// Pin the snapshot current at admission; the query never sees a
+	// later fact swap.  The grant covers evaluation only — it is
+	// returned before the response is serialized, so a slow-reading
+	// client cannot pin closure workers.
+	s.inflight.Add(1)
+	snap := s.sys.Snapshot()
+	start := time.Now()
+	res, err := s.sys.QueryOn(ctx, snap, goal, opts)
+	elapsed := time.Since(start)
+	s.inflight.Add(-1)
+	s.sem.Release(int64(grant))
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.ctr.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "query timed out after %v", timeout)
+		case ctx.Err() != nil:
+			// The client went away mid-evaluation; nobody reads this
+			// reply.  499 is the de-facto client-closed-request status.
+			s.ctr.clientAborts.Add(1)
+			writeError(w, 499, "client closed request")
+		default:
+			s.ctr.queryErrors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		}
+		return
+	}
+
+	if s.cfg.MaxRows > 0 && res.Answer.Len() > s.cfg.MaxRows {
+		s.ctr.queryErrors.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"answer has %d rows, over the server's %d-row cap; narrow the query", res.Answer.Len(), s.cfg.MaxRows)
+		return
+	}
+	rows := res.Rows(s.sys)
+	s.ctr.queriesOK.Add(1)
+	s.ctr.rowsServed.Add(int64(len(rows)))
+	s.lat.observe(elapsed)
+
+	resp := QueryResponse{
+		Rows:            rows,
+		RowCount:        len(rows),
+		Plan:            res.Plan.Kind.String(),
+		Why:             res.Plan.Why,
+		Stats:           res.Stats,
+		SnapshotVersion: res.Version,
+		Workers:         grant,
+		ElapsedMS:       float64(elapsed) / 1e6,
+	}
+	if wantsStream(r) {
+		s.streamResponse(w, &resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wantsStream reports whether the client asked for row streaming
+// (?stream=1 or Accept: application/x-ndjson).
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamResponse writes rows as NDJSON — one JSON array per line, flushed
+// in chunks — followed by a terminal summary object with "done":true and
+// the plan/stats metadata.  The response bytes reach the client
+// incrementally (no whole-answer JSON buffer); the row strings themselves
+// are materialized up front, which Config.MaxRows bounds.
+func (s *Server) streamResponse(w http.ResponseWriter, resp *QueryResponse) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	const flushEvery = 1024
+	for i, row := range resp.Rows {
+		if err := enc.Encode(row); err != nil {
+			return // client went away
+		}
+		if flusher != nil && (i+1)%flushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	tail := struct {
+		Done bool `json:"done"`
+		QueryResponse
+		// Rows shadows QueryResponse.Rows out of the tail: they are
+		// already on the wire as NDJSON lines.
+		Rows any `json:"rows,omitempty"`
+	}{Done: true, QueryResponse: *resp}
+	_ = enc.Encode(tail)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req FactsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	prog, err := parser.Parse(req.Facts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad facts: %v", err)
+		return
+	}
+	if len(prog.Rules) > 0 || len(prog.Queries) > 0 {
+		writeError(w, http.StatusBadRequest,
+			"facts update must contain only ground facts (got %d rules, %d queries)",
+			len(prog.Rules), len(prog.Queries))
+		return
+	}
+	if len(prog.Facts) == 0 {
+		writeError(w, http.StatusBadRequest, "no facts in update")
+		return
+	}
+	start := time.Now()
+	snap, added, err := s.sys.AddFacts(prog.Facts)
+	if err != nil {
+		writeError(w, http.StatusConflict, "facts rejected: %v", err)
+		return
+	}
+	if added > 0 {
+		s.ctr.factBatches.Add(1)
+		s.ctr.factsAdded.Add(int64(added))
+	}
+	writeJSON(w, http.StatusOK, FactsResponse{
+		SnapshotVersion: snap.Version,
+		FactsAdded:      added,
+		ElapsedMS:       float64(time.Since(start)) / 1e6,
+	})
+}
+
+// Stats returns a point-in-time statistics report (the /v1/stats body).
+func (s *Server) Stats() StatsReport {
+	return StatsReport{
+		UptimeS:         time.Since(s.start).Seconds(),
+		SnapshotVersion: s.sys.Snapshot().Version,
+		QueriesOK:       s.ctr.queriesOK.Load(),
+		QueryErrors:     s.ctr.queryErrors.Load(),
+		Timeouts:        s.ctr.timeouts.Load(),
+		ClientAborts:    s.ctr.clientAborts.Load(),
+		Shed429:         s.ctr.shedQueue.Load(),
+		Shed503:         s.ctr.shedBudget.Load(),
+		FactBatches:     s.ctr.factBatches.Load(),
+		FactsAdded:      s.ctr.factsAdded.Load(),
+		RowsServed:      s.ctr.rowsServed.Load(),
+		InFlight:        s.inflight.Load(),
+		Queued:          s.queued.Load(),
+		WorkerBudget:    s.sem.Size(),
+		WorkersInUse:    s.sem.InUse(),
+		Latency:         s.lat.summary(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status          string `json:"status"`
+		SnapshotVersion uint64 `json:"snapshot_version"`
+	}{Status: "ok", SnapshotVersion: s.sys.Snapshot().Version})
+}
+

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"linrec/internal/core"
+)
+
+// chainProgram builds a path/edge program over a chain c0→c1→…→cN.
+func chainProgram(n int) string {
+	var b strings.Builder
+	b.WriteString("path(X,Y) :- edge(X,Y).\n")
+	b.WriteString("path(X,Y) :- path(X,U), edge(U,Y).\n")
+	b.WriteString("path(X,Y) :- edge(X,U), path(U,Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "edge(c%d,c%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// cycleProgram's closure is n² tuples over n rounds — the slow query used
+// by the timeout and shedding tests.
+func cycleProgram(n int) string {
+	var b strings.Builder
+	b.WriteString("p(X,Y) :- e(X,Y).\n")
+	b.WriteString("p(X,Y) :- p(X,U), e(U,Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(v%d,v%d).\n", i, (i+1)%n)
+	}
+	return b.String()
+}
+
+func newTestServer(t *testing.T, program string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, err := core.Load(program)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	cfg.System = sys
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return v
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(3), Config{})
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[QueryResponse](t, resp)
+	if out.RowCount != 3 || len(out.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %v", out.RowCount, out.Rows)
+	}
+	// Deterministic sorted order.
+	want := [][]string{{"c0", "c1"}, {"c0", "c2"}, {"c0", "c3"}}
+	for i, row := range out.Rows {
+		if row[0] != want[i][0] || row[1] != want[i][1] {
+			t.Fatalf("row %d = %v, want %v", i, row, want[i])
+		}
+	}
+	if out.SnapshotVersion != 1 {
+		t.Fatalf("version = %d, want 1", out.SnapshotVersion)
+	}
+	if !strings.Contains(out.Plan, "separable") {
+		t.Fatalf("plan = %q, want the separable algorithm for a selection query", out.Plan)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(3), Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("syntax error: status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "nosuch(X, Y)"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown predicate: status = %d, want 422", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	getResp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d, want 405", getResp.StatusCode)
+	}
+	getResp.Body.Close()
+}
+
+func TestFactsSwap(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(2), Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(c2,c3). edge(c3,c4)."})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts: status = %d", resp.StatusCode)
+	}
+	fr := decode[FactsResponse](t, resp)
+	if fr.SnapshotVersion != 2 || fr.FactsAdded != 2 {
+		t.Fatalf("facts response = %+v", fr)
+	}
+
+	q := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)"})
+	out := decode[QueryResponse](t, q)
+	if out.RowCount != 4 || out.SnapshotVersion != 2 {
+		t.Fatalf("post-swap query = %d rows at version %d, want 4 at 2", out.RowCount, out.SnapshotVersion)
+	}
+
+	// Rules and queries are rejected; so are non-ground or misarity facts.
+	for _, bad := range []string{
+		"path(X,Y) :- edge(X,Y).",
+		"?- path(c0, Y).",
+		"edge(c9).",
+		"",
+	} {
+		resp := postJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: bad})
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("bad facts %q accepted", bad)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestQueryTimeout504(t *testing.T) {
+	s, ts := newTestServer(t, cycleProgram(1000), Config{TotalWorkers: 4, QueryWorkers: 2})
+	start := time.Now()
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "p(X, Y)", TimeoutMS: 50})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timed-out query held the connection %v", elapsed)
+	}
+	if got := s.Stats().Timeouts; got != 1 {
+		t.Fatalf("timeout counter = %d, want 1", got)
+	}
+}
+
+// TestAdmissionShedding: with the budget held and a queue of one, the
+// second waiter is shed 429; a queued waiter whose deadline fires is shed
+// 503; once the budget frees, queries are admitted again.
+func TestAdmissionShedding(t *testing.T) {
+	s, ts := newTestServer(t, chainProgram(3), Config{TotalWorkers: 1, QueryWorkers: 1, MaxQueue: 1})
+
+	// Hold the entire budget so every request must queue.
+	if err := s.sem.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	// Fill the one queue slot with a patient request.
+	patient := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)", TimeoutMS: 10_000})
+		resp.Body.Close()
+		patient <- resp.StatusCode
+	}()
+	for s.queued.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full → 429.
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)", TimeoutMS: 10_000})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Free the budget: the patient request completes.
+	s.sem.Release(1)
+	if code := <-patient; code != http.StatusOK {
+		t.Fatalf("patient request: status = %d, want 200", code)
+	}
+
+	// Hold the budget again: a short-deadline waiter is shed 503.
+	if err := s.sem.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)", TimeoutMS: 50})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+	s.sem.Release(1)
+
+	st := s.Stats()
+	if st.Shed429 != 1 || st.Shed503 != 1 {
+		t.Fatalf("shed counters = 429:%d 503:%d, want 1 and 1", st.Shed429, st.Shed503)
+	}
+	if st.WorkersInUse != 0 {
+		t.Fatalf("workers leaked: %d in use", st.WorkersInUse)
+	}
+}
+
+func TestStreamNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(5), Config{})
+	data, _ := json.Marshal(QueryRequest{Query: "path(c0, Y)"})
+	resp, err := http.Post(ts.URL+"/v1/query?stream=1", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var rows int
+	var tail map[string]any
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("[")) {
+			rows++
+			continue
+		}
+		if err := json.Unmarshal(line, &tail); err != nil {
+			t.Fatalf("tail line: %v", err)
+		}
+	}
+	if rows != 5 {
+		t.Fatalf("streamed %d rows, want 5", rows)
+	}
+	if tail == nil || tail["done"] != true || tail["row_count"].(float64) != 5 {
+		t.Fatalf("tail = %v", tail)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(2), Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status=%v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)"}).Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	st := decode[StatsReport](t, resp)
+	if st.QueriesOK != 1 || st.SnapshotVersion != 1 || st.WorkerBudget < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Latency.Count != 1 || st.Latency.P50MS <= 0 {
+		t.Fatalf("latency summary = %+v", st.Latency)
+	}
+}
+
+// TestServerSnapshotSwapRace is the HTTP-level version of the core race
+// test: concurrent clients query while a writer swaps fact snapshots;
+// every response must be internally consistent with exactly one snapshot
+// (row_count determined by snapshot_version).  Run under -race in CI.
+func TestServerSnapshotSwapRace(t *testing.T) {
+	const (
+		initial = 8
+		swaps   = 25
+		readers = 6
+	)
+	_, ts := newTestServer(t, chainProgram(initial), Config{TotalWorkers: 8, QueryWorkers: 1, MaxQueue: 64})
+	lenAt := func(version uint64) int { return initial + int(version) - 1 }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	done := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < swaps; i++ {
+			facts := fmt.Sprintf("edge(c%d,c%d).", initial+i, initial+i+1)
+			fr, err := PostFacts(context.Background(), http.DefaultClient, ts.URL, facts)
+			if err != nil {
+				errs <- fmt.Errorf("facts %d: %v", i, err)
+				return
+			}
+			if want := uint64(i + 2); fr.SnapshotVersion != want {
+				errs <- fmt.Errorf("swap %d: version %d, want %d", i, fr.SnapshotVersion, want)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hc := loadClient(1, 5*time.Second)
+			defer hc.CloseIdleConnections()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				out, err := QueryOnce(context.Background(), hc, ts.URL, "path(c0, Y)", 5*time.Second, 1)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+				want := lenAt(out.SnapshotVersion)
+				if out.RowCount != want {
+					errs <- fmt.Errorf("reader %d: torn read: %d rows at version %d, want %d",
+						g, out.RowCount, out.SnapshotVersion, want)
+					return
+				}
+				for _, row := range out.Rows {
+					idx, err := strconv.Atoi(strings.TrimPrefix(row[1], "c"))
+					if err != nil || idx < 1 || idx > want {
+						errs <- fmt.Errorf("reader %d: row %v inconsistent with version %d", g, row, out.SnapshotVersion)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPlanAwareGrant: separable plans evaluate sequentially, so a wide
+// worker request is downgraded to a single-slot grant (leaving budget for
+// other queries), while flat closures keep their requested width.
+func TestPlanAwareGrant(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(4), Config{TotalWorkers: 4})
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)", Workers: 4})
+	sel := decode[QueryResponse](t, resp)
+	if !strings.Contains(sel.Plan, "separable") || sel.Workers != 1 {
+		t.Fatalf("separable query granted %d workers (plan %q), want 1", sel.Workers, sel.Plan)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(X, Y)", Workers: 3})
+	open := decode[QueryResponse](t, resp)
+	if open.Workers != 3 {
+		t.Fatalf("open query granted %d workers (plan %q), want 3", open.Workers, open.Plan)
+	}
+}
+
+// TestLoadGeneratorSmoke: the closed-loop generator sustains concurrent
+// clients against a live server with zero failures.
+func TestLoadGeneratorSmoke(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(16), Config{TotalWorkers: 8, MaxQueue: 256})
+	queries := make([]string, 8)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("path(c%d, Y)", i)
+	}
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  ts.URL,
+		Queries:  queries,
+		Clients:  16,
+		Duration: 400 * time.Millisecond,
+		Timeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Requests == 0 || rep.Failures != 0 {
+		t.Fatalf("load report = %+v", rep)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Fatalf("percentiles inconsistent: %+v", rep)
+	}
+}

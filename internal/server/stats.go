@@ -1,0 +1,118 @@
+// Server-side observability: lock-free counters for the admission and
+// query paths plus a compact log₂-bucketed latency histogram from which
+// /v1/stats derives p50/p99.  The histogram trades exactness for a fixed
+// 512-byte footprint and an O(1) allocation-free observe path, which the
+// load generator (exact, client-side percentiles) cross-checks.
+package server
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets spans [1µs, 2^39µs ≈ 6.4 days) in powers of two.
+const latBuckets = 40
+
+// latencyHist is a log₂-bucketed histogram of query latencies.
+type latencyHist struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+	buckets [latBuckets]atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		old := h.maxNS.Load()
+		if int64(d) <= old || h.maxNS.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < latBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// quantile returns an upper bound for the q-th latency quantile
+// (bucket-resolution: within a factor of 2).
+func (h *latencyHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := 0; b < latBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen >= rank {
+			return time.Duration(1<<uint(b+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// LatencySummary is the JSON form of the histogram.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func (h *latencyHist) summary() LatencySummary {
+	s := LatencySummary{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
+		s.P50MS = float64(h.quantile(0.50)) / 1e6
+		s.P99MS = float64(h.quantile(0.99)) / 1e6
+		s.MaxMS = float64(h.maxNS.Load()) / 1e6
+	}
+	return s
+}
+
+// counters are the server's monotonically increasing event counts.
+type counters struct {
+	queriesOK    atomic.Int64 // answered 200s
+	queryErrors  atomic.Int64 // parse/eval failures (4xx)
+	timeouts     atomic.Int64 // per-query deadline fired during evaluation (504)
+	clientAborts atomic.Int64 // client dropped the connection mid-evaluation (499)
+	shedQueue    atomic.Int64 // 429: admission queue full
+	shedBudget   atomic.Int64 // 503: worker budget unavailable before deadline
+	factBatches  atomic.Int64 // successful /v1/facts swaps
+	factsAdded   atomic.Int64 // total facts across swaps
+	rowsServed   atomic.Int64 // answer rows returned
+}
+
+// StatsReport is the /v1/stats wire format.
+type StatsReport struct {
+	UptimeS         float64        `json:"uptime_s"`
+	SnapshotVersion uint64         `json:"snapshot_version"`
+	QueriesOK       int64          `json:"queries_ok"`
+	QueryErrors     int64          `json:"query_errors"`
+	Timeouts        int64          `json:"timeouts"`
+	ClientAborts    int64          `json:"client_aborts"`
+	Shed429         int64          `json:"shed_429_queue_full"`
+	Shed503         int64          `json:"shed_503_no_budget"`
+	FactBatches     int64          `json:"fact_batches"`
+	FactsAdded      int64          `json:"facts_added"`
+	RowsServed      int64          `json:"rows_served"`
+	InFlight        int64          `json:"inflight_queries"`
+	Queued          int64          `json:"queued_queries"`
+	WorkerBudget    int64          `json:"worker_budget"`
+	WorkersInUse    int64          `json:"workers_in_use"`
+	Latency         LatencySummary `json:"latency"`
+}

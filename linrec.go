@@ -54,6 +54,12 @@ const (
 // QueryResult is an answered query with its plan and statistics.
 type QueryResult = core.QueryResult
 
+// Snapshot is an immutable, versioned view of the extensional database.
+// System.AddFacts publishes a new snapshot copy-on-write while in-flight
+// queries keep the one they pinned — the substrate behind the linrecd
+// server's online fact updates.
+type Snapshot = core.Snapshot
+
 // Analysis is the paper's full symbolic analysis of one recursive
 // predicate.
 type Analysis = planner.Analysis

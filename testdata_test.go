@@ -99,11 +99,11 @@ func TestPartialProgramPlansAgree(t *testing.T) {
 	if grouped.Kind != planner.Decomposed || len(grouped.Groups) != 2 {
 		t.Fatalf("plan = %+v, want 2-group decomposition (%s)", grouped, grouped.Why)
 	}
-	g, err := a.Execute(sys.Engine, sys.DB, grouped, nil)
+	g, err := a.Execute(sys.Engine, sys.DB(), grouped, nil)
 	if err != nil {
 		t.Fatalf("Execute grouped: %v", err)
 	}
-	f, err := a.Execute(sys.Engine, sys.DB, &planner.Plan{Kind: planner.SemiNaive}, nil)
+	f, err := a.Execute(sys.Engine, sys.DB(), &planner.Plan{Kind: planner.SemiNaive}, nil)
 	if err != nil {
 		t.Fatalf("Execute flat: %v", err)
 	}
