@@ -11,8 +11,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +27,13 @@ import (
 	"linrec/internal/rel"
 	"linrec/internal/separable"
 )
+
+// ErrInternal wraps an evaluation panic recovered into an error: the
+// engine hit an invariant violation (e.g. a relation whose arity
+// disagrees with the program) that load- and update-time validation
+// should have made impossible.  Callers can branch on it with errors.Is
+// to report such failures as server faults rather than bad requests.
+var ErrInternal = errors.New("internal evaluation error")
 
 // Options configure a System's evaluation.
 type Options struct {
@@ -78,6 +87,12 @@ type System struct {
 	// never reads their db relation, so AddFacts rejects them (facts for
 	// a derived predicate would be stored yet invisible to every query).
 	idb map[string]bool
+	// arity maps every predicate the program mentions (rule heads, rule
+	// bodies, facts) to its declared arity.  AddFacts validates against it,
+	// so a rule-referenced EDB predicate with no initial facts — absent
+	// from every snapshot — still rejects wrong-arity facts up front
+	// instead of surfacing the mismatch as a join panic at query time.
+	arity map[string]int
 
 	mu       sync.Mutex
 	analyses map[string]*planner.Analysis
@@ -125,8 +140,20 @@ func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapsho
 	s.seedMu.Unlock()
 	f.once.Do(func() {
 		go func() {
+			// This goroutine is detached from any request: a panic here
+			// (engine invariant violation) would kill the whole process,
+			// so recover it into the future's error, which every waiter
+			// on this (predicate, snapshot) then observes.
+			defer func() {
+				if r := recover(); r != nil {
+					// Keep the stack: it is the only pointer to the
+					// invariant violation once the panic is flattened
+					// into an error.
+					f.q, f.err = nil, fmt.Errorf("core: %w: seed for %q: %v\n%s", ErrInternal, a.Pred, r, debug.Stack())
+				}
+				close(f.done)
+			}()
 			f.q, f.err = a.Seed(s.Engine, snap.DB)
-			close(f.done)
 		}()
 	})
 	select {
@@ -163,10 +190,36 @@ func FromProgramOptions(prog *ast.Program, opts Options) (*System, error) {
 		Engine:   eval.NewEngine(nil),
 		Opts:     opts.normalize(),
 		idb:      map[string]bool{},
+		arity:    map[string]int{},
 		analyses: map[string]*planner.Analysis{},
 	}
 	for _, r := range prog.Rules {
 		s.idb[r.Head.Pred] = true
+	}
+	// Fix every predicate's arity before anything evaluates: a program
+	// using one predicate at two arities would otherwise load fine and
+	// only blow up as a join panic mid-query.
+	record := func(a ast.Atom) error {
+		if want, ok := s.arity[a.Pred]; ok && want != a.Arity() {
+			return fmt.Errorf("core: predicate %q used with arity %d and %d", a.Pred, want, a.Arity())
+		}
+		s.arity[a.Pred] = a.Arity()
+		return nil
+	}
+	for _, r := range prog.Rules {
+		if err := record(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := record(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, f := range prog.Facts {
+		if err := record(f); err != nil {
+			return nil, err
+		}
 	}
 	db := rel.DB{}
 	if err := s.Engine.LoadFacts(db, prog.Facts); err != nil {
@@ -228,6 +281,14 @@ func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
 		}
 		if s.idb[f.Pred] {
 			return nil, 0, fmt.Errorf("core: %q is a derived (rule-head) predicate; facts for it would be invisible to queries", f.Pred)
+		}
+		// Check against the program's declared arity, not just an existing
+		// relation: a rule-referenced predicate with no facts yet has no
+		// relation in any snapshot, and a wrong-arity fact accepted here
+		// would panic the join of the next query that touches it.
+		if want, ok := s.arity[f.Pred]; ok && want != f.Arity() {
+			return nil, 0, fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
+				f, f.Arity(), f.Pred, want)
 		}
 	}
 	s.factMu.Lock()
@@ -419,8 +480,20 @@ func (s *System) QueryCtx(ctx context.Context, q ast.Atom) (*QueryResult, error)
 // QueryOn answers a query against an explicitly pinned snapshot with
 // per-query options — the full-control entry point the server front end
 // uses to grant each query its own worker budget and deadline while many
-// queries share one System.
-func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options) (*QueryResult, error) {
+// queries share one System.  An evaluation panic (engine invariant
+// violation) is recovered into an error wrapping ErrInternal rather than
+// propagated, so a poisoned snapshot can fail queries without killing
+// the process hosting them.
+func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options) (res *QueryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The stack is the only pointer to the invariant violation
+			// once the panic becomes an error; worker panics additionally
+			// carry the stack captured inside the worker goroutine
+			// (printed through %v).
+			res, err = nil, fmt.Errorf("core: %w: query %v: %v\n%s", ErrInternal, q, r, debug.Stack())
+		}
+	}()
 	opts = opts.normalize()
 	a, sels, unknown, err := s.resolveQuery(q)
 	if err != nil {
@@ -463,15 +536,15 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.ExecuteSeeded(ctx, s.Engine, snap.DB, plan, execSel, opts.planOpts(), seed)
+	exec, err := a.ExecuteSeeded(ctx, s.Engine, snap.DB, plan, execSel, opts.planOpts(), seed)
 	if err != nil {
 		return nil, err
 	}
-	ans := res.Answer
+	ans := exec.Answer
 	for _, sel := range sels[min(1, len(sels)):] {
 		ans = sel.Apply(ans)
 	}
-	return &QueryResult{Query: q, Answer: ans, Stats: res.Stats, Plan: plan, Version: snap.Version}, nil
+	return &QueryResult{Query: q, Answer: ans, Stats: exec.Stats, Plan: plan, Version: snap.Version}, nil
 }
 
 // multiSeparable attempts to assign every selection to an operator slot of

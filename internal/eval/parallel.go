@@ -11,13 +11,29 @@ package eval
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
 )
+
+// workerPanic carries a closure worker's panic value together with the
+// stack captured inside the worker goroutine.  The round barrier
+// re-raises it in the caller, where recovery (core.QueryOn) formats it
+// with %v — without the captured stack the frames that actually hit the
+// invariant violation would be lost to the worker's recover.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *workerPanic) String() string {
+	return fmt.Sprintf("%v\n%s", p.val, p.stack)
+}
 
 // ParallelEngine evaluates closures on a worker pool.  It embeds (and
 // shares the compiled-operator cache of) a sequential Engine, to which it
@@ -84,10 +100,15 @@ func prebuildIndexes(db rel.DB, cs []*compiled) {
 // scans the (potentially millions of) in-flight derivations.  A non-nil
 // stop flag makes every worker abandon its shard within cancelCheckRows
 // rows of the flag being set; the waitgroup barrier still joins every
-// worker, so cancellation never leaks goroutines.
+// worker, so cancellation never leaks goroutines.  A worker panic (e.g.
+// the join arity guard) is recovered and re-raised at the barrier in the
+// caller's goroutine — a panic escaping a bare worker goroutine would
+// kill the process, while the caller's stack has recovery (core.QueryOn
+// turns it into an error) — with all workers joined first.
 func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int, stop *atomic.Bool) [][]rel.Value {
 	bounds := shardBounds(hi-lo, p.Workers)
 	bufs := make([][]rel.Value, len(bounds)-1)
+	var panicked atomic.Pointer[any]
 	var wg sync.WaitGroup
 	for w := 0; w < len(bounds)-1; w++ {
 		slo, shi := lo+bounds[w], lo+bounds[w+1]
@@ -97,6 +118,19 @@ func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation
 		wg.Add(1)
 		go func(w, slo, shi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					wp := any(&workerPanic{val: r, stack: debug.Stack()})
+					panicked.CompareAndSwap(nil, &wp)
+					// Sibling workers' output is doomed with this round;
+					// flip the stop flag so they abandon their shards
+					// within cancelCheckRows rows instead of scanning to
+					// the barrier.
+					if stop != nil {
+						stop.Store(true)
+					}
+				}
+			}()
 			buf := make([]rel.Value, 0, (shi-slo)*arity)
 			emit := func(t rel.Tuple) {
 				buf = append(buf, t...)
@@ -110,6 +144,9 @@ func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation
 		}(w, slo, shi)
 	}
 	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
 	return bufs
 }
 

@@ -24,9 +24,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -261,24 +263,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Pin the snapshot current at admission; the query never sees a
 	// later fact swap.  The grant covers evaluation only — it is
 	// returned before the response is serialized, so a slow-reading
-	// client cannot pin closure workers.
+	// client cannot pin closure workers.  The release is once-guarded
+	// and deferred as well: net/http recovers handler panics, so a
+	// non-deferred release would leak the grant and inflight count on
+	// any panic, permanently shrinking the budget.
 	s.inflight.Add(1)
+	var releaseOnce sync.Once
+	release := func() {
+		releaseOnce.Do(func() {
+			s.inflight.Add(-1)
+			s.sem.Release(int64(grant))
+		})
+	}
+	defer release()
 	snap := s.sys.Snapshot()
 	start := time.Now()
 	res, err := s.sys.QueryOn(ctx, snap, goal, opts)
 	elapsed := time.Since(start)
-	s.inflight.Add(-1)
-	s.sem.Release(int64(grant))
+	release()
 	if err != nil {
+		// Match the error itself, not ctx.Err(): a genuine evaluation
+		// failure racing the deadline must not be mislabeled as a
+		// timeout or client abort.
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.ctr.timeouts.Add(1)
 			writeError(w, http.StatusGatewayTimeout, "query timed out after %v", timeout)
-		case ctx.Err() != nil:
+		case errors.Is(err, context.Canceled):
 			// The client went away mid-evaluation; nobody reads this
 			// reply.  499 is the de-facto client-closed-request status.
 			s.ctr.clientAborts.Add(1)
 			writeError(w, 499, "client closed request")
+		case errors.Is(err, core.ErrInternal):
+			// The full error carries the recovered panic and its stack;
+			// that diagnostic belongs in the server log, not in a
+			// response body handed to remote clients.
+			s.ctr.queryErrors.Add(1)
+			log.Printf("server: internal error on query %q: %v", req.Query, err)
+			writeError(w, http.StatusInternalServerError, "internal evaluation error; see server log")
 		default:
 			s.ctr.queryErrors.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
@@ -433,4 +455,3 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SnapshotVersion uint64 `json:"snapshot_version"`
 	}{Status: "ok", SnapshotVersion: s.sys.Snapshot().Version})
 }
-

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"linrec/internal/core"
+	"linrec/internal/rel"
 )
 
 // chainProgram builds a path/edge program over a chain c0→c1→…→cN.
@@ -377,6 +378,72 @@ func TestPlanAwareGrant(t *testing.T) {
 	open := decode[QueryResponse](t, resp)
 	if open.Workers != 3 {
 		t.Fatalf("open query granted %d workers (plan %q), want 3", open.Workers, open.Plan)
+	}
+}
+
+// TestWrongArityFactsRejectedNotFatal: rules declare link/2 but ship no
+// link facts, so no snapshot holds a relation to check against; a
+// wrong-arity fact batch must still be rejected with 409, and the
+// follow-up query — which previously hit the join arity panic inside a
+// bare engine goroutine and killed the process — must be served.
+func TestWrongArityFactsRejectedNotFatal(t *testing.T) {
+	const prog = "path(X,Y) :- link(X,Y).\npath(X,Y) :- link(X,Z), path(Z,Y).\n"
+	_, ts := newTestServer(t, prog, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "link(a,b,c)."})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("wrong-arity facts: status = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(a, Y)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after rejected facts: status = %d, want 200", resp.StatusCode)
+	}
+	if out := decode[QueryResponse](t, resp); out.RowCount != 0 {
+		t.Fatalf("rows = %d, want 0 over the empty link relation", out.RowCount)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "link(a,b). link(b,c)."})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("correct-arity facts: status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(a, Y)"})
+	if out := decode[QueryResponse](t, resp); out.RowCount != 2 {
+		t.Fatalf("rows after swap = %d, want 2", out.RowCount)
+	}
+}
+
+// TestEvaluationPanicReturns500AndLeaksNoBudget: an engine invariant
+// violation (relation arity disagreeing with the program, injected here
+// through the pre-share mutation window) must come back as 500 with the
+// worker grant and inflight count released — a leak would starve the
+// 2-worker budget and turn later queries into 503s.
+func TestEvaluationPanicReturns500AndLeaksNoBudget(t *testing.T) {
+	sys, err := core.Load("path(X,Y) :- base(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\nbase(a,b). edge(b,c).")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	sys.DB()["edge"] = rel.NewRelation(3)
+	s := New(Config{System: sys, TotalWorkers: 2, DefaultTimeout: time.Second})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 5; i++ {
+		resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(X, Y)", Workers: 2})
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("query %d: status = %d, want 500 (a leaked grant sheds with 503 instead)", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	st := s.Stats()
+	if st.WorkersInUse != 0 || st.InFlight != 0 {
+		t.Fatalf("budget leaked: %d workers in use, %d inflight after all queries returned", st.WorkersInUse, st.InFlight)
+	}
+	if st.QueryErrors != 5 {
+		t.Fatalf("query errors = %d, want 5", st.QueryErrors)
 	}
 }
 
