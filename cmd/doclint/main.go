@@ -1,0 +1,256 @@
+// Command doclint is the documentation gate of the CI docs lane: it
+// walks every Go package of the module and fails (exit 1) unless the
+// godoc surface is complete and well-formed.
+//
+// Enforced rules:
+//
+//  1. Every package has exactly one package doc comment (a comment block
+//     immediately above a package clause), and it starts with
+//     "Package <name> " — or "Command <name> " for main packages.  A
+//     second file with a package-clause doc comment is an error: go/doc
+//     concatenates them all, garbling the rendered package page.  Detach
+//     auxiliary file headers with a blank line before the package clause.
+//  2. Every exported top-level declaration — funcs, methods on exported
+//     types, types, consts, vars — carries a doc comment.  For grouped
+//     declarations a doc comment on the group covers its members.
+//
+// Usage:
+//
+//	doclint [dir]    # default: the current directory, recursively
+//
+// Test files (*_test.go) and testdata/vendored trees are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// finding is one rule violation at a position.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = strings.TrimSuffix(os.Args[1], "/...")
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	var all []finding
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].pos, all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range all {
+		fmt.Printf("%s:%d: %s\n", f.pos.Filename, f.pos.Line, f.msg)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", len(all))
+		os.Exit(1)
+	}
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test Go file, skipping hidden, testdata and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// lintDir checks one package directory.
+func lintDir(dir string) ([]finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []finding
+	for name, pkg := range pkgs {
+		out = append(out, lintPackage(fset, name, pkg)...)
+	}
+	return out, nil
+}
+
+// lintPackage applies both rules to one parsed package.
+func lintPackage(fset *token.FileSet, name string, pkg *ast.Package) []finding {
+	var out []finding
+	want := "Package " + name + " "
+	if name == "main" {
+		want = "Command "
+	}
+
+	// Rule 1: exactly one well-formed package doc comment.
+	var docFiles []string
+	var files []string
+	for f := range pkg.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, fname := range files {
+		file := pkg.Files[fname]
+		if file.Doc == nil {
+			continue
+		}
+		docFiles = append(docFiles, fname)
+		if text := file.Doc.Text(); !strings.HasPrefix(text, want) {
+			out = append(out, finding{
+				pos: fset.Position(file.Doc.Pos()),
+				msg: fmt.Sprintf("package comment should start with %q (file headers that are not the package doc need a blank line before the package clause)", strings.TrimSpace(want)),
+			})
+		}
+	}
+	if len(docFiles) == 0 {
+		for _, fname := range files {
+			out = append(out, finding{
+				pos: fset.Position(pkg.Files[fname].Package),
+				msg: fmt.Sprintf("package %s has no package doc comment", name),
+			})
+			break
+		}
+	} else if len(docFiles) > 1 {
+		for _, fname := range docFiles[1:] {
+			out = append(out, finding{
+				pos: fset.Position(pkg.Files[fname].Doc.Pos()),
+				msg: fmt.Sprintf("duplicate package doc comment (package doc lives in %s); go/doc concatenates them", filepath.Base(docFiles[0])),
+			})
+		}
+	}
+
+	// Rule 2: exported declarations are documented.
+	for _, fname := range files {
+		for _, decl := range pkg.Files[fname].Decls {
+			out = append(out, lintDecl(fset, decl)...)
+		}
+	}
+	return out
+}
+
+// lintDecl reports undocumented exported declarations.
+func lintDecl(fset *token.FileSet, decl ast.Decl) []finding {
+	var out []finding
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		if recv, isMethod := receiverType(d); isMethod && !ast.IsExported(recv) {
+			return nil // method on an unexported type: not godoc surface
+		}
+		out = append(out, finding{
+			pos: fset.Position(d.Pos()),
+			msg: fmt.Sprintf("exported %s %s has no doc comment", funcKind(d), d.Name.Name),
+		})
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					out = append(out, finding{
+						pos: fset.Position(s.Pos()),
+						msg: fmt.Sprintf("exported type %s has no doc comment", s.Name.Name),
+					})
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						out = append(out, finding{
+							pos: fset.Position(s.Pos()),
+							msg: fmt.Sprintf("exported %s %s has no doc comment", declKind(d.Tok), n.Name),
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverType returns the base type name of a method receiver.
+func receiverType(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, true
+		default:
+			return "", true
+		}
+	}
+}
+
+// funcKind names a FuncDecl for messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// declKind names a GenDecl token for messages.
+func declKind(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	default:
+		return "declaration"
+	}
+}

@@ -9,6 +9,7 @@
 //	lrbench -list        # list experiment ids and titles
 //	lrbench -json        # run the substrate benchmark, write BENCH_eval.json
 //	lrbench -server      # run the linrecd server lane, merge into BENCH_eval.json
+//	lrbench -magic       # run the bound-query magic lane, merge into BENCH_eval.json
 package main
 
 import (
@@ -68,6 +69,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "run the substrate benchmark and merge it into BENCH_eval.json")
 	serverOut := flag.Bool("server", false, "run the linrecd server throughput/latency lane and merge it into BENCH_eval.json")
+	magicOut := flag.Bool("magic", false, "run the bound-query magic-seeded lane and merge it into BENCH_eval.json")
 	flag.Parse()
 
 	if *list {
@@ -104,7 +106,21 @@ func main() {
 			rep.Clients, rep.ThroughputQPS, rep.P50MS, rep.P99MS, rep.SwapsMidRun)
 	}
 
-	if *jsonOut || *serverOut {
+	if *magicOut {
+		rep, err := experiments.MagicJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: magic benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("magic", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged magic lane into BENCH_eval.json (bound query on %s: %.0fx over closure+filter, %d answer rows)\n",
+			rep.Source, rep.Speedup, rep.Results[0].AnswerRows)
+	}
+
+	if *jsonOut || *serverOut || *magicOut {
 		return
 	}
 

@@ -32,6 +32,36 @@ func ExampleLoad() {
 	// path(b,d)
 }
 
+// ExampleSystem_Query demonstrates the bound-query fast path: a goal
+// that binds an argument column is answered by magic-seeded evaluation —
+// a frontier grown from the constant — instead of closing the whole
+// predicate and filtering.  The single recursive rule here has no
+// separable partner, so before the MagicSeeded plan kind this query paid
+// for the full closure of buys.
+func ExampleSystem_Query() {
+	sys, err := linrec.Load(`
+		buys(X,Y) :- trusts(X,Y).
+		buys(X,Y) :- knows(X,Z), buys(Z,Y).
+		knows(ann,bob). knows(bob,cho).
+		trusts(bob,figs). trusts(cho,tea).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Query(linrec.NewAtom("buys", linrec.C("ann"), linrec.V("Y")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:", res.Plan.Kind)
+	for _, row := range res.Rows(sys) {
+		fmt.Printf("buys(%s)\n", strings.Join(row, ","))
+	}
+	// Output:
+	// plan: magic-seeded evaluation (σ-bound frontier)
+	// buys(ann,figs)
+	// buys(ann,tea)
+}
+
 // ExampleSystem_Analyze inspects the paper's analysis: the two transitive-
 // closure forms commute, so the closure decomposes.
 func ExampleSystem_Analyze() {

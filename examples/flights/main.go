@@ -1,5 +1,6 @@
-// Flights: a reachability workload showing Theorem 4.1 — the separable
-// algorithm applies to commutative rules even when they are NOT separable
+// Command flights demonstrates a reachability workload showing
+// Theorem 4.1 — the separable algorithm applies to commutative rules
+// even when they are NOT separable
 // in Naughton's sense.
 //
 // reach(X,Y,Cls): Y is reachable from X in travel class Cls.  One rule

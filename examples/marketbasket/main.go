@@ -1,5 +1,5 @@
-// Market basket: Example 6.1 of the paper.  "A person buys whatever the
-// people they know buy, provided it is cheap":
+// Command marketbasket reproduces Example 6.1 of the paper.  "A person
+// buys whatever the people they know buy, provided it is cheap":
 //
 //	buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).
 //

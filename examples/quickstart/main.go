@@ -1,5 +1,6 @@
-// Quickstart: load a transitive-closure program through the public API,
-// inspect the paper's analysis (the two rules commute, so the closure
+// Command quickstart demonstrates the quick-start path: load a
+// transitive-closure program through the public API, inspect the
+// paper's analysis (the two rules commute, so the closure
 // decomposes), and answer queries with the plan the analysis licenses.
 package main
 

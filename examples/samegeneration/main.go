@@ -1,5 +1,6 @@
-// Same-generation: the paper notes (Example 5.2) that the product of the
-// two commuting transitive-closure rules is the recursive rule of the
+// Command samegeneration builds the same-generation program: the paper
+// notes (Example 5.2) that the product of the two commuting
+// transitive-closure rules is the recursive rule of the
 // "same-generation" program.  This example builds that program over a
 // family tree, shows the decomposition the commutativity analysis licenses,
 // and compares the duplicate work of the monolithic and decomposed plans.

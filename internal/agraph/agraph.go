@@ -60,6 +60,7 @@ const (
 	LinkPersistent
 )
 
+// String names the class as it appears in analysis reports.
 func (c Class) String() string {
 	switch c {
 	case FreePersistent:

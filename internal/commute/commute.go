@@ -34,6 +34,7 @@ const (
 	Unknown
 )
 
+// String renders the verdict for reports.
 func (v Verdict) String() string {
 	switch v {
 	case Commute:
@@ -49,6 +50,8 @@ func (v Verdict) String() string {
 // satisfied.
 type Condition string
 
+// The clauses of Theorem 5.1, in the paper's (a)-(d) order, plus the
+// failure marker.
 const (
 	CondFreeOnePersistent Condition = "(a) free 1-persistent in one rule"
 	CondLinkOneBoth       Condition = "(b) link 1-persistent in both rules"

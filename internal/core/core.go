@@ -97,71 +97,151 @@ type System struct {
 	mu       sync.Mutex
 	analyses map[string]*planner.Analysis
 
-	// seeds caches the materialized exit-rule seed per predicate for the
-	// current snapshot version.  Seeds are immutable once built (plans
-	// clone them; their lazy indexes build concurrency-safely), so one
-	// build serves every concurrent query on that snapshot — without it, a
-	// busy server re-materializes the (possibly huge) exit-rule union per
-	// request.  Single-flight: concurrent first queries share one build.
+	// seeds caches, for the current snapshot version, the materialized
+	// exit-rule seed per predicate (col == -1) and the magic set per
+	// (predicate, bound column, bound value) — the goal-binding dimension
+	// the magic-seeded plans add.  Cached relations are immutable once
+	// built (plans clone or only read them; their lazy indexes build
+	// concurrency-safely), so one build serves every concurrent query on
+	// that snapshot — without it, a busy server re-materializes the
+	// (possibly huge) exit-rule union, or re-walks the magic frontier,
+	// per request.  Single-flight: concurrent first queries share one
+	// build.
 	seedMu      sync.Mutex
 	seedVersion uint64
-	seeds       map[string]*seedFuture
+	seeds       map[seedKey]*seedFuture
+}
+
+// seedKey addresses one cached evaluation artifact of a snapshot: the
+// exit-rule seed of a predicate (col == -1), or the magic set of a bound
+// goal (col, val) on that predicate.
+type seedKey struct {
+	pred string
+	col  int
+	val  rel.Value
 }
 
 type seedFuture struct {
 	once sync.Once
 	done chan struct{}
 	q    *rel.Relation
-	err  error
+	// stats are the frontier statistics of a magic-set build; queries
+	// reusing the cached set fold them in so cache hits and misses
+	// report identical statistics.
+	stats eval.Stats
+	err   error
 }
 
-// seedFor returns the evaluation seed for a on snap, cached per
-// (predicate, snapshot version).  Queries pinned to superseded snapshots
-// compute their seed fresh rather than repopulating the cache.  The
-// build itself runs detached (it is bounded work every later query on
-// this snapshot reuses), but waiters honor ctx: a query whose deadline
-// fires during a seed build returns immediately instead of pinning its
-// worker grant until the build completes.
-func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapshot) (*rel.Relation, error) {
+// magicCacheCap bounds the number of cached entries per snapshot.
+// Magic sets are keyed by the query's bound value, and a remote client
+// can sweep arbitrarily many distinct constants on a snapshot that
+// never swaps — without a cap that sweep would grow the cache (and its
+// detached builds) without bound.  Queries past the cap still work;
+// they just compute their magic set inline, under their own context.
+const magicCacheCap = 1024
+
+// cachedFuture returns the single-flight future for key on snap, or nil
+// when the artifact should be computed fresh instead: the snapshot is
+// superseded (no point repopulating the cache), or the cache is at
+// capacity and the key is not already present.
+func (s *System) cachedFuture(snap *Snapshot, key seedKey) *seedFuture {
 	s.seedMu.Lock()
+	defer s.seedMu.Unlock()
 	if snap.Version != s.seedVersion {
 		if snap.Version < s.seedVersion {
-			s.seedMu.Unlock()
-			return a.Seed(s.Engine, snap.DB)
+			return nil
 		}
 		s.seedVersion = snap.Version
-		s.seeds = map[string]*seedFuture{}
+		s.seeds = map[seedKey]*seedFuture{}
 	}
-	f, ok := s.seeds[a.Pred]
+	f, ok := s.seeds[key]
 	if !ok {
+		// Exit-rule seeds (col == -1) are bounded by the program's
+		// predicate count and always cached; only the value-keyed magic
+		// dimension is capped.
+		if key.col >= 0 && len(s.seeds) >= magicCacheCap {
+			return nil
+		}
 		f = &seedFuture{done: make(chan struct{})}
-		s.seeds[a.Pred] = f
+		s.seeds[key] = f
 	}
-	s.seedMu.Unlock()
+	return f
+}
+
+// build runs fn exactly once on a detached goroutine (the artifact is
+// bounded work every later query on this snapshot reuses), recovering a
+// panic — an engine invariant violation — into the future's error, which
+// every waiter then observes.  Waiters honor ctx: a query whose deadline
+// fires during the build returns immediately instead of pinning its
+// worker grant until the build completes.
+func (f *seedFuture) build(ctx context.Context, what string, fn func() (*rel.Relation, eval.Stats, error)) (*rel.Relation, eval.Stats, error) {
 	f.once.Do(func() {
 		go func() {
-			// This goroutine is detached from any request: a panic here
-			// (engine invariant violation) would kill the whole process,
-			// so recover it into the future's error, which every waiter
-			// on this (predicate, snapshot) then observes.
 			defer func() {
 				if r := recover(); r != nil {
 					// Keep the stack: it is the only pointer to the
 					// invariant violation once the panic is flattened
 					// into an error.
-					f.q, f.err = nil, fmt.Errorf("core: %w: seed for %q: %v\n%s", ErrInternal, a.Pred, r, debug.Stack())
+					f.q, f.err = nil, fmt.Errorf("core: %w: %s: %v\n%s", ErrInternal, what, r, debug.Stack())
 				}
 				close(f.done)
 			}()
-			f.q, f.err = a.Seed(s.Engine, snap.DB)
+			f.q, f.stats, f.err = fn()
 		}()
 	})
+	// A nil context (tolerated throughout the engine, see
+	// eval.watchContext) waits unconditionally: a nil Done channel
+	// blocks forever.
+	var cancelled <-chan struct{}
+	if ctx != nil {
+		cancelled = ctx.Done()
+	}
 	select {
 	case <-f.done:
-		return f.q, f.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		return f.q, f.stats, f.err
+	case <-cancelled:
+		return nil, eval.Stats{}, ctx.Err()
 	}
+}
+
+// seedFor returns the evaluation seed for a on snap, cached per
+// (predicate, snapshot version).
+func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapshot) (*rel.Relation, error) {
+	f := s.cachedFuture(snap, seedKey{pred: a.Pred, col: -1})
+	if f == nil {
+		return a.Seed(s.Engine, snap.DB)
+	}
+	q, _, err := f.build(ctx, fmt.Sprintf("seed for %q", a.Pred), func() (*rel.Relation, eval.Stats, error) {
+		q, err := a.Seed(s.Engine, snap.DB)
+		return q, eval.Stats{}, err
+	})
+	return q, err
+}
+
+// magicFor returns the magic set for a bound goal on snap — the
+// goal-binding dimension of the seed cache, keyed (predicate, bound
+// column, bound value, snapshot version) — along with the frontier
+// statistics recorded when the set was built, so every query over the
+// cached set reports the same statistics as the one that paid for it.
+func (s *System) magicFor(ctx context.Context, a *planner.Analysis, snap *Snapshot, spec eval.MagicSpec, val rel.Value) (*rel.Relation, eval.Stats, error) {
+	f := s.cachedFuture(snap, seedKey{pred: a.Pred, col: spec.Col, val: val})
+	if f == nil {
+		// Uncached (superseded snapshot, or cache at capacity): compute
+		// inline under the request's own context, so the query's
+		// deadline and client disconnect still cancel the frontier.
+		var stats eval.Stats
+		set, err := s.Engine.MagicSetCtx(ctx, snap.DB, spec, val, &stats)
+		return set, stats, err
+	}
+	return f.build(ctx, fmt.Sprintf("magic set for %q[%d]", a.Pred, spec.Col), func() (*rel.Relation, eval.Stats, error) {
+		// The cached build is detached from any single request on
+		// purpose: the set is bounded frontier work every later query
+		// with this binding reuses, so it runs under no request
+		// deadline (waiters still honor their own ctx).
+		var stats eval.Stats
+		set, err := s.Engine.MagicSetCtx(context.Background(), snap.DB, spec, val, &stats)
+		return set, stats, err
+	})
 }
 
 // Load parses a Datalog program and loads its facts.
@@ -528,13 +608,24 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 	}
 	plan := a.ChooseOpts(primary, opts.planOpts())
 
+	// Separable and magic-seeded plans consume the primary selection
+	// themselves; for every other kind it is applied as a post-filter.
 	var execSel *separable.Selection
-	if plan.Kind != planner.Separable {
+	if plan.Kind != planner.Separable && plan.Kind != planner.MagicSeeded {
 		execSel = primary
 	}
 	seed, err := s.seedFor(ctx, a, snap)
 	if err != nil {
 		return nil, err
+	}
+	if plan.Kind == planner.MagicSeeded && plan.Magic != nil {
+		// Inject the cached magic set for this (goal binding, snapshot):
+		// repeated bound queries skip the frontier iteration entirely.
+		set, stats, err := s.magicFor(ctx, a, snap, plan.Magic.Spec, plan.Magic.Sel.Value)
+		if err != nil {
+			return nil, err
+		}
+		plan.Magic.Set, plan.Magic.SetStats = set, stats
 	}
 	exec, err := a.ExecuteSeeded(ctx, s.Engine, snap.DB, plan, execSel, opts.planOpts(), seed)
 	if err != nil {

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+	"linrec/internal/planner"
+)
+
+// mustAtom parses a goal atom, failing the test on error.
+func mustAtom(t *testing.T, src string) ast.Atom {
+	t.Helper()
+	a, err := parser.ParseAtom(src)
+	if err != nil {
+		t.Fatalf("parse atom %q: %v", src, err)
+	}
+	return a
+}
+
+// genMagicProgram builds a random linear recursive program: 1–3 recursive
+// rules drawn from shapes that exercise every magic classification
+// (context steps, identities, init rules, and shapes with no finite
+// context at all), 1–2 exit rules, and random facts over a small shared
+// constant domain.
+func genMagicProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	nconst := 6 + rng.Intn(7)
+	c := func() string { return fmt.Sprintf("c%d", rng.Intn(nconst)) }
+
+	// Exit rules and their EDB relations.
+	nexit := 1 + rng.Intn(2)
+	for i := 0; i < nexit; i++ {
+		fmt.Fprintf(&b, "p(X,Y) :- b%d(X,Y).\n", i)
+	}
+
+	shapes := []string{
+		"p(X,Y) :- %s(X,Z), p(Z,Y).",          // frontier step on column 0
+		"p(X,Y) :- p(X,Z), %s(Z,Y).",          // identity on column 0, step on 1
+		"p(X,Y) :- %s(Z,X), p(Z,W), %s(W,Y).", // same-generation: filter mode
+		"p(X,Y) :- p(X,Y), %s(X,X).",          // conditional identity
+		"p(X,Y) :- %s(Y,Z), p(Z,X).",          // init on column 0, no context on 1
+	}
+	nops := 1 + rng.Intn(3)
+	edb := map[string]bool{}
+	for i := 0; i < nops; i++ {
+		shape := shapes[rng.Intn(len(shapes))]
+		e1 := fmt.Sprintf("e%d", rng.Intn(4))
+		e2 := fmt.Sprintf("e%d", rng.Intn(4))
+		edb[e1], edb[e2] = true, true
+		n := strings.Count(shape, "%s")
+		if n == 1 {
+			fmt.Fprintf(&b, shape+"\n", e1)
+		} else {
+			fmt.Fprintf(&b, shape+"\n", e1, e2)
+		}
+	}
+
+	for i := 0; i < nexit; i++ {
+		for k := 6 + rng.Intn(10); k > 0; k-- {
+			fmt.Fprintf(&b, "b%d(%s,%s).\n", i, c(), c())
+		}
+	}
+	for pred := range edb {
+		for k := 6 + rng.Intn(15); k > 0; k-- {
+			fmt.Fprintf(&b, "%s(%s,%s).\n", pred, c(), c())
+		}
+	}
+	return b.String()
+}
+
+// TestMagicSeededDifferential is the PR's correctness harness: across
+// hundreds of generated (program, binding) pairs, the automatic plan —
+// magic-seeded wherever the analysis allows it — must return rows
+// bit-for-bit equal to the forced closure-then-filter baseline, at one
+// and at four workers.  The run is only accepted once at least 200
+// magic-seeded cases, with both modes well represented, have been
+// compared.
+func TestMagicSeededDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	const (
+		wantMagic   = 200
+		wantPerMode = 40
+	)
+	var magicContext, magicFilter, otherPlans, nonEmpty int
+	ctx := context.Background()
+
+	for attempt := 0; attempt < 3000; attempt++ {
+		if magicContext+magicFilter >= wantMagic &&
+			magicContext >= wantPerMode && magicFilter >= wantPerMode {
+			break
+		}
+		src := genMagicProgram(rng)
+		sys, err := Load(src)
+		if err != nil {
+			t.Fatalf("attempt %d: load:\n%s\n%v", attempt, src, err)
+		}
+		snap := sys.Snapshot()
+		col := rng.Intn(2)
+		goalSrc := fmt.Sprintf("p(c%d, Y)", rng.Intn(8))
+		if col == 1 {
+			goalSrc = fmt.Sprintf("p(X, c%d)", rng.Intn(8))
+		}
+		goal := mustAtom(t, goalSrc)
+
+		base, err := sys.QueryOn(ctx, snap, goal, Options{Strategy: planner.ForceSemiNaive})
+		if err != nil {
+			t.Fatalf("attempt %d: baseline %s:\n%s\n%v", attempt, goalSrc, src, err)
+		}
+		auto, err := sys.QueryOn(ctx, snap, goal, Options{})
+		if err != nil {
+			t.Fatalf("attempt %d: auto %s:\n%s\n%v", attempt, goalSrc, src, err)
+		}
+		auto4, err := sys.QueryOn(ctx, snap, goal, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("attempt %d: auto/4 %s:\n%s\n%v", attempt, goalSrc, src, err)
+		}
+
+		wantRows := base.Rows(sys)
+		for which, got := range map[string]*QueryResult{"sequential": auto, "parallel": auto4} {
+			if !reflect.DeepEqual(got.Rows(sys), wantRows) {
+				t.Fatalf("attempt %d: %s %s answers diverge under plan %v (%s):\nprogram:\n%s\nwant %v\ngot  %v",
+					attempt, which, goalSrc, got.Plan.Kind, got.Plan.Why, src, wantRows, got.Rows(sys))
+			}
+		}
+		if len(wantRows) > 0 {
+			nonEmpty++
+		}
+		if auto.Plan.Kind == planner.MagicSeeded {
+			if auto.Plan.Magic.Mode == planner.MagicContext {
+				magicContext++
+			} else {
+				magicFilter++
+			}
+		} else {
+			otherPlans++
+		}
+	}
+	t.Logf("magic-seeded cases: %d context + %d filter (other plans: %d, non-empty answers: %d)",
+		magicContext, magicFilter, otherPlans, nonEmpty)
+	if total := magicContext + magicFilter; total < wantMagic {
+		t.Fatalf("only %d magic-seeded cases compared, want ≥ %d", total, wantMagic)
+	}
+	if magicContext < wantPerMode || magicFilter < wantPerMode {
+		t.Fatalf("mode coverage too thin: %d context / %d filter, want ≥ %d each",
+			magicContext, magicFilter, wantPerMode)
+	}
+	if nonEmpty < 50 {
+		t.Fatalf("only %d cases had non-empty answers; the harness is not exercising evaluation", nonEmpty)
+	}
+}

@@ -5,6 +5,7 @@
 // by a watcher goroutine that the evaluation tears down on return,
 // whether it finished or was cancelled, so no goroutines outlive the
 // call (asserted by TestCancelDoesNotLeakGoroutines).
+
 package eval
 
 import (

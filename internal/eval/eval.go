@@ -39,6 +39,7 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// String renders the counters in report form.
 func (s Stats) String() string {
 	return fmt.Sprintf("derivations=%d duplicates=%d iterations=%d depth=%d",
 		s.Derivations, s.Duplicates, s.Iterations, s.MaxDepth)
@@ -355,10 +356,14 @@ func (e *Engine) ApplyNew(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, 
 	return added
 }
 
-// applyNewStop is ApplyNew with a pollable stop flag; it reports false
-// when the scan was abandoned mid-way.
-func (e *Engine) applyNewStop(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, stats *Stats, stop *atomic.Bool) bool {
+// applyNewStop is ApplyNew with a pollable stop flag and an optional
+// keep filter (emissions failing it are discarded before any
+// accounting); it reports false when the scan was abandoned mid-way.
+func (e *Engine) applyNewStop(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, stats *Stats, stop *atomic.Bool, keep func(rel.Tuple) bool) bool {
 	return applyCompiledRange(db, e.compiledFor(op), src, 0, src.Len(), stop, func(t rel.Tuple) {
+		if keep != nil && !keep(t) {
+			return
+		}
 		stats.Derivations++
 		if dst.Insert(t) {
 			delta.Insert(t)
@@ -373,7 +378,7 @@ func (e *Engine) applyNewStop(db rel.DB, op *ast.Op, src, dst, delta *rel.Relati
 // model of computation in Theorem 3.1 ("the same tuple is not derived
 // through the same arc more than once") is exactly this discipline.
 func (e *Engine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
-	total, stats, _ := e.semiNaive(db, ops, q, nil)
+	total, stats, _ := e.semiNaive(db, ops, q, nil, nil)
 	return total, stats
 }
 
@@ -383,14 +388,18 @@ func (e *Engine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Rela
 func (e *Engine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := e.semiNaive(db, ops, q, stop)
+	total, stats, ok := e.semiNaive(db, ops, q, stop, nil)
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}
 	return total, stats, nil
 }
 
-func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool) (*rel.Relation, Stats, bool) {
+// semiNaive is the one sequential fixpoint driver: the optional keep
+// filter (nil = unrestricted) discards derivations before any
+// accounting — the restricted closure of the magic-seeded plans rides
+// the same loop as the plain closure.
+func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, keep func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
 	var stats Stats
 	total := q.Clone()
 	delta := q.Clone()
@@ -401,7 +410,7 @@ func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atom
 		stats.Iterations++
 		next := rel.NewRelation(total.Arity())
 		for _, op := range ops {
-			if !e.applyNewStop(db, op, delta, total, next, &stats, stop) {
+			if !e.applyNewStop(db, op, delta, total, next, &stats, stop, keep) {
 				return total, stats, false
 			}
 		}

@@ -1,0 +1,190 @@
+// Magic-seeded evaluation: the data-level machinery behind the planner's
+// MagicSeeded plan kind.  A bound selection query σ[c]=v over a linear
+// recursive predicate does not need the predicate's full closure — only
+// the tuples reachable from the bound constant matter.  The planner
+// compiles, per recursive rule, a context-transformer rule (the
+// generalization of Algorithm 4.1's "operator loop" to whole programs)
+// into a MagicSpec; this file evaluates it:
+//
+//   - MagicSetCtx iterates the transformer rules as a frontier
+//     (semi-naive over 1-tuples) from the seed constant, producing the
+//     magic set — every binding of the selected column reachable in some
+//     derivation chain ending at the query's constant.
+//   - MagicCollect turns a magic set directly into the answer when every
+//     rule passes the unselected columns through unchanged (the planner's
+//     context mode): answers are exit-rule tuples looked up per magic
+//     value with the bound column rewritten — output-proportional work.
+//   - SemiNaiveRestrictedCtx is the fallback (the planner's filter mode):
+//     an ordinary semi-naive closure, sequential or sharded across the
+//     worker pool, that discards every derived tuple whose bound column
+//     lies outside the magic set, so the fixpoint only ever grows the
+//     reachable region instead of the whole predicate.
+
+package eval
+
+import (
+	"context"
+
+	"linrec/internal/ast"
+	"linrec/internal/rel"
+)
+
+// MagicSeedPred is the pseudo-predicate a MagicSpec step rule reads the
+// current frontier from; the '$' prefix keeps it disjoint from anything
+// the parser can produce.
+const MagicSeedPred = "$magicseed"
+
+// MagicSetPred is the pseudo-predicate heading every MagicSpec rule: the
+// unary relation of reachable bound-column values.
+const MagicSetPred = "$magic"
+
+// MagicSpec is a compiled magic/adorned program for one bound column of
+// one recursive predicate: the rules whose fixpoint from the query's
+// constant is the magic set.  Specs are built by the planner's
+// bindability analysis (planner.Analysis.MagicPlan) and are immutable
+// once built, so one spec may serve any number of concurrent
+// evaluations.
+type MagicSpec struct {
+	// Col is the bound answer column driving the evaluation.
+	Col int
+	// Step rules derive next-generation magic values from the current
+	// frontier: MagicSetPred(out) :- MagicSeedPred(in), nonrec atoms.
+	// One per recursive rule whose bound-column context depends on the
+	// frontier.
+	Step []ast.Rule
+	// Init rules derive frontier-independent magic values —
+	// MagicSetPred(out) :- nonrec atoms — contributed by rules whose
+	// bound head variable does not reach their nonrecursive atoms.  They
+	// are evaluated once, before the frontier loop.
+	Init []ast.Rule
+	// Identity counts the rules that pass the bound column through
+	// unchanged; they contribute nothing to the frontier but are recorded
+	// so Plan.Why can explain the spec.
+	Identity int
+}
+
+// MagicSetCtx computes the magic set: the least 1-column relation
+// containing seed that is closed under the spec's step rules (with the
+// init rules' contributions folded in up front).  The frontier loop is
+// semi-naive — each generation joins only the previous generation's new
+// values — and polls ctx once per generation.  Stats records one
+// Iteration per generation; derivation accounting belongs to the
+// consumer (MagicCollect or the restricted closure).
+func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, seed rel.Value, stats *Stats) (*rel.Relation, error) {
+	if ctx == nil {
+		// Tolerate nil like watchContext does for the closure loops.
+		ctx = context.Background()
+	}
+	set := rel.NewRelation(1)
+	frontier := rel.NewRelation(1)
+	set.Insert(rel.Tuple{seed})
+	frontier.Insert(rel.Tuple{seed})
+
+	for _, r := range spec.Init {
+		t, err := e.EvalRule(db, r)
+		if err != nil {
+			return nil, err
+		}
+		t.Each(func(v rel.Tuple) {
+			if set.Insert(v) {
+				frontier.Insert(v)
+			}
+		})
+	}
+
+	if len(spec.Step) == 0 {
+		return set, nil
+	}
+	// Shallow copy: share the EDB relations, override only the frontier
+	// pseudo-predicate.
+	scratch := make(rel.DB, len(db)+1)
+	for k, v := range db {
+		scratch[k] = v
+	}
+	for frontier.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		stats.Iterations++
+		scratch[MagicSeedPred] = frontier
+		next := rel.NewRelation(1)
+		for _, r := range spec.Step {
+			out, err := e.EvalRule(scratch, r)
+			if err != nil {
+				return nil, err
+			}
+			out.Each(func(v rel.Tuple) {
+				if set.Insert(v) {
+					next.Insert(v)
+				}
+			})
+		}
+		frontier = next
+	}
+	return set, nil
+}
+
+// MagicCollect materializes the answer of a context-mode magic plan: for
+// every magic value m, the seed tuples with column col equal to m are
+// answers once their bound column is rewritten to the query's constant
+// (each rule passed every other column through unchanged, so the rest of
+// the tuple survives the derivation chain verbatim).  Work and output
+// are proportional to the answer, never to the closure.  Stats counts
+// one derivation per collected tuple, duplicates included.
+func MagicCollect(q *rel.Relation, col int, val rel.Value, set *rel.Relation, stats *Stats) *rel.Relation {
+	out := rel.NewRelation(q.Arity())
+	set.Each(func(m rel.Tuple) {
+		for _, t := range q.Lookup(col, m[0]) {
+			nt := t.Clone()
+			nt[col] = val
+			stats.Derivations++
+			if !out.Insert(nt) {
+				stats.Duplicates++
+			}
+		}
+	})
+	return out
+}
+
+// SemiNaiveRestrictedCtx computes the part of (Σᵢ opsᵢ)* q whose column
+// col lies in allowed: a semi-naive closure that discards every derived
+// tuple outside the magic set, so reachable tuples are derived exactly
+// as the unrestricted closure would while the rest of the predicate is
+// never materialized.  q must already be restricted (see
+// rel.Relation.SelectIn); allowed is read concurrently and must not be
+// mutated during the call.  Cancellation behaves as SemiNaiveCtx.
+func (e *Engine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, col int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
+	stop, release := watchContext(ctx)
+	defer release()
+	total, stats, ok := e.semiNaive(db, ops, q, stop, magicKeep(col, allowed))
+	if !ok {
+		return nil, stats, ctxErr(ctx)
+	}
+	return total, stats, nil
+}
+
+// magicKeep is the magic-set membership filter threaded through the
+// semi-naive drivers; the reslice probe allocates nothing, and
+// Relation.Has takes no locks, so the same closure is safe inside
+// concurrent workers.
+func magicKeep(col int, allowed *rel.Relation) func(rel.Tuple) bool {
+	return func(t rel.Tuple) bool {
+		return allowed.Has(t[col : col+1 : col+1])
+	}
+}
+
+// SemiNaiveRestrictedCtx is the sharded form of the restricted closure:
+// every round's delta fans out across the worker pool with the magic-set
+// filter applied inside each worker, so tuples outside the reachable
+// region are dropped before they ever reach a round buffer.  Results and
+// statistics equal the sequential Engine.SemiNaiveRestrictedCtx on the
+// same inputs; with Workers ≤ 1 it delegates to it.
+func (p *ParallelEngine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, col int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
+	stop, release := watchContext(ctx)
+	defer release()
+	total, stats, ok := p.semiNaive(db, ops, q, stop, magicKeep(col, allowed))
+	if !ok {
+		return nil, stats, ctxErr(ctx)
+	}
+	return total, stats, nil
+}

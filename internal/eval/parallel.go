@@ -7,6 +7,7 @@
 // exactly: Derivations, Duplicates, Iterations and MaxDepth all match the
 // sequential engine on the same inputs (proven by the differential
 // property test in parallel_property_test.go).
+
 package eval
 
 import (
@@ -98,14 +99,17 @@ func prebuildIndexes(db rel.DB, cs []*compiled) {
 // derived tuples laid out back to back, arity values each.  Flat buffers
 // keep the round's output pointer-free, so the garbage collector never
 // scans the (potentially millions of) in-flight derivations.  A non-nil
-// stop flag makes every worker abandon its shard within cancelCheckRows
-// rows of the flag being set; the waitgroup barrier still joins every
-// worker, so cancellation never leaks goroutines.  A worker panic (e.g.
-// the join arity guard) is recovered and re-raised at the barrier in the
-// caller's goroutine — a panic escaping a bare worker goroutine would
-// kill the process, while the caller's stack has recovery (core.QueryOn
-// turns it into an error) — with all workers joined first.
-func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int, stop *atomic.Bool) [][]rel.Value {
+// keep filter drops emissions inside the worker, before they are
+// buffered (the restricted closure's magic-set test); it must be safe
+// for concurrent read-only use.  A non-nil stop flag makes every worker
+// abandon its shard within cancelCheckRows rows of the flag being set;
+// the waitgroup barrier still joins every worker, so cancellation never
+// leaks goroutines.  A worker panic (e.g. the join arity guard) is
+// recovered and re-raised at the barrier in the caller's goroutine — a
+// panic escaping a bare worker goroutine would kill the process, while
+// the caller's stack has recovery (core.QueryOn turns it into an error)
+// — with all workers joined first.
+func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int, stop *atomic.Bool, keep func(rel.Tuple) bool) [][]rel.Value {
 	bounds := shardBounds(hi-lo, p.Workers)
 	bufs := make([][]rel.Value, len(bounds)-1)
 	var panicked atomic.Pointer[any]
@@ -133,6 +137,9 @@ func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation
 			}()
 			buf := make([]rel.Value, 0, (shi-slo)*arity)
 			emit := func(t rel.Tuple) {
+				if keep != nil && !keep(t) {
+					return
+				}
 				buf = append(buf, t...)
 			}
 			for _, c := range cs {
@@ -171,7 +178,7 @@ func mergeRound(total *rel.Relation, bufs [][]rel.Value, arity int, stats *Stats
 // to the total relation last round.  Results and statistics equal the
 // sequential Engine.SemiNaive on the same inputs.
 func (p *ParallelEngine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
-	total, stats, _ := p.semiNaive(db, ops, q, nil)
+	total, stats, _ := p.semiNaive(db, ops, q, nil, nil)
 	return total, stats
 }
 
@@ -185,18 +192,21 @@ func (p *ParallelEngine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast
 	}
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := p.semiNaive(db, ops, q, stop)
+	total, stats, ok := p.semiNaive(db, ops, q, stop, nil)
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}
 	return total, stats, nil
 }
 
-func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool) (*rel.Relation, Stats, bool) {
+// semiNaive is the one sharded fixpoint driver; the optional keep filter
+// runs inside each worker (see applyRound), so the restricted closure of
+// the magic-seeded plans shares this loop too.
+func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, keep func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
 	// Nullary relations carry no per-tuple payload for the flat round
 	// buffers; the (degenerate) case runs sequentially.
 	if p.Workers <= 1 || q.Arity() == 0 {
-		return p.Engine.semiNaive(db, ops, q, stop)
+		return p.Engine.semiNaive(db, ops, q, stop, keep)
 	}
 	cs := make([]*compiled, len(ops))
 	for i, op := range ops {
@@ -212,7 +222,7 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 			return total, stats, false
 		}
 		stats.Iterations++
-		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity(), stop)
+		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity(), stop, keep)
 		// A cancelled round leaves partial worker buffers; discard them
 		// rather than merging a torn delta.
 		if stop != nil && stop.Load() {
@@ -245,7 +255,7 @@ func (p *ParallelEngine) Naive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.
 	for {
 		stats.Iterations++
 		before := total.Len()
-		bufs := p.applyRound(db, cs, total, 0, before, total.Arity(), nil)
+		bufs := p.applyRound(db, cs, total, 0, before, total.Arity(), nil, nil)
 		mergeRound(total, bufs, total.Arity(), &stats)
 		if total.Len() == before {
 			return total, stats

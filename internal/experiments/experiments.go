@@ -49,6 +49,7 @@ func All() []Experiment {
 		{"P7", "Section 7 extension: partial commutativity (grouped decomposition)", P7},
 		{"R19", "Certification power: Theorem 5.1 vs the weaker [19]-style baseline", R19},
 		{"PTC", "Substrate rework: seed string-keyed engine vs packed-key parallel closure", PTCTable},
+		{"MAGIC", "Magic-seeded evaluation: bound query vs closure-then-filter", MagicTable},
 	}
 }
 
@@ -68,6 +69,16 @@ func mustOp(src string) *ast.Op {
 		panic(err)
 	}
 	return op
+}
+
+// mustAtomExp parses a goal atom for the experiment drivers; experiment
+// goals are literals, so a parse failure is a programming bug.
+func mustAtomExp(src string) ast.Atom {
+	a, err := parser.ParseAtom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // Rules used across the experiments (the paper's examples).

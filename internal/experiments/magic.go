@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"linrec/internal/core"
+	"linrec/internal/planner"
+	"linrec/internal/workload"
+)
+
+// This experiment measures the magic-seeded plan kind: a bound
+// single-source selection query over the 240k-edge random-recursive-tree
+// transitive closure, answered (a) by the forced closure-then-filter
+// baseline and (b) by the planner's magic-seeded evaluation — context
+// mode for the left-recursive rule form, filter mode for the
+// right-recursive one.  The bound query's cost drops from
+// closure-proportional to output-proportional.
+
+// magicBenchForms pairs each rule form with the magic mode the planner
+// should pick for a column-0 binding.
+var magicBenchForms = []struct {
+	Form string
+	Src  string
+	Mode planner.MagicMode
+}{
+	{
+		Form: "left-recursive (context mode)",
+		Src: `path(X,Y) :- edge(X,Y).
+			path(X,Y) :- edge(X,Z), path(Z,Y).`,
+		Mode: planner.MagicContext,
+	},
+	{
+		Form: "right-recursive (filter mode)",
+		Src: `path(X,Y) :- edge(X,Y).
+			path(X,Y) :- path(X,Z), edge(Z,Y).`,
+		Mode: planner.MagicFilter,
+	},
+}
+
+// MagicResult is one rule form's bound-query comparison.
+type MagicResult struct {
+	Form          string        `json:"form"`
+	Mode          string        `json:"mode"`
+	AnswerRows    int           `json:"answer_rows"`
+	BaselineNS    time.Duration `json:"baseline_ns"`
+	MagicNS       time.Duration `json:"magic_ns"`
+	MagicCachedNS time.Duration `json:"magic_cached_ns"`
+	Speedup       float64       `json:"speedup"`
+}
+
+// MagicReport is the machine-readable magic_tc lane of BENCH_eval.json.
+type MagicReport struct {
+	Bench    string        `json:"bench"`
+	Workload string        `json:"workload"`
+	Source   string        `json:"source"`
+	Results  []MagicResult `json:"results"`
+	// Speedup is the headline number: the smaller of the two forms'
+	// closure-then-filter vs magic-seeded ratios.
+	Speedup float64 `json:"speedup"`
+}
+
+// magicBenchRun compares the bound query on one rule form.  The exit-rule
+// seed is warmed (and the plan shape asserted) with a different binding
+// first, so the timed runs measure evaluation, not one-off cache builds;
+// the timed magic run still pays its own frontier iteration.
+func magicBenchRun(form, src string, wantMode planner.MagicMode, nodes, source int) (MagicResult, error) {
+	res := MagicResult{Form: form, Mode: wantMode.String()}
+	sys, err := core.LoadOptions(src, core.Options{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return res, err
+	}
+	workload.RandomTree(sys.Engine, sys.DB(), "edge", nodes, 47)
+	snap := sys.Snapshot()
+	ctx := context.Background()
+
+	warmGoal := mustAtomExp(fmt.Sprintf("path(t%d, Y)", source+1))
+	warm, err := sys.QueryOn(ctx, snap, warmGoal, sys.Opts)
+	if err != nil {
+		return res, err
+	}
+	if warm.Plan.Kind != planner.MagicSeeded || warm.Plan.Magic == nil || warm.Plan.Magic.Mode != wantMode {
+		return res, fmt.Errorf("%s: plan = %v (%s), want %v-mode magic", form, warm.Plan.Kind, warm.Plan.Why, wantMode)
+	}
+
+	goal := mustAtomExp(fmt.Sprintf("path(t%d, Y)", source))
+	start := time.Now()
+	base, err := sys.QueryOn(ctx, snap, goal, core.Options{Workers: sys.Opts.Workers, Strategy: planner.ForceSemiNaive})
+	if err != nil {
+		return res, err
+	}
+	res.BaselineNS = time.Since(start)
+
+	start = time.Now()
+	magic, err := sys.QueryOn(ctx, snap, goal, sys.Opts)
+	if err != nil {
+		return res, err
+	}
+	res.MagicNS = time.Since(start)
+
+	start = time.Now()
+	cached, err := sys.QueryOn(ctx, snap, goal, sys.Opts)
+	if err != nil {
+		return res, err
+	}
+	res.MagicCachedNS = time.Since(start)
+
+	if !reflect.DeepEqual(base.Rows(sys), magic.Rows(sys)) || !reflect.DeepEqual(base.Rows(sys), cached.Rows(sys)) {
+		return res, fmt.Errorf("%s: magic answer diverges from closure+filter: %d vs %d rows",
+			form, magic.Answer.Len(), base.Answer.Len())
+	}
+	res.AnswerRows = magic.Answer.Len()
+	res.Speedup = float64(res.BaselineNS) / float64(res.MagicNS)
+	return res, nil
+}
+
+// magicBench runs both rule forms at one graph size.
+func magicBench(nodes, source int) (MagicReport, error) {
+	rep := MagicReport{
+		Bench:    "magic_tc",
+		Workload: fmt.Sprintf("random recursive tree, %d edges, bound single-source query", nodes-1),
+		Source:   fmt.Sprintf("t%d", source),
+	}
+	for _, f := range magicBenchForms {
+		r, err := magicBenchRun(f.Form, f.Src, f.Mode, nodes, source)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, r)
+		if rep.Speedup == 0 || r.Speedup < rep.Speedup {
+			rep.Speedup = r.Speedup
+		}
+	}
+	return rep, nil
+}
+
+// MagicBenchSource is the default bound constant: node 1000 of the random
+// recursive tree, whose expected subtree (≈ nodes/1000 descendants) keeps
+// the answer small relative to the ~2.9M-tuple closure while staying
+// non-trivial.
+const MagicBenchSource = 1000
+
+// MagicJSONReport runs the bound-query comparison on the full PTC graph
+// (the BENCH_eval.json magic_tc lane).
+func MagicJSONReport() (MagicReport, error) {
+	return magicBench(PTCNodes, MagicBenchSource)
+}
+
+// MagicTableNodes sizes the printed table — big enough to show the gap,
+// small enough for the test suite.
+const MagicTableNodes = 60001
+
+// MagicTable prints the bound-query comparison at the table size.
+func MagicTable(w io.Writer) error {
+	rep, err := magicBench(MagicTableNodes, MagicBenchSource)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bound query path(%s, Y) on %s\n", rep.Source, rep.Workload)
+	fmt.Fprintf(w, "closure-then-filter baseline vs magic-seeded evaluation\n\n")
+	fmt.Fprintf(w, "%-32s %8s | %12s %12s %12s | %s\n",
+		"rule form", "answer", "baseline", "magic", "magic-cached", "speedup")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-32s %8d | %12v %12v %12v | %.0fx\n",
+			r.Form, r.AnswerRows,
+			r.BaselineNS.Round(time.Microsecond), r.MagicNS.Round(time.Microsecond),
+			r.MagicCachedNS.Round(time.Microsecond), r.Speedup)
+	}
+	fmt.Fprintf(w, "\nthe tentpole claim: a bound selection query costs output-proportional work —\n")
+	fmt.Fprintf(w, "the frontier from the constant — instead of the full closure it used to pay\n")
+	return nil
+}

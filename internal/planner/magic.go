@@ -1,0 +1,250 @@
+// Magic-seeded plans: the bindability analysis that decides when a bound
+// selection query can be answered from the query's constant outward
+// instead of by closing the whole predicate and filtering.
+//
+// Theorem 4.1 covers the two-rule case in which the selection commutes
+// with one operator; every other bound query used to fall through to the
+// full closure.  The analysis here closes that gap for the common shape
+// where each rule either passes the bound column through unchanged or
+// transports it across its nonrecursive atoms: the per-rule "context
+// transformer" of Algorithm 4.1's operator loop, generalized from a
+// single operator to the whole rule set and compiled into an
+// eval.MagicSpec the engine iterates as a frontier.
+
+package planner
+
+import (
+	"context"
+	"fmt"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+)
+
+// MagicMode selects how a MagicSeeded plan turns the magic set into the
+// answer.
+type MagicMode int
+
+const (
+	// MagicContext: every rule passes the unselected columns through
+	// unchanged (free 1-persistent on the a-graph), so answers are
+	// exit-rule tuples collected per magic value with the bound column
+	// rewritten — work proportional to the answer, never the closure.
+	MagicContext MagicMode = iota
+	// MagicFilter: rules transform other columns too, so a semi-naive
+	// closure still runs — but restricted to tuples whose bound column
+	// lies in the magic set, sharded across the worker pool like any
+	// other closure.
+	MagicFilter
+)
+
+// String names the mode as it appears in Plan.Why.
+func (m MagicMode) String() string {
+	if m == MagicContext {
+		return "context"
+	}
+	return "filter"
+}
+
+// MagicPlan is the magic-seeded payload of a Plan: the compiled frontier
+// spec, the driving selection, and (optionally) a pre-computed magic set
+// supplied by a caller-side cache.
+type MagicPlan struct {
+	// Mode picks context collection or the restricted closure.
+	Mode MagicMode
+	// Sel is the bound-column selection the plan consumes.
+	Sel separable.Selection
+	// Spec is the compiled frontier program (see eval.MagicSpec).
+	Spec eval.MagicSpec
+	// Set, when non-nil, is a pre-computed magic set for Sel.Value —
+	// core's per-snapshot cache injects it so repeated bound queries
+	// skip the frontier iteration.  SetStats are the frontier statistics
+	// recorded when the set was built; execution folds them in so cached
+	// and uncached runs report identical statistics.
+	Set      *rel.Relation
+	SetStats eval.Stats
+}
+
+// magicShape classifies one operator's treatment of the bound column.
+type magicShape int
+
+const (
+	// magicNone: the bound column's antecedent variable is reachable
+	// neither from the consequent's nor from the nonrecursive atoms — no
+	// finite context transformer exists and the rule set is not
+	// magic-seedable on this column.
+	magicNone magicShape = iota
+	// magicIdentity: the column is 1-persistent (h(x) = x): derivations
+	// pass the bound value through unchanged, so the rule contributes
+	// nothing to the frontier.
+	magicIdentity
+	// magicStep: the antecedent's column variable is bound by the
+	// nonrecursive atoms and the consequent's column variable occurs in
+	// them too — the rule becomes a frontier step rule.
+	magicStep
+	// magicInit: the antecedent's column variable is bound by the
+	// nonrecursive atoms but the consequent's is not — the rule's
+	// context contribution is frontier-independent and is evaluated
+	// once.
+	magicInit
+)
+
+// magicShapeOf classifies op for bound column col, returning the head
+// (in) and recursive-atom (out) variables at that column.
+func magicShapeOf(op *ast.Op, col int) (shape magicShape, in, out string) {
+	in = op.Head.Args[col].Name
+	out = op.Rec.Args[col].Name
+	if out == in {
+		return magicIdentity, in, out
+	}
+	nonrec := ast.AtomsVars(op.NonRec...)
+	switch {
+	case !nonrec.Has(out):
+		return magicNone, in, out
+	case nonrec.Has(in):
+		return magicStep, in, out
+	default:
+		return magicInit, in, out
+	}
+}
+
+// passesThroughOthers reports whether op leaves every head column other
+// than col untouched and unconstrained: the column's variable is free
+// 1-persistent — h(x) = x with no occurrence in the nonrecursive atoms —
+// so any derivation copies it verbatim from the recursive input.  This
+// is the context-mode requirement: with it, a whole derivation chain
+// changes nothing but the bound column.
+func passesThroughOthers(op *ast.Op, col int) bool {
+	nro := op.NonRecOccurrences()
+	for j, t := range op.Head.Args {
+		if j == col {
+			continue
+		}
+		hx, ok := op.H(t.Name)
+		if !ok || hx != t.Name || nro[t.Name] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MagicAnalysis compiles the magic frontier program for bound column
+// col.  ok is false when some rule gives the bound column no finite
+// context transformer (its antecedent variable at that column is neither
+// persistent nor bound by the nonrecursive atoms) or is not
+// range-restricted — those rule sets keep the closure-then-filter path.
+// When ok, mode reports whether answers can be collected directly
+// (MagicContext) or a restricted closure must run (MagicFilter).
+func (a *Analysis) MagicAnalysis(col int) (spec eval.MagicSpec, mode MagicMode, ok bool) {
+	if col < 0 || col >= a.Ops[0].Arity() {
+		return eval.MagicSpec{}, 0, false
+	}
+	spec.Col = col
+	mode = MagicContext
+	for _, op := range a.Ops {
+		if !op.IsRangeRestricted() {
+			return eval.MagicSpec{}, 0, false
+		}
+		shape, in, out := magicShapeOf(op, col)
+		if shape == magicNone {
+			return eval.MagicSpec{}, 0, false
+		}
+		if !passesThroughOthers(op, col) {
+			mode = MagicFilter
+		}
+		switch shape {
+		case magicIdentity:
+			spec.Identity++
+		case magicStep:
+			spec.Step = append(spec.Step, ast.Rule{
+				Head: ast.NewAtom(eval.MagicSetPred, ast.V(out)),
+				Body: append([]ast.Atom{ast.NewAtom(eval.MagicSeedPred, ast.V(in))}, op.NonRec...),
+			})
+		case magicInit:
+			spec.Init = append(spec.Init, ast.Rule{
+				Head: ast.NewAtom(eval.MagicSetPred, ast.V(out)),
+				Body: append([]ast.Atom(nil), op.NonRec...),
+			})
+		}
+	}
+	return spec, mode, true
+}
+
+// magicPlan builds the MagicSeeded plan for sel, or nil when the
+// analysis rejects the column.
+func (a *Analysis) magicPlan(sel *separable.Selection) *Plan {
+	spec, mode, ok := a.MagicAnalysis(sel.Col)
+	if !ok {
+		return nil
+	}
+	var why string
+	if mode == MagicContext {
+		why = fmt.Sprintf(
+			"σ[%d] binds the query: every rule passes the other columns through, so answers are collected from a magic frontier seeded at the constant (context mode, generalizing Algorithm 4.1)",
+			sel.Col)
+	} else {
+		why = fmt.Sprintf(
+			"σ[%d] binds the query: the magic set of reachable column-%d values restricts the semi-naive closure to the region the selection can see (filter mode)",
+			sel.Col, sel.Col)
+	}
+	return &Plan{
+		Kind:  MagicSeeded,
+		Magic: &MagicPlan{Mode: mode, Sel: *sel, Spec: spec},
+		Why:   why,
+	}
+}
+
+// Parallelizable reports whether executing the plan shards closure
+// rounds across a worker pool.  Separable, bounded and context-mode
+// magic plans evaluate sequentially — the server's admission control
+// uses this to size per-query worker grants.
+func (p *Plan) Parallelizable() bool {
+	switch p.Kind {
+	case SemiNaive, Decomposed:
+		return true
+	case MagicSeeded:
+		return p.Magic != nil && p.Magic.Mode == MagicFilter
+	}
+	return false
+}
+
+// executeMagic runs a MagicSeeded plan (see ExecuteSeeded).  The primary
+// selection is consumed by the plan itself; q is the shared exit-rule
+// seed and is never mutated.
+func (a *Analysis) executeMagic(ctx context.Context, pe *eval.ParallelEngine, db rel.DB, plan *Plan, q *rel.Relation) (*Result, error) {
+	m := plan.Magic
+	if m == nil {
+		return nil, fmt.Errorf("planner: magic-seeded plan has no magic payload; it is not executable")
+	}
+	res := &Result{Plan: plan}
+	set := m.Set
+	if set == nil {
+		s, err := pe.MagicSetCtx(ctx, db, m.Spec, m.Sel.Value, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		set = s
+	} else {
+		// A cached set skips the frontier iteration; folding in the
+		// stats recorded at build time keeps cached and uncached runs
+		// indistinguishable to callers.
+		res.Stats.Add(m.SetStats)
+	}
+	switch m.Mode {
+	case MagicContext:
+		res.Answer = eval.MagicCollect(q, m.Spec.Col, m.Sel.Value, set, &res.Stats)
+	default:
+		restricted := q.SelectIn(m.Spec.Col, set)
+		out, s, err := pe.SemiNaiveRestrictedCtx(ctx, db, a.Ops, restricted, m.Spec.Col, set)
+		res.Stats.Add(s)
+		if err != nil {
+			return nil, err
+		}
+		// The restricted closure holds every tuple the magic set can
+		// reach; the query's answer is the slice at the bound constant.
+		res.Answer = m.Sel.Apply(out)
+	}
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package planner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"linrec/internal/eval"
+	"linrec/internal/parser"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+)
+
+// analyzeSrc builds an Analysis straight from program text.
+func analyzeSrc(t *testing.T, src string) *Analysis {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	a, err := Analyze(prog, "p")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}
+
+func TestMagicAnalysisShapes(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		col      int
+		ok       bool
+		mode     MagicMode
+		steps    int
+		inits    int
+		identity int
+	}{
+		{
+			name: "left-chain col0 is context",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(X,Z), p(Z,Y).`,
+			col: 0, ok: true, mode: MagicContext, steps: 1,
+		},
+		{
+			name: "left-chain col1 is filter via identity",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(X,Z), p(Z,Y).`,
+			// Column 1 passes through (h(Y)=Y) but column 0 does not, so
+			// the magic set is {v} and the closure is filtered.
+			col: 1, ok: true, mode: MagicFilter, identity: 1,
+		},
+		{
+			name: "right-chain col1 is context",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- p(X,Z), e(Z,Y).`,
+			col: 1, ok: true, mode: MagicContext, steps: 1,
+		},
+		{
+			name: "two non-commuting left chains stay context",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(X,Z), p(Z,Y).
+				p(X,Y) :- f(X,Z), p(Z,Y).`,
+			col: 0, ok: true, mode: MagicContext, steps: 2,
+		},
+		{
+			name: "same-generation shape is filter",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(Z,X), p(Z,W), e(W,Y).`,
+			col: 0, ok: true, mode: MagicFilter, steps: 1,
+		},
+		{
+			name: "swap rule has no finite context",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- p(Y,X), e(X,X).`,
+			// Column 0's antecedent variable Y occurs only in the
+			// recursive atom: no nonrecursive join can enumerate it.
+			col: 0, ok: false,
+		},
+		{
+			name: "disconnected binding becomes an init rule",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- p(Z,X), e(Z,W), f(W,Y).`,
+			// Column 0: in = X occurs only in the recursive atom (col 1),
+			// out = Z is bound by e — frontier-independent contribution.
+			col: 0, ok: true, mode: MagicFilter, inits: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := analyzeSrc(t, tc.src)
+			spec, mode, ok := a.MagicAnalysis(tc.col)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if mode != tc.mode {
+				t.Errorf("mode = %v, want %v", mode, tc.mode)
+			}
+			if len(spec.Step) != tc.steps || len(spec.Init) != tc.inits || spec.Identity != tc.identity {
+				t.Errorf("spec = %d step / %d init / %d identity, want %d/%d/%d",
+					len(spec.Step), len(spec.Init), spec.Identity, tc.steps, tc.inits, tc.identity)
+			}
+		})
+	}
+}
+
+// TestMagicPlanPriority: Theorem 4.1's separable plan still wins when it
+// applies; magic seeding takes the bound queries separability cannot, and
+// forced strategies bypass both.
+func TestMagicPlanPriority(t *testing.T) {
+	e := eval.NewEngine(nil)
+	sel := &separable.Selection{Col: 0, Value: e.Syms.Intern("a")}
+
+	sep := analyzeSrc(t, `p(X,Y) :- b(X,Y).
+		p(X,Y) :- p(X,U), up(U,Y).
+		p(X,Y) :- down(X,U), p(U,Y).`)
+	if plan := sep.Choose(sel); plan.Kind != Separable {
+		t.Errorf("commuting pair with commuting σ: plan = %v, want Separable (%s)", plan.Kind, plan.Why)
+	}
+
+	single := analyzeSrc(t, `p(X,Y) :- b(X,Y).
+		p(X,Y) :- e(X,Z), p(Z,Y).`)
+	plan := single.Choose(sel)
+	if plan.Kind != MagicSeeded || plan.Magic == nil || plan.Magic.Mode != MagicContext {
+		t.Errorf("single left chain with binding: plan = %v (%s), want context-mode MagicSeeded", plan.Kind, plan.Why)
+	}
+	if !strings.Contains(plan.Why, "magic") {
+		t.Errorf("Why does not explain the magic plan: %q", plan.Why)
+	}
+	if plan.Parallelizable() {
+		t.Errorf("context-mode magic plan reports parallelizable")
+	}
+	if p := single.ChooseOpts(sel, Options{Strategy: ForceSemiNaive}); p.Kind != SemiNaive {
+		t.Errorf("forced strategy overridden by magic: %v", p.Kind)
+	}
+	if p := single.Choose(nil); p.Kind == MagicSeeded {
+		t.Errorf("open query chose a magic plan")
+	}
+
+	filter := analyzeSrc(t, `p(X,Y) :- b(X,Y).
+		p(X,Y) :- e(Z,X), p(Z,W), e(W,Y).`)
+	fp := filter.ChooseOpts(sel, Options{Workers: 4})
+	if fp.Kind != MagicSeeded || fp.Magic.Mode != MagicFilter {
+		t.Fatalf("same-generation binding: plan = %v (%s), want filter-mode MagicSeeded", fp.Kind, fp.Why)
+	}
+	if !fp.Parallelizable() {
+		t.Errorf("filter-mode magic plan reports sequential")
+	}
+	if !strings.Contains(fp.Why, "shards across 4 workers") {
+		t.Errorf("Why does not mention the worker pool: %q", fp.Why)
+	}
+}
+
+// TestMagicExecutionMatchesClosure: executing a MagicSeeded plan returns
+// exactly the closure-then-filter answer, in both modes, sequentially and
+// sharded, with and without a pre-computed (cached) magic set.
+func TestMagicExecutionMatchesClosure(t *testing.T) {
+	srcs := map[string]string{
+		"context": `p(X,Y) :- b(X,Y).
+			p(X,Y) :- e(X,Z), p(Z,Y).
+			p(X,Y) :- f(X,Z), p(Z,Y).`,
+		"filter": `p(X,Y) :- b(X,Y).
+			p(X,Y) :- e(Z,X), p(Z,W), e(W,Y).`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			a := analyzeSrc(t, src)
+			e := eval.NewEngine(nil)
+			db := rel.DB{}
+			ins := func(pred string, pairs ...[2]int) {
+				r := db.Rel(pred, 2)
+				for _, pr := range pairs {
+					r.Insert(rel.Tuple{
+						e.Syms.Intern(string(rune('a' + pr[0]))),
+						e.Syms.Intern(string(rune('a' + pr[1]))),
+					})
+				}
+			}
+			ins("b", [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 0}, [2]int{4, 5})
+			ins("e", [2]int{0, 2}, [2]int{2, 4}, [2]int{1, 3}, [2]int{5, 1})
+			ins("f", [2]int{0, 1}, [2]int{3, 5}, [2]int{4, 0})
+
+			sel := &separable.Selection{Col: 0, Value: e.Syms.Intern("a")}
+			flat, err := a.ExecuteCtx(context.Background(), e, db, &Plan{Kind: SemiNaive}, sel, Options{})
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			for _, workers := range []int{1, 4} {
+				plan := a.ChooseOpts(sel, Options{Workers: workers})
+				if plan.Kind != MagicSeeded {
+					t.Fatalf("plan = %v (%s), want MagicSeeded", plan.Kind, plan.Why)
+				}
+				got, err := a.ExecuteCtx(context.Background(), e, db, plan, nil, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("magic workers=%d: %v", workers, err)
+				}
+				if !got.Answer.Equal(flat.Answer) {
+					t.Fatalf("workers=%d: magic answer %d tuples, closure+filter %d",
+						workers, got.Answer.Len(), flat.Answer.Len())
+				}
+
+				// Same plan again with the magic set pre-computed, as core's
+				// cache injects it: identical answer and statistics.
+				var setStats eval.Stats
+				set, err := e.MagicSetCtx(context.Background(), db, plan.Magic.Spec, sel.Value, &setStats)
+				if err != nil {
+					t.Fatalf("MagicSetCtx: %v", err)
+				}
+				cached := a.ChooseOpts(sel, Options{Workers: workers})
+				cached.Magic.Set, cached.Magic.SetStats = set, setStats
+				got2, err := a.ExecuteCtx(context.Background(), e, db, cached, nil, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("cached magic workers=%d: %v", workers, err)
+				}
+				if !got2.Answer.Equal(got.Answer) || got2.Stats != got.Stats {
+					t.Fatalf("workers=%d: cached set diverges: %v vs %v (answers %d vs %d)",
+						workers, got2.Stats, got.Stats, got2.Answer.Len(), got.Answer.Len())
+				}
+			}
+		})
+	}
+}

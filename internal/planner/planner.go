@@ -5,6 +5,9 @@
 //   - redundancy rewrite (Theorem 4.2/6.4 schedule) per operator;
 //   - decomposed closure A* = B*C* when the operators commute (Section 3);
 //   - the separable algorithm A1*(σ A2*) for selection queries (Thm 4.1);
+//   - magic-seeded evaluation for bound selection queries no separable
+//     plan covers: a frontier from the query's constant either collects
+//     the answer directly or restricts the closure (see magic.go);
 //   - semi-naive closure of the sum as the fallback.
 package planner
 
@@ -205,8 +208,15 @@ const (
 	// A* = Σ_{m<N} A^m — one of the special classes the paper's
 	// introduction lists alongside commutativity.
 	Bounded
+	// MagicSeeded: a bound selection query evaluated from the constant
+	// outward — a magic frontier over the bound column plus either
+	// direct answer collection (context mode) or a closure restricted
+	// to the magic set (filter mode); see MagicPlan.
+	MagicSeeded
 )
 
+// String names the strategy as reported by Plan and the server's
+// /v1/query and /v1/stats responses.
 func (k Kind) String() string {
 	switch k {
 	case Decomposed:
@@ -215,6 +225,8 @@ func (k Kind) String() string {
 		return "separable algorithm (A1*(σA2*))"
 	case Bounded:
 		return "bounded iteration (A* = Σ_{m<N} A^m)"
+	case MagicSeeded:
+		return "magic-seeded evaluation (σ-bound frontier)"
 	default:
 		return "semi-naive closure ((ΣAᵢ)*)"
 	}
@@ -236,6 +248,7 @@ const (
 	ForceDecomposed
 )
 
+// String names the override for reports.
 func (s Strategy) String() string {
 	switch s {
 	case ForceSemiNaive:
@@ -269,6 +282,9 @@ type Plan struct {
 	Groups [][]int
 	// Sel is the selection for Separable plans.
 	Sel separable.Selection
+	// Magic is the payload of MagicSeeded plans: mode, compiled frontier
+	// spec, driving selection and optional cached magic set.
+	Magic *MagicPlan
 	// Rounds is the iteration cap for Bounded plans (N−1 applications).
 	Rounds int
 	// Workers is the closure worker-pool size the plan executes with.
@@ -297,6 +313,10 @@ func (a *Analysis) ChooseOpts(sel *separable.Selection, opts Options) *Plan {
 			plan.Why += fmt.Sprintf("; rounds shard across %d workers", opts.Workers)
 		case Decomposed:
 			plan.Why += fmt.Sprintf("; each group closure shards across %d workers", opts.Workers)
+		case MagicSeeded:
+			if plan.Magic != nil && plan.Magic.Mode == MagicFilter {
+				plan.Why += fmt.Sprintf("; the restricted closure shards across %d workers", opts.Workers)
+			}
 		}
 	}
 	return plan
@@ -324,6 +344,14 @@ func (a *Analysis) chooseKind(sel *separable.Selection, opts Options) *Plan {
 					Why:   fmt.Sprintf("operators commute and σ[%d] commutes with rule %d (Theorem 4.1)", sel.Col, i+1),
 				}
 			}
+		}
+	}
+	// No separable plan applies to this bound query: try a magic-seeded
+	// evaluation from the constant outward before conceding the full
+	// closure (decomposed or not) plus a post-filter.
+	if sel != nil {
+		if p := a.magicPlan(sel); p != nil {
+			return p
 		}
 	}
 	if groups := a.CommutingGroups(); len(groups) >= 2 {
@@ -416,6 +444,15 @@ func (a *Analysis) ExecuteSeeded(ctx context.Context, e *eval.Engine, db rel.DB,
 		}
 		res.Answer, res.Stats = r.Rel, r.Stats
 		return res, nil
+	case MagicSeeded:
+		// The plan consumes the driving selection itself (Plan.Magic.Sel);
+		// sel, if any, is applied to the answer below like any residual
+		// filter.
+		mres, err := a.executeMagic(ctx, pe, db, plan, q)
+		if err != nil {
+			return nil, err
+		}
+		res.Answer, res.Stats = mres.Answer, mres.Stats
 	case Decomposed:
 		cur := q
 		var stats eval.Stats

@@ -497,6 +497,33 @@ func (r *Relation) Select(col int, v Value) *Relation {
 	return out
 }
 
+// SelectIn returns the tuples whose column col value appears in the
+// 1-column relation allowed — the seed restriction of a magic-seeded
+// plan.  When allowed is much smaller than r it probes r's column index
+// per allowed value (output-proportional); otherwise it scans r once.
+// Both paths leave allowed untouched, and the index path only triggers
+// r's internally-guarded lazy index build, so concurrent SelectIn calls
+// over a shared relation are safe.
+func (r *Relation) SelectIn(col int, allowed *Relation) *Relation {
+	out := NewRelation(r.arity)
+	if allowed.Len()*8 < r.Len() {
+		allowed.Each(func(m Tuple) {
+			for _, t := range r.Lookup(col, m[0]) {
+				out.Insert(t)
+			}
+		})
+		return out
+	}
+	key := make(Tuple, 1)
+	r.Each(func(t Tuple) {
+		key[0] = t[col]
+		if allowed.Has(key) {
+			out.Insert(t)
+		}
+	})
+	return out
+}
+
 // Filter returns the tuples satisfying pred as a new relation.
 func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
 	out := NewRelation(r.arity)

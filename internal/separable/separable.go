@@ -36,6 +36,7 @@ type Report struct {
 // Separable reports the conjunction of the four conditions.
 func (r Report) Separable() bool { return r.Cond1 && r.Cond2 && r.Cond3 && r.Cond4 }
 
+// String renders the per-condition flags.
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "separable: %v", r.Separable())

@@ -5,6 +5,7 @@
 // reduced offered load).  Latencies are recorded exactly client-side and
 // reduced to p50/p99 by sorting, independent of the server's bucketed
 // histogram.
+
 package server
 
 import (
@@ -130,6 +131,7 @@ type HTTPError struct {
 	Body   string
 }
 
+// Error renders the status and body.
 func (e *HTTPError) Error() string { return fmt.Sprintf("http %d: %s", e.Status, e.Body) }
 
 // Shedding reports whether the error is an admission-control rejection.

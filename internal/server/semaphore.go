@@ -5,6 +5,7 @@
 // heavy (high-weight) queries from being starved by a stream of light
 // ones.  Hand-rolled because the module deliberately has no external
 // dependencies (golang.org/x/sync is not vendored).
+
 package server
 
 import (

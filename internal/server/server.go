@@ -35,7 +35,6 @@ import (
 	"linrec/internal/core"
 	"linrec/internal/eval"
 	"linrec/internal/parser"
-	"linrec/internal/planner"
 )
 
 // Config sizes the server.  Zero values select the documented defaults.
@@ -222,10 +221,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{Workers: workers, Strategy: s.sys.Opts.Strategy}
 
-	// Size the grant by the plan the query will actually run: separable
-	// and bounded plans evaluate sequentially, so handing them a wide
-	// budget slice would hold workers idle and starve other queries.
-	// This also rejects unknown predicates before they burn a queue slot.
+	// Size the grant by the plan the query will actually run: separable,
+	// bounded and context-mode magic plans evaluate sequentially, so
+	// handing them a wide budget slice would hold workers idle and starve
+	// other queries (a filter-mode magic plan shards its restricted
+	// closure and keeps the full grant).  This also rejects unknown
+	// predicates before they burn a queue slot.
 	plan, err := s.sys.PlanFor(goal, opts)
 	if err != nil {
 		s.ctr.queryErrors.Add(1)
@@ -233,7 +234,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	grant := workers
-	if plan.Kind != planner.SemiNaive && plan.Kind != planner.Decomposed {
+	if !plan.Parallelizable() {
 		grant = 1
 	}
 	opts.Workers = grant
@@ -316,6 +317,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	rows := res.Rows(s.sys)
 	s.ctr.queriesOK.Add(1)
+	s.ctr.observePlan(res.Plan.Kind)
 	s.ctr.rowsServed.Add(int64(len(rows)))
 	s.lat.observe(elapsed)
 
@@ -437,6 +439,7 @@ func (s *Server) Stats() StatsReport {
 		Queued:          s.queued.Load(),
 		WorkerBudget:    s.sem.Size(),
 		WorkersInUse:    s.sem.InUse(),
+		Plans:           s.ctr.planCounts(),
 		Latency:         s.lat.summary(),
 	}
 }

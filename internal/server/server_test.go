@@ -472,3 +472,58 @@ func TestLoadGeneratorSmoke(t *testing.T) {
 		t.Fatalf("percentiles inconsistent: %+v", rep)
 	}
 }
+
+// magicProgram: a single left-recursive TC rule — no separable partner,
+// so bound queries take the magic-seeded plan.
+func magicProgram(n int) string {
+	var b strings.Builder
+	b.WriteString("path(X,Y) :- edge(X,Y).\n")
+	b.WriteString("path(X,Y) :- edge(X,U), path(U,Y).\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "edge(c%d,c%d).\n", i, i+1)
+	}
+	return b.String()
+}
+
+// TestBoundQueryTakesMagicPlanAndStatsCountIt: a bound /v1/query goal is
+// served by the magic-seeded plan, and /v1/stats reports per-plan-kind
+// query counts.
+func TestBoundQueryTakesMagicPlanAndStatsCountIt(t *testing.T) {
+	_, ts := newTestServer(t, magicProgram(12), Config{TotalWorkers: 4})
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c4, Y)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[QueryResponse](t, resp)
+	if !strings.Contains(out.Plan, "magic-seeded") {
+		t.Fatalf("plan = %q (%s), want magic-seeded", out.Plan, out.Why)
+	}
+	if out.RowCount != 8 { // c5..c12
+		t.Fatalf("rows = %d, want 8", out.RowCount)
+	}
+
+	// An open query takes the closure path; both kinds must show up in
+	// the stats report, keyed by the plan's String form.
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(X, Y)"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open query status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	st := decode[StatsReport](t, sresp)
+	if st.Plans[out.Plan] != 1 {
+		t.Fatalf("stats.plans[%q] = %d, want 1 (all: %v)", out.Plan, st.Plans[out.Plan], st.Plans)
+	}
+	var total int64
+	for _, n := range st.Plans {
+		total += n
+	}
+	if total != st.QueriesOK || total != 2 {
+		t.Fatalf("plan counts sum to %d, queries_ok = %d, want both 2 (%v)", total, st.QueriesOK, st.Plans)
+	}
+}

@@ -3,12 +3,15 @@
 // /v1/stats derives p50/p99.  The histogram trades exactness for a fixed
 // 512-byte footprint and an O(1) allocation-free observe path, which the
 // load generator (exact, client-side percentiles) cross-checks.
+
 package server
 
 import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"linrec/internal/planner"
 )
 
 // latBuckets spans [1µs, 2^39µs ≈ 6.4 days) in powers of two.
@@ -84,6 +87,10 @@ func (h *latencyHist) summary() LatencySummary {
 	return s
 }
 
+// planKindSlots is the number of plan-kind counters: the planner's Kind
+// values plus one overflow slot for kinds this build doesn't know.
+const planKindSlots = int(planner.MagicSeeded) + 2
+
 // counters are the server's monotonically increasing event counts.
 type counters struct {
 	queriesOK    atomic.Int64 // answered 200s
@@ -95,6 +102,39 @@ type counters struct {
 	factBatches  atomic.Int64 // successful /v1/facts swaps
 	factsAdded   atomic.Int64 // total facts across swaps
 	rowsServed   atomic.Int64 // answer rows returned
+
+	// plans counts answered queries per plan kind, indexed by
+	// planner.Kind — the /v1/stats view of how often each evaluation
+	// strategy (semi-naive, decomposed, separable, bounded,
+	// magic-seeded) actually serves traffic.
+	plans [planKindSlots]atomic.Int64
+}
+
+// observePlan records one answered query's plan kind.
+func (c *counters) observePlan(k planner.Kind) {
+	i := int(k)
+	if i < 0 || i >= planKindSlots-1 {
+		i = planKindSlots - 1
+	}
+	c.plans[i].Add(1)
+}
+
+// planCounts renders the nonzero plan-kind counters keyed by the kind's
+// String form.
+func (c *counters) planCounts() map[string]int64 {
+	out := map[string]int64{}
+	for i := range c.plans {
+		n := c.plans[i].Load()
+		if n == 0 {
+			continue
+		}
+		name := "unknown"
+		if i < planKindSlots-1 {
+			name = planner.Kind(i).String()
+		}
+		out[name] = n
+	}
+	return out
 }
 
 // StatsReport is the /v1/stats wire format.
@@ -114,5 +154,9 @@ type StatsReport struct {
 	Queued          int64          `json:"queued_queries"`
 	WorkerBudget    int64          `json:"worker_budget"`
 	WorkersInUse    int64          `json:"workers_in_use"`
-	Latency         LatencySummary `json:"latency"`
+	// Plans counts answered queries per evaluation plan kind (keyed by
+	// the planner's Kind string, e.g. "magic-seeded evaluation
+	// (σ-bound frontier)"); kinds that served no query are omitted.
+	Plans   map[string]int64 `json:"plans"`
+	Latency LatencySummary   `json:"latency"`
 }

@@ -95,6 +95,10 @@ func V(name string) Term { return ast.V(name) }
 // C builds a constant term.
 func C(name string) Term { return ast.C(name) }
 
+// NewAtom builds a query or fact atom from terms, e.g.
+// NewAtom("path", C("a"), V("Y")) for the bound goal path(a, Y).
+func NewAtom(pred string, args ...Term) Atom { return ast.NewAtom(pred, args...) }
+
 // Load parses a Datalog program (rules, facts, queries) and loads its
 // facts into a fresh system.
 func Load(src string) (*System, error) { return core.Load(src) }

@@ -44,9 +44,11 @@ func TestTestdataPrograms(t *testing.T) {
 		},
 		{
 			file: "marketbasket.dl", pred: "buys",
-			// single recursive rule: no pairwise decomposition; uniform
-			// boundedness does not apply → semi-naive.
-			wantPlans: []planner.Kind{planner.SemiNaive, planner.SemiNaive},
+			// single recursive rule: no pairwise decomposition and no
+			// separable partner, but both bound queries magic-seed — the
+			// closure is restricted to bindings reachable from the
+			// constant instead of closing all of buys and filtering.
+			wantPlans: []planner.Kind{planner.MagicSeeded, planner.MagicSeeded},
 			// bob buys: trusts nothing directly; via cho: figs (cheap);
 			// via dee: salt is not cheap; via ann: tea (cheap) = 2 rows.
 			// buys(X,tea): ann (trusts), dee→ann, cho→dee, bob→cho = 4.
@@ -59,7 +61,8 @@ func TestTestdataPrograms(t *testing.T) {
 		},
 		{
 			file: "samegen.dl", pred: "sg",
-			wantPlans: []planner.Kind{planner.SemiNaive},
+			// bound same-generation query: magic-seeded restricted closure.
+			wantPlans: []planner.Kind{planner.MagicSeeded},
 			// dee's generation: dee, eli (siblings), fay, gus (cousins).
 			wantRows: []int{4},
 		},
