@@ -57,11 +57,12 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 		maxTimeout   = flag.Duration("max-timeout", 120*time.Second, "cap on requested per-query timeouts")
 		maxRows      = flag.Int("max-rows", 1_000_000, "reject answers larger than this with 413 (0 = unlimited)")
+		cacheRows    = flag.Int("cache-rows", 0, "goal-level result cache capacity in total cached answer rows (0 = engine default, negative disables)")
 		portFile     = flag.String("port-file", "", "write the bound listen address to this file (for scripts wrapping -addr :0)")
 	)
 	flag.Parse()
 
-	sys, desc, err := loadSystem(*program, *gen)
+	sys, desc, err := loadSystem(*program, *gen, *cacheRows)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "linrecd: %v\n", err)
 		os.Exit(1)
@@ -120,7 +121,8 @@ func main() {
 }
 
 // loadSystem builds the served System from -program or -gen.
-func loadSystem(program, gen string) (*core.System, string, error) {
+func loadSystem(program, gen string, cacheRows int) (*core.System, string, error) {
+	opts := core.Options{ResultCacheRows: cacheRows}
 	switch {
 	case program != "" && gen != "":
 		return nil, "", fmt.Errorf("-program and -gen are mutually exclusive")
@@ -129,7 +131,7 @@ func loadSystem(program, gen string) (*core.System, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		sys, err := core.Load(string(src))
+		sys, err := core.LoadOptions(string(src), opts)
 		if err != nil {
 			return nil, "", fmt.Errorf("%s: %w", program, err)
 		}
@@ -139,7 +141,7 @@ func loadSystem(program, gen string) (*core.System, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		sys, err := core.Load(genProgram)
+		sys, err := core.LoadOptions(genProgram, opts)
 		if err != nil {
 			return nil, "", err
 		}

@@ -10,6 +10,8 @@
 //	lrbench -json        # run the substrate benchmark, write BENCH_eval.json
 //	lrbench -server      # run the linrecd server lane, merge into BENCH_eval.json
 //	lrbench -magic       # run the bound-query magic lane, merge into BENCH_eval.json
+//	lrbench -cache       # run the result-cache lane, merge into BENCH_eval.json
+//	lrbench -gate        # short-mode CI gate: fail if any speedup drops below its floor
 package main
 
 import (
@@ -70,7 +72,24 @@ func main() {
 	jsonOut := flag.Bool("json", false, "run the substrate benchmark and merge it into BENCH_eval.json")
 	serverOut := flag.Bool("server", false, "run the linrecd server throughput/latency lane and merge it into BENCH_eval.json")
 	magicOut := flag.Bool("magic", false, "run the bound-query magic-seeded lane and merge it into BENCH_eval.json")
+	cacheOut := flag.Bool("cache", false, "run the goal-level result-cache lane and merge it into BENCH_eval.json")
+	gate := flag.Bool("gate", false, "short-mode CI gate: run the headline lanes at table size and exit nonzero if any speedup is below its floor")
+	minParallel := flag.Float64("min-parallel", experiments.DefaultGateFloors.Parallel, "gate floor for the parallel-substrate speedup at 8 workers (0 disables)")
+	minMagic := flag.Float64("min-magic", experiments.DefaultGateFloors.Magic, "gate floor for the magic-seeded bound-query speedup (0 disables)")
+	minCache := flag.Float64("min-cache", experiments.DefaultGateFloors.Cache, "gate floor for the result-cache hit speedup (0 disables)")
 	flag.Parse()
+
+	if *gate {
+		rep := experiments.RunGate(experiments.GateFloors{
+			Parallel: *minParallel, Magic: *minMagic, Cache: *minCache,
+		}, os.Stdout)
+		if !rep.Pass {
+			fmt.Fprintln(os.Stderr, "lrbench: bench gate FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("lrbench: bench gate ok")
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -120,7 +139,21 @@ func main() {
 			rep.Source, rep.Speedup, rep.Results[0].AnswerRows)
 	}
 
-	if *jsonOut || *serverOut || *magicOut {
+	if *cacheOut {
+		rep, err := experiments.CacheJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: cache benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("result_cache", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged result-cache lane into BENCH_eval.json (cached hit ≥ %.0fx faster than cold, retraction invalidates: %v)\n",
+			rep.Speedup, rep.RetractionInvalidates)
+	}
+
+	if *jsonOut || *serverOut || *magicOut || *cacheOut {
 		return
 	}
 

@@ -3,12 +3,16 @@
 //
 //	lrload -addr 127.0.0.1:8080 -query "path(a, Y)" -clients 64 -duration 10s
 //	lrload -addr 127.0.0.1:8080 -rate 500 -duration 10s     # open loop, 500 qps
-//	lrload -addr 127.0.0.1:8080 -smoke                      # CI smoke: one query, one fact swap
+//	lrload -addr 127.0.0.1:8080 -smoke                      # CI smoke: full add→query→retract→query lifecycle
 //
 // With -range N and a query containing %d, each request draws a distinct
 // goal (round-robin over path(t0,Y) … path(tN-1,Y)-style pools).  With
 // -facts-every D the generator also pushes a fresh fact batch on that
 // period, exercising snapshot swaps under load.
+//
+// Every run ends by fetching /v1/stats and reporting the server's result
+// cache hit ratio; -smoke additionally fails the run if the server
+// answered any request with a 500 (internal evaluation error).
 package main
 
 import (
@@ -35,7 +39,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-query timeout")
 		workers    = flag.Int("workers", 0, "per-query worker grant to request (0 = server default)")
 		factsEvery = flag.Duration("facts-every", 0, "push a fresh fact batch on this period during the run (0 = never)")
-		smoke      = flag.Bool("smoke", false, "smoke test: health check, one query, one fact update, verify the swap, exit")
+		smoke      = flag.Bool("smoke", false, "smoke test: health check, then the full fact lifecycle — query, add, re-query, retract, re-query — and fail on any server 500")
 		jsonOut    = flag.Bool("json", false, "print the report as JSON")
 	)
 	flag.Parse()
@@ -91,9 +95,24 @@ func main() {
 		fmt.Printf("throughput %.1f qps over %.2fs\n", rep.Throughput, rep.ElapsedS)
 		fmt.Printf("latency p50 %.2fms  p99 %.2fms  max %.2fms\n", rep.P50MS, rep.P99MS, rep.MaxMS)
 	}
+	reportCacheRatio(base, *timeout)
 	if rep.Failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// reportCacheRatio prints the server-side result-cache hit ratio from
+// /v1/stats; a stats fetch failure is reported but never fails the run.
+func reportCacheRatio(base string, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := server.FetchStats(ctx, &http.Client{Timeout: timeout}, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrload: stats fetch: %v\n", err)
+		return
+	}
+	fmt.Printf("server result cache: %.1f%% hit ratio (%d entries, %d rows cached, %d invalidated by swaps)\n",
+		100*st.ResultCache.HitRatio(), st.ResultCache.Entries, st.ResultCache.Rows, st.ResultCache.Invalidated)
 }
 
 // pushFacts posts one fresh-node edge per period until ctx fires — each
@@ -115,12 +134,14 @@ func pushFacts(ctx context.Context, base string, every time.Duration) {
 	}
 }
 
-// runSmoke checks the full serve-query-swap loop once: health, a query,
-// a fact batch referencing fresh nodes, and a second query that must see
-// a strictly newer snapshot.
+// runSmoke checks the full fact lifecycle once: health, a query, a fact
+// batch referencing fresh nodes, a second query that must see a strictly
+// newer snapshot, a retraction of that same batch, and a final query
+// whose answer must shrink back to the original — then verifies via
+// /v1/stats that the server answered no request with a 500.
 func runSmoke(base, query string, timeout time.Duration) error {
 	hc := &http.Client{Timeout: timeout + 5*time.Second}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*timeout+10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*timeout+20*time.Second)
 	defer cancel()
 
 	resp, err := hc.Get(base + "/healthz")
@@ -160,6 +181,43 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	}
 	if after.RowCount < before.RowCount {
 		return fmt.Errorf("rows shrank across an additive swap: %d -> %d", before.RowCount, after.RowCount)
+	}
+
+	// Retract the batch we just added: the full lifecycle, not just the
+	// additive half.
+	dr, err := server.DeleteFacts(ctx, hc, base, facts)
+	if err != nil {
+		return fmt.Errorf("retract: %w", err)
+	}
+	if dr.FactsRemoved != 1 {
+		return fmt.Errorf("retraction removed %d facts, want 1", dr.FactsRemoved)
+	}
+	if dr.SnapshotVersion <= after.SnapshotVersion {
+		return fmt.Errorf("retraction did not advance the snapshot: %d -> %d",
+			after.SnapshotVersion, dr.SnapshotVersion)
+	}
+	fmt.Printf("lrload: retraction swap -> snapshot %d\n", dr.SnapshotVersion)
+
+	final, err := server.QueryOnce(ctx, hc, base, query, timeout, 0)
+	if err != nil {
+		return fmt.Errorf("post-retract query: %w", err)
+	}
+	if final.SnapshotVersion < dr.SnapshotVersion {
+		return fmt.Errorf("post-retract query saw stale snapshot %d < %d", final.SnapshotVersion, dr.SnapshotVersion)
+	}
+	if final.RowCount != before.RowCount {
+		return fmt.Errorf("rows after add+retract = %d, want the original %d", final.RowCount, before.RowCount)
+	}
+	fmt.Printf("lrload: %q -> %d rows after retraction (cached=%v)\n", query, final.RowCount, final.Cached)
+
+	st, err := server.FetchStats(ctx, hc, base)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	fmt.Printf("lrload: server result cache: %.1f%% hit ratio (%d entries)\n",
+		100*st.ResultCache.HitRatio(), st.ResultCache.Entries)
+	if st.Internal500s > 0 {
+		return fmt.Errorf("server answered %d request(s) with 500 during the smoke", st.Internal500s)
 	}
 	return nil
 }

@@ -43,6 +43,11 @@ type Options struct {
 	Workers int
 	// Strategy optionally overrides the analysis-driven plan choice.
 	Strategy planner.Strategy
+	// ResultCacheRows caps the goal-level result cache by total cached
+	// answer rows.  0 selects DefaultResultCacheRows; negative disables
+	// the cache.  Only the value passed at System construction matters —
+	// the cache belongs to the System, not to individual queries.
+	ResultCacheRows int
 }
 
 func (o Options) normalize() Options {
@@ -110,6 +115,14 @@ type System struct {
 	seedMu      sync.Mutex
 	seedVersion uint64
 	seeds       map[seedKey]*seedFuture
+
+	// results is the goal-level result cache (see resultcache.go):
+	// completed QueryResults keyed by normalized goal, plan kind and
+	// snapshot version, LRU-bounded by total cached rows.  Where the
+	// seed cache saves re-materializing evaluation inputs, this one
+	// skips evaluation entirely for repeated goals on an unchanged
+	// database.
+	results *resultCache
 }
 
 // seedKey addresses one cached evaluation artifact of a snapshot: the
@@ -272,6 +285,7 @@ func FromProgramOptions(prog *ast.Program, opts Options) (*System, error) {
 		idb:      map[string]bool{},
 		arity:    map[string]int{},
 		analyses: map[string]*planner.Analysis{},
+		results:  newResultCache(opts.ResultCacheRows),
 	}
 	for _, r := range prog.Rules {
 		s.idb[r.Head.Pred] = true
@@ -413,7 +427,161 @@ func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
 	s.snap.Store(next)
+	// Eagerly sweep result-cache entries of the superseded version: they
+	// can never be hit again (keys carry the version), so dropping them
+	// now frees their rows instead of waiting for the next query.
+	s.results.invalidateTo(next.Version)
 	return next, added, nil
+}
+
+// RemoveFacts publishes a new database snapshot with the given ground
+// facts retracted, returning it along with the number of tuples actually
+// removed.  Like AddFacts, the swap is copy-on-write — only relations
+// losing tuples are rebuilt (tombstone-free, see rel.Relation.Without),
+// everything else is shared with the previous snapshot — and in-flight
+// queries keep their pinned pre-retraction snapshot.  Retraction is
+// idempotent: facts that are not present (including facts naming
+// constants the system has never seen) are skipped, and a batch that
+// removes nothing publishes no snapshot, so version-keyed caches stay
+// warm.  Facts must be ground, must not name derived (rule-head)
+// predicates, and must match the program's declared arities — the same
+// contract AddFacts enforces.
+func (s *System) RemoveFacts(facts []ast.Atom) (*Snapshot, int, error) {
+	if len(facts) == 0 {
+		return s.Snapshot(), 0, nil
+	}
+	for _, f := range facts {
+		if !f.IsGround() {
+			return nil, 0, fmt.Errorf("core: fact %v is not ground", f)
+		}
+		if s.idb[f.Pred] {
+			return nil, 0, fmt.Errorf("core: %q is a derived (rule-head) predicate; retract the facts it is derived from instead", f.Pred)
+		}
+		if want, ok := s.arity[f.Pred]; ok && want != f.Arity() {
+			return nil, 0, fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
+				f, f.Arity(), f.Pred, want)
+		}
+	}
+	s.factMu.Lock()
+	defer s.factMu.Unlock()
+	old := s.snap.Load()
+	// Resolve retractions to tuples per predicate.  Lookup, never Intern:
+	// a constant the symbol table has never seen occurs in no tuple, so
+	// the retraction is a no-op rather than symbol-table growth.
+	byPred := map[string][]rel.Tuple{}
+	for _, f := range facts {
+		r, ok := old.DB[f.Pred]
+		if !ok {
+			continue
+		}
+		if r.Arity() != f.Arity() {
+			return nil, 0, fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
+				f, f.Arity(), f.Pred, r.Arity())
+		}
+		t := make(rel.Tuple, f.Arity())
+		known := true
+		for i, a := range f.Args {
+			v, ok := s.Engine.Syms.Lookup(a.Name)
+			if !ok {
+				known = false
+				break
+			}
+			t[i] = v
+		}
+		if known {
+			byPred[f.Pred] = append(byPred[f.Pred], t)
+		}
+	}
+	removed := 0
+	rebuilt := map[string]*rel.Relation{}
+	for pred, tuples := range byPred {
+		r, n := old.DB[pred].Without(tuples)
+		if n > 0 {
+			rebuilt[pred] = r
+			removed += n
+		}
+	}
+	if removed == 0 {
+		return old, 0, nil
+	}
+	db := make(rel.DB, len(old.DB))
+	for k, v := range old.DB {
+		db[k] = v
+	}
+	for pred, r := range rebuilt {
+		db[pred] = r
+	}
+	next := &Snapshot{DB: db, Version: old.Version + 1}
+	s.snap.Store(next)
+	s.results.invalidateTo(next.Version)
+	return next, removed, nil
+}
+
+// ValidateFacts checks a fact batch against the update contract shared
+// by AddFacts and RemoveFacts — ground atoms only, no derived
+// predicates, arities consistent with the program, the current
+// snapshot's relations and each other — without publishing anything.
+// The server front end validates both halves of a combined add+remove
+// request with it before executing either, so a rejection is atomic:
+// no half commits behind an error response.
+func (s *System) ValidateFacts(facts []ast.Atom) error {
+	snap := s.Snapshot()
+	batch := map[string]int{}
+	for _, f := range facts {
+		if !f.IsGround() {
+			return fmt.Errorf("core: fact %v is not ground", f)
+		}
+		if s.idb[f.Pred] {
+			return fmt.Errorf("core: %q is a derived (rule-head) predicate", f.Pred)
+		}
+		if want, ok := s.arity[f.Pred]; ok && want != f.Arity() {
+			return fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
+				f, f.Arity(), f.Pred, want)
+		}
+		if r, ok := snap.DB[f.Pred]; ok && r.Arity() != f.Arity() {
+			return fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
+				f, f.Arity(), f.Pred, r.Arity())
+		}
+		if want, ok := batch[f.Pred]; ok && want != f.Arity() {
+			return fmt.Errorf("core: batch uses predicate %q with arity %d and %d", f.Pred, want, f.Arity())
+		}
+		batch[f.Pred] = f.Arity()
+	}
+	return nil
+}
+
+// ResultCacheStats reports the goal-level result cache's counters (the
+// /v1/stats "result_cache" section).
+func (s *System) ResultCacheStats() ResultCacheStats {
+	return s.results.Stats()
+}
+
+// CachedAnswer probes the result cache for q on snap without planning,
+// evaluating or joining an in-flight build — the admission-free fast
+// path the server uses to answer a repeated goal without consuming a
+// queue slot or worker grant.  ok reports a completed hit; any miss
+// (including a build in flight) returns false and the caller proceeds
+// through the normal QueryOn path.
+func (s *System) CachedAnswer(snap *Snapshot, q ast.Atom, opts Options) (*QueryResult, bool) {
+	opts = opts.normalize()
+	a, sels, unknown, err := s.resolveQuery(q)
+	if err != nil || unknown != "" {
+		return nil, false
+	}
+	res := s.results.peek(resultKey{
+		goal:     normalizeGoal(q),
+		kind:     s.intendedKind(a, sels, opts),
+		strategy: opts.Strategy,
+		workers:  opts.Workers,
+		version:  snap.Version,
+	})
+	if res == nil {
+		return nil, false
+	}
+	hit := *res
+	hit.Query = q
+	hit.Cached = true
+	return &hit, true
 }
 
 // Analyze runs (and caches) the paper's full analysis for one recursive
@@ -440,17 +608,45 @@ type QueryResult struct {
 	Plan   *planner.Plan
 	// Version is the snapshot the query evaluated against.
 	Version uint64
+	// Cached reports that the result was served from the goal-level
+	// result cache rather than evaluated for this call.  Everything else
+	// — rows, stats, plan — is bit-for-bit the result of the query that
+	// populated the entry.
+	Cached bool
+
+	// memo, when non-nil, shares the rendered sorted rows across every
+	// holder of this result — cached results set it so repeated hits on
+	// a large answer don't pay the render+sort per request.
+	memo *rowsMemo
+}
+
+// rowsMemo renders an answer once per symbol table and shares the rows.
+type rowsMemo struct {
+	syms *rel.Symtab
+	once sync.Once
+	rows [][]string
 }
 
 // Rows renders the answer tuples as symbol strings in deterministic
 // (lexicographically sorted) order, so output is stable across engines,
-// worker counts and snapshot layouts.
+// worker counts and snapshot layouts.  The returned rows may be shared
+// with other holders of a cached result and must not be mutated.
 func (qr *QueryResult) Rows(s *System) [][]string {
 	return qr.RowsSyms(s.Engine.Syms)
 }
 
-// RowsSyms is Rows against an explicit symbol table.
+// RowsSyms is Rows against an explicit symbol table.  Like Rows, the
+// returned slice must not be mutated.
 func (qr *QueryResult) RowsSyms(syms *rel.Symtab) [][]string {
+	if m := qr.memo; m != nil && m.syms == syms {
+		m.once.Do(func() { m.rows = qr.renderRows(syms) })
+		return m.rows
+	}
+	return qr.renderRows(syms)
+}
+
+// renderRows materializes and sorts the answer for one symbol table.
+func (qr *QueryResult) renderRows(syms *rel.Symtab) [][]string {
 	// One symbol-table snapshot for the whole answer: large results would
 	// otherwise pay a lock round-trip per cell.
 	names := syms.Names()
@@ -564,6 +760,15 @@ func (s *System) QueryCtx(ctx context.Context, q ast.Atom) (*QueryResult, error)
 // violation) is recovered into an error wrapping ErrInternal rather than
 // propagated, so a poisoned snapshot can fail queries without killing
 // the process hosting them.
+//
+// Before planning anything, QueryOn consults the goal-level result
+// cache: a repeated goal on the same snapshot version (same intended
+// plan kind, strategy and worker count) is answered with the stored
+// result — rows, stats and plan bit-for-bit identical to the query that
+// built the entry.  Concurrent first queries for one key share a single
+// evaluation (single-flight), run by the first arriver under its own
+// context; waiters honor their own contexts and retry if the builder's
+// context fires first.
 func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options) (res *QueryResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -581,7 +786,8 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 	}
 	if unknown != "" {
 		// A constant occurring in no rule and no fact can appear in no
-		// tuple of this (or any) snapshot: the answer is empty.
+		// tuple of this (or any) snapshot: the answer is empty.  Cheaper
+		// than a cache probe — never cached.
 		return &QueryResult{
 			Query:   q,
 			Answer:  rel.NewRelation(q.Arity()),
@@ -590,6 +796,84 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 		}, nil
 	}
 
+	key := resultKey{
+		goal:     normalizeGoal(q),
+		kind:     s.intendedKind(a, sels, opts),
+		strategy: opts.Strategy,
+		workers:  opts.Workers,
+		version:  snap.Version,
+	}
+	var cancelled <-chan struct{}
+	if ctx != nil {
+		cancelled = ctx.Done()
+	}
+	// Bounded retry: an abandoned build (the builder's context fired
+	// before completion) removes its entry, and a surviving waiter takes
+	// over as the next builder.  The bound only guards against a
+	// pathological stampede of short-deadline builders; on exhaustion the
+	// query simply evaluates uncached.
+	for attempt := 0; attempt < 4; attempt++ {
+		e, build := s.results.acquire(key)
+		if e == nil {
+			break // cache disabled, or snapshot superseded: evaluate fresh
+		}
+		if build {
+			res, err := s.queryEval(ctx, snap, q, a, sels, opts)
+			if err == nil {
+				// Cached hits share one render of the sorted rows.
+				res.memo = &rowsMemo{syms: s.Engine.Syms}
+			}
+			s.results.complete(e, res, err)
+			return res, err
+		}
+		select {
+		case <-e.done:
+			if e.err != nil {
+				if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+					continue // the builder was abandoned, not us: retry
+				}
+				return nil, e.err
+			}
+			hit := *e.res
+			hit.Query = q
+			hit.Cached = true
+			return &hit, nil
+		case <-cancelled:
+			return nil, ctx.Err()
+		}
+	}
+	return s.queryEval(ctx, snap, q, a, sels, opts)
+}
+
+// intendedKind predicts the plan kind QueryOn will execute for this
+// resolved query — the plan-kind component of the result-cache key.  It
+// intentionally mirrors the dispatch order of queryEval: an n-ary
+// separable candidate keys as Separable even when execution later falls
+// back (the fallback is deterministic for a fixed goal and options, so
+// the key still addresses exactly one result).
+func (s *System) intendedKind(a *planner.Analysis, sels []separable.Selection, opts Options) planner.Kind {
+	if nArySeparableCandidate(a, sels) {
+		return planner.Separable
+	}
+	var primary *separable.Selection
+	if len(sels) > 0 {
+		primary = &sels[0]
+	}
+	return a.ChooseOpts(primary, opts.planOpts()).Kind
+}
+
+// queryEval is the uncached evaluation path behind QueryOn: plan choice,
+// seed/magic cache injection, execution, post-filters.  It recovers
+// evaluation panics into ErrInternal itself (rather than leaving that to
+// QueryOn's recover) so that a panicking cache build still completes its
+// entry — otherwise every waiter on the key would hang until its own
+// deadline instead of observing the failure.
+func (s *System) queryEval(ctx context.Context, snap *Snapshot, q ast.Atom, a *planner.Analysis, sels []separable.Selection, opts Options) (res *QueryResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: %w: query %v: %v\n%s", ErrInternal, q, r, debug.Stack())
+		}
+	}()
 	// With two or more constants on commuting operators, try the n-ary
 	// separable decomposition of Section 4.1:
 	// σ0σ1…σn(ΣAᵢ)* = (σ1A1*)…(σnAn*)σ0.

@@ -1,0 +1,318 @@
+// The goal-level result cache: completed QueryResults keyed by
+// (normalized goal, plan kind, strategy, workers, snapshot version), so a
+// repeated goal on an unchanged database is served without planning or
+// evaluating anything.  The cache stores the sorted answer relation and
+// the evaluation statistics of the query that paid for the build, which
+// makes hits bit-for-bit identical to the miss that populated them.
+//
+// Capacity is bounded by total cached answer rows (not entry count — one
+// full-closure answer can outweigh thousands of bound-query answers) with
+// LRU eviction.  Lookups are single-flight: concurrent queries for the
+// same key share one evaluation, run inline by the first arriver under
+// its own context; waiters honor their own contexts, and an abandoned
+// build (the builder's context fired) is retried by the surviving
+// waiters rather than poisoning the key.  Version keying makes
+// invalidation free — AddFacts/RemoveFacts publish a new snapshot
+// version, and the first query on it sweeps every stale entry.
+
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"linrec/internal/ast"
+	"linrec/internal/planner"
+)
+
+// DefaultResultCacheRows is the result cache's default capacity in total
+// cached answer rows — sized to hold a handful of full-closure answers of
+// the 240k-edge benchmark graph (≈ 2.9M tuples) alongside many small
+// bound-query answers.
+const DefaultResultCacheRows = 4 << 20
+
+// resultKey addresses one cached query result.  Kind, strategy and
+// workers are all part of the key: every plan returns the same rows, but
+// Stats and the Plan's Why string differ across them, and a hit must be
+// bit-for-bit identical to the query that built the entry.
+type resultKey struct {
+	goal     string // normalized goal atom (canonical variable names)
+	kind     planner.Kind
+	strategy planner.Strategy
+	workers  int
+	version  uint64
+}
+
+// normalizeGoal renders a goal atom with variables renamed to their order
+// of first occurrence, so p(a, Y) and p(a, Z) share a cache entry while
+// p(X, X) and p(X, Y) do not.
+func normalizeGoal(q ast.Atom) string {
+	var b strings.Builder
+	b.WriteString(q.Pred)
+	b.WriteByte('(')
+	vars := map[string]int{}
+	for i, t := range q.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if t.IsVar() {
+			idx, ok := vars[t.Name]
+			if !ok {
+				idx = len(vars)
+				vars[t.Name] = idx
+			}
+			fmt.Fprintf(&b, "$%d", idx)
+		} else {
+			fmt.Fprintf(&b, "%q", t.Name)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// resultEntry is one single-flight cache slot.  done closes when the
+// build completes; res/err are immutable afterwards.
+type resultEntry struct {
+	key  resultKey
+	done chan struct{}
+	res  *QueryResult
+	err  error
+	rows int           // res.Answer.Len(), for capacity accounting
+	elem *list.Element // LRU position once completed and admitted
+}
+
+// resultCacheKinds sizes the per-plan-kind counter arrays: every
+// planner.Kind plus one overflow slot.
+const resultCacheKinds = int(planner.MagicSeeded) + 2
+
+func kindSlot(k planner.Kind) int {
+	if int(k) < 0 || int(k) >= resultCacheKinds-1 {
+		return resultCacheKinds - 1
+	}
+	return int(k)
+}
+
+func kindName(i int) string {
+	if i >= resultCacheKinds-1 {
+		return "unknown"
+	}
+	return planner.Kind(i).String()
+}
+
+// resultCache is the System's goal-level result cache.  All state is
+// guarded by mu; builds run outside the lock.
+type resultCache struct {
+	mu      sync.Mutex
+	capRows int // capacity in total cached rows; <= 0 disables the cache
+	rows    int // rows held by completed entries
+	version uint64
+	entries map[resultKey]*resultEntry
+	lru     *list.List // completed entries, front = most recent
+
+	hits, misses, evictions [resultCacheKinds]int64
+	invalidated             int64
+}
+
+// newResultCache sizes the cache from the Options field: 0 selects
+// DefaultResultCacheRows, negative disables caching entirely.
+func newResultCache(capRows int) *resultCache {
+	if capRows == 0 {
+		capRows = DefaultResultCacheRows
+	}
+	if capRows < 0 {
+		capRows = 0
+	}
+	return &resultCache{
+		capRows: capRows,
+		entries: map[resultKey]*resultEntry{},
+		lru:     list.New(),
+	}
+}
+
+// acquire returns the cache slot for key, reporting whether the caller
+// must build it (miss) or may wait on it (hit, possibly still in flight).
+// A nil entry means the cache is bypassed for this query: disabled, or
+// the snapshot is superseded (no point repopulating a dead version).
+func (c *resultCache) acquire(key resultKey) (e *resultEntry, build bool) {
+	if c == nil || c.capRows <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if key.version != c.version {
+		if key.version < c.version {
+			return nil, false
+		}
+		c.purgeLocked(key.version)
+	}
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.hits[kindSlot(key.kind)]++
+		return e, false
+	}
+	e = &resultEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses[kindSlot(key.kind)]++
+	return e, true
+}
+
+// peek returns the completed result for key, if any, bumping LRU recency
+// and the hit counter.  Unlike acquire it never creates an entry and
+// never waits on a build in flight — it is the lock-probe behind the
+// server's admission-free fast path.
+func (c *resultCache) peek(key resultKey) *QueryResult {
+	if c == nil || c.capRows <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if key.version != c.version {
+		if key.version > c.version {
+			c.purgeLocked(key.version)
+		}
+		return nil
+	}
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil {
+		return nil // absent, or still building: the caller evaluates normally
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits[kindSlot(key.kind)]++
+	return e.res
+}
+
+// purgeLocked drops every entry of a superseded version and records the
+// new high-water version.  In-flight builds of the old version stay out
+// of the map from the moment of the purge; their completion is a no-op.
+func (c *resultCache) purgeLocked(version uint64) {
+	c.invalidated += int64(len(c.entries))
+	c.entries = map[resultKey]*resultEntry{}
+	c.lru.Init()
+	c.rows = 0
+	c.version = version
+}
+
+// invalidateTo eagerly drops entries older than version — called when a
+// snapshot swap publishes, so stale results free their rows immediately
+// instead of waiting for the next query to sweep them.
+func (c *resultCache) invalidateTo(version uint64) {
+	if c == nil || c.capRows <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version > c.version {
+		c.purgeLocked(version)
+	}
+}
+
+// complete finishes a build: on success the entry is admitted to the LRU
+// (evicting from the cold end until the row budget holds); on failure —
+// including an abandoned build whose context fired — the entry is removed
+// so the next query retries.  Either way done closes and every waiter
+// observes the outcome.  Answers larger than the whole capacity are
+// returned to the caller but never admitted.
+func (c *resultCache) complete(e *resultEntry, res *QueryResult, err error) {
+	c.mu.Lock()
+	if err == nil {
+		e.res, e.rows = res, res.Answer.Len()
+		if c.entries[e.key] == e && e.rows <= c.capRows {
+			e.elem = c.lru.PushFront(e)
+			c.rows += e.rows
+			for c.rows > c.capRows {
+				c.evictLocked()
+			}
+		} else if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+	} else {
+		e.err = err
+		if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// evictLocked drops the least-recently-used completed entry.
+func (c *resultCache) evictLocked() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	victim := back.Value.(*resultEntry)
+	c.lru.Remove(back)
+	victim.elem = nil
+	c.rows -= victim.rows
+	if c.entries[victim.key] == victim {
+		delete(c.entries, victim.key)
+	}
+	c.evictions[kindSlot(victim.key.kind)]++
+}
+
+// ResultCacheStats is the /v1/stats view of the result cache: gauges for
+// the current contents plus monotonic hit/miss/eviction counters per plan
+// kind (keyed by the planner Kind's String form; kinds with zero counts
+// are omitted) and the number of entries dropped by snapshot swaps.
+type ResultCacheStats struct {
+	CapRows     int              `json:"cap_rows"`
+	Entries     int              `json:"entries"`
+	Rows        int              `json:"rows"`
+	Hits        map[string]int64 `json:"hits,omitempty"`
+	Misses      map[string]int64 `json:"misses,omitempty"`
+	Evictions   map[string]int64 `json:"evictions,omitempty"`
+	Invalidated int64            `json:"invalidated"`
+}
+
+// HitRatio returns hits / (hits + misses) across all plan kinds, 0 when
+// the cache has seen no lookups.
+func (s ResultCacheStats) HitRatio() float64 {
+	var h, m int64
+	for _, n := range s.Hits {
+		h += n
+	}
+	for _, n := range s.Misses {
+		m += n
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Stats reports the cache counters.
+func (c *resultCache) Stats() ResultCacheStats {
+	if c == nil {
+		return ResultCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ResultCacheStats{
+		CapRows:     c.capRows,
+		Entries:     len(c.entries),
+		Rows:        c.rows,
+		Invalidated: c.invalidated,
+	}
+	counts := func(src [resultCacheKinds]int64) map[string]int64 {
+		var m map[string]int64
+		for i, n := range src {
+			if n == 0 {
+				continue
+			}
+			if m == nil {
+				m = map[string]int64{}
+			}
+			m[kindName(i)] = n
+		}
+		return m
+	}
+	out.Hits = counts(c.hits)
+	out.Misses = counts(c.misses)
+	out.Evictions = counts(c.evictions)
+	return out
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"linrec/internal/ast"
+	"linrec/internal/parser"
+)
+
+func cacheTotals(s ResultCacheStats) (hits, misses, evictions int64) {
+	for _, n := range s.Hits {
+		hits += n
+	}
+	for _, n := range s.Misses {
+		misses += n
+	}
+	for _, n := range s.Evictions {
+		evictions += n
+	}
+	return
+}
+
+// TestResultCacheHitIsIdentical: the second identical query is served
+// from the cache — Cached set, rows/stats/plan bit-for-bit equal to the
+// miss that populated the entry — and the counters record one miss and
+// one hit under the serving plan kind.
+func TestResultCacheHitIsIdentical(t *testing.T) {
+	sys, err := Load(chainProgram(4))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	goal := ast.NewAtom("path", ast.C("c0"), ast.V("Y"))
+	r1, err := sys.Query(goal)
+	if err != nil {
+		t.Fatalf("Query 1: %v", err)
+	}
+	if r1.Cached {
+		t.Fatalf("first query reported Cached")
+	}
+	r2, err := sys.Query(goal)
+	if err != nil {
+		t.Fatalf("Query 2: %v", err)
+	}
+	if !r2.Cached {
+		t.Fatalf("second identical query was not served from the cache")
+	}
+	if !reflect.DeepEqual(r1.Rows(sys), r2.Rows(sys)) {
+		t.Fatalf("cached rows diverge")
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("cached stats diverge: %v vs %v", r1.Stats, r2.Stats)
+	}
+	if r1.Plan != r2.Plan || r1.Version != r2.Version {
+		t.Fatalf("cached plan/version diverge")
+	}
+	// A goal differing only in variable naming shares the entry.
+	r3, err := sys.Query(ast.NewAtom("path", ast.C("c0"), ast.V("Z")))
+	if err != nil {
+		t.Fatalf("Query 3: %v", err)
+	}
+	if !r3.Cached {
+		t.Fatalf("alpha-equivalent goal missed the cache")
+	}
+	hits, misses, _ := cacheTotals(sys.ResultCacheStats())
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters: %d hits / %d misses, want 2 / 1", hits, misses)
+	}
+}
+
+// TestResultCacheKeyDiscriminates: repeated variables, different bound
+// constants and different strategies address different entries.
+func TestResultCacheKeyDiscriminates(t *testing.T) {
+	if normalizeGoal(mustAtomT("p(X, Y)")) == normalizeGoal(mustAtomT("p(X, X)")) {
+		t.Fatalf("p(X,Y) and p(X,X) must not share a cache key")
+	}
+	if normalizeGoal(mustAtomT("p(a, Y)")) == normalizeGoal(mustAtomT("p(b, Y)")) {
+		t.Fatalf("different constants must not share a cache key")
+	}
+	if normalizeGoal(mustAtomT("p(X, Y)")) != normalizeGoal(mustAtomT("p(A, B)")) {
+		t.Fatalf("alpha-equivalent goals must share a cache key")
+	}
+	if normalizeGoal(mustAtomT(`p(X, X)`)) != normalizeGoal(mustAtomT("p(W, W)")) {
+		t.Fatalf("repeated-variable goals must normalize consistently")
+	}
+}
+
+func mustAtomT(src string) ast.Atom {
+	a, err := parser.ParseAtom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TestResultCacheInvalidationOnSwap: AddFacts and RemoveFacts both bump
+// the snapshot version, so cached results for the old version are swept
+// and the next query re-evaluates against the new world.
+func TestResultCacheInvalidationOnSwap(t *testing.T) {
+	sys, err := Load(chainProgram(2))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	goal := ast.NewAtom("path", ast.C("c0"), ast.V("Y"))
+	r1, _ := sys.Query(goal)
+	if r1.Answer.Len() != 2 {
+		t.Fatalf("initial rows = %d, want 2", r1.Answer.Len())
+	}
+	if _, _, err := sys.AddFacts([]ast.Atom{edgeFact(2, 3)}); err != nil {
+		t.Fatalf("AddFacts: %v", err)
+	}
+	r2, err := sys.Query(goal)
+	if err != nil {
+		t.Fatalf("Query after add: %v", err)
+	}
+	if r2.Cached || r2.Answer.Len() != 3 {
+		t.Fatalf("post-add query: cached=%v rows=%d, want fresh 3", r2.Cached, r2.Answer.Len())
+	}
+	if _, _, err := sys.RemoveFacts([]ast.Atom{edgeFact(2, 3)}); err != nil {
+		t.Fatalf("RemoveFacts: %v", err)
+	}
+	r3, err := sys.Query(goal)
+	if err != nil {
+		t.Fatalf("Query after retract: %v", err)
+	}
+	if r3.Cached || r3.Answer.Len() != 2 {
+		t.Fatalf("post-retract query: cached=%v rows=%d, want fresh 2", r3.Cached, r3.Answer.Len())
+	}
+	if st := sys.ResultCacheStats(); st.Invalidated < 2 {
+		t.Fatalf("invalidated = %d, want ≥ 2 (one entry per superseded version)", st.Invalidated)
+	}
+	r4, _ := sys.Query(goal)
+	if !r4.Cached {
+		t.Fatalf("repeat on the settled version should hit")
+	}
+}
+
+// TestResultCacheEviction: total cached rows stay under the cap, cold
+// entries are evicted LRU-first, and evicted goals re-miss correctly.
+func TestResultCacheEviction(t *testing.T) {
+	sys, err := LoadOptions(chainProgram(5), Options{ResultCacheRows: 3})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	q := func(src string) *QueryResult {
+		r, err := sys.Query(mustAtom(t, src))
+		if err != nil {
+			t.Fatalf("Query %s: %v", src, err)
+		}
+		return r
+	}
+	q("path(c4, Y)") // 1 row
+	q("path(c3, Y)") // 2 rows → cache at 3/3
+	q("path(c2, Y)") // 3 rows → must evict both older entries
+	st := sys.ResultCacheStats()
+	if st.Rows > st.CapRows {
+		t.Fatalf("cached rows %d exceed cap %d", st.Rows, st.CapRows)
+	}
+	if _, _, ev := cacheTotals(st); ev != 2 {
+		t.Fatalf("evictions = %d, want 2", ev)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 survivor", st.Entries)
+	}
+	if r := q("path(c4, Y)"); r.Cached {
+		t.Fatalf("evicted entry served a hit")
+	}
+	if r := q("path(c4, Y)"); !r.Cached || r.Answer.Len() != 1 {
+		t.Fatalf("re-cached entry wrong: cached=%v rows=%d", r.Cached, r.Answer.Len())
+	}
+}
+
+// TestResultCacheOversizeAnswer: an answer larger than the whole capacity
+// is returned but never admitted, so it cannot wipe the cache.
+func TestResultCacheOversizeAnswer(t *testing.T) {
+	sys, err := LoadOptions(chainProgram(6), Options{ResultCacheRows: 2})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	goal := ast.NewAtom("path", ast.C("c0"), ast.V("Y")) // 6 rows > cap 2
+	for i := 0; i < 2; i++ {
+		r, err := sys.Query(goal)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if r.Cached {
+			t.Fatalf("oversize answer was served from the cache")
+		}
+		if r.Answer.Len() != 6 {
+			t.Fatalf("rows = %d, want 6", r.Answer.Len())
+		}
+	}
+	if st := sys.ResultCacheStats(); st.Entries != 0 || st.Rows != 0 {
+		t.Fatalf("oversize answer was admitted: %d entries, %d rows", st.Entries, st.Rows)
+	}
+}
+
+// TestResultCacheDisabled: a negative cap turns the cache off entirely.
+func TestResultCacheDisabled(t *testing.T) {
+	sys, err := LoadOptions(chainProgram(3), Options{ResultCacheRows: -1})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	goal := ast.NewAtom("path", ast.C("c0"), ast.V("Y"))
+	for i := 0; i < 3; i++ {
+		r, err := sys.Query(goal)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if r.Cached {
+			t.Fatalf("disabled cache served a hit")
+		}
+	}
+	if st := sys.ResultCacheStats(); st.CapRows != 0 || st.Entries != 0 {
+		t.Fatalf("disabled cache reports contents: %+v", st)
+	}
+}
+
+// TestResultCacheSingleFlight: N concurrent identical queries share one
+// evaluation — exactly one miss, N−1 hits, all answers identical.
+func TestResultCacheSingleFlight(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("p(X,Y) :- e(X,Y).\np(X,Y) :- p(X,U), e(U,Y).\n")
+	const n = 120
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(v%d,v%d).\n", i, i+1)
+	}
+	sys, err := Load(b.String())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	goal := ast.NewAtom("p", ast.C("v0"), ast.V("Y"))
+	const clients = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	rows := make([]int, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			r, err := sys.Query(goal)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			rows[c] = r.Answer.Len()
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+		if rows[c] != n {
+			t.Fatalf("client %d: %d rows, want %d", c, rows[c], n)
+		}
+	}
+	hits, misses, _ := cacheTotals(sys.ResultCacheStats())
+	if misses != 1 || hits != clients-1 {
+		t.Fatalf("single-flight counters: %d misses / %d hits, want 1 / %d", misses, hits, clients-1)
+	}
+}
+
+// TestResultCacheAbandonedBuild: a builder whose deadline fires mid-build
+// must not poison the key — a concurrent (or later) query with a live
+// context re-builds and succeeds.
+func TestResultCacheAbandonedBuild(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("p(X,Y) :- e(X,Y).\np(X,Y) :- p(X,U), e(U,Y).\n")
+	const n = 600 // cycle: closure is n² tuples, far beyond a 1ms deadline
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(v%d,v%d).\n", i, (i+1)%n)
+	}
+	sys, err := Load(b.String())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Unbound goal: the full n² closure, which a 1ms deadline cannot
+	// finish (a bound goal would take the output-proportional magic path
+	// and complete before the deadline fires).
+	goal := ast.NewAtom("p", ast.V("X"), ast.V("Y"))
+
+	short, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	var slowRows int
+	var slowErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Likely a waiter on the short-deadline builder; must survive the
+		// builder's abandonment via the retry path.
+		r, err := sys.QueryCtx(context.Background(), goal)
+		if err != nil {
+			slowErr = err
+			return
+		}
+		slowRows = r.Answer.Len()
+	}()
+	_, err = sys.QueryCtx(short, goal)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("short-deadline query: %v", err)
+	}
+	wg.Wait()
+	if slowErr != nil {
+		t.Fatalf("live-context query failed after builder abandonment: %v", slowErr)
+	}
+	if slowRows != n*n {
+		t.Fatalf("live-context query rows = %d, want %d", slowRows, n*n)
+	}
+}
+
+// TestSwapDuringCachedQueryRace: readers hammer one cached goal while a
+// writer alternates AddFacts and RemoveFacts of the same edge.  Every
+// answer must be consistent with the version the query pinned — the
+// result cache must never serve rows across a version boundary.  Run
+// under -race in the CI race lane.
+func TestSwapDuringCachedQueryRace(t *testing.T) {
+	const (
+		initial = 6
+		cycles  = 30 // each cycle: one add swap + one remove swap
+		readers = 6
+	)
+	sys, err := LoadOptions(chainProgram(initial), Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	goal := ast.NewAtom("path", ast.C("c0"), ast.V("Y"))
+	// Version v = 1 is the initial chain; each swap bumps by one, adds on
+	// even versions, removals back on odd: rows(v) = initial + (v+1)%2.
+	rowsAt := func(version uint64) int {
+		if version%2 == 0 {
+			return initial + 1
+		}
+		return initial
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	done := make(chan struct{})
+	extra := []ast.Atom{edgeFact(initial, initial+1)}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < cycles; i++ {
+			if _, added, err := sys.AddFacts(extra); err != nil || added != 1 {
+				errs <- fmt.Errorf("cycle %d: add=%d err=%v", i, added, err)
+				return
+			}
+			if _, removed, err := sys.RemoveFacts(extra); err != nil || removed != 1 {
+				errs <- fmt.Errorf("cycle %d: removed=%d err=%v", i, removed, err)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r, err := sys.Query(goal)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %v", g, err)
+					return
+				}
+				if want := rowsAt(r.Version); r.Answer.Len() != want {
+					errs <- fmt.Errorf("reader %d: torn/stale read: %d rows at version %d, want %d",
+						g, r.Answer.Len(), r.Version, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Settled state: back to the initial chain, and repeat queries hit.
+	final, err := sys.Query(goal)
+	if err != nil {
+		t.Fatalf("final query: %v", err)
+	}
+	if final.Answer.Len() != initial {
+		t.Fatalf("final rows = %d, want %d", final.Answer.Len(), initial)
+	}
+	again, _ := sys.Query(goal)
+	if !again.Cached {
+		t.Fatalf("settled repeat query should be a cache hit")
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"linrec/internal/ast"
+	"linrec/internal/core"
+	"linrec/internal/planner"
+	"linrec/internal/workload"
+)
+
+// This experiment measures the goal-level result cache over the 240k-edge
+// random-recursive-tree transitive closure: a repeated bound query and a
+// repeated full-closure query, each timed cold (first evaluation) and as
+// a cache hit, with a mid-run retraction proving that a snapshot swap
+// invalidates every cached result — the post-retraction queries must
+// re-evaluate and match a from-scratch forced-semi-naive baseline.
+
+// CacheResult is one goal's cold-vs-hit comparison.
+type CacheResult struct {
+	Goal       string        `json:"goal"`
+	Plan       string        `json:"plan"`
+	AnswerRows int           `json:"answer_rows"`
+	ColdNS     time.Duration `json:"cold_ns"`
+	HitNS      time.Duration `json:"hit_ns"`
+	Speedup    float64       `json:"speedup"`
+}
+
+// CacheReport is the machine-readable result_cache_tc lane of
+// BENCH_eval.json.
+type CacheReport struct {
+	Bench    string        `json:"bench"`
+	Workload string        `json:"workload"`
+	Results  []CacheResult `json:"results"`
+	// Speedup is the headline number: the smaller of the goals'
+	// cold-vs-cached-hit ratios.
+	Speedup float64 `json:"speedup"`
+	// RetractionInvalidates records the mid-run lifecycle proof: after an
+	// add + retract swap pair, both goals re-evaluated (no stale hit) and
+	// the post-retraction answers matched a from-scratch baseline.
+	RetractionInvalidates bool   `json:"retraction_invalidates"`
+	FinalVersion          uint64 `json:"final_snapshot_version"`
+	CacheInvalidated      int64  `json:"cache_entries_invalidated"`
+}
+
+// cacheBenchProgram: left-recursive TC, so the bound goal takes the
+// magic-seeded context plan and the unbound goal the parallel closure —
+// the cache front-ends both plan families.
+const cacheBenchProgram = `
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- edge(X,Z), path(Z,Y).
+`
+
+// timeHit measures a cache hit as the minimum of a few repeats — hits
+// are sub-microsecond map probes, so a single sample is scheduler noise.
+func timeHit(sys *core.System, snap *core.Snapshot, goal ast.Atom) (time.Duration, *core.QueryResult, error) {
+	var best time.Duration
+	var res *core.QueryResult
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		r, err := sys.QueryOn(context.Background(), snap, goal, sys.Opts)
+		d := time.Since(start)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !r.Cached {
+			return 0, nil, fmt.Errorf("repeat of %v was not served from the result cache (plan %v)", goal, r.Plan.Kind)
+		}
+		if res == nil || d < best {
+			best, res = d, r
+		}
+	}
+	return best, res, nil
+}
+
+// CacheBench measures the result cache on the tree TC workload at one
+// graph size.
+func CacheBench(nodes, source int) (CacheReport, error) {
+	rep := CacheReport{
+		Bench:    "result_cache_tc",
+		Workload: fmt.Sprintf("random recursive tree, %d edges, repeated bound + full-closure goals", nodes-1),
+	}
+	sys, err := core.LoadOptions(cacheBenchProgram, core.Options{
+		Workers: runtime.GOMAXPROCS(0),
+		// The full closure is ≈ 12×nodes rows; size the cache to admit it.
+		ResultCacheRows: 32 * nodes,
+	})
+	if err != nil {
+		return rep, err
+	}
+	workload.RandomTree(sys.Engine, sys.DB(), "edge", nodes, 47)
+	snap := sys.Snapshot()
+	ctx := context.Background()
+
+	goals := []ast.Atom{
+		mustAtomExp(fmt.Sprintf("path(t%d, Y)", source)),
+		mustAtomExp("path(X, Y)"),
+	}
+	for _, goal := range goals {
+		start := time.Now()
+		cold, err := sys.QueryOn(ctx, snap, goal, sys.Opts)
+		if err != nil {
+			return rep, err
+		}
+		coldNS := time.Since(start)
+		if cold.Cached {
+			return rep, fmt.Errorf("first evaluation of %v claimed a cache hit", goal)
+		}
+		hitNS, hit, err := timeHit(sys, snap, goal)
+		if err != nil {
+			return rep, err
+		}
+		if !reflect.DeepEqual(hit.Rows(sys), cold.Rows(sys)) || hit.Stats != cold.Stats {
+			return rep, fmt.Errorf("cache hit for %v diverges from the cold evaluation", goal)
+		}
+		r := CacheResult{
+			Goal:       goal.String(),
+			Plan:       cold.Plan.Kind.String(),
+			AnswerRows: cold.Answer.Len(),
+			ColdNS:     coldNS,
+			HitNS:      hitNS,
+			Speedup:    float64(coldNS) / float64(hitNS),
+		}
+		rep.Results = append(rep.Results, r)
+		if rep.Speedup == 0 || r.Speedup < rep.Speedup {
+			rep.Speedup = r.Speedup
+		}
+	}
+
+	// Mid-run retraction: graft a fresh edge under the bound source, then
+	// retract it.  Both swaps bump the version, so every cached result
+	// must invalidate; the post-retraction answers must equal a
+	// from-scratch forced-semi-naive evaluation of the final snapshot.
+	graft := []ast.Atom{ast.NewAtom("edge", ast.C(fmt.Sprintf("t%d", source)), ast.C("cache_bench_graft"))}
+	if _, added, err := sys.AddFacts(graft); err != nil || added != 1 {
+		return rep, fmt.Errorf("graft add: added %d, err %v", added, err)
+	}
+	mid, err := sys.Query(goals[0])
+	if err != nil {
+		return rep, err
+	}
+	if mid.Cached || mid.Answer.Len() != rep.Results[0].AnswerRows+1 {
+		return rep, fmt.Errorf("post-add bound query: cached=%v rows=%d, want fresh %d",
+			mid.Cached, mid.Answer.Len(), rep.Results[0].AnswerRows+1)
+	}
+	if _, removed, err := sys.RemoveFacts(graft); err != nil || removed != 1 {
+		return rep, fmt.Errorf("graft retract: removed %d, err %v", removed, err)
+	}
+	final := sys.Snapshot()
+	ok := true
+	for i, goal := range goals {
+		got, err := sys.QueryOn(ctx, final, goal, sys.Opts)
+		if err != nil {
+			return rep, err
+		}
+		if got.Cached {
+			return rep, fmt.Errorf("post-retraction query %v served a stale cache entry", goal)
+		}
+		scratch, err := sys.QueryOn(ctx, final, goal, core.Options{
+			Workers: sys.Opts.Workers, Strategy: planner.ForceSemiNaive,
+		})
+		if err != nil {
+			return rep, err
+		}
+		if got.Answer.Len() != rep.Results[i].AnswerRows || !reflect.DeepEqual(got.Rows(sys), scratch.Rows(sys)) {
+			ok = false
+		}
+	}
+	rep.RetractionInvalidates = ok
+	rep.FinalVersion = final.Version
+	rep.CacheInvalidated = 0
+	if st := sys.ResultCacheStats(); st.Invalidated > 0 {
+		rep.CacheInvalidated = st.Invalidated
+	}
+	if !ok {
+		return rep, fmt.Errorf("post-retraction answers diverge from the from-scratch baseline")
+	}
+	return rep, nil
+}
+
+// CacheJSONReport runs the result-cache comparison on the full PTC graph
+// (the BENCH_eval.json result_cache_tc lane).
+func CacheJSONReport() (CacheReport, error) {
+	return CacheBench(PTCNodes, MagicBenchSource)
+}
+
+// CacheTable prints the result-cache comparison at the table size.
+func CacheTable(w io.Writer) error {
+	rep, err := CacheBench(MagicTableNodes, MagicBenchSource)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "goal-level result cache on %s\n", rep.Workload)
+	fmt.Fprintf(w, "cold evaluation vs cached hit (bit-for-bit identical answers)\n\n")
+	fmt.Fprintf(w, "%-18s %-44s %9s | %12s %12s | %s\n", "goal", "plan", "rows", "cold", "hit", "speedup")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-18s %-44s %9d | %12v %12v | %.0fx\n",
+			r.Goal, r.Plan, r.AnswerRows,
+			r.ColdNS.Round(time.Microsecond), r.HitNS.Round(time.Microsecond), r.Speedup)
+	}
+	fmt.Fprintf(w, "\nmid-run add+retract: every cached result invalidated (entries swept: %d),\n", rep.CacheInvalidated)
+	fmt.Fprintf(w, "post-retraction answers equal the from-scratch baseline at snapshot %d\n", rep.FinalVersion)
+	return nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// The bench gate is the CI regression tripwire: a short-mode run of the
+// three headline lanes (parallel substrate, magic-seeded bound query,
+// goal-level result cache) at the table graph size, each checked against
+// a conservative floor.  The floors sit far below the committed
+// BENCH_eval.json numbers — they exist to catch an order-of-magnitude
+// regression in a pull request, not to re-certify the headline speedups
+// on noisy shared runners.
+
+// GateCheck is one lane's verdict.
+type GateCheck struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Floor  float64 `json:"floor"`
+	Pass   bool    `json:"pass"`
+	Detail string  `json:"detail"`
+}
+
+// GateReport aggregates the gate run.
+type GateReport struct {
+	Checks []GateCheck `json:"checks"`
+	Pass   bool        `json:"pass"`
+}
+
+// GateFloors are the minimum acceptable speedups per lane; zero disables
+// a lane's check (its measurement still runs and is reported).
+type GateFloors struct {
+	Parallel float64 // seed substrate vs 8-worker closure
+	Magic    float64 // closure-then-filter vs magic-seeded bound query
+	Cache    float64 // cold evaluation vs result-cache hit
+}
+
+// DefaultGateFloors are deliberately conservative: the committed lanes
+// record ≈ 5x parallel, ≥ 2500x magic and ≫ 50x cache at full size.
+var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, Cache: 50}
+
+// gateMagicNodes sizes the magic lane's gate run.  The bound query's
+// advantage scales with graph size (output-proportional vs closure-
+// proportional): at the 60k table size it sits near 100x — too close to
+// the floor for a noisy runner — while doubling the graph roughly
+// doubles the separation at a few extra seconds of baseline closure.
+const gateMagicNodes = 2*MagicTableNodes - 1
+
+// RunGate executes the short-mode lanes, prints one line per check and
+// returns the report; report.Pass is false when any enabled floor is
+// violated.  A lane that fails to run at all is a failed check, not an
+// error — the gate's job is a verdict.
+func RunGate(floors GateFloors, w io.Writer) GateReport {
+	var rep GateReport
+	rep.Pass = true
+	add := func(name string, value, floor float64, detail string, err error) {
+		c := GateCheck{Name: name, Value: value, Floor: floor, Detail: detail}
+		if err != nil {
+			c.Pass = false
+			c.Detail = fmt.Sprintf("lane failed: %v", err)
+		} else {
+			c.Pass = floor <= 0 || value >= floor
+		}
+		rep.Checks = append(rep.Checks, c)
+		if !c.Pass {
+			rep.Pass = false
+		}
+		status := "ok"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "gate %-10s %8.1fx (floor %6.1fx) %-4s %s\n", name, c.Value, floor, status, c.Detail)
+	}
+
+	par, err := PTCRun(PTCTableNodes, 8)
+	add("parallel", par.Speedup, floors.Parallel,
+		fmt.Sprintf("seed substrate vs 8 workers, %d edges", PTCTableNodes-1), err)
+
+	magic, err := magicBench(gateMagicNodes, MagicBenchSource)
+	add("magic", magic.Speedup, floors.Magic,
+		fmt.Sprintf("bound query vs closure-then-filter, %d edges", gateMagicNodes-1), err)
+
+	cache, err := CacheBench(MagicTableNodes, MagicBenchSource)
+	detail := fmt.Sprintf("cold vs cached hit, %d edges", MagicTableNodes-1)
+	if err == nil && !cache.RetractionInvalidates {
+		err = fmt.Errorf("mid-run retraction did not invalidate the cache")
+	}
+	add("cache", cache.Speedup, floors.Cache, detail, err)
+
+	return rep
+}

@@ -488,6 +488,35 @@ func (r *Relation) UnionInto(other *Relation) int {
 	return added
 }
 
+// Without returns a relation containing every tuple of r except those in
+// remove, along with the number of tuples actually removed.  The result
+// is a tombstone-free rebuild: row storage and key table are constructed
+// fresh at the surviving size, so a long add/retract history never
+// accumulates dead rows or index garbage.  When no remove tuple is
+// present in r, the receiver itself is returned (removed == 0) so
+// callers can share it across copy-on-write snapshot versions.  Remove
+// tuples must have r's arity (Insert's contract); duplicates in remove
+// are counted once.
+func (r *Relation) Without(remove []Tuple) (*Relation, int) {
+	rm := NewRelation(r.arity)
+	for _, t := range remove {
+		if r.Has(t) {
+			rm.Insert(t)
+		}
+	}
+	if rm.Len() == 0 {
+		return r, 0
+	}
+	out := NewRelation(r.arity)
+	out.Reserve(r.n - rm.Len())
+	for i := 0; i < r.n; i++ {
+		if t := r.Row(i); !rm.Has(t) {
+			out.Insert(t)
+		}
+	}
+	return out, rm.Len()
+}
+
 // Select returns the tuples with t[col] == v as a new relation.
 func (r *Relation) Select(col int, v Value) *Relation {
 	out := NewRelation(r.arity)

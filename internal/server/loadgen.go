@@ -66,32 +66,46 @@ func loadClient(clients int, timeout time.Duration) *http.Client {
 	return &http.Client{Transport: tr, Timeout: timeout + 5*time.Second}
 }
 
-// QueryOnce issues one query and returns the decoded response.
-func QueryOnce(ctx context.Context, hc *http.Client, baseURL, query string, timeout time.Duration, workers int) (*QueryResponse, error) {
-	body, err := json.Marshal(QueryRequest{
-		Query:     query,
-		TimeoutMS: timeout.Milliseconds(),
-		Workers:   workers,
-	})
-	if err != nil {
-		return nil, err
+// doJSON issues one JSON request (nil in = empty body) and decodes a
+// 200 reply into out; non-200 replies come back as *HTTPError with the
+// body's first 512 bytes.  The shared skeleton behind every client call.
+func doJSON(ctx context.Context, hc *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, &HTTPError{Status: resp.StatusCode, Body: string(msg)}
+		return &HTTPError{Status: resp.StatusCode, Body: string(msg)}
 	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// QueryOnce issues one query and returns the decoded response.
+func QueryOnce(ctx context.Context, hc *http.Client, baseURL, query string, timeout time.Duration, workers int) (*QueryResponse, error) {
 	var out QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err := doJSON(ctx, hc, http.MethodPost, baseURL+"/v1/query", QueryRequest{
+		Query:     query,
+		TimeoutMS: timeout.Milliseconds(),
+		Workers:   workers,
+	}, &out)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -100,26 +114,27 @@ func QueryOnce(ctx context.Context, hc *http.Client, baseURL, query string, time
 // PostFacts pushes a batch of ground facts and returns the new snapshot
 // version.
 func PostFacts(ctx context.Context, hc *http.Client, baseURL, facts string) (*FactsResponse, error) {
-	body, err := json.Marshal(FactsRequest{Facts: facts})
-	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/facts", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, &HTTPError{Status: resp.StatusCode, Body: string(msg)}
-	}
 	var out FactsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := doJSON(ctx, hc, http.MethodPost, baseURL+"/v1/facts", FactsRequest{Facts: facts}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteFacts retracts a batch of ground facts (DELETE /v1/facts) and
+// returns the new snapshot version and removed count.
+func DeleteFacts(ctx context.Context, hc *http.Client, baseURL, facts string) (*FactsResponse, error) {
+	var out FactsResponse
+	if err := doJSON(ctx, hc, http.MethodDelete, baseURL+"/v1/facts", FactsRequest{Facts: facts}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FetchStats retrieves the server's /v1/stats report.
+func FetchStats(ctx context.Context, hc *http.Client, baseURL string) (*StatsReport, error) {
+	var out StatsReport
+	if err := doJSON(ctx, hc, http.MethodGet, baseURL+"/v1/stats", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

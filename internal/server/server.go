@@ -2,15 +2,19 @@
 // concurrent HTTP clients onto one loaded core.System, serving
 // linear-recursion queries over snapshot-isolated databases.
 //
-//	POST /v1/query  {"query":"path(a,Y)","timeout_ms":1000,"workers":2}
-//	POST /v1/facts  {"facts":"edge(c,d). edge(d,e)."}
-//	GET  /v1/stats
-//	GET  /healthz
+//	POST   /v1/query  {"query":"path(a,Y)","timeout_ms":1000,"workers":2}
+//	POST   /v1/facts  {"facts":"edge(c,d).","remove":"edge(a,b)."}
+//	DELETE /v1/facts  {"facts":"edge(a,b)."}
+//	GET    /v1/stats
+//	GET    /healthz
 //
 // Each query pins the database snapshot current at admission and runs
 // entirely against it; POST /v1/facts publishes a new snapshot
-// copy-on-write (core.System.AddFacts), so updates never block or tear
-// in-flight queries.  Admission control partitions a global worker budget
+// copy-on-write (core.System.AddFacts), DELETE /v1/facts (or a POST with
+// "remove" entries) retracts facts the same way (core.System.RemoveFacts,
+// removals first when a POST carries both), so updates never block or
+// tear in-flight queries — a query admitted before a retraction answers
+// from its pinned pre-retraction snapshot.  Admission control partitions a global worker budget
 // into per-query grants through a weighted FIFO semaphore: a bounded
 // queue sheds excess load with 429 (queue full) and 503 (budget
 // unavailable before the query's deadline), and per-query timeouts
@@ -32,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"linrec/internal/ast"
 	"linrec/internal/core"
 	"linrec/internal/eval"
 	"linrec/internal/parser"
@@ -143,20 +148,30 @@ type QueryResponse struct {
 	Stats           eval.Stats `json:"stats"`
 	SnapshotVersion uint64     `json:"snapshot_version"`
 	Workers         int        `json:"workers"`
-	ElapsedMS       float64    `json:"elapsed_ms"`
+	// Cached reports that the answer came from the goal-level result
+	// cache (bit-for-bit identical to the evaluation that populated it).
+	Cached    bool    `json:"cached,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// FactsRequest is the POST /v1/facts body.
+// FactsRequest is the POST and DELETE /v1/facts body.
 type FactsRequest struct {
 	// Facts is Datalog source containing only ground facts,
-	// e.g. "edge(c,d). edge(d,e)."
-	Facts string `json:"facts"`
+	// e.g. "edge(c,d). edge(d,e)."  On POST they are added; on DELETE
+	// they are retracted.
+	Facts string `json:"facts,omitempty"`
+	// Remove is Datalog source of ground facts to retract (POST only;
+	// DELETE expresses retraction through Facts).  When a POST carries
+	// both, removals apply first, then additions — two copy-on-write
+	// swaps at most.
+	Remove string `json:"remove,omitempty"`
 }
 
-// FactsResponse is the POST /v1/facts answer.
+// FactsResponse is the /v1/facts answer.
 type FactsResponse struct {
 	SnapshotVersion uint64  `json:"snapshot_version"`
 	FactsAdded      int     `json:"facts_added"`
+	FactsRemoved    int     `json:"facts_removed,omitempty"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
@@ -239,6 +254,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.Workers = grant
 
+	// Admission-free fast path: a completed result-cache entry answers
+	// the query in a map probe, so it skips the queue and consumes no
+	// worker grant — under overload, repeated goals keep being served
+	// while the budget goes to queries that actually evaluate.
+	if res, ok := s.sys.CachedAnswer(s.sys.Snapshot(), goal, opts); ok {
+		s.finishQuery(w, r, res, 0, 0)
+		return
+	}
+
 	// Admission: a bounded queue in front of the worker budget.  The
 	// counter includes requests currently acquiring, so the bound holds
 	// under any interleaving; beyond it, shed immediately.
@@ -298,8 +322,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, core.ErrInternal):
 			// The full error carries the recovered panic and its stack;
 			// that diagnostic belongs in the server log, not in a
-			// response body handed to remote clients.
+			// response body handed to remote clients.  Counted separately
+			// from client errors so lrload -smoke can fail a run that
+			// provoked any 500.
 			s.ctr.queryErrors.Add(1)
+			s.ctr.internalErrors.Add(1)
 			log.Printf("server: internal error on query %q: %v", req.Query, err)
 			writeError(w, http.StatusInternalServerError, "internal evaluation error; see server log")
 		default:
@@ -309,6 +336,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.finishQuery(w, r, res, grant, elapsed)
+}
+
+// finishQuery is the shared success tail of the cached fast path and the
+// evaluated path: row-cap enforcement, counters, response serialization
+// (streamed when the client asked for NDJSON).  grant is the worker
+// grant the query consumed — 0 for cache hits.
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.QueryResult, grant int, elapsed time.Duration) {
 	if s.cfg.MaxRows > 0 && res.Answer.Len() > s.cfg.MaxRows {
 		s.ctr.queryErrors.Add(1)
 		writeError(w, http.StatusRequestEntityTooLarge,
@@ -329,6 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Stats:           res.Stats,
 		SnapshotVersion: res.Version,
 		Workers:         grant,
+		Cached:          res.Cached,
 		ElapsedMS:       float64(elapsed) / 1e6,
 	}
 	if wantsStream(r) {
@@ -380,43 +416,101 @@ func (s *Server) streamResponse(w http.ResponseWriter, resp *QueryResponse) {
 	}
 }
 
+// parseFactSource parses Datalog source that must contain only ground
+// facts, rejecting rules and queries.
+func parseFactSource(src, what string) ([]ast.Atom, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("bad %s: %w", what, err)
+	}
+	if len(prog.Rules) > 0 || len(prog.Queries) > 0 {
+		return nil, fmt.Errorf("%s update must contain only ground facts (got %d rules, %d queries)",
+			what, len(prog.Rules), len(prog.Queries))
+	}
+	return prog.Facts, nil
+}
+
+// handleFacts serves the fact lifecycle: POST adds (and, with "remove"
+// entries, retracts — removals first), DELETE retracts the facts in the
+// body.  Each direction is one copy-on-write snapshot swap; no-op batches
+// (pure duplicates, absent retractions) publish nothing, so the reported
+// version only advances when the database actually changed.
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		writeError(w, http.StatusMethodNotAllowed, "POST or DELETE only")
 		return
 	}
 	var req FactsRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	prog, err := parser.Parse(req.Facts)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad facts: %v", err)
-		return
+	addSrc, removeSrc := req.Facts, req.Remove
+	if r.Method == http.MethodDelete {
+		if req.Remove != "" {
+			writeError(w, http.StatusBadRequest, `DELETE expresses retraction through "facts"; "remove" is POST-only`)
+			return
+		}
+		addSrc, removeSrc = "", req.Facts
 	}
-	if len(prog.Rules) > 0 || len(prog.Queries) > 0 {
-		writeError(w, http.StatusBadRequest,
-			"facts update must contain only ground facts (got %d rules, %d queries)",
-			len(prog.Rules), len(prog.Queries))
-		return
+	var toAdd, toRemove []ast.Atom
+	var err error
+	if removeSrc != "" {
+		if toRemove, err = parseFactSource(removeSrc, "remove"); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
-	if len(prog.Facts) == 0 {
+	if addSrc != "" {
+		if toAdd, err = parseFactSource(addSrc, "facts"); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if len(toAdd) == 0 && len(toRemove) == 0 {
 		writeError(w, http.StatusBadRequest, "no facts in update")
 		return
 	}
-	start := time.Now()
-	snap, added, err := s.sys.AddFacts(prog.Facts)
-	if err != nil {
+	// Validate both halves before executing either, so a 409 is atomic:
+	// a combined request whose add half is bad must not leave a
+	// committed retraction hiding behind the error response.
+	if err := s.sys.ValidateFacts(toRemove); err != nil {
+		writeError(w, http.StatusConflict, "retraction rejected: %v", err)
+		return
+	}
+	if err := s.sys.ValidateFacts(toAdd); err != nil {
 		writeError(w, http.StatusConflict, "facts rejected: %v", err)
 		return
 	}
-	if added > 0 {
-		s.ctr.factBatches.Add(1)
-		s.ctr.factsAdded.Add(int64(added))
+	start := time.Now()
+	snap := s.sys.Snapshot()
+	removed := 0
+	if len(toRemove) > 0 {
+		snap, removed, err = s.sys.RemoveFacts(toRemove)
+		if err != nil {
+			writeError(w, http.StatusConflict, "retraction rejected: %v", err)
+			return
+		}
+		if removed > 0 {
+			s.ctr.retractBatches.Add(1)
+			s.ctr.factsRemoved.Add(int64(removed))
+		}
+	}
+	added := 0
+	if len(toAdd) > 0 {
+		snap, added, err = s.sys.AddFacts(toAdd)
+		if err != nil {
+			writeError(w, http.StatusConflict, "facts rejected: %v", err)
+			return
+		}
+		if added > 0 {
+			s.ctr.factBatches.Add(1)
+			s.ctr.factsAdded.Add(int64(added))
+		}
 	}
 	writeJSON(w, http.StatusOK, FactsResponse{
 		SnapshotVersion: snap.Version,
 		FactsAdded:      added,
+		FactsRemoved:    removed,
 		ElapsedMS:       float64(time.Since(start)) / 1e6,
 	})
 }
@@ -428,12 +522,15 @@ func (s *Server) Stats() StatsReport {
 		SnapshotVersion: s.sys.Snapshot().Version,
 		QueriesOK:       s.ctr.queriesOK.Load(),
 		QueryErrors:     s.ctr.queryErrors.Load(),
+		Internal500s:    s.ctr.internalErrors.Load(),
 		Timeouts:        s.ctr.timeouts.Load(),
 		ClientAborts:    s.ctr.clientAborts.Load(),
 		Shed429:         s.ctr.shedQueue.Load(),
 		Shed503:         s.ctr.shedBudget.Load(),
 		FactBatches:     s.ctr.factBatches.Load(),
 		FactsAdded:      s.ctr.factsAdded.Load(),
+		RetractBatches:  s.ctr.retractBatches.Load(),
+		FactsRemoved:    s.ctr.factsRemoved.Load(),
 		RowsServed:      s.ctr.rowsServed.Load(),
 		InFlight:        s.inflight.Load(),
 		Queued:          s.queued.Load(),
@@ -441,6 +538,7 @@ func (s *Server) Stats() StatsReport {
 		WorkersInUse:    s.sem.InUse(),
 		Plans:           s.ctr.planCounts(),
 		Latency:         s.lat.summary(),
+		ResultCache:     s.sys.ResultCacheStats(),
 	}
 }
 

@@ -212,11 +212,14 @@ func TestAdmissionShedding(t *testing.T) {
 		t.Fatalf("patient request: status = %d, want 200", code)
 	}
 
-	// Hold the budget again: a short-deadline waiter is shed 503.
+	// Hold the budget again: a short-deadline waiter is shed 503.  A
+	// different goal than the patient request's — path(c0, Y) is now in
+	// the result cache, and cached goals are served admission-free
+	// without needing budget at all.
 	if err := s.sem.Acquire(context.Background(), 1); err != nil {
 		t.Fatalf("re-Acquire: %v", err)
 	}
-	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c0, Y)", TimeoutMS: 50})
+	resp = postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c1, Y)", TimeoutMS: 50})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", resp.StatusCode)
 	}
@@ -525,5 +528,306 @@ func TestBoundQueryTakesMagicPlanAndStatsCountIt(t *testing.T) {
 	}
 	if total != st.QueriesOK || total != 2 {
 		t.Fatalf("plan counts sum to %d, queries_ok = %d, want both 2 (%v)", total, st.QueriesOK, st.Plans)
+	}
+}
+
+// deleteJSON issues a DELETE with a JSON body.
+func deleteJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodDelete, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", url, err)
+	}
+	return resp
+}
+
+// queryRows answers one query and returns the response.
+func queryRows(t *testing.T, baseURL, query string) QueryResponse {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/query", QueryRequest{Query: query})
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		t.Fatalf("query %q: status %d", query, resp.StatusCode)
+	}
+	return decode[QueryResponse](t, resp)
+}
+
+// TestFactLifecycle: add → query → retract (DELETE) → query exercises
+// the full fact lifecycle over HTTP: versions advance on both swap
+// directions, answers shrink after the retraction, and the stats report
+// both directions' counters.
+func TestFactLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, chainProgram(2), Config{})
+
+	before := queryRows(t, ts.URL, "path(c0, Y)")
+	if before.RowCount != 2 {
+		t.Fatalf("initial rows = %d, want 2", before.RowCount)
+	}
+
+	add := decode[FactsResponse](t, postJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(c2,c3)."}))
+	if add.FactsAdded != 1 || add.SnapshotVersion <= before.SnapshotVersion {
+		t.Fatalf("add: %+v (before version %d)", add, before.SnapshotVersion)
+	}
+	if grown := queryRows(t, ts.URL, "path(c0, Y)"); grown.RowCount != 3 {
+		t.Fatalf("post-add rows = %d, want 3", grown.RowCount)
+	}
+
+	del := decode[FactsResponse](t, deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(c2,c3)."}))
+	if del.FactsRemoved != 1 || del.FactsAdded != 0 || del.SnapshotVersion <= add.SnapshotVersion {
+		t.Fatalf("delete: %+v (add version %d)", del, add.SnapshotVersion)
+	}
+	after := queryRows(t, ts.URL, "path(c0, Y)")
+	if after.RowCount != 2 {
+		t.Fatalf("post-retract rows = %d, want 2", after.RowCount)
+	}
+	if after.SnapshotVersion != del.SnapshotVersion {
+		t.Fatalf("post-retract query at version %d, want %d", after.SnapshotVersion, del.SnapshotVersion)
+	}
+
+	st := s.Stats()
+	if st.FactsAdded != 1 || st.FactsRemoved != 1 || st.RetractBatches != 1 {
+		t.Fatalf("lifecycle counters: added %d removed %d retractBatches %d",
+			st.FactsAdded, st.FactsRemoved, st.RetractBatches)
+	}
+}
+
+// TestPostWithRemoveEntries: a POST carrying both "remove" and "facts"
+// retracts first, then adds, and reports both counts.
+func TestPostWithRemoveEntries(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(2), Config{})
+	out := decode[FactsResponse](t, postJSON(t, ts.URL+"/v1/facts",
+		FactsRequest{Facts: "edge(c2,c3).", Remove: "edge(c0,c1)."}))
+	if out.FactsRemoved != 1 || out.FactsAdded != 1 {
+		t.Fatalf("combined swap: %+v", out)
+	}
+	// c0→c1 gone: path(c0, Y) reaches nothing; path(c1, Y) reaches c2, c3.
+	if r := queryRows(t, ts.URL, "path(c0, Y)"); r.RowCount != 0 {
+		t.Fatalf("path(c0,Y) = %d rows after retracting its only edge", r.RowCount)
+	}
+	if r := queryRows(t, ts.URL, "path(c1, Y)"); r.RowCount != 2 {
+		t.Fatalf("path(c1,Y) = %d rows, want 2", r.RowCount)
+	}
+}
+
+// TestRetractionRejections: retraction maps the same validation failures
+// to the same statuses as addition — 409 for derived predicates and
+// arity mismatches, 400 for malformed or rule-carrying bodies, and a
+// DELETE body with "remove" is rejected outright.
+func TestRetractionRejections(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(2), Config{})
+	cases := []struct {
+		name   string
+		do     func() *http.Response
+		status int
+	}{
+		{"derived predicate", func() *http.Response {
+			return deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "path(c0,c1)."})
+		}, http.StatusConflict},
+		{"arity mismatch", func() *http.Response {
+			return deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(c0)."})
+		}, http.StatusConflict},
+		{"rules in body", func() *http.Response {
+			return deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(X,Y) :- path(X,Y)."})
+		}, http.StatusBadRequest},
+		{"remove on DELETE", func() *http.Response {
+			return deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Remove: "edge(c0,c1)."})
+		}, http.StatusBadRequest},
+		{"empty", func() *http.Response {
+			return postJSON(t, ts.URL+"/v1/facts", FactsRequest{})
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := tc.do()
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+	// Nothing above may have published a snapshot.
+	if v := queryRows(t, ts.URL, "path(c0, Y)").SnapshotVersion; v != 1 {
+		t.Fatalf("rejected updates advanced the version to %d", v)
+	}
+}
+
+// TestRetractionIdempotent: retracting absent facts is a 200 no-op that
+// keeps the snapshot version (and therefore warm caches).
+func TestRetractionIdempotent(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(2), Config{})
+	out := decode[FactsResponse](t, deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(c7,c9). edge(nope,nada)."}))
+	if out.FactsRemoved != 0 || out.SnapshotVersion != 1 {
+		t.Fatalf("no-op retraction: %+v, want removed 0 at version 1", out)
+	}
+}
+
+// TestQueryCacheOverHTTP: a repeated query reports cached=true with an
+// identical body, /v1/stats exposes the per-plan-kind counters, and a
+// retraction invalidates the entry.
+func TestQueryCacheOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, chainProgram(3), Config{})
+	const q = "path(c0, Y)"
+	first := queryRows(t, ts.URL, q)
+	if first.Cached {
+		t.Fatalf("first query reported cached")
+	}
+	second := queryRows(t, ts.URL, q)
+	if !second.Cached {
+		t.Fatalf("repeat query not served from the result cache")
+	}
+	if fmt.Sprint(second.Rows) != fmt.Sprint(first.Rows) || second.Stats != first.Stats || second.Plan != first.Plan {
+		t.Fatalf("cached response diverges: %+v vs %+v", second, first)
+	}
+	st := s.Stats()
+	var hits, misses int64
+	for _, n := range st.ResultCache.Hits {
+		hits += n
+	}
+	for _, n := range st.ResultCache.Misses {
+		misses += n
+	}
+	if hits != 1 || misses != 1 {
+		t.Fatalf("result cache counters: %d hits / %d misses, want 1 / 1", hits, misses)
+	}
+	if st.ResultCache.Entries == 0 || st.ResultCache.CapRows == 0 {
+		t.Fatalf("result cache gauges empty: %+v", st.ResultCache)
+	}
+
+	del := decode[FactsResponse](t, deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "edge(c2,c3)."}))
+	if del.FactsRemoved != 1 {
+		t.Fatalf("retraction: %+v", del)
+	}
+	third := queryRows(t, ts.URL, q)
+	if third.Cached {
+		t.Fatalf("post-retraction query served stale cache entry")
+	}
+	if third.RowCount != first.RowCount-1 {
+		t.Fatalf("post-retraction rows = %d, want %d", third.RowCount, first.RowCount-1)
+	}
+	if s.Stats().ResultCache.Invalidated == 0 {
+		t.Fatalf("retraction did not invalidate the result cache")
+	}
+}
+
+// TestInFlightQueryPinsPreRetractionSnapshot: a slow query admitted
+// before a retraction answers from the snapshot it pinned — the pinned
+// world, not the shrunk one.
+func TestInFlightQueryPinsPreRetractionSnapshot(t *testing.T) {
+	const n = 400 // closure is n² tuples: slow enough to observe in flight
+	s, ts := newTestServer(t, cycleProgram(n), Config{TotalWorkers: 4, MaxRows: n * n})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var slow QueryResponse
+	var slowErr error
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "p(X, Y)", TimeoutMS: 30000})
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			slowErr = fmt.Errorf("slow query status %d", resp.StatusCode)
+			return
+		}
+		slow = decode[QueryResponse](t, resp)
+	}()
+	// Retract only once the query is either admitted (pinned) or already
+	// answered at version 1 — both orders keep the assertions exact.
+wait:
+	for {
+		select {
+		case <-done:
+			break wait
+		default:
+			if s.Stats().InFlight >= 1 {
+				break wait
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	resp := deleteJSON(t, ts.URL+"/v1/facts", FactsRequest{Facts: "e(v0,v1)."})
+	resp.Body.Close()
+	wg.Wait()
+	if slowErr != nil {
+		t.Fatal(slowErr)
+	}
+	// InFlight flips on slightly before the snapshot pin, so the
+	// retraction may legally land on either side of it: a version-1
+	// answer must be the full cycle closure, a version-2 answer the
+	// broken-cycle (chain) closure.  What can never happen is a version
+	// tag inconsistent with the rows — a torn read.
+	switch slow.SnapshotVersion {
+	case 1:
+		if slow.RowCount != n*n {
+			t.Fatalf("version-1 answer has %d rows, want the full pre-retraction closure %d", slow.RowCount, n*n)
+		}
+	case 2:
+		if slow.RowCount != n*(n-1)/2 {
+			t.Fatalf("version-2 answer has %d rows, want the broken-cycle closure %d", slow.RowCount, n*(n-1)/2)
+		}
+	default:
+		t.Fatalf("slow query ran at version %d, want 1 or 2", slow.SnapshotVersion)
+	}
+	if v := s.sys.Snapshot().Version; v != 2 {
+		t.Fatalf("server version = %d, want 2 after the retraction", v)
+	}
+}
+
+// TestCombinedSwapRejectionIsAtomic: a POST whose remove half is valid
+// but whose add half fails validation must commit neither half — the
+// 409 may not hide a published retraction.
+func TestCombinedSwapRejectionIsAtomic(t *testing.T) {
+	_, ts := newTestServer(t, chainProgram(2), Config{})
+	resp := postJSON(t, ts.URL+"/v1/facts", FactsRequest{
+		Remove: "edge(c0,c1).",  // valid on its own
+		Facts:  "path(c5,c6).", // derived predicate: rejected
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+	r := queryRows(t, ts.URL, "path(c0, Y)")
+	if r.SnapshotVersion != 1 {
+		t.Fatalf("rejected combined swap committed its retraction half: version %d", r.SnapshotVersion)
+	}
+	if r.RowCount != 2 {
+		t.Fatalf("rows = %d, want the untouched 2", r.RowCount)
+	}
+}
+
+// TestCachedHitBypassesAdmission: with the whole worker budget held, an
+// uncached goal sheds 503 while a cached goal is still served — the
+// fast path consumes neither a queue slot nor a grant (workers: 0).
+func TestCachedHitBypassesAdmission(t *testing.T) {
+	s, ts := newTestServer(t, chainProgram(3), Config{TotalWorkers: 1, MaxQueue: 1})
+	warm := queryRows(t, ts.URL, "path(c0, Y)")
+	if warm.Cached {
+		t.Fatalf("first query reported cached")
+	}
+
+	if err := s.sem.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer s.sem.Release(1)
+
+	resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: "path(c1, Y)", TimeoutMS: 50})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("uncached goal under held budget: status = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	hit := queryRows(t, ts.URL, "path(c0, Y)")
+	if !hit.Cached || hit.Workers != 0 {
+		t.Fatalf("cached goal under held budget: cached=%v workers=%d, want admission-free hit", hit.Cached, hit.Workers)
+	}
+	if fmt.Sprint(hit.Rows) != fmt.Sprint(warm.Rows) {
+		t.Fatalf("cached rows diverge from the warm evaluation")
 	}
 }

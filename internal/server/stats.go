@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"linrec/internal/core"
 	"linrec/internal/planner"
 )
 
@@ -93,15 +94,18 @@ const planKindSlots = int(planner.MagicSeeded) + 2
 
 // counters are the server's monotonically increasing event counts.
 type counters struct {
-	queriesOK    atomic.Int64 // answered 200s
-	queryErrors  atomic.Int64 // parse/eval failures (4xx)
-	timeouts     atomic.Int64 // per-query deadline fired during evaluation (504)
-	clientAborts atomic.Int64 // client dropped the connection mid-evaluation (499)
-	shedQueue    atomic.Int64 // 429: admission queue full
-	shedBudget   atomic.Int64 // 503: worker budget unavailable before deadline
-	factBatches  atomic.Int64 // successful /v1/facts swaps
-	factsAdded   atomic.Int64 // total facts across swaps
-	rowsServed   atomic.Int64 // answer rows returned
+	queriesOK      atomic.Int64 // answered 200s
+	queryErrors    atomic.Int64 // parse/eval failures (4xx and 500)
+	internalErrors atomic.Int64 // 500s specifically (recovered engine panics) — the lrload -smoke failure signal
+	timeouts       atomic.Int64 // per-query deadline fired during evaluation (504)
+	clientAborts   atomic.Int64 // client dropped the connection mid-evaluation (499)
+	shedQueue      atomic.Int64 // 429: admission queue full
+	shedBudget     atomic.Int64 // 503: worker budget unavailable before deadline
+	factBatches    atomic.Int64 // successful additive /v1/facts swaps
+	factsAdded     atomic.Int64 // total facts across additive swaps
+	retractBatches atomic.Int64 // successful retraction swaps (DELETE or POST "remove")
+	factsRemoved   atomic.Int64 // total facts across retraction swaps
+	rowsServed     atomic.Int64 // answer rows returned
 
 	// plans counts answered queries per plan kind, indexed by
 	// planner.Kind — the /v1/stats view of how often each evaluation
@@ -139,24 +143,33 @@ func (c *counters) planCounts() map[string]int64 {
 
 // StatsReport is the /v1/stats wire format.
 type StatsReport struct {
-	UptimeS         float64        `json:"uptime_s"`
-	SnapshotVersion uint64         `json:"snapshot_version"`
-	QueriesOK       int64          `json:"queries_ok"`
-	QueryErrors     int64          `json:"query_errors"`
-	Timeouts        int64          `json:"timeouts"`
-	ClientAborts    int64          `json:"client_aborts"`
-	Shed429         int64          `json:"shed_429_queue_full"`
-	Shed503         int64          `json:"shed_503_no_budget"`
-	FactBatches     int64          `json:"fact_batches"`
-	FactsAdded      int64          `json:"facts_added"`
-	RowsServed      int64          `json:"rows_served"`
-	InFlight        int64          `json:"inflight_queries"`
-	Queued          int64          `json:"queued_queries"`
-	WorkerBudget    int64          `json:"worker_budget"`
-	WorkersInUse    int64          `json:"workers_in_use"`
+	UptimeS         float64 `json:"uptime_s"`
+	SnapshotVersion uint64  `json:"snapshot_version"`
+	QueriesOK       int64   `json:"queries_ok"`
+	QueryErrors     int64   `json:"query_errors"`
+	// Internal500s is the subset of QueryErrors answered 500 (recovered
+	// engine panics).  lrload -smoke fails the run when it is nonzero.
+	Internal500s   int64 `json:"internal_500s"`
+	Timeouts       int64 `json:"timeouts"`
+	ClientAborts   int64 `json:"client_aborts"`
+	Shed429        int64 `json:"shed_429_queue_full"`
+	Shed503        int64 `json:"shed_503_no_budget"`
+	FactBatches    int64 `json:"fact_batches"`
+	FactsAdded     int64 `json:"facts_added"`
+	RetractBatches int64 `json:"retract_batches"`
+	FactsRemoved   int64 `json:"facts_removed"`
+	RowsServed     int64 `json:"rows_served"`
+	InFlight       int64 `json:"inflight_queries"`
+	Queued         int64 `json:"queued_queries"`
+	WorkerBudget   int64 `json:"worker_budget"`
+	WorkersInUse   int64 `json:"workers_in_use"`
 	// Plans counts answered queries per evaluation plan kind (keyed by
 	// the planner's Kind string, e.g. "magic-seeded evaluation
 	// (σ-bound frontier)"); kinds that served no query are omitted.
 	Plans   map[string]int64 `json:"plans"`
 	Latency LatencySummary   `json:"latency"`
+	// ResultCache reports the core goal-level result cache: gauges for
+	// the current contents plus hit/miss/eviction counters per plan kind
+	// and the number of entries invalidated by snapshot swaps.
+	ResultCache core.ResultCacheStats `json:"result_cache"`
 }

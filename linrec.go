@@ -38,7 +38,9 @@ import (
 type System = core.System
 
 // Options configure evaluation: Workers sizes the parallel closure pool
-// (0/1 sequential, negative = GOMAXPROCS), Strategy can force a plan.
+// (0/1 sequential, negative = GOMAXPROCS), Strategy can force a plan,
+// ResultCacheRows sizes the goal-level result cache (0 default, negative
+// disables).
 type Options = core.Options
 
 // Strategy forces an evaluation strategy; see the planner constants below.
@@ -55,10 +57,16 @@ const (
 type QueryResult = core.QueryResult
 
 // Snapshot is an immutable, versioned view of the extensional database.
-// System.AddFacts publishes a new snapshot copy-on-write while in-flight
-// queries keep the one they pinned — the substrate behind the linrecd
-// server's online fact updates.
+// System.AddFacts and System.RemoveFacts publish new snapshots
+// copy-on-write while in-flight queries keep the one they pinned — the
+// substrate behind the linrecd server's online fact updates and
+// retractions, and the version key behind every evaluation cache.
 type Snapshot = core.Snapshot
+
+// ResultCacheStats reports the goal-level result cache's hit/miss/
+// eviction counters (System.ResultCacheStats, the server's /v1/stats
+// "result_cache" section).
+type ResultCacheStats = core.ResultCacheStats
 
 // Analysis is the paper's full symbolic analysis of one recursive
 // predicate.
