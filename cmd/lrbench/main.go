@@ -9,9 +9,10 @@
 //	lrbench -list        # list experiment ids and titles
 //	lrbench -json        # run the substrate benchmark, write BENCH_eval.json
 //	lrbench -server      # run the linrecd server lane, merge into BENCH_eval.json
-//	lrbench -magic       # run the bound-query magic lane, merge into BENCH_eval.json
+//	lrbench -magic       # run the bound-query magic and multi-bound adornment lanes, merge into BENCH_eval.json
 //	lrbench -cache       # run the result-cache lane, merge into BENCH_eval.json
 //	lrbench -gate        # short-mode CI gate: fail if any speedup drops below its floor
+//	lrbench -gate -gate-out gate_report.json   # also write the gate verdicts as JSON
 package main
 
 import (
@@ -74,15 +75,27 @@ func main() {
 	magicOut := flag.Bool("magic", false, "run the bound-query magic-seeded lane and merge it into BENCH_eval.json")
 	cacheOut := flag.Bool("cache", false, "run the goal-level result-cache lane and merge it into BENCH_eval.json")
 	gate := flag.Bool("gate", false, "short-mode CI gate: run the headline lanes at table size and exit nonzero if any speedup is below its floor")
+	gateOut := flag.String("gate-out", "", "with -gate, also write the gate report as JSON to this file (for CI artifacts)")
 	minParallel := flag.Float64("min-parallel", experiments.DefaultGateFloors.Parallel, "gate floor for the parallel-substrate speedup at 8 workers (0 disables)")
 	minMagic := flag.Float64("min-magic", experiments.DefaultGateFloors.Magic, "gate floor for the magic-seeded bound-query speedup (0 disables)")
+	minMagicMulti := flag.Float64("min-magic-multi", experiments.DefaultGateFloors.MagicMulti, "gate floor for the multi-bound magic-adornment speedup (0 disables)")
 	minCache := flag.Float64("min-cache", experiments.DefaultGateFloors.Cache, "gate floor for the result-cache hit speedup (0 disables)")
 	flag.Parse()
 
 	if *gate {
 		rep := experiments.RunGate(experiments.GateFloors{
-			Parallel: *minParallel, Magic: *minMagic, Cache: *minCache,
+			Parallel: *minParallel, Magic: *minMagic, MagicMulti: *minMagicMulti, Cache: *minCache,
 		}, os.Stdout)
+		if *gateOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*gateOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrbench: writing gate report: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if !rep.Pass {
 			fmt.Fprintln(os.Stderr, "lrbench: bench gate FAILED")
 			os.Exit(1)
@@ -137,6 +150,18 @@ func main() {
 		}
 		fmt.Printf("merged magic lane into BENCH_eval.json (bound query on %s: %.0fx over closure+filter, %d answer rows)\n",
 			rep.Source, rep.Speedup, rep.Results[0].AnswerRows)
+
+		multi, err := experiments.MagicMultiJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: magic-multi benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("magic_multi", multi); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged magic_multi lane into BENCH_eval.json (multi-bound adornments: %.0fx over closure+filter)\n",
+			multi.Speedup)
 	}
 
 	if *cacheOut {

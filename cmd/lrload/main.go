@@ -138,7 +138,10 @@ func pushFacts(ctx context.Context, base string, every time.Duration) {
 // batch referencing fresh nodes, a second query that must see a strictly
 // newer snapshot, a retraction of that same batch, and a final query
 // whose answer must shrink back to the original — then verifies via
-// /v1/stats that the server answered no request with a 500.
+// /v1/stats that the server answered no request with a 500 and that the
+// per-plan-kind counters actually accounted for the plans the smoke
+// exercised (a stats-accounting regression must not pass smoke
+// silently).
 func runSmoke(base, query string, timeout time.Duration) error {
 	hc := &http.Client{Timeout: timeout + 5*time.Second}
 	ctx, cancel := context.WithTimeout(context.Background(), 4*timeout+20*time.Second)
@@ -153,10 +156,19 @@ func runSmoke(base, query string, timeout time.Duration) error {
 		return fmt.Errorf("healthz: status %d", resp.StatusCode)
 	}
 
+	st0, err := server.FetchStats(ctx, hc, base)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	// Every plan string a successful query reports must show up as a
+	// per-plan-kind counter increment by the end of the smoke.
+	planned := map[string]int64{}
+
 	before, err := server.QueryOnce(ctx, hc, base, query, timeout, 0)
 	if err != nil {
 		return fmt.Errorf("query %q: %w", query, err)
 	}
+	planned[before.Plan]++
 	fmt.Printf("lrload: %q -> %d rows at snapshot %d (%s)\n",
 		query, before.RowCount, before.SnapshotVersion, before.Plan)
 
@@ -176,6 +188,7 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("re-query: %w", err)
 	}
+	planned[after.Plan]++
 	if after.SnapshotVersion < fr.SnapshotVersion {
 		return fmt.Errorf("re-query saw stale snapshot %d < %d", after.SnapshotVersion, fr.SnapshotVersion)
 	}
@@ -202,6 +215,7 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("post-retract query: %w", err)
 	}
+	planned[final.Plan]++
 	if final.SnapshotVersion < dr.SnapshotVersion {
 		return fmt.Errorf("post-retract query saw stale snapshot %d < %d", final.SnapshotVersion, dr.SnapshotVersion)
 	}
@@ -219,5 +233,18 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	if st.Internal500s > 0 {
 		return fmt.Errorf("server answered %d request(s) with 500 during the smoke", st.Internal500s)
 	}
+	// The per-plan-kind counters must have accounted for every plan the
+	// smoke's successful queries reported — otherwise a stats-accounting
+	// regression passes smoke silently.
+	for plan, n := range planned {
+		if got := st.Plans[plan] - st0.Plans[plan]; got < n {
+			return fmt.Errorf("plan counter %q advanced by %d, want ≥ %d (the smoke's own queries)", plan, got, n)
+		}
+	}
+	if len(st.PlansByAdornment) == 0 {
+		return fmt.Errorf("stats report no per-adornment plan counts after %d smoke queries", len(planned))
+	}
+	fmt.Printf("lrload: plan counters verified for %d plan kind(s), %d adornment bucket(s)\n",
+		len(planned), len(st.PlansByAdornment))
 	return nil
 }

@@ -22,7 +22,7 @@ func main() {
 	// sg(X,Y): X and Y are of the same generation.
 	// The recursive rule is the product of the two TC forms:
 	//   up-step on X's side, down-step on Y's side.
-	b := parser.MustParseOp("sg(X,Y) :- up(X,U), sg(U,Y).")  // climb on the left
+	b := parser.MustParseOp("sg(X,Y) :- up(X,U), sg(U,Y).")   // climb on the left
 	c := parser.MustParseOp("sg(X,Y) :- sg(X,U), down(U,Y).") // descend on the right
 
 	rep, err := commute.Syntactic(b, c)

@@ -103,8 +103,8 @@ type System struct {
 	analyses map[string]*planner.Analysis
 
 	// seeds caches, for the current snapshot version, the materialized
-	// exit-rule seed per predicate (col == -1) and the magic set per
-	// (predicate, bound column, bound value) — the goal-binding dimension
+	// exit-rule seed per predicate (adorn == "") and the magic set per
+	// (predicate, adornment, bound tuple) — the goal-binding dimension
 	// the magic-seeded plans add.  Cached relations are immutable once
 	// built (plans clone or only read them; their lazy indexes build
 	// concurrency-safely), so one build serves every concurrent query on
@@ -126,12 +126,27 @@ type System struct {
 }
 
 // seedKey addresses one cached evaluation artifact of a snapshot: the
-// exit-rule seed of a predicate (col == -1), or the magic set of a bound
-// goal (col, val) on that predicate.
+// exit-rule seed of a predicate (adorn == ""), or the magic set of a
+// bound goal on that predicate, keyed by its adornment and bound tuple
+// (see magicAdornKey).
 type seedKey struct {
-	pred string
-	col  int
-	val  rel.Value
+	pred  string
+	adorn string
+}
+
+// magicAdornKey encodes a magic set's (adornment, bound tuple) pair as a
+// seedKey component: "col=val" pairs over the bound columns, ascending.
+// Values are interned rel.Values, so the encoding is exact and two
+// distinct bound tuples never collide.
+func magicAdornKey(cols []int, vals rel.Tuple) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d=%d", c, vals[i])
+	}
+	return b.String()
 }
 
 type seedFuture struct {
@@ -146,7 +161,7 @@ type seedFuture struct {
 }
 
 // magicCacheCap bounds the number of cached entries per snapshot.
-// Magic sets are keyed by the query's bound value, and a remote client
+// Magic sets are keyed by the query's bound tuple, and a remote client
 // can sweep arbitrarily many distinct constants on a snapshot that
 // never swaps — without a cap that sweep would grow the cache (and its
 // detached builds) without bound.  Queries past the cap still work;
@@ -169,10 +184,10 @@ func (s *System) cachedFuture(snap *Snapshot, key seedKey) *seedFuture {
 	}
 	f, ok := s.seeds[key]
 	if !ok {
-		// Exit-rule seeds (col == -1) are bounded by the program's
-		// predicate count and always cached; only the value-keyed magic
-		// dimension is capped.
-		if key.col >= 0 && len(s.seeds) >= magicCacheCap {
+		// Exit-rule seeds (adorn == "") are bounded by the program's
+		// predicate count and always cached; only the bound-tuple-keyed
+		// magic dimension is capped.
+		if key.adorn != "" && len(s.seeds) >= magicCacheCap {
 			return nil
 		}
 		f = &seedFuture{done: make(chan struct{})}
@@ -220,7 +235,7 @@ func (f *seedFuture) build(ctx context.Context, what string, fn func() (*rel.Rel
 // seedFor returns the evaluation seed for a on snap, cached per
 // (predicate, snapshot version).
 func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapshot) (*rel.Relation, error) {
-	f := s.cachedFuture(snap, seedKey{pred: a.Pred, col: -1})
+	f := s.cachedFuture(snap, seedKey{pred: a.Pred})
 	if f == nil {
 		return a.Seed(s.Engine, snap.DB)
 	}
@@ -232,27 +247,28 @@ func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapsho
 }
 
 // magicFor returns the magic set for a bound goal on snap — the
-// goal-binding dimension of the seed cache, keyed (predicate, bound
-// column, bound value, snapshot version) — along with the frontier
+// goal-binding dimension of the seed cache, keyed (predicate,
+// adornment, bound tuple, snapshot version) — along with the frontier
 // statistics recorded when the set was built, so every query over the
 // cached set reports the same statistics as the one that paid for it.
-func (s *System) magicFor(ctx context.Context, a *planner.Analysis, snap *Snapshot, spec eval.MagicSpec, val rel.Value) (*rel.Relation, eval.Stats, error) {
-	f := s.cachedFuture(snap, seedKey{pred: a.Pred, col: spec.Col, val: val})
+// vals carries the bound values in spec.Cols order.
+func (s *System) magicFor(ctx context.Context, a *planner.Analysis, snap *Snapshot, spec eval.MagicSpec, vals rel.Tuple) (*rel.Relation, eval.Stats, error) {
+	f := s.cachedFuture(snap, seedKey{pred: a.Pred, adorn: magicAdornKey(spec.Cols, vals)})
 	if f == nil {
 		// Uncached (superseded snapshot, or cache at capacity): compute
 		// inline under the request's own context, so the query's
 		// deadline and client disconnect still cancel the frontier.
 		var stats eval.Stats
-		set, err := s.Engine.MagicSetCtx(ctx, snap.DB, spec, val, &stats)
+		set, err := s.Engine.MagicSetCtx(ctx, snap.DB, spec, vals, &stats)
 		return set, stats, err
 	}
-	return f.build(ctx, fmt.Sprintf("magic set for %q[%d]", a.Pred, spec.Col), func() (*rel.Relation, eval.Stats, error) {
+	return f.build(ctx, fmt.Sprintf("magic set for %q[%s]", a.Pred, magicAdornKey(spec.Cols, vals)), func() (*rel.Relation, eval.Stats, error) {
 		// The cached build is detached from any single request on
 		// purpose: the set is bounded frontier work every later query
 		// with this binding reuses, so it runs under no request
 		// deadline (waiters still honor their own ctx).
 		var stats eval.Stats
-		set, err := s.Engine.MagicSetCtx(context.Background(), snap.DB, spec, val, &stats)
+		set, err := s.Engine.MagicSetCtx(context.Background(), snap.DB, spec, vals, &stats)
 		return set, stats, err
 	})
 }
@@ -731,11 +747,7 @@ func (s *System) PlanFor(q ast.Atom, opts Options) (*planner.Plan, error) {
 	if nArySeparableCandidate(a, sels) {
 		return &planner.Plan{Kind: planner.Separable, Why: "n-ary separable candidate (Section 4.1)"}, nil
 	}
-	var primary *separable.Selection
-	if len(sels) > 0 {
-		primary = &sels[0]
-	}
-	return a.ChooseOpts(primary, opts.planOpts()), nil
+	return a.ChooseMulti(sels, opts.planOpts()), nil
 }
 
 // Query answers one query atom over a recursive predicate.  Constant
@@ -855,11 +867,7 @@ func (s *System) intendedKind(a *planner.Analysis, sels []separable.Selection, o
 	if nArySeparableCandidate(a, sels) {
 		return planner.Separable
 	}
-	var primary *separable.Selection
-	if len(sels) > 0 {
-		primary = &sels[0]
-	}
-	return a.ChooseOpts(primary, opts.planOpts()).Kind
+	return a.ChooseMulti(sels, opts.planOpts()).Kind
 }
 
 // queryEval is the uncached evaluation path behind QueryOn: plan choice,
@@ -876,7 +884,10 @@ func (s *System) queryEval(ctx context.Context, snap *Snapshot, q ast.Atom, a *p
 	}()
 	// With two or more constants on commuting operators, try the n-ary
 	// separable decomposition of Section 4.1:
-	// σ0σ1…σn(ΣAᵢ)* = (σ1A1*)…(σnAn*)σ0.
+	// σ0σ1…σn(ΣAᵢ)* = (σ1A1*)…(σnAn*)σ0.  When no legal assignment
+	// exists, the query falls through to ChooseMulti, whose magic-seeded
+	// branch still attempts a bound-tuple frontier over the full
+	// adornment before conceding closure-then-filter.
 	if nArySeparableCandidate(a, sels) {
 		if res, ok, err := s.multiSeparable(ctx, snap, a, sels); err != nil {
 			return nil, err
@@ -886,17 +897,23 @@ func (s *System) queryEval(ctx context.Context, snap *Snapshot, q ast.Atom, a *p
 		}
 	}
 
-	var primary *separable.Selection
-	if len(sels) > 0 {
-		primary = &sels[0]
-	}
-	plan := a.ChooseOpts(primary, opts.planOpts())
+	plan := a.ChooseMulti(sels, opts.planOpts())
 
-	// Separable and magic-seeded plans consume the primary selection
-	// themselves; for every other kind it is applied as a post-filter.
-	var execSel *separable.Selection
-	if plan.Kind != planner.Separable && plan.Kind != planner.MagicSeeded {
-		execSel = primary
+	// Separable plans consume the primary selection, magic-seeded plans
+	// the bound subset in Plan.Magic.Sels; every selection a plan does
+	// not consume is applied as a post-filter.
+	consumed := map[int]bool{}
+	switch plan.Kind {
+	case planner.Separable:
+		if len(sels) > 0 {
+			consumed[sels[0].Col] = true
+		}
+	case planner.MagicSeeded:
+		if plan.Magic != nil {
+			for _, sel := range plan.Magic.Sels {
+				consumed[sel.Col] = true
+			}
+		}
 	}
 	seed, err := s.seedFor(ctx, a, snap)
 	if err != nil {
@@ -905,19 +922,21 @@ func (s *System) queryEval(ctx context.Context, snap *Snapshot, q ast.Atom, a *p
 	if plan.Kind == planner.MagicSeeded && plan.Magic != nil {
 		// Inject the cached magic set for this (goal binding, snapshot):
 		// repeated bound queries skip the frontier iteration entirely.
-		set, stats, err := s.magicFor(ctx, a, snap, plan.Magic.Spec, plan.Magic.Sel.Value)
+		set, stats, err := s.magicFor(ctx, a, snap, plan.Magic.Spec, plan.Magic.BoundTuple())
 		if err != nil {
 			return nil, err
 		}
 		plan.Magic.Set, plan.Magic.SetStats = set, stats
 	}
-	exec, err := a.ExecuteSeeded(ctx, s.Engine, snap.DB, plan, execSel, opts.planOpts(), seed)
+	exec, err := a.ExecuteSeeded(ctx, s.Engine, snap.DB, plan, nil, opts.planOpts(), seed)
 	if err != nil {
 		return nil, err
 	}
 	ans := exec.Answer
-	for _, sel := range sels[min(1, len(sels)):] {
-		ans = sel.Apply(ans)
+	for _, sel := range sels {
+		if !consumed[sel.Col] {
+			ans = sel.Apply(ans)
+		}
 	}
 	return &QueryResult{Query: q, Answer: ans, Stats: exec.Stats, Plan: plan, Version: snap.Version}, nil
 }

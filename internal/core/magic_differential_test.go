@@ -45,6 +45,8 @@ func genMagicProgram(rng *rand.Rand) string {
 		"p(X,Y) :- %s(Z,X), p(Z,W), %s(W,Y).", // same-generation: filter mode
 		"p(X,Y) :- p(X,Y), %s(X,X).",          // conditional identity
 		"p(X,Y) :- %s(Y,Z), p(Z,X).",          // init on column 0, no context on 1
+		"p(X,Y) :- p(Y,X), %s(X,Y).",          // cross-copy: bindable only with both columns bound
+		"p(X,Y) :- p(X,W), %s(X,Y).",          // column 1's antecedent W is unreachable: forces subset fallback
 	}
 	nops := 1 + rng.Intn(3)
 	edb := map[string]bool{}
@@ -152,5 +154,147 @@ func TestMagicSeededDifferential(t *testing.T) {
 	}
 	if nonEmpty < 50 {
 		t.Fatalf("only %d cases had non-empty answers; the harness is not exercising evaluation", nonEmpty)
+	}
+}
+
+// TestMagicMultiBoundDifferential extends the harness to adornments:
+// across generated programs, goals bind a random column subset —
+// including all-columns-bound point queries and columns no rule can
+// bind — and the automatic plan must return rows bit-for-bit equal to
+// the forced closure-then-filter baseline at one and at four workers.
+// The run is only accepted once enough multi-bound cases, full-adornment
+// plans and subset fallbacks (a bound column the analysis dropped to a
+// post-filter) have been compared.
+func TestMagicMultiBoundDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(314159))
+	const (
+		wantMultiBound = 150
+		wantFullAdorn  = 40
+		wantFallback   = 10
+	)
+	var multiBound, fullAdorn, fallback, otherPlans, nonEmpty int
+	ctx := context.Background()
+
+	for attempt := 0; attempt < 3000; attempt++ {
+		if multiBound >= wantMultiBound && fullAdorn >= wantFullAdorn && fallback >= wantFallback {
+			break
+		}
+		src := genMagicProgram(rng)
+		sys, err := Load(src)
+		if err != nil {
+			t.Fatalf("attempt %d: load:\n%s\n%v", attempt, src, err)
+		}
+		snap := sys.Snapshot()
+		goalSrc := fmt.Sprintf("p(c%d, c%d)", rng.Intn(8), rng.Intn(8))
+		if rng.Intn(4) == 0 { // keep some single-bound goals in the mix
+			goalSrc = fmt.Sprintf("p(c%d, Y)", rng.Intn(8))
+		}
+		goal := mustAtom(t, goalSrc)
+
+		base, err := sys.QueryOn(ctx, snap, goal, Options{Strategy: planner.ForceSemiNaive})
+		if err != nil {
+			t.Fatalf("attempt %d: baseline %s:\n%s\n%v", attempt, goalSrc, src, err)
+		}
+		auto, err := sys.QueryOn(ctx, snap, goal, Options{})
+		if err != nil {
+			t.Fatalf("attempt %d: auto %s:\n%s\n%v", attempt, goalSrc, src, err)
+		}
+		auto4, err := sys.QueryOn(ctx, snap, goal, Options{Workers: 4})
+		if err != nil {
+			t.Fatalf("attempt %d: auto/4 %s:\n%s\n%v", attempt, goalSrc, src, err)
+		}
+
+		wantRows := base.Rows(sys)
+		for which, got := range map[string]*QueryResult{"sequential": auto, "parallel": auto4} {
+			if !reflect.DeepEqual(got.Rows(sys), wantRows) {
+				t.Fatalf("attempt %d: %s %s answers diverge under plan %v (%s):\nprogram:\n%s\nwant %v\ngot  %v",
+					attempt, which, goalSrc, got.Plan.Kind, got.Plan.Why, src, wantRows, got.Rows(sys))
+			}
+		}
+		if len(wantRows) > 0 {
+			nonEmpty++
+		}
+		bound := 0
+		for _, a := range goal.Args {
+			if !a.IsVar() {
+				bound++
+			}
+		}
+		if bound >= 2 {
+			multiBound++
+		}
+		if auto.Plan.Kind == planner.MagicSeeded {
+			cols := len(auto.Plan.Magic.Spec.Cols)
+			if cols >= 2 {
+				fullAdorn++
+			}
+			if cols < bound {
+				fallback++
+			}
+		} else {
+			otherPlans++
+		}
+	}
+	t.Logf("multi-bound cases: %d (full adornment: %d, subset fallback: %d, other plans: %d, non-empty answers: %d)",
+		multiBound, fullAdorn, fallback, otherPlans, nonEmpty)
+	if multiBound < wantMultiBound {
+		t.Fatalf("only %d multi-bound cases compared, want ≥ %d", multiBound, wantMultiBound)
+	}
+	if fullAdorn < wantFullAdorn {
+		t.Fatalf("only %d full-adornment magic plans seen, want ≥ %d", fullAdorn, wantFullAdorn)
+	}
+	if fallback < wantFallback {
+		t.Fatalf("only %d subset-fallback plans seen, want ≥ %d", fallback, wantFallback)
+	}
+	if nonEmpty < 30 {
+		t.Fatalf("only %d cases had non-empty answers; the harness is not exercising evaluation", nonEmpty)
+	}
+}
+
+// TestMagicAfterFailedNArySeparableAssignment is the directed case for
+// the ROADMAP gap: a bound query on commuting operators that is an
+// n-ary separable candidate, whose assignment fails, used to surrender
+// to closure-then-filter — it must now run the multi-column magic
+// adornment, and agree with the forced baseline.
+func TestMagicAfterFailedNArySeparableAssignment(t *testing.T) {
+	// A and A² always commute, so the pair is an n-ary candidate for a
+	// doubly bound goal — but σ[0] commutes with neither operator (both
+	// step column 0), so no assignment slots it and the n-ary separable
+	// formula is off the table.
+	src := `p(X,Y) :- b(X,Y).
+p(X,Y) :- e(X,Z), p(Z,Y).
+p(X,Y) :- e(X,U), e(U,V), p(V,Y).
+b(a1,a2). b(a2,a3). b(a3,a4). b(a2,a2).
+e(a1,a2). e(a2,a3). e(a3,a1). e(a4,a2).
+`
+	sys, err := Load(src)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	a, err := sys.Analyze("p")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if len(a.Ops) != 2 || !a.AllCommute() {
+		t.Fatalf("premise drifted: %d ops, all-commute=%v — the pair no longer forms an n-ary candidate", len(a.Ops), a.AllCommute())
+	}
+	ctx := context.Background()
+	snap := sys.Snapshot()
+	for _, goalSrc := range []string{"p(a2, a3)", "p(a1, a4)", "p(a3, a2)"} {
+		goal := mustAtom(t, goalSrc)
+		auto, err := sys.QueryOn(ctx, snap, goal, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", goalSrc, err)
+		}
+		if auto.Plan.Kind != planner.MagicSeeded || len(auto.Plan.Magic.Spec.Cols) != 2 {
+			t.Fatalf("%s: plan = %v (%s), want a 2-column magic adornment", goalSrc, auto.Plan.Kind, auto.Plan.Why)
+		}
+		base, err := sys.QueryOn(ctx, snap, goal, Options{Strategy: planner.ForceSemiNaive})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", goalSrc, err)
+		}
+		if !reflect.DeepEqual(auto.Rows(sys), base.Rows(sys)) {
+			t.Fatalf("%s: magic answer %v diverges from baseline %v", goalSrc, auto.Rows(sys), base.Rows(sys))
+		}
 	}
 }

@@ -36,7 +36,11 @@ const DefaultResultCacheRows = 4 << 20
 // resultKey addresses one cached query result.  Kind, strategy and
 // workers are all part of the key: every plan returns the same rows, but
 // Stats and the Plan's Why string differ across them, and a hit must be
-// bit-for-bit identical to the query that built the entry.
+// bit-for-bit identical to the query that built the entry.  The goal
+// string renders constants in place and variables canonically, so it is
+// exactly the (predicate, adornment, bound tuple) triple — two goals
+// with different binding patterns or different bound values can never
+// share an entry.
 type resultKey struct {
 	goal     string // normalized goal atom (canonical variable names)
 	kind     planner.Kind

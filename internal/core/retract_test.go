@@ -85,7 +85,7 @@ func TestRemoveFactsValidation(t *testing.T) {
 		t.Fatalf("arity-mismatched retraction accepted")
 	}
 	snap, removed, err := sys.RemoveFacts([]ast.Atom{
-		ast.NewAtom("edge", ast.C("c7"), ast.C("c9")),       // known constants, absent tuple
+		ast.NewAtom("edge", ast.C("c7"), ast.C("c9")),        // known constants, absent tuple
 		ast.NewAtom("edge", ast.C("ghost"), ast.C("wraith")), // unknown constants
 		ast.NewAtom("nosuchpred", ast.C("c0"), ast.C("c1")),  // unknown predicate
 	})

@@ -1,24 +1,25 @@
 // Magic-seeded evaluation: the data-level machinery behind the planner's
-// MagicSeeded plan kind.  A bound selection query σ[c]=v over a linear
-// recursive predicate does not need the predicate's full closure — only
-// the tuples reachable from the bound constant matter.  The planner
-// compiles, per recursive rule, a context-transformer rule (the
-// generalization of Algorithm 4.1's "operator loop" to whole programs)
-// into a MagicSpec; this file evaluates it:
+// MagicSeeded plan kind.  A bound selection query σ[c₁]=v₁ … σ[cₖ]=vₖ over
+// a linear recursive predicate does not need the predicate's full closure
+// — only the tuples reachable from the bound constants matter.  The
+// planner compiles, per recursive rule, a context-transformer rule over
+// the whole adornment (the generalization of Algorithm 4.1's "operator
+// loop" from one bound column to the full bound-column set) into a
+// MagicSpec; this file evaluates it:
 //
 //   - MagicSetCtx iterates the transformer rules as a frontier
-//     (semi-naive over 1-tuples) from the seed constant, producing the
-//     magic set — every binding of the selected column reachable in some
-//     derivation chain ending at the query's constant.
+//     (semi-naive over len(Cols)-tuples) from the seed bound-tuple,
+//     producing the magic set — every binding of the selected columns
+//     reachable in some derivation chain ending at the query's constants.
 //   - MagicCollect turns a magic set directly into the answer when every
 //     rule passes the unselected columns through unchanged (the planner's
 //     context mode): answers are exit-rule tuples looked up per magic
-//     value with the bound column rewritten — output-proportional work.
+//     tuple with the bound columns rewritten — output-proportional work.
 //   - SemiNaiveRestrictedCtx is the fallback (the planner's filter mode):
 //     an ordinary semi-naive closure, sequential or sharded across the
-//     worker pool, that discards every derived tuple whose bound column
-//     lies outside the magic set, so the fixpoint only ever grows the
-//     reachable region instead of the whole predicate.
+//     worker pool, that discards every derived tuple whose bound-column
+//     projection lies outside the magic set, so the fixpoint only ever
+//     grows the reachable region instead of the whole predicate.
 
 package eval
 
@@ -35,50 +36,60 @@ import (
 const MagicSeedPred = "$magicseed"
 
 // MagicSetPred is the pseudo-predicate heading every MagicSpec rule: the
-// unary relation of reachable bound-column values.
+// len(Cols)-ary relation of reachable bound-tuple values.
 const MagicSetPred = "$magic"
 
-// MagicSpec is a compiled magic/adorned program for one bound column of
-// one recursive predicate: the rules whose fixpoint from the query's
-// constant is the magic set.  Specs are built by the planner's
-// bindability analysis (planner.Analysis.MagicPlan) and are immutable
-// once built, so one spec may serve any number of concurrent
+// MagicSpec is a compiled magic/adorned program for one adornment (set of
+// bound columns) of one recursive predicate: the rules whose fixpoint
+// from the query's bound tuple is the magic set.  Specs are built by the
+// planner's bindability analysis (planner.Analysis.MagicAnalysis) and are
+// immutable once built, so one spec may serve any number of concurrent
 // evaluations.
 type MagicSpec struct {
-	// Col is the bound answer column driving the evaluation.
-	Col int
-	// Step rules derive next-generation magic values from the current
-	// frontier: MagicSetPred(out) :- MagicSeedPred(in), nonrec atoms.
-	// One per recursive rule whose bound-column context depends on the
-	// frontier.
+	// Cols are the bound answer columns driving the evaluation, in
+	// ascending order.  Frontier tuples carry one value per entry, in the
+	// same order.
+	Cols []int
+	// Step rules derive next-generation magic tuples from the current
+	// frontier: MagicSetPred(outs…) :- MagicSeedPred(ins…), nonrec atoms.
+	// One per recursive rule whose bound-tuple context depends on the
+	// frontier — through a column the rule copies from the seed (identity
+	// or cross-column copy) or through a seed variable occurring in its
+	// nonrecursive atoms.
 	Step []ast.Rule
-	// Init rules derive frontier-independent magic values —
-	// MagicSetPred(out) :- nonrec atoms — contributed by rules whose
-	// bound head variable does not reach their nonrecursive atoms.  They
-	// are evaluated once, before the frontier loop.
+	// Init rules derive frontier-independent magic tuples —
+	// MagicSetPred(outs…) :- nonrec atoms — contributed by rules none of
+	// whose bound head variables reach their nonrecursive atoms or their
+	// recursive atom's bound columns.  They are evaluated once, before
+	// the frontier loop.
 	Init []ast.Rule
-	// Identity counts the rules that pass the bound column through
+	// Identity counts the rules that pass every bound column through
 	// unchanged; they contribute nothing to the frontier but are recorded
 	// so Plan.Why can explain the spec.
 	Identity int
 }
 
-// MagicSetCtx computes the magic set: the least 1-column relation
-// containing seed that is closed under the spec's step rules (with the
-// init rules' contributions folded in up front).  The frontier loop is
-// semi-naive — each generation joins only the previous generation's new
-// values — and polls ctx once per generation.  Stats records one
-// Iteration per generation; derivation accounting belongs to the
-// consumer (MagicCollect or the restricted closure).
-func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, seed rel.Value, stats *Stats) (*rel.Relation, error) {
+// Arity returns the number of bound columns (the frontier tuple width).
+func (s MagicSpec) Arity() int { return len(s.Cols) }
+
+// MagicSetCtx computes the magic set: the least len(spec.Cols)-ary
+// relation containing seed that is closed under the spec's step rules
+// (with the init rules' contributions folded in up front).  seed carries
+// the query's bound values in spec.Cols order and is copied, never
+// retained.  The frontier loop is semi-naive — each generation joins
+// only the previous generation's new tuples — and polls ctx once per
+// generation.  Stats records one Iteration per generation; derivation
+// accounting belongs to the consumer (MagicCollect or the restricted
+// closure).
+func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, seed rel.Tuple, stats *Stats) (*rel.Relation, error) {
 	if ctx == nil {
 		// Tolerate nil like watchContext does for the closure loops.
 		ctx = context.Background()
 	}
-	set := rel.NewRelation(1)
-	frontier := rel.NewRelation(1)
-	set.Insert(rel.Tuple{seed})
-	frontier.Insert(rel.Tuple{seed})
+	set := rel.NewRelation(spec.Arity())
+	frontier := rel.NewRelation(spec.Arity())
+	set.Insert(seed)
+	frontier.Insert(seed)
 
 	for _, r := range spec.Init {
 		t, err := e.EvalRule(db, r)
@@ -107,7 +118,7 @@ func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, see
 		}
 		stats.Iterations++
 		scratch[MagicSeedPred] = frontier
-		next := rel.NewRelation(1)
+		next := rel.NewRelation(spec.Arity())
 		for _, r := range spec.Step {
 			out, err := e.EvalRule(scratch, r)
 			if err != nil {
@@ -125,18 +136,26 @@ func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, see
 }
 
 // MagicCollect materializes the answer of a context-mode magic plan: for
-// every magic value m, the seed tuples with column col equal to m are
-// answers once their bound column is rewritten to the query's constant
-// (each rule passed every other column through unchanged, so the rest of
-// the tuple survives the derivation chain verbatim).  Work and output
-// are proportional to the answer, never to the closure.  Stats counts
-// one derivation per collected tuple, duplicates included.
-func MagicCollect(q *rel.Relation, col int, val rel.Value, set *rel.Relation, stats *Stats) *rel.Relation {
+// every magic tuple m, the seed tuples whose projection onto cols equals
+// m are answers once their bound columns are rewritten to the query's
+// constants vals (each rule passed every other column through unchanged,
+// so the rest of the tuple survives the derivation chain verbatim).
+// Work and output are proportional to the answer, never to the closure.
+// Stats counts one derivation per collected tuple, duplicates included.
+func MagicCollect(q *rel.Relation, cols []int, vals rel.Tuple, set *rel.Relation, stats *Stats) *rel.Relation {
 	out := rel.NewRelation(q.Arity())
 	set.Each(func(m rel.Tuple) {
-		for _, t := range q.Lookup(col, m[0]) {
+	candidates:
+		for _, t := range q.Lookup(cols[0], m[0]) {
+			for i := 1; i < len(cols); i++ {
+				if t[cols[i]] != m[i] {
+					continue candidates
+				}
+			}
 			nt := t.Clone()
-			nt[col] = val
+			for i, c := range cols {
+				nt[c] = vals[i]
+			}
 			stats.Derivations++
 			if !out.Insert(nt) {
 				stats.Duplicates++
@@ -146,31 +165,54 @@ func MagicCollect(q *rel.Relation, col int, val rel.Value, set *rel.Relation, st
 	return out
 }
 
-// SemiNaiveRestrictedCtx computes the part of (Σᵢ opsᵢ)* q whose column
-// col lies in allowed: a semi-naive closure that discards every derived
-// tuple outside the magic set, so reachable tuples are derived exactly
-// as the unrestricted closure would while the rest of the predicate is
-// never materialized.  q must already be restricted (see
-// rel.Relation.SelectIn); allowed is read concurrently and must not be
-// mutated during the call.  Cancellation behaves as SemiNaiveCtx.
-func (e *Engine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, col int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
+// SemiNaiveRestrictedCtx computes the part of (Σᵢ opsᵢ)* q whose
+// projection onto cols lies in allowed: a semi-naive closure that
+// discards every derived tuple outside the magic set, so reachable
+// tuples are derived exactly as the unrestricted closure would while the
+// rest of the predicate is never materialized.  q must already be
+// restricted (see rel.Relation.SelectInCols); allowed is read
+// concurrently and must not be mutated during the call.  Cancellation
+// behaves as SemiNaiveCtx.
+func (e *Engine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, cols []int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := e.semiNaive(db, ops, q, stop, magicKeep(col, allowed))
+	total, stats, ok := e.semiNaive(db, ops, q, stop, magicKeep(cols, allowed))
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}
 	return total, stats, nil
 }
 
-// magicKeep is the magic-set membership filter threaded through the
-// semi-naive drivers; the reslice probe allocates nothing, and
-// Relation.Has takes no locks, so the same closure is safe inside
-// concurrent workers.
-func magicKeep(col int, allowed *rel.Relation) func(rel.Tuple) bool {
-	return func(t rel.Tuple) bool {
-		return allowed.Has(t[col : col+1 : col+1])
+// magicKeep builds one magic-set membership filter.  The single-column
+// probe reslices the candidate tuple; the multi-column probe gathers the
+// bound-column projection into a buffer owned by the returned closure —
+// both paths allocate nothing per probe, so the filter stays off the
+// derivation hot path's allocation profile.  Because of that private
+// buffer a filter instance must not be shared across goroutines: the
+// sharded closure hands each worker its own via magicKeepEach.
+// Relation.Has takes no locks either way.
+func magicKeep(cols []int, allowed *rel.Relation) func(rel.Tuple) bool {
+	if len(cols) == 1 {
+		col := cols[0]
+		return func(t rel.Tuple) bool {
+			return allowed.Has(t[col : col+1 : col+1])
+		}
 	}
+	cols = append([]int(nil), cols...)
+	key := make(rel.Tuple, len(cols))
+	return func(t rel.Tuple) bool {
+		for i, c := range cols {
+			key[i] = t[c]
+		}
+		return allowed.Has(key)
+	}
+}
+
+// magicKeepEach is the per-worker form: the sharded drivers call it once
+// per worker goroutine, so every shard filters through its own gather
+// buffer.
+func magicKeepEach(cols []int, allowed *rel.Relation) func() func(rel.Tuple) bool {
+	return func() func(rel.Tuple) bool { return magicKeep(cols, allowed) }
 }
 
 // SemiNaiveRestrictedCtx is the sharded form of the restricted closure:
@@ -179,10 +221,10 @@ func magicKeep(col int, allowed *rel.Relation) func(rel.Tuple) bool {
 // region are dropped before they ever reach a round buffer.  Results and
 // statistics equal the sequential Engine.SemiNaiveRestrictedCtx on the
 // same inputs; with Workers ≤ 1 it delegates to it.
-func (p *ParallelEngine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, col int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
+func (p *ParallelEngine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, cols []int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := p.semiNaive(db, ops, q, stop, magicKeep(col, allowed))
+	total, stats, ok := p.semiNaive(db, ops, q, stop, magicKeepEach(cols, allowed))
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}

@@ -17,11 +17,27 @@ import (
 // column 0: the frontier steps across e.
 func leftChainSpec() MagicSpec {
 	return MagicSpec{
-		Col: 0,
+		Cols: []int{0},
 		Step: []ast.Rule{{
 			Head: ast.NewAtom(MagicSetPred, ast.V("Z")),
 			Body: []ast.Atom{
 				ast.NewAtom(MagicSeedPred, ast.V("X")),
+				ast.NewAtom("e", ast.V("X"), ast.V("Z")),
+			},
+		}},
+	}
+}
+
+// leftChainPairSpec is the same rule bound on both columns (the
+// adornment "bb"): frontier tuples step across e on column 0 and carry
+// column 1 through as an identity.
+func leftChainPairSpec() MagicSpec {
+	return MagicSpec{
+		Cols: []int{0, 1},
+		Step: []ast.Rule{{
+			Head: ast.NewAtom(MagicSetPred, ast.V("Z"), ast.V("Y")),
+			Body: []ast.Atom{
+				ast.NewAtom(MagicSeedPred, ast.V("X"), ast.V("Y")),
 				ast.NewAtom("e", ast.V("X"), ast.V("Z")),
 			},
 		}},
@@ -34,7 +50,7 @@ func TestMagicSetReachability(t *testing.T) {
 	e := NewEngine(nil)
 	db, _ := cycleDB(e, 50)
 	var stats Stats
-	set, err := e.MagicSetCtx(context.Background(), db, leftChainSpec(), e.Syms.Intern("v0"), &stats)
+	set, err := e.MagicSetCtx(context.Background(), db, leftChainSpec(), rel.Tuple{e.Syms.Intern("v0")}, &stats)
 	if err != nil {
 		t.Fatalf("MagicSetCtx: %v", err)
 	}
@@ -46,6 +62,29 @@ func TestMagicSetReachability(t *testing.T) {
 	}
 }
 
+// TestMagicSetTupleFrontier: with both columns bound the frontier
+// carries pairs — the identity column rides along unchanged while the
+// step column walks the cycle, so the set holds one pair per vertex.
+func TestMagicSetTupleFrontier(t *testing.T) {
+	e := NewEngine(nil)
+	db, _ := cycleDB(e, 30)
+	goal := e.Syms.Intern("v7")
+	var stats Stats
+	set, err := e.MagicSetCtx(context.Background(), db, leftChainPairSpec(),
+		rel.Tuple{e.Syms.Intern("v0"), goal}, &stats)
+	if err != nil {
+		t.Fatalf("MagicSetCtx: %v", err)
+	}
+	if set.Arity() != 2 || set.Len() != 30 {
+		t.Fatalf("magic set = %d tuples at arity %d, want 30 pairs", set.Len(), set.Arity())
+	}
+	set.Each(func(m rel.Tuple) {
+		if m[1] != goal {
+			t.Fatalf("identity column drifted: %v", m)
+		}
+	})
+}
+
 // TestMagicSetInitRules: init rules contribute once, before the frontier.
 func TestMagicSetInitRules(t *testing.T) {
 	e := NewEngine(nil)
@@ -54,14 +93,14 @@ func TestMagicSetInitRules(t *testing.T) {
 	g.Insert(rel.Tuple{e.Syms.Intern("x")})
 	g.Insert(rel.Tuple{e.Syms.Intern("y")})
 	spec := MagicSpec{
-		Col: 0,
+		Cols: []int{0},
 		Init: []ast.Rule{{
 			Head: ast.NewAtom(MagicSetPred, ast.V("V")),
 			Body: []ast.Atom{ast.NewAtom("g", ast.V("V"))},
 		}},
 	}
 	var stats Stats
-	set, err := e.MagicSetCtx(context.Background(), db, spec, e.Syms.Intern("seed"), &stats)
+	set, err := e.MagicSetCtx(context.Background(), db, spec, rel.Tuple{e.Syms.Intern("seed")}, &stats)
 	if err != nil {
 		t.Fatalf("MagicSetCtx: %v", err)
 	}
@@ -82,12 +121,40 @@ func TestMagicCollect(t *testing.T) {
 	set.Insert(rel.Tuple{a})
 	set.Insert(rel.Tuple{b})
 	var stats Stats
-	out := MagicCollect(q, 0, v, set, &stats)
+	out := MagicCollect(q, []int{0}, rel.Tuple{v}, set, &stats)
 	if out.Len() != 1 || !out.Has(rel.Tuple{v, c}) {
 		t.Fatalf("collected %d tuples (%v), want exactly {(v,c)}", out.Len(), out.Tuples())
 	}
 	if stats.Derivations != 2 || stats.Duplicates != 1 {
 		t.Fatalf("stats = %v, want 2 derivations, 1 duplicate", stats)
+	}
+}
+
+// TestMagicCollectMultiColumn: with a two-column adornment only tuples
+// matching the magic pair on both columns are collected, and both bound
+// columns are rewritten to the query's constants.
+func TestMagicCollectMultiColumn(t *testing.T) {
+	e := NewEngine(nil)
+	q := rel.NewRelation(3)
+	in := func(names ...string) rel.Tuple {
+		t := make(rel.Tuple, len(names))
+		for i, n := range names {
+			t[i] = e.Syms.Intern(n)
+		}
+		return t
+	}
+	q.Insert(in("a", "m", "c"))  // matches magic pair (a, c)
+	q.Insert(in("a", "m2", "d")) // column 2 misses the pair → not collected
+	q.Insert(in("b", "m", "c"))  // column 0 outside the magic set → not collected
+	set := rel.NewRelation(2)
+	set.Insert(in("a", "c"))
+	var stats Stats
+	out := MagicCollect(q, []int{0, 2}, in("qa", "qc"), set, &stats)
+	if out.Len() != 1 || !out.Has(in("qa", "m", "qc")) {
+		t.Fatalf("collected %v, want exactly {(qa,m,qc)}", out.Tuples())
+	}
+	if stats.Derivations != 1 || stats.Duplicates != 0 {
+		t.Fatalf("stats = %v, want 1 derivation, 0 duplicates", stats)
 	}
 }
 
@@ -112,7 +179,7 @@ func TestSemiNaiveRestrictedMatchesFilteredClosure(t *testing.T) {
 	q := r.Clone()
 
 	var setStats Stats
-	set, err := e.MagicSetCtx(context.Background(), db, leftChainSpec(), e.Syms.Intern("v0"), &setStats)
+	set, err := e.MagicSetCtx(context.Background(), db, leftChainSpec(), rel.Tuple{e.Syms.Intern("v0")}, &setStats)
 	if err != nil {
 		t.Fatalf("MagicSetCtx: %v", err)
 	}
@@ -123,7 +190,7 @@ func TestSemiNaiveRestrictedMatchesFilteredClosure(t *testing.T) {
 	var seqStats Stats
 	for i, workers := range []int{1, 4} {
 		pe := Parallel(e, workers)
-		got, stats, err := pe.SemiNaiveRestrictedCtx(context.Background(), db, []*ast.Op{op}, restrictedSeed, 0, set)
+		got, stats, err := pe.SemiNaiveRestrictedCtx(context.Background(), db, []*ast.Op{op}, restrictedSeed, []int{0}, set)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -150,14 +217,14 @@ func TestMagicSetCtxCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var stats Stats
-	if _, err := e.MagicSetCtx(ctx, db, leftChainSpec(), e.Syms.Intern("v0"), &stats); !errors.Is(err, context.Canceled) {
+	if _, err := e.MagicSetCtx(ctx, db, leftChainSpec(), rel.Tuple{e.Syms.Intern("v0")}, &stats); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want Canceled", err)
 	}
 
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel2()
 	start := time.Now()
-	_, err := e.MagicSetCtx(ctx2, db, leftChainSpec(), e.Syms.Intern("v0"), &stats)
+	_, err := e.MagicSetCtx(ctx2, db, leftChainSpec(), rel.Tuple{e.Syms.Intern("v0")}, &stats)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
@@ -185,7 +252,7 @@ func TestSemiNaiveRestrictedCancelPrompt(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
 			defer cancel()
 			start := time.Now()
-			_, _, err := Parallel(e, workers).SemiNaiveRestrictedCtx(ctx, db, []*ast.Op{op}, q, 0, all)
+			_, _, err := Parallel(e, workers).SemiNaiveRestrictedCtx(ctx, db, []*ast.Op{op}, q, []int{0}, all)
 			if !errors.Is(err, context.DeadlineExceeded) {
 				t.Fatalf("err = %v, want DeadlineExceeded", err)
 			}

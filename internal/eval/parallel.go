@@ -99,9 +99,10 @@ func prebuildIndexes(db rel.DB, cs []*compiled) {
 // derived tuples laid out back to back, arity values each.  Flat buffers
 // keep the round's output pointer-free, so the garbage collector never
 // scans the (potentially millions of) in-flight derivations.  A non-nil
-// keep filter drops emissions inside the worker, before they are
-// buffered (the restricted closure's magic-set test); it must be safe
-// for concurrent read-only use.  A non-nil stop flag makes every worker
+// newKeep factory builds one filter per worker, dropping emissions
+// inside the worker before they are buffered (the restricted closure's
+// magic-set test) — per-worker instances let a filter keep mutable
+// probe state without cross-shard races.  A non-nil stop flag makes every worker
 // abandon its shard within cancelCheckRows rows of the flag being set;
 // the waitgroup barrier still joins every worker, so cancellation never
 // leaks goroutines.  A worker panic (e.g. the join arity guard) is
@@ -109,7 +110,7 @@ func prebuildIndexes(db rel.DB, cs []*compiled) {
 // panic escaping a bare worker goroutine would kill the process, while
 // the caller's stack has recovery (core.QueryOn turns it into an error)
 // — with all workers joined first.
-func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int, stop *atomic.Bool, keep func(rel.Tuple) bool) [][]rel.Value {
+func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation, lo, hi, arity int, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool) [][]rel.Value {
 	bounds := shardBounds(hi-lo, p.Workers)
 	bufs := make([][]rel.Value, len(bounds)-1)
 	var panicked atomic.Pointer[any]
@@ -136,6 +137,10 @@ func (p *ParallelEngine) applyRound(db rel.DB, cs []*compiled, src *rel.Relation
 				}
 			}()
 			buf := make([]rel.Value, 0, (shi-slo)*arity)
+			var keep func(rel.Tuple) bool
+			if newKeep != nil {
+				keep = newKeep()
+			}
 			emit := func(t rel.Tuple) {
 				if keep != nil && !keep(t) {
 					return
@@ -199,13 +204,17 @@ func (p *ParallelEngine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast
 	return total, stats, nil
 }
 
-// semiNaive is the one sharded fixpoint driver; the optional keep filter
-// runs inside each worker (see applyRound), so the restricted closure of
-// the magic-seeded plans shares this loop too.
-func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, keep func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
+// semiNaive is the one sharded fixpoint driver; the optional newKeep
+// factory builds one filter per worker (see applyRound), so the
+// restricted closure of the magic-seeded plans shares this loop too.
+func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
 	// Nullary relations carry no per-tuple payload for the flat round
 	// buffers; the (degenerate) case runs sequentially.
 	if p.Workers <= 1 || q.Arity() == 0 {
+		var keep func(rel.Tuple) bool
+		if newKeep != nil {
+			keep = newKeep()
+		}
 		return p.Engine.semiNaive(db, ops, q, stop, keep)
 	}
 	cs := make([]*compiled, len(ops))
@@ -222,7 +231,7 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 			return total, stats, false
 		}
 		stats.Iterations++
-		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity(), stop, keep)
+		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity(), stop, newKeep)
 		// A cancelled round leaves partial worker buffers; discard them
 		// rather than merging a torn delta.
 		if stop != nil && stop.Load() {

@@ -50,6 +50,7 @@ func All() []Experiment {
 		{"R19", "Certification power: Theorem 5.1 vs the weaker [19]-style baseline", R19},
 		{"PTC", "Substrate rework: seed string-keyed engine vs packed-key parallel closure", PTCTable},
 		{"MAGIC", "Magic-seeded evaluation: bound query vs closure-then-filter", MagicTable},
+		{"MULTI", "Multi-column magic adornments: multi-bound queries vs closure- and first-column-then-filter", MagicMultiTable},
 		{"CACHE", "Goal-level result cache: cold evaluation vs cached hit, with retraction invalidation", CacheTable},
 	}
 }

@@ -31,14 +31,16 @@ type GateReport struct {
 // GateFloors are the minimum acceptable speedups per lane; zero disables
 // a lane's check (its measurement still runs and is reported).
 type GateFloors struct {
-	Parallel float64 // seed substrate vs 8-worker closure
-	Magic    float64 // closure-then-filter vs magic-seeded bound query
-	Cache    float64 // cold evaluation vs result-cache hit
+	Parallel   float64 // seed substrate vs 8-worker closure
+	Magic      float64 // closure-then-filter vs magic-seeded bound query
+	MagicMulti float64 // closure-then-filter vs the multi-column adornment on multi-bound queries
+	Cache      float64 // cold evaluation vs result-cache hit
 }
 
 // DefaultGateFloors are deliberately conservative: the committed lanes
-// record ≈ 5x parallel, ≥ 2500x magic and ≫ 50x cache at full size.
-var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, Cache: 50}
+// record ≈ 5x parallel, ≥ 2500x magic, ≫ 1000x multi-bound magic and
+// ≫ 50x cache at full size.
+var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50}
 
 // gateMagicNodes sizes the magic lane's gate run.  The bound query's
 // advantage scales with graph size (output-proportional vs closure-
@@ -80,6 +82,10 @@ func RunGate(floors GateFloors, w io.Writer) GateReport {
 	magic, err := magicBench(gateMagicNodes, MagicBenchSource)
 	add("magic", magic.Speedup, floors.Magic,
 		fmt.Sprintf("bound query vs closure-then-filter, %d edges", gateMagicNodes-1), err)
+
+	multi, err := magicMultiBench(MagicTableNodes, MagicBenchSource)
+	add("magic-multi", multi.Speedup, floors.MagicMulti,
+		fmt.Sprintf("multi-bound adornment vs closure-then-filter, %d edges", MagicTableNodes-1), err)
 
 	cache, err := CacheBench(MagicTableNodes, MagicBenchSource)
 	detail := fmt.Sprintf("cold vs cached hit, %d edges", MagicTableNodes-1)

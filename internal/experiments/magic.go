@@ -95,6 +95,10 @@ func magicBenchRun(form, src string, wantMode planner.MagicMode, nodes, source i
 	}
 	res.BaselineNS = time.Since(start)
 
+	// Settle the baseline closure's GC debt outside the timed window —
+	// on small machines the microsecond-scale magic run otherwise
+	// absorbs a multi-millisecond collection pause.
+	runtime.GC()
 	start = time.Now()
 	magic, err := sys.QueryOn(ctx, snap, goal, sys.Opts)
 	if err != nil {

@@ -19,15 +19,15 @@ import (
 type tokenKind int
 
 const (
-	tokEOF tokenKind = iota
-	tokIdent          // lower-case identifier or integer: predicate/constant
-	tokVar            // upper-case identifier: variable
-	tokLParen         // (
-	tokRParen         // )
-	tokComma          // ,
-	tokPeriod         // .
-	tokImplies        // :-
-	tokQuery          // ?-
+	tokEOF     tokenKind = iota
+	tokIdent             // lower-case identifier or integer: predicate/constant
+	tokVar               // upper-case identifier: variable
+	tokLParen            // (
+	tokRParen            // )
+	tokComma             // ,
+	tokPeriod            // .
+	tokImplies           // :-
+	tokQuery             // ?-
 )
 
 func (k tokenKind) String() string {

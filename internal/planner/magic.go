@@ -1,21 +1,29 @@
 // Magic-seeded plans: the bindability analysis that decides when a bound
-// selection query can be answered from the query's constant outward
+// selection query can be answered from the query's constants outward
 // instead of by closing the whole predicate and filtering.
 //
 // Theorem 4.1 covers the two-rule case in which the selection commutes
 // with one operator; every other bound query used to fall through to the
 // full closure.  The analysis here closes that gap for the common shape
-// where each rule either passes the bound column through unchanged or
-// transports it across its nonrecursive atoms: the per-rule "context
-// transformer" of Algorithm 4.1's operator loop, generalized from a
-// single operator to the whole rule set and compiled into an
-// eval.MagicSpec the engine iterates as a frontier.
+// where each rule either passes the bound columns through (possibly
+// permuted among themselves) or transports them across its nonrecursive
+// atoms: the per-rule "context transformer" of Algorithm 4.1's operator
+// loop, generalized from a single operator and a single bound column to
+// the whole rule set and the full adornment, and compiled into an
+// eval.MagicSpec the engine iterates as a frontier of bound tuples.
+// When the full adornment is not bindable, the analysis falls back to
+// the largest bindable column subset (the single-column analysis of the
+// original plan kind is the 1-element special case); the columns it
+// leaves out are applied as post-filters.
 
 package planner
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
 
 	"linrec/internal/ast"
 	"linrec/internal/eval"
@@ -30,13 +38,13 @@ type MagicMode int
 const (
 	// MagicContext: every rule passes the unselected columns through
 	// unchanged (free 1-persistent on the a-graph), so answers are
-	// exit-rule tuples collected per magic value with the bound column
+	// exit-rule tuples collected per magic tuple with the bound columns
 	// rewritten — work proportional to the answer, never the closure.
 	MagicContext MagicMode = iota
 	// MagicFilter: rules transform other columns too, so a semi-naive
-	// closure still runs — but restricted to tuples whose bound column
-	// lies in the magic set, sharded across the worker pool like any
-	// other closure.
+	// closure still runs — but restricted to tuples whose bound-column
+	// projection lies in the magic set, sharded across the worker pool
+	// like any other closure.
 	MagicFilter
 )
 
@@ -49,16 +57,19 @@ func (m MagicMode) String() string {
 }
 
 // MagicPlan is the magic-seeded payload of a Plan: the compiled frontier
-// spec, the driving selection, and (optionally) a pre-computed magic set
+// spec, the driving selections, and (optionally) a pre-computed magic set
 // supplied by a caller-side cache.
 type MagicPlan struct {
 	// Mode picks context collection or the restricted closure.
 	Mode MagicMode
-	// Sel is the bound-column selection the plan consumes.
-	Sel separable.Selection
+	// Sels are the bound-column selections the plan consumes, ascending
+	// by column and parallel to Spec.Cols.  Selections of the query not
+	// listed here were rejected by the bindability analysis and must be
+	// applied by the caller as post-filters.
+	Sels []separable.Selection
 	// Spec is the compiled frontier program (see eval.MagicSpec).
 	Spec eval.MagicSpec
-	// Set, when non-nil, is a pre-computed magic set for Sel.Value —
+	// Set, when non-nil, is a pre-computed magic set for the bound tuple —
 	// core's per-snapshot cache injects it so repeated bound queries
 	// skip the frontier iteration.  SetStats are the frontier statistics
 	// recorded when the set was built; execution folds them in so cached
@@ -67,59 +78,30 @@ type MagicPlan struct {
 	SetStats eval.Stats
 }
 
-// magicShape classifies one operator's treatment of the bound column.
-type magicShape int
-
-const (
-	// magicNone: the bound column's antecedent variable is reachable
-	// neither from the consequent's nor from the nonrecursive atoms — no
-	// finite context transformer exists and the rule set is not
-	// magic-seedable on this column.
-	magicNone magicShape = iota
-	// magicIdentity: the column is 1-persistent (h(x) = x): derivations
-	// pass the bound value through unchanged, so the rule contributes
-	// nothing to the frontier.
-	magicIdentity
-	// magicStep: the antecedent's column variable is bound by the
-	// nonrecursive atoms and the consequent's column variable occurs in
-	// them too — the rule becomes a frontier step rule.
-	magicStep
-	// magicInit: the antecedent's column variable is bound by the
-	// nonrecursive atoms but the consequent's is not — the rule's
-	// context contribution is frontier-independent and is evaluated
-	// once.
-	magicInit
-)
-
-// magicShapeOf classifies op for bound column col, returning the head
-// (in) and recursive-atom (out) variables at that column.
-func magicShapeOf(op *ast.Op, col int) (shape magicShape, in, out string) {
-	in = op.Head.Args[col].Name
-	out = op.Rec.Args[col].Name
-	if out == in {
-		return magicIdentity, in, out
+// BoundTuple returns the plan's bound values in Spec.Cols order — the
+// seed of the magic frontier.
+func (m *MagicPlan) BoundTuple() rel.Tuple {
+	vals := make(rel.Tuple, len(m.Sels))
+	for i, s := range m.Sels {
+		vals[i] = s.Value
 	}
-	nonrec := ast.AtomsVars(op.NonRec...)
-	switch {
-	case !nonrec.Has(out):
-		return magicNone, in, out
-	case nonrec.Has(in):
-		return magicStep, in, out
-	default:
-		return magicInit, in, out
-	}
+	return vals
 }
 
-// passesThroughOthers reports whether op leaves every head column other
-// than col untouched and unconstrained: the column's variable is free
+// passesThroughOthers reports whether op leaves every head column outside
+// cols untouched and unconstrained: the column's variable is free
 // 1-persistent — h(x) = x with no occurrence in the nonrecursive atoms —
 // so any derivation copies it verbatim from the recursive input.  This
 // is the context-mode requirement: with it, a whole derivation chain
-// changes nothing but the bound column.
-func passesThroughOthers(op *ast.Op, col int) bool {
+// changes nothing but the bound columns.
+func passesThroughOthers(op *ast.Op, cols []int) bool {
 	nro := op.NonRecOccurrences()
+	bound := map[int]bool{}
+	for _, c := range cols {
+		bound[c] = true
+	}
 	for j, t := range op.Head.Args {
-		if j == col {
+		if bound[j] {
 			continue
 		}
 		hx, ok := op.H(t.Name)
@@ -130,41 +112,85 @@ func passesThroughOthers(op *ast.Op, col int) bool {
 	return true
 }
 
-// MagicAnalysis compiles the magic frontier program for bound column
-// col.  ok is false when some rule gives the bound column no finite
-// context transformer (its antecedent variable at that column is neither
-// persistent nor bound by the nonrecursive atoms) or is not
-// range-restricted — those rule sets keep the closure-then-filter path.
-// When ok, mode reports whether answers can be collected directly
-// (MagicContext) or a restricted closure must run (MagicFilter).
-func (a *Analysis) MagicAnalysis(col int) (spec eval.MagicSpec, mode MagicMode, ok bool) {
-	if col < 0 || col >= a.Ops[0].Arity() {
+// MagicAnalysis compiles the magic frontier program for the adornment
+// binding cols (ascending column indexes).  Per rule, each bound
+// column's antecedent variable must be determined by the bound context —
+// copied from some bound head column (the identity h(x) = x and
+// cross-column permutations alike) or bound by the nonrecursive atoms —
+// or the rule gives the adornment no finite context transformer and ok
+// is false (as it is for non-range-restricted rules); those rule sets
+// keep the closure-then-filter path for this column subset (the caller
+// falls back to a smaller one).  When ok, mode reports whether answers
+// can be collected directly (MagicContext) or a restricted closure must
+// run (MagicFilter).
+func (a *Analysis) MagicAnalysis(cols []int) (spec eval.MagicSpec, mode MagicMode, ok bool) {
+	arity := a.Ops[0].Arity()
+	if len(cols) == 0 {
 		return eval.MagicSpec{}, 0, false
 	}
-	spec.Col = col
+	for i, c := range cols {
+		if c < 0 || c >= arity || (i > 0 && c <= cols[i-1]) {
+			return eval.MagicSpec{}, 0, false
+		}
+	}
+	spec.Cols = append([]int(nil), cols...)
 	mode = MagicContext
 	for _, op := range a.Ops {
 		if !op.IsRangeRestricted() {
 			return eval.MagicSpec{}, 0, false
 		}
-		shape, in, out := magicShapeOf(op, col)
-		if shape == magicNone {
-			return eval.MagicSpec{}, 0, false
+		nonrec := ast.AtomsVars(op.NonRec...)
+		// The seed (in) variables are the bound head columns; a bound
+		// antecedent (out) variable is determined either by being one of
+		// them (copy) or by the nonrecursive join (step).
+		inSet := ast.VarSet{}
+		for _, c := range cols {
+			inSet.Add(op.Head.Args[c].Name)
 		}
-		if !passesThroughOthers(op, col) {
+		pureIdentity := true
+		frontierDependent := false
+		for _, c := range cols {
+			in, out := op.Head.Args[c].Name, op.Rec.Args[c].Name
+			if out != in {
+				pureIdentity = false
+			}
+			switch {
+			case inSet.Has(out):
+				// Copied from the seed tuple: the rule's context depends
+				// on the frontier through this column.
+				frontierDependent = true
+			case nonrec.Has(out):
+				// Bound by the nonrecursive join.
+			default:
+				// Reachable neither from the bound head columns nor from
+				// the nonrecursive atoms: no finite context transformer.
+				return eval.MagicSpec{}, 0, false
+			}
+			if nonrec.Has(in) {
+				// The seed value restricts the nonrecursive join.
+				frontierDependent = true
+			}
+		}
+		if !passesThroughOthers(op, cols) {
 			mode = MagicFilter
 		}
-		switch shape {
-		case magicIdentity:
+		outs := make([]ast.Term, len(cols))
+		ins := make([]ast.Term, len(cols))
+		for i, c := range cols {
+			outs[i] = ast.V(op.Rec.Args[c].Name)
+			ins[i] = ast.V(op.Head.Args[c].Name)
+		}
+		switch {
+		case pureIdentity:
 			spec.Identity++
-		case magicStep:
+		case frontierDependent:
 			spec.Step = append(spec.Step, ast.Rule{
-				Head: ast.NewAtom(eval.MagicSetPred, ast.V(out)),
-				Body: append([]ast.Atom{ast.NewAtom(eval.MagicSeedPred, ast.V(in))}, op.NonRec...),
+				Head: ast.NewAtom(eval.MagicSetPred, outs...),
+				Body: append([]ast.Atom{ast.NewAtom(eval.MagicSeedPred, ins...)}, op.NonRec...),
 			})
-		case magicInit:
+		default:
 			spec.Init = append(spec.Init, ast.Rule{
-				Head: ast.NewAtom(eval.MagicSetPred, ast.V(out)),
+				Head: ast.NewAtom(eval.MagicSetPred, outs...),
 				Body: append([]ast.Atom(nil), op.NonRec...),
 			})
 		}
@@ -172,28 +198,144 @@ func (a *Analysis) MagicAnalysis(col int) (spec eval.MagicSpec, mode MagicMode, 
 	return spec, mode, true
 }
 
-// magicPlan builds the MagicSeeded plan for sel, or nil when the
-// analysis rejects the column.
-func (a *Analysis) magicPlan(sel *separable.Selection) *Plan {
-	spec, mode, ok := a.MagicAnalysis(sel.Col)
-	if !ok {
+// magicCols renders a column list for Plan.Why, e.g. "0,2".
+func magicCols(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// magicSubsetCap bounds the bound-column count the subset fallback
+// enumerates over (2^cap subsets); adornments beyond it — far past any
+// realistic predicate arity — only attempt the full set and the
+// single-column prefixes.
+const magicSubsetCap = 10
+
+// magicPlan builds the MagicSeeded plan for the query's selections, or
+// nil when no bound-column subset is bindable.  It prefers the largest
+// bindable subset (the full adornment when every rule admits it), and
+// among subsets of equal size a context-mode plan over a filter-mode
+// one, then the lexicographically smallest column set — a deterministic
+// choice, which the result-cache keying relies on.  Selections left out
+// of the chosen subset stay with the caller as post-filters.
+func (a *Analysis) magicPlan(sels []separable.Selection) *Plan {
+	if len(sels) == 0 {
 		return nil
 	}
+	byCol := append([]separable.Selection(nil), sels...)
+	sort.Slice(byCol, func(i, j int) bool { return byCol[i].Col < byCol[j].Col })
+
+	var candidates [][]int
+	if len(byCol) <= magicSubsetCap {
+		// All non-empty subsets, largest first; within a size the masks
+		// enumerate lexicographically smallest column set first.
+		n := len(byCol)
+		for size := n; size >= 1; size-- {
+			var masks []int
+			for mask := 1; mask < 1<<n; mask++ {
+				if bits.OnesCount(uint(mask)) == size {
+					masks = append(masks, mask)
+				}
+			}
+			sort.Slice(masks, func(i, j int) bool {
+				return colsOfMask(byCol, masks[i]) < colsOfMask(byCol, masks[j])
+			})
+			candidates = append(candidates, nil) // size barrier marker
+			for _, mask := range masks {
+				subset := make([]int, 0, size)
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						subset = append(subset, i)
+					}
+				}
+				candidates = append(candidates, subset)
+			}
+		}
+	} else {
+		// Degenerate arity: full set, then each single column.
+		full := make([]int, len(byCol))
+		for i := range byCol {
+			full[i] = i
+		}
+		candidates = append(candidates, nil, full, nil)
+		for i := range byCol {
+			candidates = append(candidates, []int{i})
+		}
+	}
+
+	// Walk size groups: inside one group a context-mode hit wins
+	// immediately over any filter-mode hit, and the first filter-mode hit
+	// is kept as the group's fallback.
+	var best *Plan
+	flush := func() *Plan {
+		p := best
+		best = nil
+		return p
+	}
+	for _, subset := range candidates {
+		if subset == nil {
+			if p := flush(); p != nil {
+				return p
+			}
+			continue
+		}
+		cols := make([]int, len(subset))
+		chosen := make([]separable.Selection, len(subset))
+		for i, idx := range subset {
+			cols[i] = byCol[idx].Col
+			chosen[i] = byCol[idx]
+		}
+		spec, mode, ok := a.MagicAnalysis(cols)
+		if !ok {
+			continue
+		}
+		plan := &Plan{
+			Kind:  MagicSeeded,
+			Magic: &MagicPlan{Mode: mode, Sels: chosen, Spec: spec},
+			Why:   magicWhy(mode, cols, len(sels)-len(cols)),
+		}
+		if mode == MagicContext {
+			return plan
+		}
+		if best == nil {
+			best = plan
+		}
+	}
+	return flush()
+}
+
+// magicWhy renders the plan explanation for an adornment over cols;
+// dropped counts the query's bound columns the analysis could not bind
+// (they post-filter).
+func magicWhy(mode MagicMode, cols []int, dropped int) string {
 	var why string
 	if mode == MagicContext {
 		why = fmt.Sprintf(
-			"σ[%d] binds the query: every rule passes the other columns through, so answers are collected from a magic frontier seeded at the constant (context mode, generalizing Algorithm 4.1)",
-			sel.Col)
+			"σ[%s] binds the query: every rule passes the other columns through, so answers are collected from a magic frontier of bound tuples seeded at the constants (context mode, generalizing Algorithm 4.1)",
+			magicCols(cols))
 	} else {
 		why = fmt.Sprintf(
-			"σ[%d] binds the query: the magic set of reachable column-%d values restricts the semi-naive closure to the region the selection can see (filter mode)",
-			sel.Col, sel.Col)
+			"σ[%s] binds the query: the magic set of reachable column-(%s) tuples restricts the semi-naive closure to the region the selection can see (filter mode)",
+			magicCols(cols), magicCols(cols))
 	}
-	return &Plan{
-		Kind:  MagicSeeded,
-		Magic: &MagicPlan{Mode: mode, Sel: *sel, Spec: spec},
-		Why:   why,
+	if dropped > 0 {
+		why += fmt.Sprintf("; %d bound column(s) were not bindable and post-filter", dropped)
 	}
+	return why
+}
+
+// colsOfMask renders the column set a selection-index mask picks, as a
+// sortable string.
+func colsOfMask(byCol []separable.Selection, mask int) string {
+	var b strings.Builder
+	for i := range byCol {
+		if mask&(1<<i) != 0 {
+			fmt.Fprintf(&b, "%06d,", byCol[i].Col)
+		}
+	}
+	return b.String()
 }
 
 // Parallelizable reports whether executing the plan shards closure
@@ -210,18 +352,19 @@ func (p *Plan) Parallelizable() bool {
 	return false
 }
 
-// executeMagic runs a MagicSeeded plan (see ExecuteSeeded).  The primary
-// selection is consumed by the plan itself; q is the shared exit-rule
-// seed and is never mutated.
+// executeMagic runs a MagicSeeded plan (see ExecuteSeeded).  The bound
+// selections in Plan.Magic.Sels are consumed by the plan itself; q is
+// the shared exit-rule seed and is never mutated.
 func (a *Analysis) executeMagic(ctx context.Context, pe *eval.ParallelEngine, db rel.DB, plan *Plan, q *rel.Relation) (*Result, error) {
 	m := plan.Magic
 	if m == nil {
 		return nil, fmt.Errorf("planner: magic-seeded plan has no magic payload; it is not executable")
 	}
 	res := &Result{Plan: plan}
+	vals := m.BoundTuple()
 	set := m.Set
 	if set == nil {
-		s, err := pe.MagicSetCtx(ctx, db, m.Spec, m.Sel.Value, &res.Stats)
+		s, err := pe.MagicSetCtx(ctx, db, m.Spec, vals, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
@@ -234,17 +377,20 @@ func (a *Analysis) executeMagic(ctx context.Context, pe *eval.ParallelEngine, db
 	}
 	switch m.Mode {
 	case MagicContext:
-		res.Answer = eval.MagicCollect(q, m.Spec.Col, m.Sel.Value, set, &res.Stats)
+		res.Answer = eval.MagicCollect(q, m.Spec.Cols, vals, set, &res.Stats)
 	default:
-		restricted := q.SelectIn(m.Spec.Col, set)
-		out, s, err := pe.SemiNaiveRestrictedCtx(ctx, db, a.Ops, restricted, m.Spec.Col, set)
+		restricted := q.SelectInCols(m.Spec.Cols, set)
+		out, s, err := pe.SemiNaiveRestrictedCtx(ctx, db, a.Ops, restricted, m.Spec.Cols, set)
 		res.Stats.Add(s)
 		if err != nil {
 			return nil, err
 		}
 		// The restricted closure holds every tuple the magic set can
-		// reach; the query's answer is the slice at the bound constant.
-		res.Answer = m.Sel.Apply(out)
+		// reach; the query's answer is the slice at the bound constants.
+		for _, sel := range m.Sels {
+			out = sel.Apply(out)
+		}
+		res.Answer = out
 	}
 	return res, nil
 }

@@ -29,7 +29,7 @@ func TestMagicAnalysisShapes(t *testing.T) {
 	cases := []struct {
 		name     string
 		src      string
-		col      int
+		cols     []int
 		ok       bool
 		mode     MagicMode
 		steps    int
@@ -40,7 +40,7 @@ func TestMagicAnalysisShapes(t *testing.T) {
 			name: "left-chain col0 is context",
 			src: `p(X,Y) :- b(X,Y).
 				p(X,Y) :- e(X,Z), p(Z,Y).`,
-			col: 0, ok: true, mode: MagicContext, steps: 1,
+			cols: []int{0}, ok: true, mode: MagicContext, steps: 1,
 		},
 		{
 			name: "left-chain col1 is filter via identity",
@@ -48,26 +48,26 @@ func TestMagicAnalysisShapes(t *testing.T) {
 				p(X,Y) :- e(X,Z), p(Z,Y).`,
 			// Column 1 passes through (h(Y)=Y) but column 0 does not, so
 			// the magic set is {v} and the closure is filtered.
-			col: 1, ok: true, mode: MagicFilter, identity: 1,
+			cols: []int{1}, ok: true, mode: MagicFilter, identity: 1,
 		},
 		{
 			name: "right-chain col1 is context",
 			src: `p(X,Y) :- b(X,Y).
 				p(X,Y) :- p(X,Z), e(Z,Y).`,
-			col: 1, ok: true, mode: MagicContext, steps: 1,
+			cols: []int{1}, ok: true, mode: MagicContext, steps: 1,
 		},
 		{
 			name: "two non-commuting left chains stay context",
 			src: `p(X,Y) :- b(X,Y).
 				p(X,Y) :- e(X,Z), p(Z,Y).
 				p(X,Y) :- f(X,Z), p(Z,Y).`,
-			col: 0, ok: true, mode: MagicContext, steps: 2,
+			cols: []int{0}, ok: true, mode: MagicContext, steps: 2,
 		},
 		{
 			name: "same-generation shape is filter",
 			src: `p(X,Y) :- b(X,Y).
 				p(X,Y) :- e(Z,X), p(Z,W), e(W,Y).`,
-			col: 0, ok: true, mode: MagicFilter, steps: 1,
+			cols: []int{0}, ok: true, mode: MagicFilter, steps: 1,
 		},
 		{
 			name: "swap rule has no finite context",
@@ -75,7 +75,7 @@ func TestMagicAnalysisShapes(t *testing.T) {
 				p(X,Y) :- p(Y,X), e(X,X).`,
 			// Column 0's antecedent variable Y occurs only in the
 			// recursive atom: no nonrecursive join can enumerate it.
-			col: 0, ok: false,
+			cols: []int{0}, ok: false,
 		},
 		{
 			name: "disconnected binding becomes an init rule",
@@ -83,13 +83,49 @@ func TestMagicAnalysisShapes(t *testing.T) {
 				p(X,Y) :- p(Z,X), e(Z,W), f(W,Y).`,
 			// Column 0: in = X occurs only in the recursive atom (col 1),
 			// out = Z is bound by e — frontier-independent contribution.
-			col: 0, ok: true, mode: MagicFilter, inits: 1,
+			cols: []int{0}, ok: true, mode: MagicFilter, inits: 1,
+		},
+		{
+			name: "left-chain full adornment is context over pairs",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(X,Z), p(Z,Y).`,
+			// Both columns bound: column 0 steps across e, column 1 rides
+			// as an identity inside the frontier tuple — and no unbound
+			// column remains, so the mode is context.
+			cols: []int{0, 1}, ok: true, mode: MagicContext, steps: 1,
+		},
+		{
+			name: "swap rule binds the full adornment by cross-copy",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- p(Y,X), e(X,X).`,
+			// Unbindable on either single column, but with both bound the
+			// frontier just permutes the pair: out₀ = Y = in₁, out₁ = X =
+			// in₀.
+			cols: []int{0, 1}, ok: true, mode: MagicContext, steps: 1,
+		},
+		{
+			name: "same-generation full adornment is context",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(Z,X), p(Z,W), e(W,Y).`,
+			cols: []int{0, 1}, ok: true, mode: MagicContext, steps: 1,
+		},
+		{
+			name: "pure identity rule contributes no frontier rule",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- p(X,Y), e(X,X).`,
+			cols: []int{0, 1}, ok: true, mode: MagicContext, identity: 1,
+		},
+		{
+			name: "unsorted column list is rejected",
+			src: `p(X,Y) :- b(X,Y).
+				p(X,Y) :- e(X,Z), p(Z,Y).`,
+			cols: []int{1, 0}, ok: false,
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			a := analyzeSrc(t, tc.src)
-			spec, mode, ok := a.MagicAnalysis(tc.col)
+			spec, mode, ok := a.MagicAnalysis(tc.cols)
 			if ok != tc.ok {
 				t.Fatalf("ok = %v, want %v", ok, tc.ok)
 			}
@@ -104,6 +140,53 @@ func TestMagicAnalysisShapes(t *testing.T) {
 					len(spec.Step), len(spec.Init), spec.Identity, tc.steps, tc.inits, tc.identity)
 			}
 		})
+	}
+}
+
+// TestMagicPlanSubsetFallback: a two-column binding where only one
+// column is bindable falls back to that column, and the dropped column
+// is reported for post-filtering; a fully unbindable binding yields no
+// plan.
+func TestMagicPlanSubsetFallback(t *testing.T) {
+	e := eval.NewEngine(nil)
+	a := analyzeSrc(t, `p(X,Y) :- b(X,Y).
+		p(X,Y) :- e(X,Z), p(Z,W), f(W,Y).`)
+	// Column 0 steps across e; column 1's antecedent W is bound by f, so
+	// both columns bind jointly — the full adornment should win.
+	sels := []separable.Selection{
+		{Col: 0, Value: e.Syms.Intern("a")},
+		{Col: 1, Value: e.Syms.Intern("b")},
+	}
+	plan := a.magicPlan(sels)
+	if plan == nil || len(plan.Magic.Spec.Cols) != 2 {
+		t.Fatalf("full adornment not chosen: %+v", plan)
+	}
+
+	// A rule whose column-1 antecedent variable W is reachable neither
+	// from the bound head columns nor from the nonrecursive atoms forces
+	// the subset fallback onto column 0 alone.
+	b := analyzeSrc(t, `p(X,Y) :- b(X,Y).
+		p(X,Y) :- e(X,Z), p(Z,Y).
+		p(X,Y) :- p(X,W), e(X,Y).`)
+	plan = b.magicPlan(sels)
+	if plan == nil {
+		t.Fatalf("no plan for partially bindable adornment")
+	}
+	if got := plan.Magic.Spec.Cols; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("fallback chose columns %v, want [0]", got)
+	}
+	if len(plan.Magic.Sels) != 1 || plan.Magic.Sels[0].Col != 0 {
+		t.Fatalf("fallback selections = %+v, want column 0 only", plan.Magic.Sels)
+	}
+	if !strings.Contains(plan.Why, "post-filter") {
+		t.Errorf("Why does not mention the dropped column: %q", plan.Why)
+	}
+
+	// Unbindable on every subset: no magic plan at all.
+	c := analyzeSrc(t, `p(X,Y) :- b(X,Y).
+		p(X,Y) :- p(Z,W), e(Z,W).`)
+	if p := c.magicPlan(sels[:1]); p != nil {
+		t.Fatalf("unbindable rule set produced a plan: %+v", p)
 	}
 }
 
@@ -205,7 +288,7 @@ func TestMagicExecutionMatchesClosure(t *testing.T) {
 				// Same plan again with the magic set pre-computed, as core's
 				// cache injects it: identical answer and statistics.
 				var setStats eval.Stats
-				set, err := e.MagicSetCtx(context.Background(), db, plan.Magic.Spec, sel.Value, &setStats)
+				set, err := e.MagicSetCtx(context.Background(), db, plan.Magic.Spec, plan.Magic.BoundTuple(), &setStats)
 				if err != nil {
 					t.Fatalf("MagicSetCtx: %v", err)
 				}

@@ -232,6 +232,26 @@ func (k Kind) String() string {
 	}
 }
 
+// Slug names the strategy in compact form — the per-adornment plan
+// counters of the server's /v1/stats key on it, where the full String
+// form would drown the adornment.
+func (k Kind) Slug() string {
+	switch k {
+	case Decomposed:
+		return "decomposed"
+	case Separable:
+		return "separable"
+	case Bounded:
+		return "bounded"
+	case MagicSeeded:
+		return "magic-seeded"
+	case SemiNaive:
+		return "semi-naive"
+	default:
+		return "unknown"
+	}
+}
+
 // Strategy lets callers force an evaluation strategy instead of the
 // analysis-driven choice.
 type Strategy int
@@ -298,14 +318,28 @@ func (a *Analysis) Choose(sel *separable.Selection) *Plan {
 	return a.ChooseOpts(sel, Options{})
 }
 
-// ChooseOpts picks a plan under the given options.  The strategy override
-// wins when set; otherwise the paper's analysis decides, weighing the
-// worker pool: a grouped decomposition (Theorem 3.1's duplicate savings)
-// composes with parallelism — each group closure shards its rounds — so it
-// stays preferred over flat parallel semi-naive whenever commutativity
-// licenses it, and the plan records the pool it will run on.
+// ChooseOpts picks a plan under the given options, considering at most
+// one selection; see ChooseMulti for the full-adornment entry point.
 func (a *Analysis) ChooseOpts(sel *separable.Selection, opts Options) *Plan {
-	plan := a.chooseKind(sel, opts)
+	var sels []separable.Selection
+	if sel != nil {
+		sels = []separable.Selection{*sel}
+	}
+	return a.ChooseMulti(sels, opts)
+}
+
+// ChooseMulti picks a plan under the given options for a query binding
+// any number of answer columns.  The strategy override wins when set;
+// otherwise the paper's analysis decides, weighing the worker pool: a
+// grouped decomposition (Theorem 3.1's duplicate savings) composes with
+// parallelism — each group closure shards its rounds — so it stays
+// preferred over flat parallel semi-naive whenever commutativity
+// licenses it, and the plan records the pool it will run on.  Plans
+// consume selections as documented on their kind (Separable the first,
+// MagicSeeded the subset in Plan.Magic.Sels); the caller applies the
+// rest as post-filters.
+func (a *Analysis) ChooseMulti(sels []separable.Selection, opts Options) *Plan {
+	plan := a.chooseKind(sels, opts)
 	plan.Workers = opts.Workers
 	if opts.Workers > 1 {
 		switch plan.Kind {
@@ -322,7 +356,7 @@ func (a *Analysis) ChooseOpts(sel *separable.Selection, opts Options) *Plan {
 	return plan
 }
 
-func (a *Analysis) chooseKind(sel *separable.Selection, opts Options) *Plan {
+func (a *Analysis) chooseKind(sels []separable.Selection, opts Options) *Plan {
 	switch opts.Strategy {
 	case ForceSemiNaive:
 		return &Plan{Kind: SemiNaive, Why: "forced by Options.Strategy"}
@@ -332,27 +366,29 @@ func (a *Analysis) chooseKind(sel *separable.Selection, opts Options) *Plan {
 		}
 		return &Plan{Kind: SemiNaive, Why: "decomposition forced but operators form a single group"}
 	}
-	if sel != nil && len(a.Ops) == 2 && a.AllCommute() {
+	if len(sels) > 0 && len(a.Ops) == 2 && a.AllCommute() {
 		// Theorem 4.1 needs σ to commute with one of the operators; that
-		// one becomes A1 (applied last).
+		// one becomes A1 (applied last).  The primary selection drives
+		// the plan; further selections post-filter.
+		sel := sels[0]
 		for i := 0; i < 2; i++ {
 			if sel.CommutesWith(a.Ops[i]) {
 				return &Plan{
 					Kind:  Separable,
 					Order: []int{i, 1 - i},
-					Sel:   *sel,
+					Sel:   sel,
 					Why:   fmt.Sprintf("operators commute and σ[%d] commutes with rule %d (Theorem 4.1)", sel.Col, i+1),
 				}
 			}
 		}
 	}
-	// No separable plan applies to this bound query: try a magic-seeded
-	// evaluation from the constant outward before conceding the full
-	// closure (decomposed or not) plus a post-filter.
-	if sel != nil {
-		if p := a.magicPlan(sel); p != nil {
-			return p
-		}
+	// No separable plan applies to this bound query (including an n-ary
+	// separable candidate whose assignment failed): try a magic-seeded
+	// evaluation from the constants outward — the full adornment when
+	// every rule binds it, the best column subset otherwise — before
+	// conceding the full closure (decomposed or not) plus a post-filter.
+	if p := a.magicPlan(sels); p != nil {
+		return p
 	}
 	if groups := a.CommutingGroups(); len(groups) >= 2 {
 		why := "all operator pairs commute, so (ΣAᵢ)* = A1*…An* (Sections 3, 5)"
@@ -445,7 +481,7 @@ func (a *Analysis) ExecuteSeeded(ctx context.Context, e *eval.Engine, db rel.DB,
 		res.Answer, res.Stats = r.Rel, r.Stats
 		return res, nil
 	case MagicSeeded:
-		// The plan consumes the driving selection itself (Plan.Magic.Sel);
+		// The plan consumes its bound selections itself (Plan.Magic.Sels);
 		// sel, if any, is applied to the answer below like any residual
 		// filter.
 		mres, err := a.executeMagic(ctx, pe, db, plan, q)

@@ -4,11 +4,14 @@
 //   - Theorem 6.3: a nonrecursive predicate is recursively redundant iff it
 //     appears in a uniformly bounded augmented bridge of the a-graph with
 //     respect to G_I (I = link-persistent ∪ ray variables).
+//
 //   - Lemma 6.3(b): the exponent L at which all link-persistent variables
 //     become link 1-persistent and all rays 1-ray.
+//
 //   - Lemma 6.5 / Theorem 6.4: the decomposition A^L = B·C^L with C
 //     uniformly bounded (hence torsion, Lemma 6.2) and
 //     C^L(B·C^L) = C^L(C^L·B).
+//
 //   - Theorem 4.2's evaluation consequence: A*Q can be computed with C
 //     applied at most N·L−1 times, after which only B is iterated:
 //

@@ -534,18 +534,37 @@ func (r *Relation) Select(col int, v Value) *Relation {
 // r's internally-guarded lazy index build, so concurrent SelectIn calls
 // over a shared relation are safe.
 func (r *Relation) SelectIn(col int, allowed *Relation) *Relation {
+	return r.SelectInCols([]int{col}, allowed)
+}
+
+// SelectInCols generalizes SelectIn to an adornment: it returns the
+// tuples whose projection onto cols (ascending column indexes) appears
+// in the len(cols)-ary relation allowed — the seed restriction of a
+// multi-column magic-seeded plan.  When allowed is much smaller than r
+// it probes r's index on cols[0] per allowed tuple and checks the
+// remaining columns inline; otherwise it scans r once.  The concurrency
+// contract matches SelectIn.
+func (r *Relation) SelectInCols(cols []int, allowed *Relation) *Relation {
 	out := NewRelation(r.arity)
 	if allowed.Len()*8 < r.Len() {
 		allowed.Each(func(m Tuple) {
-			for _, t := range r.Lookup(col, m[0]) {
+		candidates:
+			for _, t := range r.Lookup(cols[0], m[0]) {
+				for i := 1; i < len(cols); i++ {
+					if t[cols[i]] != m[i] {
+						continue candidates
+					}
+				}
 				out.Insert(t)
 			}
 		})
 		return out
 	}
-	key := make(Tuple, 1)
+	key := make(Tuple, len(cols))
 	r.Each(func(t Tuple) {
-		key[0] = t[col]
+		for i, c := range cols {
+			key[i] = t[c]
+		}
 		if allowed.Has(key) {
 			out.Insert(t)
 		}

@@ -352,7 +352,7 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.Q
 	}
 	rows := res.Rows(s.sys)
 	s.ctr.queriesOK.Add(1)
-	s.ctr.observePlan(res.Plan.Kind)
+	s.ctr.observePlan(res.Plan.Kind, res.Query.Pred, res.Query.Adornment())
 	s.ctr.rowsServed.Add(int64(len(rows)))
 	s.lat.observe(elapsed)
 
@@ -518,27 +518,28 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 // Stats returns a point-in-time statistics report (the /v1/stats body).
 func (s *Server) Stats() StatsReport {
 	return StatsReport{
-		UptimeS:         time.Since(s.start).Seconds(),
-		SnapshotVersion: s.sys.Snapshot().Version,
-		QueriesOK:       s.ctr.queriesOK.Load(),
-		QueryErrors:     s.ctr.queryErrors.Load(),
-		Internal500s:    s.ctr.internalErrors.Load(),
-		Timeouts:        s.ctr.timeouts.Load(),
-		ClientAborts:    s.ctr.clientAborts.Load(),
-		Shed429:         s.ctr.shedQueue.Load(),
-		Shed503:         s.ctr.shedBudget.Load(),
-		FactBatches:     s.ctr.factBatches.Load(),
-		FactsAdded:      s.ctr.factsAdded.Load(),
-		RetractBatches:  s.ctr.retractBatches.Load(),
-		FactsRemoved:    s.ctr.factsRemoved.Load(),
-		RowsServed:      s.ctr.rowsServed.Load(),
-		InFlight:        s.inflight.Load(),
-		Queued:          s.queued.Load(),
-		WorkerBudget:    s.sem.Size(),
-		WorkersInUse:    s.sem.InUse(),
-		Plans:           s.ctr.planCounts(),
-		Latency:         s.lat.summary(),
-		ResultCache:     s.sys.ResultCacheStats(),
+		UptimeS:          time.Since(s.start).Seconds(),
+		SnapshotVersion:  s.sys.Snapshot().Version,
+		QueriesOK:        s.ctr.queriesOK.Load(),
+		QueryErrors:      s.ctr.queryErrors.Load(),
+		Internal500s:     s.ctr.internalErrors.Load(),
+		Timeouts:         s.ctr.timeouts.Load(),
+		ClientAborts:     s.ctr.clientAborts.Load(),
+		Shed429:          s.ctr.shedQueue.Load(),
+		Shed503:          s.ctr.shedBudget.Load(),
+		FactBatches:      s.ctr.factBatches.Load(),
+		FactsAdded:       s.ctr.factsAdded.Load(),
+		RetractBatches:   s.ctr.retractBatches.Load(),
+		FactsRemoved:     s.ctr.factsRemoved.Load(),
+		RowsServed:       s.ctr.rowsServed.Load(),
+		InFlight:         s.inflight.Load(),
+		Queued:           s.queued.Load(),
+		WorkerBudget:     s.sem.Size(),
+		WorkersInUse:     s.sem.InUse(),
+		Plans:            s.ctr.planCounts(),
+		PlansByAdornment: s.ctr.adornCounts(),
+		Latency:          s.lat.summary(),
+		ResultCache:      s.sys.ResultCacheStats(),
 	}
 }
 

@@ -786,7 +786,7 @@ wait:
 func TestCombinedSwapRejectionIsAtomic(t *testing.T) {
 	_, ts := newTestServer(t, chainProgram(2), Config{})
 	resp := postJSON(t, ts.URL+"/v1/facts", FactsRequest{
-		Remove: "edge(c0,c1).",  // valid on its own
+		Remove: "edge(c0,c1).", // valid on its own
 		Facts:  "path(c5,c6).", // derived predicate: rejected
 	})
 	resp.Body.Close()
@@ -829,5 +829,42 @@ func TestCachedHitBypassesAdmission(t *testing.T) {
 	}
 	if fmt.Sprint(hit.Rows) != fmt.Sprint(warm.Rows) {
 		t.Fatalf("cached rows diverge from the warm evaluation")
+	}
+}
+
+// TestStatsPerAdornmentPlanCounts: answered queries are accounted per
+// (predicate, adornment, plan-kind slug), and the per-kind Plans map
+// advances in step — the counters lrload -smoke asserts against.
+func TestStatsPerAdornmentPlanCounts(t *testing.T) {
+	s, ts := newTestServer(t, chainProgram(6), Config{TotalWorkers: 2})
+	for _, q := range []string{"path(c0, Y)", "path(c0, Y)", "path(X, Y)", "path(c0, c3)"} {
+		resp := postJSON(t, ts.URL+"/v1/query", QueryRequest{Query: q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d", q, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	st := s.Stats()
+	var perKind, perAdorn int64
+	for _, n := range st.Plans {
+		perKind += n
+	}
+	for _, n := range st.PlansByAdornment {
+		perAdorn += n
+	}
+	if perKind != 4 || perAdorn != 4 {
+		t.Fatalf("plan counters = %d per kind / %d per adornment, want 4/4\nplans=%v\nby_adornment=%v",
+			perKind, perAdorn, st.Plans, st.PlansByAdornment)
+	}
+	for _, adorn := range []string{"path/bf", "path/ff", "path/bb"} {
+		found := false
+		for key := range st.PlansByAdornment {
+			if strings.HasPrefix(key, adorn+" ") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no per-adornment counter for %q: %v", adorn, st.PlansByAdornment)
+		}
 	}
 }

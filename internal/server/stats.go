@@ -8,6 +8,7 @@ package server
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -112,15 +113,45 @@ type counters struct {
 	// strategy (semi-naive, decomposed, separable, bounded,
 	// magic-seeded) actually serves traffic.
 	plans [planKindSlots]atomic.Int64
+
+	// plansByAdorn refines the plan counters by the goal's binding
+	// pattern: keys are "pred/adornment kind-slug" (e.g.
+	// "path/bf magic-seeded"), so /v1/stats shows which adornments a
+	// plan kind actually serves — the signal that a multi-bound query
+	// took the multi-column adornment rather than first-column plus
+	// post-filter.  Cardinality is bounded by the program's predicates ×
+	// their binding patterns × plan kinds, so a plain map under a mutex
+	// suffices.
+	plansMu      sync.Mutex
+	plansByAdorn map[string]int64
 }
 
-// observePlan records one answered query's plan kind.
-func (c *counters) observePlan(k planner.Kind) {
+// observePlan records one answered query's plan kind under the goal's
+// predicate and adornment.
+func (c *counters) observePlan(k planner.Kind, pred, adorn string) {
 	i := int(k)
 	if i < 0 || i >= planKindSlots-1 {
 		i = planKindSlots - 1
 	}
 	c.plans[i].Add(1)
+	key := pred + "/" + adorn + " " + k.Slug()
+	c.plansMu.Lock()
+	if c.plansByAdorn == nil {
+		c.plansByAdorn = map[string]int64{}
+	}
+	c.plansByAdorn[key]++
+	c.plansMu.Unlock()
+}
+
+// adornCounts snapshots the per-adornment plan counters.
+func (c *counters) adornCounts() map[string]int64 {
+	c.plansMu.Lock()
+	defer c.plansMu.Unlock()
+	out := make(map[string]int64, len(c.plansByAdorn))
+	for k, n := range c.plansByAdorn {
+		out[k] = n
+	}
+	return out
 }
 
 // planCounts renders the nonzero plan-kind counters keyed by the kind's
@@ -166,8 +197,13 @@ type StatsReport struct {
 	// Plans counts answered queries per evaluation plan kind (keyed by
 	// the planner's Kind string, e.g. "magic-seeded evaluation
 	// (σ-bound frontier)"); kinds that served no query are omitted.
-	Plans   map[string]int64 `json:"plans"`
-	Latency LatencySummary   `json:"latency"`
+	Plans map[string]int64 `json:"plans"`
+	// PlansByAdornment refines Plans by the goal's binding pattern:
+	// keyed "pred/adornment kind-slug" (e.g. "path/bb magic-seeded"),
+	// one entry per (predicate, adornment, plan kind) that served
+	// traffic.
+	PlansByAdornment map[string]int64 `json:"plans_by_adornment,omitempty"`
+	Latency          LatencySummary   `json:"latency"`
 	// ResultCache reports the core goal-level result cache: gauges for
 	// the current contents plus hit/miss/eviction counters per plan kind
 	// and the number of entries invalidated by snapshot swaps.

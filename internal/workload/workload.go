@@ -85,6 +85,24 @@ func RandomTree(e *eval.Engine, db rel.DB, pred string, n int, seed int64) {
 	}
 }
 
+// RandomTreeLabeled is RandomTree over a ternary relation: each
+// parent→child edge additionally carries one of `labels` labels
+// ("c0"…"c<labels-1>"), drawn deterministically from seed.  Recursions
+// that thread the label through (r(X,Y,C) :- e(X,Z,C), r(Z,Y,C)) then
+// walk only monochrome paths, which makes the label column a highly
+// selective binding — the n-ary magic-adornment benchmark's workload.
+func RandomTreeLabeled(e *eval.Engine, db rel.DB, pred string, n, labels int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	r := db.Rel(pred, 3)
+	for i := 1; i < n; i++ {
+		r.Insert(rel.Tuple{
+			node(e, "t", rng.Intn(i)),
+			node(e, "t", i),
+			node(e, "c", rng.Intn(labels)),
+		})
+	}
+}
+
 // LayeredDAG inserts a DAG of `layers` layers of `width` nodes; each node
 // has outDeg random edges into the next layer.  Shape matches the
 // "expanding frontier" workloads that stress duplicate elimination.
