@@ -11,6 +11,7 @@
 //	lrbench -server      # run the linrecd server lane, merge into BENCH_eval.json
 //	lrbench -magic       # run the bound-query magic and multi-bound adornment lanes, merge into BENCH_eval.json
 //	lrbench -cache       # run the result-cache lane, merge into BENCH_eval.json
+//	lrbench -incremental # run the differential cache-maintenance lane, merge into BENCH_eval.json
 //	lrbench -gate        # short-mode CI gate: fail if any speedup drops below its floor
 //	lrbench -gate -gate-out gate_report.json   # also write the gate verdicts as JSON
 package main
@@ -74,17 +75,20 @@ func main() {
 	serverOut := flag.Bool("server", false, "run the linrecd server throughput/latency lane and merge it into BENCH_eval.json")
 	magicOut := flag.Bool("magic", false, "run the bound-query magic-seeded lane and merge it into BENCH_eval.json")
 	cacheOut := flag.Bool("cache", false, "run the goal-level result-cache lane and merge it into BENCH_eval.json")
+	incOut := flag.Bool("incremental", false, "run the differential cache-maintenance lane and merge it into BENCH_eval.json")
 	gate := flag.Bool("gate", false, "short-mode CI gate: run the headline lanes at table size and exit nonzero if any speedup is below its floor")
 	gateOut := flag.String("gate-out", "", "with -gate, also write the gate report as JSON to this file (for CI artifacts)")
 	minParallel := flag.Float64("min-parallel", experiments.DefaultGateFloors.Parallel, "gate floor for the parallel-substrate speedup at 8 workers (0 disables)")
 	minMagic := flag.Float64("min-magic", experiments.DefaultGateFloors.Magic, "gate floor for the magic-seeded bound-query speedup (0 disables)")
 	minMagicMulti := flag.Float64("min-magic-multi", experiments.DefaultGateFloors.MagicMulti, "gate floor for the multi-bound magic-adornment speedup (0 disables)")
 	minCache := flag.Float64("min-cache", experiments.DefaultGateFloors.Cache, "gate floor for the result-cache hit speedup (0 disables)")
+	minIncremental := flag.Float64("min-incremental", experiments.DefaultGateFloors.Incremental, "gate floor for the maintained-vs-rebuild update speedup (0 disables)")
 	flag.Parse()
 
 	if *gate {
 		rep := experiments.RunGate(experiments.GateFloors{
 			Parallel: *minParallel, Magic: *minMagic, MagicMulti: *minMagicMulti, Cache: *minCache,
+			Incremental: *minIncremental,
 		}, os.Stdout)
 		if *gateOut != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
@@ -178,7 +182,21 @@ func main() {
 			rep.Speedup, rep.RetractionInvalidates)
 	}
 
-	if *jsonOut || *serverOut || *magicOut || *cacheOut {
+	if *incOut {
+		rep, err := experiments.IncrementalJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: incremental benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("incremental_tc", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged incremental lane into BENCH_eval.json (maintained update+query %.0fx faster than purge-and-rebuild, %d upgrades, differential ok: %v)\n",
+			rep.Speedup, rep.Upgrades, rep.DifferentialOK)
+	}
+
+	if *jsonOut || *serverOut || *magicOut || *cacheOut || *incOut {
 		return
 	}
 

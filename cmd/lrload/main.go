@@ -141,7 +141,11 @@ func pushFacts(ctx context.Context, base string, every time.Duration) {
 // /v1/stats that the server answered no request with a 500 and that the
 // per-plan-kind counters actually accounted for the plans the smoke
 // exercised (a stats-accounting regression must not pass smoke
-// silently).
+// silently).  A full-closure goal warmed before the swaps additionally
+// proves differential maintenance end to end: both the addition and the
+// retraction must upgrade the cached fixpoint in place
+// (result_cache.upgrades advances; the final closure query is a hit with
+// the original row count), not invalidate it.
 func runSmoke(base, query string, timeout time.Duration) error {
 	hc := &http.Client{Timeout: timeout + 5*time.Second}
 	ctx, cancel := context.WithTimeout(context.Background(), 4*timeout+20*time.Second)
@@ -172,6 +176,17 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	fmt.Printf("lrload: %q -> %d rows at snapshot %d (%s)\n",
 		query, before.RowCount, before.SnapshotVersion, before.Plan)
 
+	// Warm an unbound full-closure entry before the swaps: its cached
+	// fixpoint is the maintainable kind, so the add and retract below must
+	// UPGRADE it in place (result_cache.upgrades advances) rather than
+	// purge it — the differential-maintenance half of the lifecycle.
+	const closureGoal = "path(X, Y)"
+	warm, err := server.QueryOnce(ctx, hc, base, closureGoal, timeout, 0)
+	if err != nil {
+		return fmt.Errorf("closure query %q: %w", closureGoal, err)
+	}
+	planned[warm.Plan]++
+
 	stamp := time.Now().UnixNano()
 	facts := fmt.Sprintf("edge(smoke_%d_a, smoke_%d_b).", stamp, stamp)
 	fr, err := server.PostFacts(ctx, hc, base, facts)
@@ -182,7 +197,11 @@ func runSmoke(base, query string, timeout time.Duration) error {
 		return fmt.Errorf("fact update did not advance the snapshot: %d -> %d",
 			before.SnapshotVersion, fr.SnapshotVersion)
 	}
-	fmt.Printf("lrload: fact swap -> snapshot %d\n", fr.SnapshotVersion)
+	if fr.CacheUpgraded < 1 {
+		return fmt.Errorf("additive swap upgraded %d cache entries, want ≥ 1 (the warmed full closure)", fr.CacheUpgraded)
+	}
+	fmt.Printf("lrload: fact swap -> snapshot %d (%d cache entries upgraded)\n",
+		fr.SnapshotVersion, fr.CacheUpgraded)
 
 	after, err := server.QueryOnce(ctx, hc, base, query, timeout, 0)
 	if err != nil {
@@ -224,6 +243,18 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	}
 	fmt.Printf("lrload: %q -> %d rows after retraction (cached=%v)\n", query, final.RowCount, final.Cached)
 
+	closure, err := server.QueryOnce(ctx, hc, base, closureGoal, timeout, 0)
+	if err != nil {
+		return fmt.Errorf("post-retract closure query: %w", err)
+	}
+	planned[closure.Plan]++
+	if closure.RowCount != warm.RowCount {
+		return fmt.Errorf("closure rows after add+retract = %d, want the original %d", closure.RowCount, warm.RowCount)
+	}
+	if !closure.Cached {
+		return fmt.Errorf("closure query after two maintained swaps was not a cache hit")
+	}
+
 	st, err := server.FetchStats(ctx, hc, base)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
@@ -244,6 +275,13 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	if len(st.PlansByAdornment) == 0 {
 		return fmt.Errorf("stats report no per-adornment plan counts after %d smoke queries", len(planned))
 	}
+	// Both swaps crossed a warm full-closure entry: each must have
+	// upgraded it in place rather than invalidated it.
+	if got := st.ResultCache.Upgrades - st0.ResultCache.Upgrades; got < 2 {
+		return fmt.Errorf("result_cache.upgrades advanced by %d across the smoke's add and retract, want ≥ 2", got)
+	}
+	fmt.Printf("lrload: %d cache upgrades across the smoke's swaps (%d fallbacks total)\n",
+		st.ResultCache.Upgrades-st0.ResultCache.Upgrades, st.ResultCache.UpgradeFallbacks)
 	fmt.Printf("lrload: plan counters verified for %d plan kind(s), %d adornment bucket(s)\n",
 		len(planned), len(st.PlansByAdornment))
 	return nil

@@ -117,12 +117,17 @@ type System struct {
 	seeds       map[seedKey]*seedFuture
 
 	// results is the goal-level result cache (see resultcache.go):
-	// completed QueryResults keyed by normalized goal, plan kind and
-	// snapshot version, LRU-bounded by total cached rows.  Where the
-	// seed cache saves re-materializing evaluation inputs, this one
-	// skips evaluation entirely for repeated goals on an unchanged
-	// database.
+	// completed QueryResults keyed by normalized goal and plan kind,
+	// valid at one snapshot version at a time, LRU-bounded by total
+	// cached rows.  Where the seed cache saves re-materializing
+	// evaluation inputs, this one skips evaluation entirely for repeated
+	// goals on an unchanged database; snapshot swaps try to carry its
+	// entries to the new version (see maintain.go) before purging.
 	results *resultCache
+
+	// deltas caches the occurrence-restricted delta operators the
+	// maintenance paths derive from the analysis operators (maintain.go).
+	deltas deltaOps
 }
 
 // seedKey addresses one cached evaluation artifact of a snapshot: the
@@ -380,30 +385,55 @@ func (s *System) DB() rel.DB {
 // snapshot, and the new snapshot becomes visible to subsequent queries
 // atomically.  In-flight queries keep the snapshot they pinned.  A batch
 // of pure duplicates publishes nothing — the current snapshot comes back
-// with added == 0, so idempotent re-pushes don't flush warm caches.
+// with added == 0, so warm caches survive idempotent re-pushes; on a
+// real swap, cache maintenance (see maintain.go) carries what it can to
+// the new version before the snapshot publishes.
 func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
+	snap, added, _, err := s.AddFactsMaint(facts)
+	return snap, added, err
+}
+
+// AddFactsMaint is AddFacts reporting what the swap's cache maintenance
+// did: how many cached results and seeds were upgraded to the new
+// version versus purged.
+func (s *System) AddFactsMaint(facts []ast.Atom) (*Snapshot, int, Maintenance, error) {
+	var m Maintenance
 	if len(facts) == 0 {
-		return s.Snapshot(), 0, nil
+		return s.Snapshot(), 0, m, nil
 	}
+	s.factMu.Lock()
+	defer s.factMu.Unlock()
+	old := s.snap.Load()
+	// Validate the entire batch — against the program, the current
+	// snapshot's relations and the batch's own internal consistency —
+	// before interning anything: rejection must leave the shared symbol
+	// table byte-identical, or repeatedly rejected batches would grow it
+	// without bound.
+	batch := map[string]int{}
 	for _, f := range facts {
 		if !f.IsGround() {
-			return nil, 0, fmt.Errorf("core: fact %v is not ground", f)
+			return nil, 0, m, fmt.Errorf("core: fact %v is not ground", f)
 		}
 		if s.idb[f.Pred] {
-			return nil, 0, fmt.Errorf("core: %q is a derived (rule-head) predicate; facts for it would be invisible to queries", f.Pred)
+			return nil, 0, m, fmt.Errorf("core: %q is a derived (rule-head) predicate; facts for it would be invisible to queries", f.Pred)
 		}
 		// Check against the program's declared arity, not just an existing
 		// relation: a rule-referenced predicate with no facts yet has no
 		// relation in any snapshot, and a wrong-arity fact accepted here
 		// would panic the join of the next query that touches it.
 		if want, ok := s.arity[f.Pred]; ok && want != f.Arity() {
-			return nil, 0, fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
+			return nil, 0, m, fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
 				f, f.Arity(), f.Pred, want)
 		}
+		if r, ok := old.DB[f.Pred]; ok && r.Arity() != f.Arity() {
+			return nil, 0, m, fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
+				f, f.Arity(), f.Pred, r.Arity())
+		}
+		if want, ok := batch[f.Pred]; ok && want != f.Arity() {
+			return nil, 0, m, fmt.Errorf("core: batch uses predicate %q with arity %d and %d", f.Pred, want, f.Arity())
+		}
+		batch[f.Pred] = f.Arity()
 	}
-	s.factMu.Lock()
-	defer s.factMu.Unlock()
-	old := s.snap.Load()
 	db := make(rel.DB, len(old.DB)+1)
 	for k, v := range old.DB {
 		db[k] = v
@@ -413,14 +443,11 @@ func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
 		counts[f.Pred]++
 	}
 	added := 0
+	addedBy := map[string]*rel.Relation{}
 	cloned := map[string]bool{}
 	for _, f := range facts {
-		r, ok := db[f.Pred]
-		if ok && r.Arity() != f.Arity() {
-			return nil, 0, fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
-				f, f.Arity(), f.Pred, r.Arity())
-		}
 		if !cloned[f.Pred] {
+			r, ok := db[f.Pred]
 			if ok {
 				r = r.Clone()
 			} else {
@@ -436,18 +463,21 @@ func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
 		}
 		if db[f.Pred].Insert(t) {
 			added++
+			d, ok := addedBy[f.Pred]
+			if !ok {
+				d = rel.NewRelation(f.Arity())
+				addedBy[f.Pred] = d
+			}
+			d.Insert(t)
 		}
 	}
 	if added == 0 {
-		return old, 0, nil
+		return old, 0, m, nil
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
+	m = s.maintainSwap(old, next, addedBy, true)
 	s.snap.Store(next)
-	// Eagerly sweep result-cache entries of the superseded version: they
-	// can never be hit again (keys carry the version), so dropping them
-	// now frees their rows instead of waiting for the next query.
-	s.results.invalidateTo(next.Version)
-	return next, added, nil
+	return next, added, m, nil
 }
 
 // RemoveFacts publishes a new database snapshot with the given ground
@@ -458,23 +488,34 @@ func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
 // queries keep their pinned pre-retraction snapshot.  Retraction is
 // idempotent: facts that are not present (including facts naming
 // constants the system has never seen) are skipped, and a batch that
-// removes nothing publishes no snapshot, so version-keyed caches stay
-// warm.  Facts must be ground, must not name derived (rule-head)
-// predicates, and must match the program's declared arities — the same
-// contract AddFacts enforces.
+// removes nothing publishes no snapshot, so warm caches survive; on a
+// real swap, cache maintenance (delete-and-rederive, see maintain.go)
+// carries what it can to the new version before the snapshot publishes.
+// Facts must be ground, must not name derived (rule-head) predicates,
+// and must match the program's declared arities — the same contract
+// AddFacts enforces.
 func (s *System) RemoveFacts(facts []ast.Atom) (*Snapshot, int, error) {
+	snap, removed, _, err := s.RemoveFactsMaint(facts)
+	return snap, removed, err
+}
+
+// RemoveFactsMaint is RemoveFacts reporting what the swap's cache
+// maintenance did: how many cached results and seeds were upgraded to
+// the new version versus purged.
+func (s *System) RemoveFactsMaint(facts []ast.Atom) (*Snapshot, int, Maintenance, error) {
+	var m Maintenance
 	if len(facts) == 0 {
-		return s.Snapshot(), 0, nil
+		return s.Snapshot(), 0, m, nil
 	}
 	for _, f := range facts {
 		if !f.IsGround() {
-			return nil, 0, fmt.Errorf("core: fact %v is not ground", f)
+			return nil, 0, m, fmt.Errorf("core: fact %v is not ground", f)
 		}
 		if s.idb[f.Pred] {
-			return nil, 0, fmt.Errorf("core: %q is a derived (rule-head) predicate; retract the facts it is derived from instead", f.Pred)
+			return nil, 0, m, fmt.Errorf("core: %q is a derived (rule-head) predicate; retract the facts it is derived from instead", f.Pred)
 		}
 		if want, ok := s.arity[f.Pred]; ok && want != f.Arity() {
-			return nil, 0, fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
+			return nil, 0, m, fmt.Errorf("core: fact %v has arity %d, predicate %q has arity %d",
 				f, f.Arity(), f.Pred, want)
 		}
 	}
@@ -491,7 +532,7 @@ func (s *System) RemoveFacts(facts []ast.Atom) (*Snapshot, int, error) {
 			continue
 		}
 		if r.Arity() != f.Arity() {
-			return nil, 0, fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
+			return nil, 0, m, fmt.Errorf("core: fact %v has arity %d, relation %q has %d",
 				f, f.Arity(), f.Pred, r.Arity())
 		}
 		t := make(rel.Tuple, f.Arity())
@@ -510,15 +551,24 @@ func (s *System) RemoveFacts(facts []ast.Atom) (*Snapshot, int, error) {
 	}
 	removed := 0
 	rebuilt := map[string]*rel.Relation{}
+	removedBy := map[string]*rel.Relation{}
 	for pred, tuples := range byPred {
-		r, n := old.DB[pred].Without(tuples)
+		r0 := old.DB[pred]
+		r, n := r0.Without(tuples)
 		if n > 0 {
 			rebuilt[pred] = r
 			removed += n
+			d := rel.NewRelation(r0.Arity())
+			for _, t := range tuples {
+				if r0.Has(t) {
+					d.Insert(t)
+				}
+			}
+			removedBy[pred] = d
 		}
 	}
 	if removed == 0 {
-		return old, 0, nil
+		return old, 0, m, nil
 	}
 	db := make(rel.DB, len(old.DB))
 	for k, v := range old.DB {
@@ -528,9 +578,9 @@ func (s *System) RemoveFacts(facts []ast.Atom) (*Snapshot, int, error) {
 		db[pred] = r
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
+	m = s.maintainSwap(old, next, removedBy, false)
 	s.snap.Store(next)
-	s.results.invalidateTo(next.Version)
-	return next, removed, nil
+	return next, removed, m, nil
 }
 
 // ValidateFacts checks a fact batch against the update contract shared
@@ -589,8 +639,7 @@ func (s *System) CachedAnswer(snap *Snapshot, q ast.Atom, opts Options) (*QueryR
 		kind:     s.intendedKind(a, sels, opts),
 		strategy: opts.Strategy,
 		workers:  opts.Workers,
-		version:  snap.Version,
-	})
+	}, snap.Version)
 	if res == nil {
 		return nil, false
 	}
@@ -813,7 +862,6 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 		kind:     s.intendedKind(a, sels, opts),
 		strategy: opts.Strategy,
 		workers:  opts.Workers,
-		version:  snap.Version,
 	}
 	var cancelled <-chan struct{}
 	if ctx != nil {
@@ -825,7 +873,7 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 	// pathological stampede of short-deadline builders; on exhaustion the
 	// query simply evaluates uncached.
 	for attempt := 0; attempt < 4; attempt++ {
-		e, build := s.results.acquire(key)
+		e, build := s.results.acquire(key, snap.Version)
 		if e == nil {
 			break // cache disabled, or snapshot superseded: evaluate fresh
 		}

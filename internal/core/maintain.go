@@ -1,0 +1,457 @@
+// Differential maintenance of cached derived state across snapshot
+// swaps.  A swap N → N+1 used to purge every cached result, exit-rule
+// seed and magic set; here the System instead offers each cached view an
+// upgrade to the new version:
+//
+//   - When the changed predicates cannot reach the cached goal, the view
+//     carries over untouched (free upgrade).
+//   - Additions resume the semi-naive closure from the cached fixpoint:
+//     the one-step consequences of the new tuples (occurrence-restricted
+//     delta rules over the exit rules and operators) become the delta,
+//     and eval.SemiNaiveResumeCtx propagates them — work proportional to
+//     the new derivations, not the whole closure.
+//   - Retractions run delete-and-rederive (DRed): over-delete the cone
+//     of the removed tuples through the recursion, then re-derive the
+//     survivors from alternative derivations that remain in the new
+//     database, resuming the closure from whatever was re-derived.
+//
+// Anything the analysis can't bound — bound goals, magic-seeded or
+// separable plans, derived predicates feeding the goal, in-flight
+// builds, panics during maintenance — falls back to the old behavior:
+// the entry is purged and the next query rebuilds it.  Every fallback is
+// counted (result_cache.upgrade_fallbacks), every carried view too
+// (result_cache.upgrades), so /v1/stats shows whether churn is being
+// absorbed or merely survived.
+
+package core
+
+import (
+	"context"
+	"sync"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/planner"
+	"linrec/internal/rel"
+)
+
+// deltaPred is the pseudo-predicate the occurrence-restricted delta
+// rules bind to the changed tuples.  The '~' makes it unparseable as a
+// program predicate, so it can never collide with a real relation.
+const deltaPred = "delta~"
+
+// Maintenance summarizes what one snapshot swap did to the derived-state
+// caches: how many goal-level results and exit-rule seeds were carried
+// to the new version versus purged for the next query to rebuild.
+type Maintenance struct {
+	ResultsUpgraded int `json:"results_upgraded"`
+	ResultsPurged   int `json:"results_purged"`
+	SeedsUpgraded   int `json:"seeds_upgraded"`
+	SeedsPurged     int `json:"seeds_purged"`
+}
+
+// Add combines the maintenance summaries of consecutive swaps (a
+// combined remove+add request performs up to two).
+func (m Maintenance) Add(o Maintenance) Maintenance {
+	m.ResultsUpgraded += o.ResultsUpgraded
+	m.ResultsPurged += o.ResultsPurged
+	m.SeedsUpgraded += o.SeedsUpgraded
+	m.SeedsPurged += o.SeedsPurged
+	return m
+}
+
+// opOcc keys the derived delta-operator cache: the operator identity
+// (ops are pointer-canonical per Analysis) and the nonrecursive
+// occurrence rewritten to the delta pseudo-predicate.  Caching the
+// clones matters because the engine's compiled-operator cache is keyed
+// by *ast.Op — a fresh clone per swap would grow it without bound.
+type opOcc struct {
+	op  *ast.Op
+	idx int
+}
+
+// deltaOps lazily caches the occurrence-restricted variants of the
+// analysis operators (one per nonrecursive occurrence).
+type deltaOps struct {
+	mu  sync.Mutex
+	ops map[opOcc]*ast.Op
+}
+
+func (d *deltaOps) get(op *ast.Op, idx int) *ast.Op {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ops == nil {
+		d.ops = map[opOcc]*ast.Op{}
+	}
+	k := opOcc{op, idx}
+	if m, ok := d.ops[k]; ok {
+		return m
+	}
+	m := op.Clone()
+	m.NonRec[idx].Pred = deltaPred
+	d.ops[k] = m
+	return m
+}
+
+// overlayDB returns a shallow copy of db with the delta pseudo-predicate
+// bound to delta.  Relations are shared; only the map is copied.
+func overlayDB(db rel.DB, delta *rel.Relation) rel.DB {
+	ov := make(rel.DB, len(db)+1)
+	for k, v := range db {
+		ov[k] = v
+	}
+	ov[deltaPred] = delta
+	return ov
+}
+
+// maintainSwap runs cache maintenance for a swap from old to next, where
+// changed holds the tuples actually inserted (isAdd) or removed per
+// predicate.  It must run under factMu, before next is published: the
+// caches move to the new version first, so a query pinned at the old
+// snapshot can no longer populate them with stale entries (it sees a
+// superseded version and evaluates uncached), and the first query on the
+// new snapshot finds the carried views already in place.
+func (s *System) maintainSwap(old, next *Snapshot, changed map[string]*rel.Relation, isAdd bool) Maintenance {
+	var m Maintenance
+	m.SeedsUpgraded, m.SeedsPurged = s.sweepSeeds(next, changed, isAdd)
+	m.ResultsUpgraded, m.ResultsPurged = s.results.advance(next.Version, func(key resultKey, res *QueryResult) *QueryResult {
+		return s.upgradeResult(old, next, changed, isAdd, key, res)
+	})
+	return m
+}
+
+// upgradeResult attempts to carry one cached result across the swap,
+// returning nil (fall back to purge) whenever the change can't be
+// bounded.  Eligible entries are full-closure views: a fully open goal
+// (distinct variables in every position) evaluated by a plain or
+// decomposed closure, whose body predicates are all extensional — the
+// cached answer is then exactly the closure of the exit-rule seed under
+// the analysis operators, which the resume/DRed machinery maintains.
+// A panic during maintenance (engine invariant violation) degrades to a
+// fallback rather than failing the write.
+func (s *System) upgradeResult(old, next *Snapshot, changed map[string]*rel.Relation, isAdd bool, key resultKey, res *QueryResult) (out *QueryResult) {
+	defer func() {
+		if recover() != nil {
+			out = nil
+		}
+	}()
+	if res == nil || res.Plan == nil {
+		return nil
+	}
+	if res.Plan.Kind != planner.SemiNaive && res.Plan.Kind != planner.Decomposed {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, t := range res.Query.Args {
+		if !t.IsVar() || seen[t.Name] {
+			return nil
+		}
+		seen[t.Name] = true
+	}
+	a, err := s.Analyze(res.Query.Pred)
+	if err != nil {
+		return nil
+	}
+	touched := false
+	extensional := func(pred string) bool {
+		if s.idb[pred] {
+			return false
+		}
+		if _, ok := changed[pred]; ok {
+			touched = true
+		}
+		return true
+	}
+	for _, r := range a.ExitRules {
+		for _, atom := range r.Body {
+			if !extensional(atom.Pred) {
+				return nil
+			}
+		}
+	}
+	for _, op := range a.Ops {
+		for _, atom := range op.NonRec {
+			if !extensional(atom.Pred) {
+				return nil
+			}
+		}
+	}
+	up := *res
+	up.Version = next.Version
+	if !touched {
+		// The changed predicates feed this goal nowhere: the answer (and
+		// its rendered-rows memo) carries over shared.
+		return &up
+	}
+	var ans *rel.Relation
+	var ok bool
+	if isAdd {
+		ans, ok = s.resumeAddition(a, res.Answer, next.DB, changed, key.workers)
+	} else {
+		ans, ok = s.resumeRetraction(a, res.Answer, old.DB, next.DB, changed, key.workers)
+	}
+	if !ok {
+		return nil
+	}
+	if ans == res.Answer {
+		return &up // proven unchanged: rows and memo stay shared
+	}
+	up.Answer = ans
+	up.memo = &rowsMemo{syms: s.Engine.Syms}
+	return &up
+}
+
+// resumeAddition maintains a cached full closure under added tuples: the
+// one-step consequences of the delta (each exit rule and operator with
+// one changed occurrence bound to the new tuples, everything else seeing
+// the full new database) are appended to a copy of the cached fixpoint,
+// and the semi-naive loop resumes from there.  Returns the cached
+// relation itself when nothing new is derivable (sharing stays free).
+func (s *System) resumeAddition(a *planner.Analysis, total *rel.Relation, db rel.DB, added map[string]*rel.Relation, workers int) (*rel.Relation, bool) {
+	resume := total.Clone()
+	lo := resume.Len()
+	var st eval.Stats
+	for _, r := range a.ExitRules {
+		for i := range r.Body {
+			delta, ok := added[r.Body[i].Pred]
+			if !ok {
+				continue
+			}
+			rr := r.Clone()
+			rr.Body[i].Pred = deltaPred
+			outRel, err := s.Engine.EvalRule(overlayDB(db, delta), rr)
+			if err != nil {
+				return nil, false
+			}
+			outRel.Each(func(t rel.Tuple) { resume.Insert(t) })
+		}
+	}
+	p := eval.Parallel(s.Engine, workers)
+	for _, op := range a.Ops {
+		for i := range op.NonRec {
+			delta, ok := added[op.NonRec[i].Pred]
+			if !ok {
+				continue
+			}
+			mod := s.deltas.get(op, i)
+			p.ApplyInto(overlayDB(db, delta), mod, total, resume, &st)
+		}
+	}
+	if resume.Len() == lo {
+		return total, true // no new one-step consequence: closure unchanged
+	}
+	if _, err := p.SemiNaiveResumeCtx(context.Background(), db, a.Ops, resume, lo); err != nil {
+		return nil, false
+	}
+	return resume, true
+}
+
+// resumeRetraction maintains a cached full closure under removed tuples
+// by delete-and-rederive.  Over-delete: every cached tuple with a
+// one-step derivation through a removed tuple joins the deleted set D,
+// and D's consequences cascade through the recursive position (the only
+// intensional input — eligibility guaranteed every nonrecursive
+// predicate is extensional).  Re-derive: surviving tuples of D are those
+// the new database still derives, found by re-seeding D from the new
+// exit rules and re-applying each operator with its recursive input
+// restricted to survivors that can reach D at all; the closure then
+// resumes from whatever came back.  The resumed fixpoint can never leave
+// the old closure (retraction shrinks the database, closure is
+// monotone), so no keep filter is needed.
+func (s *System) resumeRetraction(a *planner.Analysis, total *rel.Relation, oldDB, newDB rel.DB, removed map[string]*rel.Relation, workers int) (*rel.Relation, bool) {
+	var st eval.Stats
+	arity := total.Arity()
+	deleted := rel.NewRelation(arity)
+	frontier := rel.NewRelation(arity)
+	collect := func(t rel.Tuple) {
+		if total.Has(t) && deleted.Insert(t) {
+			frontier.Insert(t)
+		}
+	}
+	for _, r := range a.ExitRules {
+		for i := range r.Body {
+			delta, ok := removed[r.Body[i].Pred]
+			if !ok {
+				continue
+			}
+			rr := r.Clone()
+			rr.Body[i].Pred = deltaPred
+			outRel, err := s.Engine.EvalRule(overlayDB(oldDB, delta), rr)
+			if err != nil {
+				return nil, false
+			}
+			outRel.Each(collect)
+		}
+	}
+	p := eval.Parallel(s.Engine, workers)
+	for _, op := range a.Ops {
+		for i := range op.NonRec {
+			delta, ok := removed[op.NonRec[i].Pred]
+			if !ok {
+				continue
+			}
+			mod := s.deltas.get(op, i)
+			scratch := rel.NewRelation(arity)
+			p.ApplyInto(overlayDB(oldDB, delta), mod, total, scratch, &st)
+			scratch.Each(collect)
+		}
+	}
+	for frontier.Len() > 0 {
+		next := rel.NewRelation(arity)
+		for _, op := range a.Ops {
+			scratch := rel.NewRelation(arity)
+			s.Engine.Apply(oldDB, op, frontier, scratch, &st)
+			scratch.Each(func(t rel.Tuple) {
+				if total.Has(t) && deleted.Insert(t) {
+					next.Insert(t)
+				}
+			})
+		}
+		frontier = next
+	}
+	if deleted.Len() == 0 {
+		return total, true // the removed tuples fed no cached derivation
+	}
+	pruned, _ := total.Minus(deleted)
+	lo := pruned.Len()
+	// Re-seed only inside the cone: evaluate each exit rule with its head
+	// pre-bound to the deleted tuples (a delta~ atom carrying the head
+	// arguments leads the body), so the cost scales with the cone, not
+	// with a full materialization of every exit rule.
+	for _, r := range a.ExitRules {
+		rr := r.Clone()
+		rr.Body = append([]ast.Atom{ast.NewAtom(deltaPred, rr.Head.Args...)}, rr.Body...)
+		outRel, err := s.Engine.EvalRule(overlayDB(newDB, deleted), rr)
+		if err != nil {
+			return nil, false
+		}
+		outRel.Each(func(t rel.Tuple) { pruned.Insert(t) })
+	}
+	// Re-derive through the operators the same way, in reverse: the head
+	// pre-bound to the deleted tuples, the recursive atom resolved against
+	// the pruned fixpoint.  For each deleted tuple the engine probes the
+	// nonrecursive inputs and then (for the usual operator shapes, where
+	// the recursive atom ends up fully bound) makes one membership test
+	// against pruned per candidate parent — no scan of, or index over, the
+	// surviving fixpoint is needed.  Inserting each re-derived tuple into
+	// pruned as it appears is sound: the insertion is derivable from the
+	// survivors plus earlier (well-founded by induction) re-derivations,
+	// and it lets one pass catch chains inside the cone.
+	for _, op := range a.Ops {
+		body := make([]ast.Atom, 0, len(op.NonRec)+2)
+		body = append(body, ast.NewAtom(deltaPred, op.Head.Args...))
+		body = append(body, op.NonRec...)
+		body = append(body, op.Rec)
+		ov := overlayDB(newDB, deleted)
+		ov[op.Rec.Pred] = pruned
+		outRel, err := s.Engine.EvalRule(ov, ast.Rule{Head: op.Head, Body: body})
+		if err != nil {
+			return nil, false
+		}
+		outRel.Each(func(t rel.Tuple) { pruned.Insert(t) })
+	}
+	if pruned.Len() == lo {
+		return pruned, true // nothing re-derivable: the pruned set is closed
+	}
+	if _, err := p.SemiNaiveResumeCtx(context.Background(), newDB, a.Ops, pruned, lo); err != nil {
+		return nil, false
+	}
+	return pruned, true
+}
+
+// sweepSeeds eagerly retires the seed/magic cache of the superseded
+// snapshot during a swap, carrying what it can: an exit-rule seed whose
+// inputs did not change moves to the new version untouched, an addition
+// touching only extensional exit-rule inputs is delta-evaluated into an
+// upgraded seed, and everything else — magic sets (their bound-tuple
+// frontier is not superset-safe to reuse), in-flight builds, failed
+// builds, retraction-touched seeds — is dropped immediately instead of
+// lingering until the next query's lazy sweep.
+func (s *System) sweepSeeds(next *Snapshot, changed map[string]*rel.Relation, isAdd bool) (upgraded, purged int) {
+	s.seedMu.Lock()
+	stale := s.seeds
+	s.seedVersion = next.Version
+	s.seeds = make(map[seedKey]*seedFuture, len(stale))
+	s.seedMu.Unlock()
+	for key, f := range stale {
+		nf := s.upgradeSeed(next, changed, isAdd, key, f)
+		if nf == nil {
+			purged++
+			continue
+		}
+		upgraded++
+		s.seedMu.Lock()
+		if s.seedVersion == next.Version {
+			if _, exists := s.seeds[key]; !exists {
+				s.seeds[key] = nf
+			}
+		}
+		s.seedMu.Unlock()
+	}
+	return upgraded, purged
+}
+
+// upgradeSeed attempts to carry one seed-cache entry across the swap;
+// nil means drop it.  Only completed, error-free exit-rule seeds
+// (adorn == "") over purely extensional exit-rule bodies qualify; of
+// those, untouched seeds carry as-is and addition-touched seeds gain the
+// delta-evaluated new exit-rule derivations.
+func (s *System) upgradeSeed(next *Snapshot, changed map[string]*rel.Relation, isAdd bool, key seedKey, f *seedFuture) (out *seedFuture) {
+	defer func() {
+		if recover() != nil {
+			out = nil
+		}
+	}()
+	select {
+	case <-f.done:
+	default:
+		return nil // in flight: its detached build targets the old snapshot
+	}
+	if f.err != nil || key.adorn != "" {
+		return nil
+	}
+	a, err := s.Analyze(key.pred)
+	if err != nil {
+		return nil
+	}
+	touched := false
+	for _, r := range a.ExitRules {
+		for _, atom := range r.Body {
+			if s.idb[atom.Pred] {
+				return nil
+			}
+			if _, ok := changed[atom.Pred]; ok {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		return f // no exit-rule input changed: the seed is the seed
+	}
+	if !isAdd {
+		return nil // a retraction may shrink the seed: rebuild lazily
+	}
+	q := f.q.Clone()
+	for _, r := range a.ExitRules {
+		for i := range r.Body {
+			delta, ok := changed[r.Body[i].Pred]
+			if !ok {
+				continue
+			}
+			rr := r.Clone()
+			rr.Body[i].Pred = deltaPred
+			outRel, err := s.Engine.EvalRule(overlayDB(next.DB, delta), rr)
+			if err != nil {
+				return nil
+			}
+			outRel.Each(func(t rel.Tuple) { q.Insert(t) })
+		}
+	}
+	// Republish as already-completed: consume once and close done up
+	// front so a later build() call neither re-runs the builder nor
+	// double-closes the channel.
+	nf := &seedFuture{done: make(chan struct{}), q: q, stats: f.stats}
+	nf.once.Do(func() {})
+	close(nf.done)
+	return nf
+}

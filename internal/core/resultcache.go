@@ -1,9 +1,19 @@
 // The goal-level result cache: completed QueryResults keyed by
-// (normalized goal, plan kind, strategy, workers, snapshot version), so a
-// repeated goal on an unchanged database is served without planning or
-// evaluating anything.  The cache stores the sorted answer relation and
-// the evaluation statistics of the query that paid for the build, which
+// (normalized goal, plan kind, strategy, workers), so a repeated goal on
+// an unchanged database is served without planning or evaluating
+// anything.  The cache stores the sorted answer relation and the
+// evaluation statistics of the query that paid for the build, which
 // makes hits bit-for-bit identical to the miss that populated them.
+//
+// Entries are maintainable views: the cache as a whole is valid at one
+// snapshot version, and a snapshot swap N → N+1 calls advance with an
+// upgrade callback that may carry an entry across the swap (free when
+// the change can't reach the goal, by delta-resume for additions, by
+// delete-and-rederive for retractions).  Entries the callback declines
+// fall back to the old behavior — they are purged and the next query
+// rebuilds them — so a stale answer can never be served: every admitted
+// entry was either built at, or verifiably upgraded to, the cache's
+// current version.
 //
 // Capacity is bounded by total cached answer rows (not entry count — one
 // full-closure answer can outweigh thousands of bound-query answers) with
@@ -11,9 +21,7 @@
 // same key share one evaluation, run inline by the first arriver under
 // its own context; waiters honor their own contexts, and an abandoned
 // build (the builder's context fired) is retried by the surviving
-// waiters rather than poisoning the key.  Version keying makes
-// invalidation free — AddFacts/RemoveFacts publish a new snapshot
-// version, and the first query on it sweeps every stale entry.
+// waiters rather than poisoning the key.
 
 package core
 
@@ -40,13 +48,14 @@ const DefaultResultCacheRows = 4 << 20
 // string renders constants in place and variables canonically, so it is
 // exactly the (predicate, adornment, bound tuple) triple — two goals
 // with different binding patterns or different bound values can never
-// share an entry.
+// share an entry.  The snapshot version is deliberately not part of the
+// key: validity is a property of the cache (see advance), not the entry,
+// which is what lets a swap upgrade an entry in place of purging it.
 type resultKey struct {
 	goal     string // normalized goal atom (canonical variable names)
 	kind     planner.Kind
 	strategy planner.Strategy
 	workers  int
-	version  uint64
 }
 
 // normalizeGoal renders a goal atom with variables renamed to their order
@@ -116,7 +125,10 @@ type resultCache struct {
 	lru     *list.List // completed entries, front = most recent
 
 	hits, misses, evictions [resultCacheKinds]int64
-	invalidated             int64
+	joins                   int64 // waiters that joined an in-flight build
+	invalidated             int64 // entries purged by swaps (fallbacks included)
+	upgrades                int64 // entries carried across a swap by maintenance
+	upgradeFallbacks        int64 // entries a swap tried and failed to upgrade
 }
 
 // newResultCache sizes the cache from the Options field: 0 selects
@@ -135,27 +147,33 @@ func newResultCache(capRows int) *resultCache {
 	}
 }
 
-// acquire returns the cache slot for key, reporting whether the caller
-// must build it (miss) or may wait on it (hit, possibly still in flight).
-// A nil entry means the cache is bypassed for this query: disabled, or
-// the snapshot is superseded (no point repopulating a dead version).
-func (c *resultCache) acquire(key resultKey) (e *resultEntry, build bool) {
+// acquire returns the cache slot for key at the caller's pinned snapshot
+// version, reporting whether the caller must build it (miss) or may wait
+// on it (possibly still in flight).  A nil entry means the cache is
+// bypassed for this query: disabled, or the caller's snapshot is
+// superseded (no point repopulating a dead version).  Hits count only
+// completed entries — a waiter joining a build still in flight is
+// counted under joins instead, so the hit counters reflect results that
+// were actually served from cache.
+func (c *resultCache) acquire(key resultKey, version uint64) (e *resultEntry, build bool) {
 	if c == nil || c.capRows <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if key.version != c.version {
-		if key.version < c.version {
+	if version != c.version {
+		if version < c.version {
 			return nil, false
 		}
-		c.purgeLocked(key.version)
+		c.purgeLocked(version)
 	}
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
 			c.lru.MoveToFront(e.elem)
+			c.hits[kindSlot(key.kind)]++
+		} else {
+			c.joins++
 		}
-		c.hits[kindSlot(key.kind)]++
 		return e, false
 	}
 	e = &resultEntry{key: key, done: make(chan struct{})}
@@ -164,19 +182,20 @@ func (c *resultCache) acquire(key resultKey) (e *resultEntry, build bool) {
 	return e, true
 }
 
-// peek returns the completed result for key, if any, bumping LRU recency
-// and the hit counter.  Unlike acquire it never creates an entry and
-// never waits on a build in flight — it is the lock-probe behind the
-// server's admission-free fast path.
-func (c *resultCache) peek(key resultKey) *QueryResult {
+// peek returns the completed result for key at the caller's snapshot
+// version, if any, bumping LRU recency and the hit counter.  Unlike
+// acquire it never creates an entry and never waits on a build in
+// flight — it is the lock-probe behind the server's admission-free fast
+// path.
+func (c *resultCache) peek(key resultKey, version uint64) *QueryResult {
 	if c == nil || c.capRows <= 0 {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if key.version != c.version {
-		if key.version > c.version {
-			c.purgeLocked(key.version)
+	if version != c.version {
+		if version > c.version {
+			c.purgeLocked(version)
 		}
 		return nil
 	}
@@ -189,9 +208,9 @@ func (c *resultCache) peek(key resultKey) *QueryResult {
 	return e.res
 }
 
-// purgeLocked drops every entry of a superseded version and records the
-// new high-water version.  In-flight builds of the old version stay out
-// of the map from the moment of the purge; their completion is a no-op.
+// purgeLocked drops every entry and records the new high-water version.
+// In-flight builds stay out of the map from the moment of the purge;
+// their completion is a no-op.
 func (c *resultCache) purgeLocked(version uint64) {
 	c.invalidated += int64(len(c.entries))
 	c.entries = map[resultKey]*resultEntry{}
@@ -200,9 +219,8 @@ func (c *resultCache) purgeLocked(version uint64) {
 	c.version = version
 }
 
-// invalidateTo eagerly drops entries older than version — called when a
-// snapshot swap publishes, so stale results free their rows immediately
-// instead of waiting for the next query to sweep them.
+// invalidateTo drops every entry and advances to version — the
+// fallback-to-purge path for swaps that don't attempt maintenance.
 func (c *resultCache) invalidateTo(version uint64) {
 	if c == nil || c.capRows <= 0 {
 		return
@@ -212,6 +230,76 @@ func (c *resultCache) invalidateTo(version uint64) {
 	if version > c.version {
 		c.purgeLocked(version)
 	}
+}
+
+// advance moves the cache to newVersion, offering every completed entry
+// to the upgrade callback: a non-nil return is re-admitted at the new
+// version (its result must already be correct for newVersion), a nil
+// return purges the entry as before.  In-flight builds are detached
+// uncounted — their completion no-ops and the surviving waiters retry.
+// The callbacks run outside the cache lock; the caller must hold the
+// System's write lock so no competing swap or same-key build interleaves.
+func (c *resultCache) advance(newVersion uint64, upgrade func(key resultKey, res *QueryResult) *QueryResult) (upgraded, fallbacks int) {
+	if c == nil || c.capRows <= 0 {
+		return 0, 0
+	}
+	c.mu.Lock()
+	if newVersion <= c.version {
+		c.mu.Unlock()
+		return 0, 0
+	}
+	// Collect completed entries coldest-first so re-admission preserves
+	// the LRU order across the swap.
+	old := make([]*resultEntry, 0, c.lru.Len())
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		old = append(old, el.Value.(*resultEntry))
+	}
+	c.entries = map[resultKey]*resultEntry{}
+	c.lru.Init()
+	c.rows = 0
+	c.version = newVersion
+	c.mu.Unlock()
+
+	type carried struct {
+		key resultKey
+		res *QueryResult
+	}
+	kept := make([]carried, 0, len(old))
+	for _, e := range old {
+		var up *QueryResult
+		if upgrade != nil {
+			up = upgrade(e.key, e.res)
+		}
+		if up == nil {
+			fallbacks++
+			continue
+		}
+		kept = append(kept, carried{e.key, up})
+	}
+
+	c.mu.Lock()
+	for _, k := range kept {
+		rows := k.res.Answer.Len()
+		if _, exists := c.entries[k.key]; exists || c.version != newVersion || rows > c.capRows {
+			fallbacks++
+			continue
+		}
+		done := make(chan struct{})
+		close(done)
+		e := &resultEntry{key: k.key, done: done, res: k.res, rows: rows}
+		c.entries[k.key] = e
+		e.elem = c.lru.PushFront(e)
+		c.rows += rows
+		for c.rows > c.capRows {
+			c.evictLocked()
+		}
+		upgraded++
+	}
+	c.upgrades += int64(upgraded)
+	c.upgradeFallbacks += int64(fallbacks)
+	c.invalidated += int64(fallbacks)
+	c.mu.Unlock()
+	return upgraded, fallbacks
 }
 
 // complete finishes a build: on success the entry is admitted to the LRU
@@ -262,15 +350,21 @@ func (c *resultCache) evictLocked() {
 // ResultCacheStats is the /v1/stats view of the result cache: gauges for
 // the current contents plus monotonic hit/miss/eviction counters per plan
 // kind (keyed by the planner Kind's String form; kinds with zero counts
-// are omitted) and the number of entries dropped by snapshot swaps.
+// are omitted), single-flight join counts, and the swap-maintenance
+// counters — entries carried across swaps (upgrades), entries a swap
+// failed to carry (upgrade_fallbacks), and total entries purged by swaps
+// (invalidated, a superset of the fallbacks).
 type ResultCacheStats struct {
-	CapRows     int              `json:"cap_rows"`
-	Entries     int              `json:"entries"`
-	Rows        int              `json:"rows"`
-	Hits        map[string]int64 `json:"hits,omitempty"`
-	Misses      map[string]int64 `json:"misses,omitempty"`
-	Evictions   map[string]int64 `json:"evictions,omitempty"`
-	Invalidated int64            `json:"invalidated"`
+	CapRows          int              `json:"cap_rows"`
+	Entries          int              `json:"entries"`
+	Rows             int              `json:"rows"`
+	Hits             map[string]int64 `json:"hits,omitempty"`
+	Misses           map[string]int64 `json:"misses,omitempty"`
+	Evictions        map[string]int64 `json:"evictions,omitempty"`
+	Joins            int64            `json:"joins"`
+	Invalidated      int64            `json:"invalidated"`
+	Upgrades         int64            `json:"upgrades"`
+	UpgradeFallbacks int64            `json:"upgrade_fallbacks"`
 }
 
 // HitRatio returns hits / (hits + misses) across all plan kinds, 0 when
@@ -297,10 +391,13 @@ func (c *resultCache) Stats() ResultCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := ResultCacheStats{
-		CapRows:     c.capRows,
-		Entries:     len(c.entries),
-		Rows:        c.rows,
-		Invalidated: c.invalidated,
+		CapRows:          c.capRows,
+		Entries:          len(c.entries),
+		Rows:             c.rows,
+		Joins:            c.joins,
+		Invalidated:      c.invalidated,
+		Upgrades:         c.upgrades,
+		UpgradeFallbacks: c.upgradeFallbacks,
 	}
 	counts := func(src [resultCacheKinds]int64) map[string]int64 {
 		var m map[string]int64

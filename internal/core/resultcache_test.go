@@ -12,6 +12,7 @@ import (
 
 	"linrec/internal/ast"
 	"linrec/internal/parser"
+	"linrec/internal/planner"
 )
 
 func cacheTotals(s ResultCacheStats) (hits, misses, evictions int64) {
@@ -223,7 +224,10 @@ func TestResultCacheDisabled(t *testing.T) {
 }
 
 // TestResultCacheSingleFlight: N concurrent identical queries share one
-// evaluation — exactly one miss, N−1 hits, all answers identical.
+// evaluation — exactly one miss, with every other client either joining
+// the in-flight build (joins) or hitting the completed entry (hits),
+// and all answers identical.  Hits alone don't account for all N−1:
+// only clients actually served a completed entry count there.
 func TestResultCacheSingleFlight(t *testing.T) {
 	var b strings.Builder
 	b.WriteString("p(X,Y) :- e(X,Y).\np(X,Y) :- p(X,U), e(U,Y).\n")
@@ -264,10 +268,35 @@ func TestResultCacheSingleFlight(t *testing.T) {
 			t.Fatalf("client %d: %d rows, want %d", c, rows[c], n)
 		}
 	}
-	hits, misses, _ := cacheTotals(sys.ResultCacheStats())
-	if misses != 1 || hits != clients-1 {
-		t.Fatalf("single-flight counters: %d misses / %d hits, want 1 / %d", misses, hits, clients-1)
+	st := sys.ResultCacheStats()
+	hits, misses, _ := cacheTotals(st)
+	if misses != 1 {
+		t.Fatalf("single-flight misses = %d, want 1", misses)
 	}
+	if hits+st.Joins != clients-1 {
+		t.Fatalf("single-flight counters: %d hits + %d joins, want %d total", hits, st.Joins, clients-1)
+	}
+	// A deterministic in-flight join: acquire the key while a build is
+	// open and verify it lands in joins, not hits.
+	c := sys.results
+	key := resultKey{goal: normalizeGoal(goal), kind: planner.MagicSeeded}
+	e, build := c.acquire(key, 99)
+	if !build {
+		t.Fatalf("fresh key on a new version should be a miss")
+	}
+	hits0, _, _ := cacheTotals(c.Stats())
+	joins0 := c.Stats().Joins
+	if _, again := c.acquire(key, 99); again {
+		t.Fatalf("second acquire of an in-flight key must not build")
+	}
+	hits1, _, _ := cacheTotals(c.Stats())
+	if hits1 != hits0 {
+		t.Fatalf("in-flight join counted as a hit")
+	}
+	if c.Stats().Joins != joins0+1 {
+		t.Fatalf("in-flight join not counted: %d, want %d", c.Stats().Joins, joins0+1)
+	}
+	c.complete(e, nil, errors.New("abandon"))
 }
 
 // TestResultCacheAbandonedBuild: a builder whose deadline fires mid-build

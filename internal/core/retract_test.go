@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -260,5 +261,125 @@ func TestRetractDifferential(t *testing.T) {
 	t.Logf("%d cases, %d facts retracted, %d non-empty answers", cases, actuallyRemoved, nonEmpty)
 	if nonEmpty < 30 {
 		t.Fatalf("only %d cases had non-empty answers; the harness is not exercising evaluation", nonEmpty)
+	}
+}
+
+// TestInterleavedWarmCacheDifferential is the incremental-maintenance
+// correctness harness: random programs under random interleavings of
+// add and retract batches on one System, with the caches kept warm by
+// querying (bound and full-closure goals, 1 and 4 workers) between every
+// step.  After each swap, every answer must be bit-for-bit equal to a
+// from-scratch evaluation over the facts currently present — whether the
+// serving entry was maintained across the swap, rebuilt, or never
+// cached.  Across the run, upgrades must actually happen, or the
+// maintained path was never exercised.
+func TestInterleavedWarmCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	const cases = 60
+	ctx := context.Background()
+	var totalUpgrades int64
+	maintainedServed := 0
+
+	for i := 0; i < cases; i++ {
+		rules, facts := genRetractProgram(rng)
+		sys, err := Load(rules)
+		if err != nil {
+			t.Fatalf("case %d: load rules:\n%s\n%v", i, rules, err)
+		}
+		if _, _, err := sys.AddFacts(facts); err != nil {
+			t.Fatalf("case %d: AddFacts: %v", i, err)
+		}
+		// present tracks the current fact multiset (deduplicated — the
+		// generator already deduplicates) by rendered form.
+		present := map[string]ast.Atom{}
+		for _, f := range facts {
+			present[f.String()] = f
+		}
+		goals := []ast.Atom{
+			mustAtom(t, "p(X, Y)"),
+			mustAtom(t, fmt.Sprintf("p(c%d, Y)", rng.Intn(6))),
+		}
+		checkAll := func(step string) {
+			t.Helper()
+			fresh, err := Load(rules)
+			if err != nil {
+				t.Fatalf("case %d %s: fresh load: %v", i, step, err)
+			}
+			var current []ast.Atom
+			for _, f := range present {
+				current = append(current, f)
+			}
+			if _, _, err := fresh.AddFacts(current); err != nil {
+				t.Fatalf("case %d %s: fresh AddFacts: %v", i, step, err)
+			}
+			for _, goal := range goals {
+				want, err := fresh.QueryOn(ctx, fresh.Snapshot(), goal, Options{Strategy: planner.ForceSemiNaive})
+				if err != nil {
+					t.Fatalf("case %d %s: baseline %v: %v", i, step, goal, err)
+				}
+				wantRows := want.Rows(fresh)
+				for _, workers := range []int{1, 4} {
+					got, err := sys.QueryOn(ctx, sys.Snapshot(), goal, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("case %d %s: %v (workers=%d): %v", i, step, goal, workers, err)
+					}
+					if got.Cached && got.Version == sys.Snapshot().Version && len(goal.Vars(nil)) == 2 {
+						maintainedServed++
+					}
+					if !reflect.DeepEqual(got.Rows(sys), wantRows) {
+						t.Fatalf("case %d %s: diverges from from-scratch (goal %v, workers=%d, plan %v, cached=%v)\nrules:\n%s\nwant %v\ngot  %v",
+							i, step, goal, workers, got.Plan.Kind, got.Cached, rules, wantRows, got.Rows(sys))
+					}
+				}
+			}
+		}
+		checkAll("warm")
+
+		steps := 3 + rng.Intn(3)
+		for s := 0; s < steps; s++ {
+			if rng.Intn(2) == 0 && len(present) > 2 {
+				// Retract a random present subset.
+				var pool []ast.Atom
+				for _, f := range present {
+					pool = append(pool, f)
+				}
+				sort.Slice(pool, func(a, b int) bool { return pool[a].String() < pool[b].String() })
+				k := 1 + rng.Intn(3)
+				var batch []ast.Atom
+				for _, idx := range rng.Perm(len(pool))[:k] {
+					batch = append(batch, pool[idx])
+				}
+				if _, removed, err := sys.RemoveFacts(batch); err != nil || removed != len(batch) {
+					t.Fatalf("case %d step %d: removed %d of %d, err %v", i, s, removed, len(batch), err)
+				}
+				for _, f := range batch {
+					delete(present, f.String())
+				}
+				checkAll(fmt.Sprintf("step %d retract", s))
+			} else {
+				// Add a small batch of fresh random facts over the same
+				// predicates (duplicates tolerated — AddFacts dedups).
+				var batch []ast.Atom
+				for k := 1 + rng.Intn(4); k > 0; k-- {
+					src := facts[rng.Intn(len(facts))]
+					f := ast.NewAtom(src.Pred,
+						ast.C(fmt.Sprintf("c%d", rng.Intn(14))),
+						ast.C(fmt.Sprintf("c%d", rng.Intn(14))))
+					batch = append(batch, f)
+				}
+				if _, _, err := sys.AddFacts(batch); err != nil {
+					t.Fatalf("case %d step %d: AddFacts: %v", i, s, err)
+				}
+				for _, f := range batch {
+					present[f.String()] = f
+				}
+				checkAll(fmt.Sprintf("step %d add", s))
+			}
+		}
+		totalUpgrades += sys.ResultCacheStats().Upgrades
+	}
+	t.Logf("%d cases: %d upgrades, %d maintained full-closure hits served", cases, totalUpgrades, maintainedServed)
+	if totalUpgrades == 0 || maintainedServed == 0 {
+		t.Fatalf("interleaved harness never exercised the maintained path (upgrades=%d, served=%d)", totalUpgrades, maintainedServed)
 	}
 }

@@ -67,6 +67,10 @@ type compiledAtom struct {
 	// order is fixed at compile time, the bound-slot set at each atom is
 	// static, so the choice the seed engine made per probe is precomputed.
 	idxCol int
+	// member marks a fully-bound atom (every position a constant or an
+	// already-bound slot): the probe degenerates to one hash membership
+	// test, needing no column index at all.
+	member bool
 	// binds[i] marks positions that assign a fresh slot during the match
 	// (first occurrence of a slot not bound by earlier atoms); the other
 	// variable positions are equality checks.  Precomputing this removes
@@ -83,10 +87,14 @@ func finishAtoms(atoms []compiledAtom, bound map[int]bool) {
 		// assigned by an earlier position of the same atom has no value yet
 		// when the probe column is chosen.
 		a.idxCol = -1
+		a.member = true
 		for k, s := range a.slot {
 			if s == -1 || bound[s] {
-				a.idxCol = k
-				break
+				if a.idxCol < 0 {
+					a.idxCol = k
+				}
+			} else {
+				a.member = false
 			}
 		}
 		a.binds = make([]bool, len(a.slot))
@@ -178,23 +186,50 @@ func compileOp(op *ast.Op, syms *rel.Symtab) *compiled {
 
 const unbound = rel.Value(-1)
 
+// resolvedAtom is the per-evaluation resolution of one compiled atom
+// against a DB snapshot: the relation itself plus, for indexed probes, a
+// direct bucket prober.  Resolving once per apply call keeps the per-row
+// join loop free of both the predicate-map lookup and Lookup's per-probe
+// index-mutex acquisition (which turns into cross-core cache-line
+// traffic when parallel shards hammer the same relation).  A resolved
+// slice belongs to one goroutine.
+type resolvedAtom struct {
+	r     *rel.Relation
+	probe func(rel.Value) []rel.Tuple
+}
+
+// resolveAtoms resolves every atom's relation (with the arity guard the
+// per-row path used to make: an absent predicate probes as the shared
+// arity-0 empty relation, which is not a mismatch; a declared relation —
+// even an empty one — must agree).
+func resolveAtoms(db rel.DB, atoms []compiledAtom) []resolvedAtom {
+	res := make([]resolvedAtom, len(atoms))
+	for i := range atoms {
+		a := &atoms[i]
+		r := db.Probe(a.pred)
+		if r.Arity() != a.arity && (r.Len() > 0 || r.Arity() != 0) {
+			panic(fmt.Sprintf("eval: predicate %q used with arity %d and %d", a.pred, r.Arity(), a.arity))
+		}
+		res[i].r = r
+		if !a.member && a.idxCol >= 0 {
+			res[i].probe = r.Prober(a.idxCol)
+		}
+	}
+	return res
+}
+
 // joinFrom enumerates all bindings extending the current partial binding
 // over atoms[i:], invoking emit for each complete one.  The probe column
 // and the set of slots each position binds are precomputed (finishAtoms),
-// so the inner loop allocates nothing.
-func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit func()) {
+// and relations are pre-resolved (resolveAtoms), so the inner loop
+// allocates nothing and takes no locks.
+func joinFrom(res []resolvedAtom, atoms []compiledAtom, binding []rel.Value, i int, emit func()) {
 	if i == len(atoms) {
 		emit()
 		return
 	}
 	a := &atoms[i]
-	r := db.Probe(a.pred)
-	// Arity guard (the check db.Rel used to make): an absent predicate
-	// probes as the shared arity-0 empty relation, which is not a
-	// mismatch; a declared relation — even an empty one — must agree.
-	if r.Arity() != a.arity && (r.Len() > 0 || r.Arity() != 0) {
-		panic(fmt.Sprintf("eval: predicate %q used with arity %d and %d", a.pred, r.Arity(), a.arity))
-	}
+	r := res[i].r
 
 	match := func(t rel.Tuple) {
 		ok := true
@@ -216,7 +251,7 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 			}
 		}
 		if ok {
-			joinFrom(db, atoms, binding, i+1, emit)
+			joinFrom(res, atoms, binding, i+1, emit)
 		}
 		for k, fresh := range a.binds {
 			if fresh {
@@ -225,6 +260,22 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 		}
 	}
 
+	if a.member {
+		// Fully bound: one membership probe instead of an index lookup —
+		// no column index is ever built for a ground check.
+		key := make(rel.Tuple, len(a.slot))
+		for k, s := range a.slot {
+			if s == -1 {
+				key[k] = a.constVal[k]
+			} else {
+				key[k] = binding[s]
+			}
+		}
+		if r.Has(key) {
+			joinFrom(res, atoms, binding, i+1, emit)
+		}
+		return
+	}
 	if a.idxCol >= 0 {
 		var v rel.Value
 		if s := a.slot[a.idxCol]; s == -1 {
@@ -232,7 +283,7 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 		} else {
 			v = binding[s]
 		}
-		for _, t := range r.Lookup(a.idxCol, v) {
+		for _, t := range res[i].probe(v) {
 			match(t)
 		}
 		return
@@ -248,8 +299,39 @@ func joinFrom(db rel.DB, atoms []compiledAtom, binding []rel.Value, i int, emit 
 // polled every cancelCheckRows rows; it reports false when the scan was
 // abandoned (emissions so far may be partial).
 func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, stop *atomic.Bool, emit func(rel.Tuple)) bool {
+	res := resolveAtoms(db, c.atoms)
 	binding := make([]rel.Value, c.nslots)
 	out := make(rel.Tuple, len(c.headSlots))
+	emitBinding := func() {
+		for i, s := range c.headSlots {
+			out[i] = binding[s]
+		}
+		emit(out)
+	}
+	// Probe-first fast path: when the body is a single indexed atom whose
+	// probe value comes straight off the recursive tuple (or is a
+	// constant), a row that probes an empty bucket can be skipped before
+	// any binding work happens.  Misses then cost one array lookup, and
+	// only hits pay for slot setup and the join.  This is exactly the
+	// shape of the occurrence-delta maintenance ops (tiny delta joined
+	// against a cached fixpoint), where hits are cone-sized but the scan
+	// covers every cached row.  For single-atom ops finishAtoms only picks
+	// an idxCol whose slot is recursive-bound or constant, so the search
+	// below always resolves; the guard keeps the path safely disabled for
+	// any other shape.
+	probeFirst := -2 // -2 disabled, -1 constant probe, ≥ 0 recursive column
+	if len(c.atoms) == 1 && !c.atoms[0].member && c.atoms[0].idxCol >= 0 {
+		if s := c.atoms[0].slot[c.atoms[0].idxCol]; s == -1 {
+			probeFirst = -1
+		} else {
+			for i, rs := range c.recSlots {
+				if rs == s {
+					probeFirst = i
+					break
+				}
+			}
+		}
+	}
 	check := cancelCheckRows
 	for row := lo; row < hi; row++ {
 		if stop != nil {
@@ -261,6 +343,18 @@ func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, s
 			}
 		}
 		t := src.Row(row)
+		var bucket []rel.Tuple
+		if probeFirst != -2 {
+			var v rel.Value
+			if probeFirst == -1 {
+				v = c.atoms[0].constVal[c.atoms[0].idxCol]
+			} else {
+				v = t[probeFirst]
+			}
+			if bucket = res[0].probe(v); len(bucket) == 0 {
+				continue
+			}
+		}
 		for i := range binding {
 			binding[i] = unbound
 		}
@@ -275,12 +369,42 @@ func applyCompiledRange(db rel.DB, c *compiled, src *rel.Relation, lo, hi int, s
 		if !ok {
 			continue
 		}
-		joinFrom(db, c.atoms, binding, 0, func() {
-			for i, s := range c.headSlots {
-				out[i] = binding[s]
+		if probeFirst != -2 {
+			// The probe already ran: match the bucket directly rather than
+			// re-probing through joinFrom (the single atom is also the last,
+			// so a candidate match emits immediately).
+			a := &c.atoms[0]
+			for _, cand := range bucket {
+				ok := true
+				for k, s := range a.slot {
+					if s == -1 {
+						if cand[k] != a.constVal[k] {
+							ok = false
+							break
+						}
+						continue
+					}
+					if a.binds[k] {
+						binding[s] = cand[k]
+						continue
+					}
+					if binding[s] != cand[k] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					emitBinding()
+				}
+				for k, fresh := range a.binds {
+					if fresh {
+						binding[a.slot[k]] = unbound
+					}
+				}
 			}
-			emit(out)
-		})
+			continue
+		}
+		joinFrom(res, c.atoms, binding, 0, emitBinding)
 	}
 	return true
 }
@@ -356,6 +480,25 @@ func (e *Engine) ApplyNew(db rel.DB, op *ast.Op, src, dst, delta *rel.Relation, 
 	return added
 }
 
+// ApplyKeep is Apply with a keep filter: emissions failing keep are
+// discarded before any accounting.  The delete-and-rederive maintenance
+// path uses it to re-derive only tuples inside the over-deleted cone.
+func (e *Engine) ApplyKeep(db rel.DB, op *ast.Op, src, dst *rel.Relation, stats *Stats, keep func(rel.Tuple) bool) int {
+	added := 0
+	applyCompiled(db, e.compiledFor(op), src, func(t rel.Tuple) {
+		if keep != nil && !keep(t) {
+			return
+		}
+		stats.Derivations++
+		if dst.Insert(t) {
+			added++
+		} else {
+			stats.Duplicates++
+		}
+	})
+	return added
+}
+
 // applyNewStop is ApplyNew with a pollable stop flag and an optional
 // keep filter (emissions failing it are discarded before any
 // accounting); it reports false when the scan was abandoned mid-way.
@@ -400,26 +543,66 @@ func (e *Engine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *
 // accounting — the restricted closure of the magic-seeded plans rides
 // the same loop as the plain closure.
 func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, keep func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
-	var stats Stats
 	total := q.Clone()
-	delta := q.Clone()
-	for delta.Len() > 0 {
+	stats, ok := e.semiNaiveFrom(db, ops, total, 0, stop, keep)
+	return total, stats, ok
+}
+
+// semiNaiveFrom runs the semi-naive loop over total in place, treating
+// rows [lo, total.Len()) as the initial delta: each round applies every
+// operator to the previous round's delta rows only, appending new
+// tuples to total, until no round adds anything.  With lo == 0 this is
+// exactly the classic closure over a fresh seed; with lo > 0 it resumes
+// an externally supplied fixpoint total[0, lo) against the delta the
+// caller appended — the entry point incremental cache maintenance needs.
+// Derivation order (and therefore Stats) matches the detached-delta
+// formulation tuple for tuple: total's tail rows are the delta in
+// insertion order.
+func (e *Engine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo int, stop *atomic.Bool, keep func(rel.Tuple) bool) (Stats, bool) {
+	var stats Stats
+	hi := total.Len()
+	for lo < hi {
 		if stop != nil && stop.Load() {
-			return total, stats, false
+			return stats, false
 		}
 		stats.Iterations++
-		next := rel.NewRelation(total.Arity())
 		for _, op := range ops {
-			if !e.applyNewStop(db, op, delta, total, next, &stats, stop, keep) {
-				return total, stats, false
+			ok := applyCompiledRange(db, e.compiledFor(op), total, lo, hi, stop, func(t rel.Tuple) {
+				if keep != nil && !keep(t) {
+					return
+				}
+				stats.Derivations++
+				if !total.Insert(t) {
+					stats.Duplicates++
+				}
+			})
+			if !ok {
+				return stats, false
 			}
 		}
-		if next.Len() > 0 {
+		lo, hi = hi, total.Len()
+		if hi > lo {
 			stats.MaxDepth++
 		}
-		delta = next
 	}
-	return total, stats, true
+	return stats, true
+}
+
+// SemiNaiveResumeCtx resumes a semi-naive closure from an externally
+// supplied fixpoint: total[0, lo) must already be closed under ops over
+// db, and rows [lo, total.Len()) are the delta to propagate.  The
+// relation is extended in place to the new fixpoint.  This is the
+// incremental-maintenance entry point — additions against a cached
+// closure append their one-step consequences as delta rows and resume
+// from here instead of re-deriving the world.
+func (e *Engine) SemiNaiveResumeCtx(ctx context.Context, db rel.DB, ops []*ast.Op, total *rel.Relation, lo int) (Stats, error) {
+	stop, release := watchContext(ctx)
+	defer release()
+	stats, ok := e.semiNaiveFrom(db, ops, total, lo, stop, nil)
+	if !ok {
+		return stats, ctxErr(ctx)
+	}
+	return stats, nil
 }
 
 // Naive computes the same closure by re-deriving from the full relation
@@ -526,7 +709,7 @@ func (e *Engine) EvalRule(db rel.DB, r ast.Rule) (*rel.Relation, error) {
 		binding[i] = unbound
 	}
 	row := make(rel.Tuple, r.Head.Arity())
-	joinFrom(db, atoms, binding, 0, func() {
+	joinFrom(resolveAtoms(db, atoms), atoms, binding, 0, func() {
 		for i, s := range headSlot {
 			if s == -1 {
 				row[i] = headConst[i]

@@ -66,6 +66,11 @@ func Parallel(e *Engine, workers int) *ParallelEngine {
 	return &ParallelEngine{Engine: e, Workers: workers}
 }
 
+// parallelRoundRows is the delta size below which a semi-naive round runs
+// inline on the caller's goroutine instead of fanning out: beneath it the
+// spawn-and-barrier cost of a round exceeds the join work being sharded.
+const parallelRoundRows = 1024
+
 // shardBounds splits n items into at most w contiguous shards of
 // near-equal size, returning the boundary offsets.
 func shardBounds(n, w int) []int {
@@ -87,7 +92,7 @@ func shardBounds(n, w int) []int {
 func prebuildIndexes(db rel.DB, cs []*compiled) {
 	for _, c := range cs {
 		for i := range c.atoms {
-			if a := &c.atoms[i]; a.idxCol >= 0 {
+			if a := &c.atoms[i]; a.idxCol >= 0 && !a.member {
 				db.Probe(a.pred).BuildIndex(a.idxCol)
 			}
 		}
@@ -217,6 +222,16 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 		}
 		return p.Engine.semiNaive(db, ops, q, stop, keep)
 	}
+	total := q.Clone()
+	stats, ok := p.semiNaiveFrom(db, ops, total, 0, stop, newKeep)
+	return total, stats, ok
+}
+
+// semiNaiveFrom is the sharded analogue of Engine.semiNaiveFrom: it runs
+// the round loop over total in place with rows [lo, total.Len()) as the
+// initial delta.  Callers with Workers ≤ 1 or nullary relations must
+// route to the sequential driver themselves.
+func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo int, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool) (Stats, bool) {
 	cs := make([]*compiled, len(ops))
 	for i, op := range ops {
 		cs[i] = p.compiledFor(op)
@@ -224,18 +239,47 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 	prebuildIndexes(db, cs)
 
 	var stats Stats
-	total := q.Clone()
-	lo, hi := 0, total.Len()
+	hi := total.Len()
 	for lo < hi {
 		if stop != nil && stop.Load() {
-			return total, stats, false
+			return stats, false
 		}
 		stats.Iterations++
+		if hi-lo < parallelRoundRows {
+			// Small delta: the fan-out barrier costs more than the round
+			// itself, so run it inline.  Deep recursions spend most rounds
+			// on narrow deltas (a maintenance resume often carries a
+			// handful of rows per round), and paying a worker spawn +
+			// join barrier per row-sized round is pure overhead.
+			var keep func(rel.Tuple) bool
+			if newKeep != nil {
+				keep = newKeep()
+			}
+			for _, c := range cs {
+				ok := applyCompiledRange(db, c, total, lo, hi, stop, func(t rel.Tuple) {
+					if keep != nil && !keep(t) {
+						return
+					}
+					stats.Derivations++
+					if !total.Insert(t) {
+						stats.Duplicates++
+					}
+				})
+				if !ok {
+					return stats, false
+				}
+			}
+			lo, hi = hi, total.Len()
+			if hi > lo {
+				stats.MaxDepth++
+			}
+			continue
+		}
 		bufs := p.applyRound(db, cs, total, lo, hi, total.Arity(), stop, newKeep)
 		// A cancelled round leaves partial worker buffers; discard them
 		// rather than merging a torn delta.
 		if stop != nil && stop.Load() {
-			return total, stats, false
+			return stats, false
 		}
 		mergeRound(total, bufs, total.Arity(), &stats)
 		lo, hi = hi, total.Len()
@@ -243,7 +287,43 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 			stats.MaxDepth++
 		}
 	}
-	return total, stats, true
+	return stats, true
+}
+
+// ApplyInto computes one application of op with all of src as the
+// recursive input, sharding the scan across the worker pool, and inserts
+// every derived tuple into dst; it returns the number of new tuples.
+// Stats accounting matches the sequential Engine.Apply.  The maintenance
+// path uses it for the one-step occurrence-delta joins, whose recursive
+// input is an entire cached fixpoint — the scan is the dominant cost of
+// absorbing a small update, and it shards perfectly.
+func (p *ParallelEngine) ApplyInto(db rel.DB, op *ast.Op, src, dst *rel.Relation, stats *Stats) int {
+	if p.Workers <= 1 || src.Arity() == 0 || src.Len() < 4096 {
+		return p.Engine.Apply(db, op, src, dst, stats)
+	}
+	cs := []*compiled{p.compiledFor(op)}
+	prebuildIndexes(db, cs)
+	before := dst.Len()
+	bufs := p.applyRound(db, cs, src, 0, src.Len(), dst.Arity(), nil, nil)
+	mergeRound(dst, bufs, dst.Arity(), stats)
+	return dst.Len() - before
+}
+
+// SemiNaiveResumeCtx resumes a semi-naive closure from an externally
+// supplied fixpoint with the delta rows [lo, total.Len()) sharded across
+// the worker pool; see Engine.SemiNaiveResumeCtx for the contract.  The
+// relation is extended in place.
+func (p *ParallelEngine) SemiNaiveResumeCtx(ctx context.Context, db rel.DB, ops []*ast.Op, total *rel.Relation, lo int) (Stats, error) {
+	if p.Workers <= 1 || total.Arity() == 0 {
+		return p.Engine.SemiNaiveResumeCtx(ctx, db, ops, total, lo)
+	}
+	stop, release := watchContext(ctx)
+	defer release()
+	stats, ok := p.semiNaiveFrom(db, ops, total, lo, stop, nil)
+	if !ok {
+		return stats, ctxErr(ctx)
+	}
+	return stats, nil
 }
 
 // Naive computes the same closure by re-deriving from the full relation

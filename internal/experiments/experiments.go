@@ -52,6 +52,7 @@ func All() []Experiment {
 		{"MAGIC", "Magic-seeded evaluation: bound query vs closure-then-filter", MagicTable},
 		{"MULTI", "Multi-column magic adornments: multi-bound queries vs closure- and first-column-then-filter", MagicMultiTable},
 		{"CACHE", "Goal-level result cache: cold evaluation vs cached hit, with retraction invalidation", CacheTable},
+		{"INC", "Differential cache maintenance: streamed add/retract vs purge-and-rebuild", IncrementalTable},
 	}
 }
 

@@ -6,9 +6,9 @@ import (
 )
 
 // The bench gate is the CI regression tripwire: a short-mode run of the
-// three headline lanes (parallel substrate, magic-seeded bound query,
-// goal-level result cache) at the table graph size, each checked against
-// a conservative floor.  The floors sit far below the committed
+// headline lanes (parallel substrate, magic-seeded bound query,
+// goal-level result cache, differential cache maintenance) at the table
+// graph size, each checked against a conservative floor.  The floors sit far below the committed
 // BENCH_eval.json numbers — they exist to catch an order-of-magnitude
 // regression in a pull request, not to re-certify the headline speedups
 // on noisy shared runners.
@@ -31,16 +31,17 @@ type GateReport struct {
 // GateFloors are the minimum acceptable speedups per lane; zero disables
 // a lane's check (its measurement still runs and is reported).
 type GateFloors struct {
-	Parallel   float64 // seed substrate vs 8-worker closure
-	Magic      float64 // closure-then-filter vs magic-seeded bound query
-	MagicMulti float64 // closure-then-filter vs the multi-column adornment on multi-bound queries
-	Cache      float64 // cold evaluation vs result-cache hit
+	Parallel    float64 // seed substrate vs 8-worker closure
+	Magic       float64 // closure-then-filter vs magic-seeded bound query
+	MagicMulti  float64 // closure-then-filter vs the multi-column adornment on multi-bound queries
+	Cache       float64 // cold evaluation vs result-cache hit
+	Incremental float64 // maintained update+query vs purge-and-rebuild
 }
 
 // DefaultGateFloors are deliberately conservative: the committed lanes
-// record ≈ 5x parallel, ≥ 2500x magic, ≫ 1000x multi-bound magic and
-// ≫ 50x cache at full size.
-var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50}
+// record ≈ 5x parallel, ≥ 2500x magic, ≫ 1000x multi-bound magic,
+// ≫ 50x cache and ≫ 10x incremental maintenance at full size.
+var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10}
 
 // gateMagicNodes sizes the magic lane's gate run.  The bound query's
 // advantage scales with graph size (output-proportional vs closure-
@@ -93,6 +94,13 @@ func RunGate(floors GateFloors, w io.Writer) GateReport {
 		err = fmt.Errorf("mid-run retraction did not invalidate the cache")
 	}
 	add("cache", cache.Speedup, floors.Cache, detail, err)
+
+	inc, err := IncrementalBench(20, 36, 8, 2)
+	if err == nil && !inc.DifferentialOK {
+		err = fmt.Errorf("maintained answers diverged from the from-scratch baseline")
+	}
+	add("incremental", inc.Speedup, floors.Incremental,
+		fmt.Sprintf("maintained update+query vs purge-and-rebuild, %s", inc.Workload), err)
 
 	return rep
 }

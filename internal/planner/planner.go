@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"linrec/internal/agraph"
 	"linrec/internal/algebra"
@@ -42,6 +43,23 @@ type Analysis struct {
 	Separable map[[2]int]separable.Report
 	// Redundancies per operator index.
 	Redundancies map[int][]redundant.Finding
+
+	// uboundOnce/ubound memoize the single-operator uniform-boundedness
+	// probe.  boundedSearch minimizes successive powers of the operator —
+	// CQ minimization on every power — and its verdict depends only on the
+	// rule structure, never on the data, so one probe per Analysis serves
+	// every plan choice and every result-cache key computed from it.
+	uboundOnce sync.Once
+	ubound     algebra.BoundResult
+}
+
+// uniformlyBounded returns the memoized UniformlyBounded verdict for the
+// single-operator case (callers guard len(a.Ops) == 1).
+func (a *Analysis) uniformlyBounded() algebra.BoundResult {
+	a.uboundOnce.Do(func() {
+		a.ubound = algebra.UniformlyBounded(a.Ops[0], redundant.DefaultMaxPow)
+	})
+	return a.ubound
 }
 
 // Analyze extracts the rules for pred from prog and runs the full analysis.
@@ -398,7 +416,7 @@ func (a *Analysis) chooseKind(sels []separable.Selection, opts Options) *Plan {
 		return &Plan{Kind: Decomposed, Groups: groups, Why: why}
 	}
 	if len(a.Ops) == 1 {
-		if ub := algebra.UniformlyBounded(a.Ops[0], redundant.DefaultMaxPow); ub.Found {
+		if ub := a.uniformlyBounded(); ub.Found {
 			return &Plan{
 				Kind:   Bounded,
 				Rounds: ub.N - 1,

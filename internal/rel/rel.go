@@ -207,6 +207,34 @@ func (tb *table) place(k uint64, row int32) {
 	tb.n++
 }
 
+// del removes the entry at slot by backshift deletion: later entries in
+// the probe chain shift toward their home slots, so the table stays
+// tombstone-free and probe chains never degrade across deletions.
+func (tb *table) del(slot uint64) {
+	tb.keys[slot] = 0
+	tb.rows[slot] = 0
+	tb.n--
+	i := slot
+	j := slot
+	for {
+		j = (j + 1) & tb.mask
+		if tb.rows[j] == 0 {
+			return
+		}
+		home := mix64(tb.keys[j]) & tb.mask
+		// The entry at j may fill the hole at i only if its home slot is
+		// cyclically outside (i, j] — moving it earlier than home would
+		// make it unreachable from a probe starting at home.
+		if (i < j && (home <= i || home > j)) || (i > j && home <= i && home > j) {
+			tb.keys[i] = tb.keys[j]
+			tb.rows[i] = tb.rows[j]
+			tb.keys[j] = 0
+			tb.rows[j] = 0
+			i = j
+		}
+	}
+}
+
 // maxDenseBucket caps the direct-array half of a column index: values in
 // [0, maxDenseBucket) get array buckets, everything else (negatives, or
 // un-interned outliers far beyond any real symbol space) the map.  The cap
@@ -442,6 +470,23 @@ func (r *Relation) BuildIndex(col int) {
 	r.index(col)
 }
 
+// Prober returns a probe function over the column index on col that
+// resolves the index once: the first call acquires it (building it if
+// needed) and later calls probe lock-free.  Join loops fetch one Prober
+// per evaluation instead of paying Lookup's mutex acquisition per row —
+// under a sharded scan every worker hammering the same small relation
+// turns that read-lock into cross-core cache-line traffic.  The returned
+// closure is not safe for concurrent use; take one per goroutine.
+func (r *Relation) Prober(col int) func(Value) []Tuple {
+	var ci *colIndex
+	return func(v Value) []Tuple {
+		if ci == nil {
+			ci = r.index(col)
+		}
+		return ci.lookup(v)
+	}
+}
+
 // Index renders the column index as a value → rows map.  The map is built
 // fresh on every call: it is a diagnostic/test convenience, not a probe
 // path — inner loops use Lookup.
@@ -515,6 +560,139 @@ func (r *Relation) Without(remove []Tuple) (*Relation, int) {
 		}
 	}
 	return out, rm.Len()
+}
+
+// Minus returns a relation containing every tuple of r except those in
+// remove (a same-arity relation), along with the number of tuples
+// actually dropped.  Like Without, the result is a tombstone-free
+// rebuild at the surviving size, and the receiver itself is returned
+// (dropped == 0) when the two relations are disjoint — the
+// delete-and-rederive maintenance path subtracts its over-deleted cone
+// with this.
+func (r *Relation) Minus(remove *Relation) (*Relation, int) {
+	if r.n == 0 || remove.Len() == 0 {
+		return r, 0
+	}
+	// Locate the rows to drop (1-based, as the key table stores them).
+	var del []int32
+	remove.Each(func(t Tuple) {
+		if row, ok := r.findRow(t); ok {
+			del = append(del, row)
+		}
+	})
+	if len(del) == 0 {
+		return r, 0
+	}
+	if len(del) > r.n/8 {
+		return r.minusRebuild(remove), len(del)
+	}
+	return r.minusPatch(del), len(del)
+}
+
+// findRow returns the 1-based row number of t, if present.
+func (r *Relation) findRow(t Tuple) (int32, bool) {
+	if r.n == 0 || len(t) != r.arity {
+		return 0, false
+	}
+	k := t.Key()
+	slot := mix64(k) & r.tab.mask
+	for {
+		row := r.tab.rows[slot]
+		if row == 0 {
+			return 0, false
+		}
+		if r.tab.keys[slot] == k && (r.exact || r.rowEq(row, t)) {
+			return row, true
+		}
+		slot = (slot + 1) & r.tab.mask
+	}
+}
+
+// minusRebuild is the large-deletion path: one pass over r rebuilding row
+// storage and key table at the surviving size.  r's rows are already
+// distinct, so survivors need no duplicate probing — copy the row and
+// place its key.
+func (r *Relation) minusRebuild(remove *Relation) *Relation {
+	out := &Relation{
+		arity: r.arity,
+		exact: r.exact,
+		data:  make([]Value, 0, len(r.data)),
+		tab:   newTable(r.n + r.n/7 + 1),
+	}
+	for i := 0; i < r.n; i++ {
+		t := r.Row(i)
+		if remove.Has(t) {
+			continue
+		}
+		out.data = append(out.data, t...)
+		out.n++
+		out.tab.place(t.Key(), int32(out.n))
+	}
+	return out
+}
+
+// minusPatch is the small-deletion path: instead of re-hashing every
+// surviving row, it copies the key table flat, backshift-deletes the
+// dropped keys, splices the surviving row-storage segments around the
+// dropped rows, and renumbers the remaining table entries.  Everything
+// but the renumbering pass is memcpy-grade, which is what keeps cached
+// closures maintainable at interactive latency: retracting a handful of
+// tuples from a million-row fixpoint costs two flat copies, not a
+// million hash insertions.  del holds the 1-based dropped row numbers.
+func (r *Relation) minusPatch(del []int32) *Relation {
+	sort.Slice(del, func(i, j int) bool { return del[i] < del[j] })
+	out := &Relation{
+		arity: r.arity,
+		exact: r.exact,
+		n:     r.n - len(del),
+		tab: table{
+			keys: append([]uint64(nil), r.tab.keys...),
+			rows: append([]int32(nil), r.tab.rows...),
+			mask: r.tab.mask,
+			n:    r.tab.n,
+		},
+	}
+	for _, row := range del {
+		k := r.Row(int(row) - 1).Key()
+		slot := mix64(k) & out.tab.mask
+		for out.tab.rows[slot] != row || out.tab.keys[slot] != k {
+			slot = (slot + 1) & out.tab.mask
+		}
+		out.tab.del(slot)
+	}
+	out.data = make([]Value, 0, out.n*r.arity)
+	prev := 0
+	for _, row := range del {
+		d := int(row) - 1
+		out.data = append(out.data, r.data[prev*r.arity:d*r.arity]...)
+		prev = d + 1
+	}
+	out.data = append(out.data, r.data[prev*r.arity:r.n*r.arity]...)
+	// Renumber: every surviving row shifts down by the number of dropped
+	// rows before it (binary search over the sorted drop list).  Rows
+	// below the smallest dropped number keep their numbers — when a
+	// retraction undoes a recent addition the dropped rows sit at the
+	// tail of the storage and the whole pass degenerates to one
+	// predictable compare per slot.
+	minDel := del[0]
+	for i, row := range out.tab.rows {
+		if row < minDel {
+			continue
+		}
+		lo, hi := 0, len(del)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if del[mid] < row {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			out.tab.rows[i] = row - int32(lo)
+		}
+	}
+	return out
 }
 
 // Select returns the tuples with t[col] == v as a new relation.

@@ -1,6 +1,7 @@
 package rel
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -250,5 +251,74 @@ func TestWithoutRebuildIsClean(t *testing.T) {
 	}
 	if out.Len() != 100 {
 		t.Fatalf("after re-insert len=%d, want 100", out.Len())
+	}
+}
+
+// TestMinusRandomized drives both Minus paths (the patch path for small
+// deletions, the rebuild path for large ones) against a naive filter
+// oracle, then checks the survivor is fully usable: membership, row
+// iteration, further inserts, and probe chains after backshift deletion.
+func TestMinusRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		arity := 1 + trial%3
+		r := NewRelation(arity)
+		n := 1 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			t0 := make(Tuple, arity)
+			for k := range t0 {
+				t0[k] = Value(rng.Intn(60))
+			}
+			r.Insert(t0)
+		}
+		remove := NewRelation(arity)
+		// Mix present rows with absent tuples; vary the fraction so both
+		// the ≤n/8 patch path and the rebuild path run.
+		frac := []int{1, 3, 10, 200}[trial%4]
+		for i := 0; i < r.Len(); i++ {
+			if rng.Intn(200) < frac {
+				remove.Insert(r.Row(i))
+			}
+		}
+		for i := 0; i < 5; i++ {
+			t0 := make(Tuple, arity)
+			for k := range t0 {
+				t0[k] = Value(60 + rng.Intn(10))
+			}
+			remove.Insert(t0)
+		}
+
+		got, dropped := r.Minus(remove)
+		want := r.Filter(func(t0 Tuple) bool { return !remove.Has(t0) })
+		if dropped != r.Len()-want.Len() {
+			t.Fatalf("trial %d: dropped = %d, want %d", trial, dropped, r.Len()-want.Len())
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: Minus disagrees with filter oracle", trial)
+		}
+		if dropped == 0 && got != r {
+			t.Fatalf("trial %d: no-op Minus did not return the receiver", trial)
+		}
+		// Survivor must remain a healthy set: every row findable, every
+		// removed row gone, and inserts still deduplicate correctly.
+		for i := 0; i < got.Len(); i++ {
+			if !got.Has(got.Row(i)) {
+				t.Fatalf("trial %d: survivor row %d not found by Has", trial, i)
+			}
+		}
+		remove.Each(func(t0 Tuple) {
+			if got.Has(t0) {
+				t.Fatalf("trial %d: removed tuple still present", trial)
+			}
+		})
+		if dropped > 0 {
+			back := remove.Row(0)
+			if !got.Insert(back.Clone()) {
+				t.Fatalf("trial %d: re-inserting a removed tuple not new", trial)
+			}
+			if got.Insert(back.Clone()) {
+				t.Fatalf("trial %d: duplicate re-insert reported new", trial)
+			}
+		}
 	}
 }

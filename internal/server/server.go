@@ -169,10 +169,17 @@ type FactsRequest struct {
 
 // FactsResponse is the /v1/facts answer.
 type FactsResponse struct {
-	SnapshotVersion uint64  `json:"snapshot_version"`
-	FactsAdded      int     `json:"facts_added"`
-	FactsRemoved    int     `json:"facts_removed,omitempty"`
-	ElapsedMS       float64 `json:"elapsed_ms"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	FactsAdded      int    `json:"facts_added"`
+	FactsRemoved    int    `json:"facts_removed,omitempty"`
+	// CacheUpgraded / CachePurged report how cached derived state fared
+	// across the swap(s) this request caused: entries maintained in place
+	// (result views and seed relations upgraded to the new version)
+	// versus entries that fell back to invalidation.  A combined
+	// remove+add POST aggregates both swaps.
+	CacheUpgraded int     `json:"cache_upgraded"`
+	CachePurged   int     `json:"cache_purged"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
 }
 
 type errorResponse struct {
@@ -484,8 +491,10 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	snap := s.sys.Snapshot()
 	removed := 0
+	var maint core.Maintenance
 	if len(toRemove) > 0 {
-		snap, removed, err = s.sys.RemoveFacts(toRemove)
+		var m core.Maintenance
+		snap, removed, m, err = s.sys.RemoveFactsMaint(toRemove)
 		if err != nil {
 			writeError(w, http.StatusConflict, "retraction rejected: %v", err)
 			return
@@ -493,11 +502,13 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		if removed > 0 {
 			s.ctr.retractBatches.Add(1)
 			s.ctr.factsRemoved.Add(int64(removed))
+			maint = maint.Add(m)
 		}
 	}
 	added := 0
 	if len(toAdd) > 0 {
-		snap, added, err = s.sys.AddFacts(toAdd)
+		var m core.Maintenance
+		snap, added, m, err = s.sys.AddFactsMaint(toAdd)
 		if err != nil {
 			writeError(w, http.StatusConflict, "facts rejected: %v", err)
 			return
@@ -505,12 +516,15 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		if added > 0 {
 			s.ctr.factBatches.Add(1)
 			s.ctr.factsAdded.Add(int64(added))
+			maint = maint.Add(m)
 		}
 	}
 	writeJSON(w, http.StatusOK, FactsResponse{
 		SnapshotVersion: snap.Version,
 		FactsAdded:      added,
 		FactsRemoved:    removed,
+		CacheUpgraded:   maint.ResultsUpgraded + maint.SeedsUpgraded,
+		CachePurged:     maint.ResultsPurged + maint.SeedsPurged,
 		ElapsedMS:       float64(time.Since(start)) / 1e6,
 	})
 }
