@@ -23,8 +23,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -59,9 +61,12 @@ func main() {
 		maxRows      = flag.Int("max-rows", 1_000_000, "reject answers larger than this with 413 (0 = unlimited)")
 		cacheRows    = flag.Int("cache-rows", 0, "goal-level result cache capacity in total cached answer rows (0 = engine default, negative disables)")
 		portFile     = flag.String("port-file", "", "write the bound listen address to this file (for scripts wrapping -addr :0)")
+		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
+		slowQueryMS  = flag.Int64("slow-query-ms", 0, "log the full trace of any query slower than this many milliseconds (0 = off)")
 	)
 	flag.Parse()
 
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	sys, desc, err := loadSystem(*program, *gen, *cacheRows)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "linrecd: %v\n", err)
@@ -76,6 +81,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxRows:        *maxRows,
+		Logger:         log,
+		SlowQuery:      time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -92,8 +99,23 @@ func main() {
 	}
 	fmt.Printf("linrecd: serving %s on http://%s\n", desc, bound)
 
+	handler := srv.Handler()
+	if *withPprof {
+		// Opt-in only: the profiling endpoints expose stacks and heap
+		// contents, so they never mount by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
 	hs := &http.Server{
-		Handler: srv.Handler(),
+		Handler: handler,
 		// Slow or stalled clients must not pin server resources: header
 		// and body reads are bounded, idle keep-alives are reaped.  No
 		// WriteTimeout — large streamed answers may take a while, and the

@@ -164,6 +164,10 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
+	m0, err := server.FetchMetrics(ctx, hc, base)
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
 	// Every plan string a successful query reports must show up as a
 	// per-plan-kind counter increment by the end of the smoke.
 	planned := map[string]int64{}
@@ -180,12 +184,46 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	// fixpoint is the maintainable kind, so the add and retract below must
 	// UPGRADE it in place (result_cache.upgrades advances) rather than
 	// purge it — the differential-maintenance half of the lifecycle.
+	// Requesting the trace here, while the goal is still cold, means the
+	// query genuinely evaluates (a cache hit would carry no phases — the
+	// server normalizes the worker grant by plan before keying the cache,
+	// so asking for more workers does not force a re-evaluation) and must
+	// come back with per-round deltas whose row accounting reproduces the
+	// closure row count exactly.
 	const closureGoal = "path(X, Y)"
-	warm, err := server.QueryOnce(ctx, hc, base, closureGoal, timeout, 0)
+	warm, err := server.QueryTraced(ctx, hc, base, closureGoal, timeout, 0)
 	if err != nil {
-		return fmt.Errorf("closure query %q: %w", closureGoal, err)
+		return fmt.Errorf("traced closure query %q: %w", closureGoal, err)
 	}
 	planned[warm.Plan]++
+	if warm.Cached {
+		return fmt.Errorf("closure query %q was already cached before the smoke warmed it", closureGoal)
+	}
+	if warm.RequestID == "" {
+		return fmt.Errorf("traced query response carries no request_id")
+	}
+	if warm.Trace == nil || len(warm.Trace.Phases) == 0 {
+		return fmt.Errorf("traced query returned no trace phases")
+	}
+	if warm.Trace.RequestID != warm.RequestID {
+		return fmt.Errorf("trace request_id %q != response request_id %q", warm.Trace.RequestID, warm.RequestID)
+	}
+	for _, ph := range warm.Trace.Phases {
+		sum := ph.BaseRows + ph.SeedRows
+		for _, rd := range ph.Rounds {
+			sum += rd.NewRows
+		}
+		if sum != ph.TotalRows {
+			return fmt.Errorf("trace phase %q: base %d + seed %d + round deltas = %d, want total_rows %d",
+				ph.Name, ph.BaseRows, ph.SeedRows, sum, ph.TotalRows)
+		}
+	}
+	last := warm.Trace.Phases[len(warm.Trace.Phases)-1]
+	if last.TotalRows != warm.RowCount {
+		return fmt.Errorf("trace final phase holds %d rows, response has %d", last.TotalRows, warm.RowCount)
+	}
+	fmt.Printf("lrload: traced %q -> %d phases, %d rounds in the final phase, deltas sum to %d rows\n",
+		closureGoal, len(warm.Trace.Phases), len(last.Rounds), last.TotalRows)
 
 	stamp := time.Now().UnixNano()
 	facts := fmt.Sprintf("edge(smoke_%d_a, smoke_%d_b).", stamp, stamp)
@@ -255,6 +293,39 @@ func runSmoke(base, query string, timeout time.Duration) error {
 		return fmt.Errorf("closure query after two maintained swaps was not a cache hit")
 	}
 
+	// A traced repeat of the now-cached closure goal must be served as a
+	// hit — phases stay empty (nothing evaluated), but the trace still
+	// records the cache decision.
+	hitTrace, err := server.QueryTraced(ctx, hc, base, closureGoal, timeout, 0)
+	if err != nil {
+		return fmt.Errorf("traced cached closure query: %w", err)
+	}
+	planned[hitTrace.Plan]++
+	if !hitTrace.Cached {
+		return fmt.Errorf("traced repeat of %q after the swaps was not a cache hit", closureGoal)
+	}
+	if hitTrace.Trace == nil {
+		return fmt.Errorf("traced cache hit returned no trace")
+	}
+	if len(hitTrace.Trace.Phases) != 0 {
+		return fmt.Errorf("traced cache hit recorded %d evaluation phases, want 0", len(hitTrace.Trace.Phases))
+	}
+
+	// Explain must describe the bound query's plan without executing it.
+	boundGoal := query
+	ex, err := server.ExplainQuery(ctx, hc, base, boundGoal)
+	if err != nil {
+		return fmt.Errorf("explain %q: %w", boundGoal, err)
+	}
+	if ex.Explain == nil || ex.Explain.PlanKind == "" || ex.Explain.Why == "" {
+		return fmt.Errorf("explain %q returned no plan decision: %+v", boundGoal, ex.Explain)
+	}
+	if ex.RequestID == "" {
+		return fmt.Errorf("explain response carries no request_id")
+	}
+	fmt.Printf("lrload: explain %q -> %s (adornment %s): %s\n",
+		boundGoal, ex.Explain.PlanKind, ex.Explain.Adornment, ex.Explain.Why)
+
 	st, err := server.FetchStats(ctx, hc, base)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
@@ -284,5 +355,25 @@ func runSmoke(base, query string, timeout time.Duration) error {
 		st.ResultCache.Upgrades-st0.ResultCache.Upgrades, st.ResultCache.UpgradeFallbacks)
 	fmt.Printf("lrload: plan counters verified for %d plan kind(s), %d adornment bucket(s)\n",
 		len(planned), len(st.PlansByAdornment))
+
+	// Final metrics scrape: the body must still parse strictly, and the
+	// counters must have advanced by everything the smoke itself did.
+	m1, err := server.FetchMetrics(ctx, hc, base)
+	if err != nil {
+		return fmt.Errorf("final metrics scrape: %w", err)
+	}
+	okSeries := `linrec_queries_total{status="ok"}`
+	if m1[okSeries]-m0[okSeries] < float64(len(planned)) {
+		return fmt.Errorf("%s advanced by %g across the smoke, want ≥ %d",
+			okSeries, m1[okSeries]-m0[okSeries], len(planned))
+	}
+	if m1["linrec_query_latency_seconds_count"] <= m0["linrec_query_latency_seconds_count"] {
+		return fmt.Errorf("linrec_query_latency_seconds_count did not advance across the smoke")
+	}
+	if got, want := m1["linrec_snapshot_version"], float64(st.SnapshotVersion); got != want {
+		return fmt.Errorf("linrec_snapshot_version = %g, /v1/stats says %g", got, want)
+	}
+	fmt.Printf("lrload: metrics verified: %d series parsed, queries_total{ok} +%g\n",
+		len(m1), m1[okSeries]-m0[okSeries])
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"linrec/internal/ast"
 	"linrec/internal/eval"
@@ -128,6 +129,15 @@ type System struct {
 	// deltas caches the occurrence-restricted delta operators the
 	// maintenance paths derive from the analysis operators (maintain.go).
 	deltas deltaOps
+
+	// Lifetime seed/magic cache counters (SeedCacheStats): hits and
+	// misses per dimension (a capacity or superseded-snapshot bypass
+	// counts as a miss — the query evaluated the artifact itself), plus
+	// how many entries swap maintenance carried forward versus dropped.
+	seedHits, seedMisses   atomic.Int64
+	magicHits, magicMisses atomic.Int64
+	seedsUpgraded          atomic.Int64
+	seedsPurged            atomic.Int64
 }
 
 // seedKey addresses one cached evaluation artifact of a snapshot: the
@@ -176,13 +186,16 @@ const magicCacheCap = 1024
 // cachedFuture returns the single-flight future for key on snap, or nil
 // when the artifact should be computed fresh instead: the snapshot is
 // superseded (no point repopulating the cache), or the cache is at
-// capacity and the key is not already present.
-func (s *System) cachedFuture(snap *Snapshot, key seedKey) *seedFuture {
+// capacity and the key is not already present.  created reports that
+// this call inserted the future (the caller is about to run the build —
+// a cache miss); false with a non-nil future is a hit on an existing
+// (possibly still in-flight) entry.
+func (s *System) cachedFuture(snap *Snapshot, key seedKey) (f *seedFuture, created bool) {
 	s.seedMu.Lock()
 	defer s.seedMu.Unlock()
 	if snap.Version != s.seedVersion {
 		if snap.Version < s.seedVersion {
-			return nil
+			return nil, false
 		}
 		s.seedVersion = snap.Version
 		s.seeds = map[seedKey]*seedFuture{}
@@ -193,12 +206,13 @@ func (s *System) cachedFuture(snap *Snapshot, key seedKey) *seedFuture {
 		// predicate count and always cached; only the bound-tuple-keyed
 		// magic dimension is capped.
 		if key.adorn != "" && len(s.seeds) >= magicCacheCap {
-			return nil
+			return nil, false
 		}
 		f = &seedFuture{done: make(chan struct{})}
 		s.seeds[key] = f
+		created = true
 	}
-	return f
+	return f, created
 }
 
 // build runs fn exactly once on a detached goroutine (the artifact is
@@ -240,14 +254,28 @@ func (f *seedFuture) build(ctx context.Context, what string, fn func() (*rel.Rel
 // seedFor returns the evaluation seed for a on snap, cached per
 // (predicate, snapshot version).
 func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapshot) (*rel.Relation, error) {
-	f := s.cachedFuture(snap, seedKey{pred: a.Pred})
+	tr := eval.TracerFrom(ctx)
+	f, created := s.cachedFuture(snap, seedKey{pred: a.Pred})
 	if f == nil {
+		s.seedMisses.Add(1)
+		tr.Cache("seed", "bypass", a.Pred, 0)
 		return a.Seed(s.Engine, snap.DB)
 	}
+	if created {
+		s.seedMisses.Add(1)
+	} else {
+		s.seedHits.Add(1)
+	}
+	start := time.Now()
 	q, _, err := f.build(ctx, fmt.Sprintf("seed for %q", a.Pred), func() (*rel.Relation, eval.Stats, error) {
 		q, err := a.Seed(s.Engine, snap.DB)
 		return q, eval.Stats{}, err
 	})
+	if created {
+		tr.Cache("seed", "miss", a.Pred, time.Since(start))
+	} else {
+		tr.Cache("seed", "hit", a.Pred, time.Since(start))
+	}
 	return q, err
 }
 
@@ -258,24 +286,43 @@ func (s *System) seedFor(ctx context.Context, a *planner.Analysis, snap *Snapsho
 // cached set reports the same statistics as the one that paid for it.
 // vals carries the bound values in spec.Cols order.
 func (s *System) magicFor(ctx context.Context, a *planner.Analysis, snap *Snapshot, spec eval.MagicSpec, vals rel.Tuple) (*rel.Relation, eval.Stats, error) {
-	f := s.cachedFuture(snap, seedKey{pred: a.Pred, adorn: magicAdornKey(spec.Cols, vals)})
+	tr := eval.TracerFrom(ctx)
+	key := a.Pred + "[" + magicAdornKey(spec.Cols, vals) + "]"
+	f, created := s.cachedFuture(snap, seedKey{pred: a.Pred, adorn: magicAdornKey(spec.Cols, vals)})
 	if f == nil {
 		// Uncached (superseded snapshot, or cache at capacity): compute
 		// inline under the request's own context, so the query's
 		// deadline and client disconnect still cancel the frontier.
+		s.magicMisses.Add(1)
+		tr.Cache("magic", "bypass", key, 0)
 		var stats eval.Stats
 		set, err := s.Engine.MagicSetCtx(ctx, snap.DB, spec, vals, &stats)
 		return set, stats, err
 	}
-	return f.build(ctx, fmt.Sprintf("magic set for %q[%s]", a.Pred, magicAdornKey(spec.Cols, vals)), func() (*rel.Relation, eval.Stats, error) {
+	if created {
+		s.magicMisses.Add(1)
+	} else {
+		s.magicHits.Add(1)
+	}
+	start := time.Now()
+	set, stats, err := f.build(ctx, fmt.Sprintf("magic set for %q[%s]", a.Pred, magicAdornKey(spec.Cols, vals)), func() (*rel.Relation, eval.Stats, error) {
 		// The cached build is detached from any single request on
 		// purpose: the set is bounded frontier work every later query
 		// with this binding reuses, so it runs under no request
-		// deadline (waiters still honor their own ctx).
+		// deadline (waiters still honor their own ctx).  That detachment
+		// is also why frontier phases of cached builds never land on a
+		// query's trace — the cache event recorded here is the query's
+		// view of the work.
 		var stats eval.Stats
 		set, err := s.Engine.MagicSetCtx(context.Background(), snap.DB, spec, vals, &stats)
 		return set, stats, err
 	})
+	if created {
+		tr.Cache("magic", "miss", key, time.Since(start))
+	} else {
+		tr.Cache("magic", "hit", key, time.Since(start))
+	}
+	return set, stats, err
 }
 
 // Load parses a Datalog program and loads its facts.
@@ -397,6 +444,17 @@ func (s *System) AddFacts(facts []ast.Atom) (*Snapshot, int, error) {
 // did: how many cached results and seeds were upgraded to the new
 // version versus purged.
 func (s *System) AddFactsMaint(facts []ast.Atom) (*Snapshot, int, Maintenance, error) {
+	return s.AddFactsMaintCtx(context.Background(), facts)
+}
+
+// AddFactsMaintCtx is AddFactsMaint under a context.  The context is an
+// observability carrier first: an eval.Tracer on it records every cache
+// upgrade/purge decision and any resume phases the maintenance runs.
+// Cancellation does not abort the swap itself — validation and the
+// copy-on-write publish always complete — but a fired context degrades
+// in-progress result upgrades to purges (the entry rebuilds on next
+// query).
+func (s *System) AddFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snapshot, int, Maintenance, error) {
 	var m Maintenance
 	if len(facts) == 0 {
 		return s.Snapshot(), 0, m, nil
@@ -475,7 +533,7 @@ func (s *System) AddFactsMaint(facts []ast.Atom) (*Snapshot, int, Maintenance, e
 		return old, 0, m, nil
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
-	m = s.maintainSwap(old, next, addedBy, true)
+	m = s.maintainSwap(ctx, old, next, addedBy, true)
 	s.snap.Store(next)
 	return next, added, m, nil
 }
@@ -503,6 +561,14 @@ func (s *System) RemoveFacts(facts []ast.Atom) (*Snapshot, int, error) {
 // maintenance did: how many cached results and seeds were upgraded to
 // the new version versus purged.
 func (s *System) RemoveFactsMaint(facts []ast.Atom) (*Snapshot, int, Maintenance, error) {
+	return s.RemoveFactsMaintCtx(context.Background(), facts)
+}
+
+// RemoveFactsMaintCtx is RemoveFactsMaint under a context, with the same
+// contract as AddFactsMaintCtx: the context carries observability (an
+// eval.Tracer records the swap's cache decisions and resume phases), and
+// cancellation degrades upgrades to purges without aborting the swap.
+func (s *System) RemoveFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snapshot, int, Maintenance, error) {
 	var m Maintenance
 	if len(facts) == 0 {
 		return s.Snapshot(), 0, m, nil
@@ -578,7 +644,7 @@ func (s *System) RemoveFactsMaint(facts []ast.Atom) (*Snapshot, int, Maintenance
 		db[pred] = r
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
-	m = s.maintainSwap(old, next, removedBy, false)
+	m = s.maintainSwap(ctx, old, next, removedBy, false)
 	s.snap.Store(next)
 	return next, removed, m, nil
 }
@@ -620,6 +686,53 @@ func (s *System) ValidateFacts(facts []ast.Atom) error {
 // /v1/stats "result_cache" section).
 func (s *System) ResultCacheStats() ResultCacheStats {
 	return s.results.Stats()
+}
+
+// SeedCacheStats reports the seed/magic cache: current entries and rows
+// plus lifetime hit/miss counters per dimension (a capacity or
+// superseded-snapshot bypass counts as a miss) and the totals of entries
+// carried across snapshot swaps versus dropped by them.
+type SeedCacheStats struct {
+	SeedEntries  int   `json:"seed_entries"`
+	MagicEntries int   `json:"magic_entries"`
+	Rows         int   `json:"rows"`
+	SeedHits     int64 `json:"seed_hits"`
+	SeedMisses   int64 `json:"seed_misses"`
+	MagicHits    int64 `json:"magic_hits"`
+	MagicMisses  int64 `json:"magic_misses"`
+	Upgraded     int64 `json:"upgraded"`
+	Purged       int64 `json:"purged"`
+}
+
+// SeedCacheStatsNow samples the seed/magic cache.  Row counts cover only
+// completed builds — an in-flight future contributes its entry but no
+// rows.
+func (s *System) SeedCacheStatsNow() SeedCacheStats {
+	st := SeedCacheStats{
+		SeedHits:    s.seedHits.Load(),
+		SeedMisses:  s.seedMisses.Load(),
+		MagicHits:   s.magicHits.Load(),
+		MagicMisses: s.magicMisses.Load(),
+		Upgraded:    s.seedsUpgraded.Load(),
+		Purged:      s.seedsPurged.Load(),
+	}
+	s.seedMu.Lock()
+	defer s.seedMu.Unlock()
+	for key, f := range s.seeds {
+		if key.adorn == "" {
+			st.SeedEntries++
+		} else {
+			st.MagicEntries++
+		}
+		select {
+		case <-f.done:
+			if f.q != nil {
+				st.Rows += f.q.Len()
+			}
+		default:
+		}
+	}
+	return st
 }
 
 // CachedAnswer probes the result cache for q on snap without planning,
@@ -863,6 +976,7 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 		strategy: opts.Strategy,
 		workers:  opts.Workers,
 	}
+	tr := eval.TracerFrom(ctx)
 	var cancelled <-chan struct{}
 	if ctx != nil {
 		cancelled = ctx.Done()
@@ -875,9 +989,12 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 	for attempt := 0; attempt < 4; attempt++ {
 		e, build := s.results.acquire(key, snap.Version)
 		if e == nil {
-			break // cache disabled, or snapshot superseded: evaluate fresh
+			// Cache disabled, or snapshot superseded: evaluate fresh.
+			tr.Cache("result", "bypass", key.goal, 0)
+			break
 		}
 		if build {
+			tr.Cache("result", "miss", key.goal, 0)
 			res, err := s.queryEval(ctx, snap, q, a, sels, opts)
 			if err == nil {
 				// Cached hits share one render of the sorted rows.
@@ -886,21 +1003,32 @@ func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts O
 			s.results.complete(e, res, err)
 			return res, err
 		}
+		// Distinguish a completed entry ("hit") from a single-flight wait
+		// on another query's in-flight build ("join", with the wait time).
+		event, waited := "hit", time.Duration(0)
 		select {
 		case <-e.done:
-			if e.err != nil {
-				if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
-					continue // the builder was abandoned, not us: retry
-				}
-				return nil, e.err
+		default:
+			event = "join"
+			start := time.Now()
+			select {
+			case <-e.done:
+				waited = time.Since(start)
+			case <-cancelled:
+				return nil, ctx.Err()
 			}
-			hit := *e.res
-			hit.Query = q
-			hit.Cached = true
-			return &hit, nil
-		case <-cancelled:
-			return nil, ctx.Err()
 		}
+		if e.err != nil {
+			if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+				continue // the builder was abandoned, not us: retry
+			}
+			return nil, e.err
+		}
+		tr.Cache("result", event, key.goal, waited)
+		hit := *e.res
+		hit.Query = q
+		hit.Cached = true
+		return &hit, nil
 	}
 	return s.queryEval(ctx, snap, q, a, sels, opts)
 }

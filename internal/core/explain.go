@@ -1,0 +1,103 @@
+// Planner explanation: the decision tree behind a query's plan, exposed
+// without executing anything.  Explain mirrors PlanFor's dispatch —
+// unknown-constant short-circuit, n-ary separable candidacy, then the
+// analysis-driven ChooseMulti — and flattens the chosen plan plus the
+// identifiers a client needs to correlate it with traces and metrics:
+// the goal adornment, the result-cache key the execution path would use,
+// and the magic-plan shape when one was chosen.  The server returns it
+// for ?explain=1 queries, before (and instead of) admission.
+
+package core
+
+import (
+	"fmt"
+
+	"linrec/internal/ast"
+	"linrec/internal/planner"
+)
+
+// Explain describes the plan a query would run under, without running
+// it.
+type Explain struct {
+	// Query is the resolved goal atom as parsed.
+	Query string `json:"query"`
+	// Pred is the queried recursive predicate.
+	Pred string `json:"pred"`
+	// Adornment is the goal's binding pattern, one letter per argument:
+	// 'b' for a constant, 'f' for a variable (e.g. "bf").
+	Adornment string `json:"adornment"`
+	// PlanKind is the chosen plan kind's stable slug ("semi-naive",
+	// "decomposed", "separable", "bounded", "magic-seeded").
+	PlanKind string `json:"plan_kind"`
+	// Plan is the kind's human-readable name.
+	Plan string `json:"plan"`
+	// Why is the planner's decision rationale for this choice.
+	Why string `json:"why"`
+	// Strategy is the strategy override in force ("auto" when none).
+	Strategy string `json:"strategy"`
+	// Workers is the worker budget the plan would evaluate with.
+	Workers int `json:"workers"`
+	// Parallelizable reports whether that budget can actually be used —
+	// separable and bounded plans evaluate sequentially regardless.
+	Parallelizable bool `json:"parallelizable"`
+	// CacheKey is the goal-level result-cache key the execution path
+	// would address ("goal|kind|strategy|wN"); empty when the query is
+	// never cached (unknown constant: provably empty answer).
+	CacheKey string `json:"cache_key,omitempty"`
+	// Rounds is a bounded plan's iteration bound.
+	Rounds int `json:"bounded_rounds,omitempty"`
+	// Groups counts a decomposed plan's operator groups.
+	Groups int `json:"groups,omitempty"`
+	// MagicMode names a magic-seeded plan's collection mode ("context"
+	// or "filter").
+	MagicMode string `json:"magic_mode,omitempty"`
+	// BoundCols are the answer columns a magic-seeded plan binds.
+	BoundCols []int `json:"bound_cols,omitempty"`
+}
+
+// Explain returns the planner's decision tree for q under opts without
+// executing anything: the plan PlanFor would choose, flattened with the
+// adornment, the result-cache key and the plan-shape details.
+func (s *System) Explain(q ast.Atom, opts Options) (*Explain, error) {
+	opts = opts.normalize()
+	a, sels, unknown, err := s.resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explain{
+		Query:     q.String(),
+		Pred:      q.Pred,
+		Adornment: q.Adornment(),
+		Strategy:  opts.Strategy.String(),
+		Workers:   opts.Workers,
+	}
+	if unknown != "" {
+		ex.PlanKind = planner.SemiNaive.Slug()
+		ex.Plan = planner.SemiNaive.String()
+		ex.Why = fmt.Sprintf("constant %q occurs in no rule or fact: empty answer", unknown)
+		ex.Workers = 0 // nothing evaluates
+		return ex, nil
+	}
+	var plan *planner.Plan
+	if nArySeparableCandidate(a, sels) {
+		plan = &planner.Plan{Kind: planner.Separable, Why: "n-ary separable candidate (Section 4.1)"}
+	} else {
+		plan = a.ChooseMulti(sels, opts.planOpts())
+	}
+	ex.PlanKind = plan.Kind.Slug()
+	ex.Plan = plan.Kind.String()
+	ex.Why = plan.Why
+	ex.Parallelizable = plan.Parallelizable()
+	if plan.Workers > 0 {
+		ex.Workers = plan.Workers
+	}
+	ex.CacheKey = fmt.Sprintf("%s|%s|%s|w%d",
+		normalizeGoal(q), s.intendedKind(a, sels, opts).Slug(), opts.Strategy, opts.Workers)
+	ex.Rounds = plan.Rounds
+	ex.Groups = len(plan.Groups)
+	if plan.Magic != nil {
+		ex.MagicMode = plan.Magic.Mode.String()
+		ex.BoundCols = append([]int(nil), plan.Magic.Spec.Cols...)
+	}
+	return ex, nil
+}

@@ -111,11 +111,25 @@ func overlayDB(db rel.DB, delta *rel.Relation) rel.DB {
 // snapshot can no longer populate them with stale entries (it sees a
 // superseded version and evaluates uncached), and the first query on the
 // new snapshot finds the carried views already in place.
-func (s *System) maintainSwap(old, next *Snapshot, changed map[string]*rel.Relation, isAdd bool) Maintenance {
+// A Tracer carried by ctx (AddFactsMaintCtx / RemoveFactsMaintCtx)
+// records one cache event per entry decided — "upgrade" or "purge" on
+// the result and seed caches — and any resume phases the upgrades run.
+// ctx carries observability only; maintenance never aborts on
+// cancellation (the snapshot swap must complete once started).
+func (s *System) maintainSwap(ctx context.Context, old, next *Snapshot, changed map[string]*rel.Relation, isAdd bool) Maintenance {
+	tr := eval.TracerFrom(ctx)
 	var m Maintenance
-	m.SeedsUpgraded, m.SeedsPurged = s.sweepSeeds(next, changed, isAdd)
+	m.SeedsUpgraded, m.SeedsPurged = s.sweepSeeds(ctx, next, changed, isAdd)
+	s.seedsUpgraded.Add(int64(m.SeedsUpgraded))
+	s.seedsPurged.Add(int64(m.SeedsPurged))
 	m.ResultsUpgraded, m.ResultsPurged = s.results.advance(next.Version, func(key resultKey, res *QueryResult) *QueryResult {
-		return s.upgradeResult(old, next, changed, isAdd, key, res)
+		up := s.upgradeResult(ctx, old, next, changed, isAdd, key, res)
+		if up != nil {
+			tr.Cache("result", "upgrade", key.goal, 0)
+		} else {
+			tr.Cache("result", "purge", key.goal, 0)
+		}
+		return up
 	})
 	return m
 }
@@ -129,7 +143,7 @@ func (s *System) maintainSwap(old, next *Snapshot, changed map[string]*rel.Relat
 // the analysis operators, which the resume/DRed machinery maintains.
 // A panic during maintenance (engine invariant violation) degrades to a
 // fallback rather than failing the write.
-func (s *System) upgradeResult(old, next *Snapshot, changed map[string]*rel.Relation, isAdd bool, key resultKey, res *QueryResult) (out *QueryResult) {
+func (s *System) upgradeResult(ctx context.Context, old, next *Snapshot, changed map[string]*rel.Relation, isAdd bool, key resultKey, res *QueryResult) (out *QueryResult) {
 	defer func() {
 		if recover() != nil {
 			out = nil
@@ -186,9 +200,9 @@ func (s *System) upgradeResult(old, next *Snapshot, changed map[string]*rel.Rela
 	var ans *rel.Relation
 	var ok bool
 	if isAdd {
-		ans, ok = s.resumeAddition(a, res.Answer, next.DB, changed, key.workers)
+		ans, ok = s.resumeAddition(ctx, a, res.Answer, next.DB, changed, key.workers)
 	} else {
-		ans, ok = s.resumeRetraction(a, res.Answer, old.DB, next.DB, changed, key.workers)
+		ans, ok = s.resumeRetraction(ctx, a, res.Answer, old.DB, next.DB, changed, key.workers)
 	}
 	if !ok {
 		return nil
@@ -207,7 +221,7 @@ func (s *System) upgradeResult(old, next *Snapshot, changed map[string]*rel.Rela
 // the full new database) are appended to a copy of the cached fixpoint,
 // and the semi-naive loop resumes from there.  Returns the cached
 // relation itself when nothing new is derivable (sharing stays free).
-func (s *System) resumeAddition(a *planner.Analysis, total *rel.Relation, db rel.DB, added map[string]*rel.Relation, workers int) (*rel.Relation, bool) {
+func (s *System) resumeAddition(ctx context.Context, a *planner.Analysis, total *rel.Relation, db rel.DB, added map[string]*rel.Relation, workers int) (*rel.Relation, bool) {
 	resume := total.Clone()
 	lo := resume.Len()
 	var st eval.Stats
@@ -240,7 +254,7 @@ func (s *System) resumeAddition(a *planner.Analysis, total *rel.Relation, db rel
 	if resume.Len() == lo {
 		return total, true // no new one-step consequence: closure unchanged
 	}
-	if _, err := p.SemiNaiveResumeCtx(context.Background(), db, a.Ops, resume, lo); err != nil {
+	if _, err := p.SemiNaiveResumeCtx(ctx, db, a.Ops, resume, lo); err != nil {
 		return nil, false
 	}
 	return resume, true
@@ -258,7 +272,7 @@ func (s *System) resumeAddition(a *planner.Analysis, total *rel.Relation, db rel
 // resumes from whatever came back.  The resumed fixpoint can never leave
 // the old closure (retraction shrinks the database, closure is
 // monotone), so no keep filter is needed.
-func (s *System) resumeRetraction(a *planner.Analysis, total *rel.Relation, oldDB, newDB rel.DB, removed map[string]*rel.Relation, workers int) (*rel.Relation, bool) {
+func (s *System) resumeRetraction(ctx context.Context, a *planner.Analysis, total *rel.Relation, oldDB, newDB rel.DB, removed map[string]*rel.Relation, workers int) (*rel.Relation, bool) {
 	var st eval.Stats
 	arity := total.Arity()
 	deleted := rel.NewRelation(arity)
@@ -353,7 +367,7 @@ func (s *System) resumeRetraction(a *planner.Analysis, total *rel.Relation, oldD
 	if pruned.Len() == lo {
 		return pruned, true // nothing re-derivable: the pruned set is closed
 	}
-	if _, err := p.SemiNaiveResumeCtx(context.Background(), newDB, a.Ops, pruned, lo); err != nil {
+	if _, err := p.SemiNaiveResumeCtx(ctx, newDB, a.Ops, pruned, lo); err != nil {
 		return nil, false
 	}
 	return pruned, true
@@ -367,18 +381,25 @@ func (s *System) resumeRetraction(a *planner.Analysis, total *rel.Relation, oldD
 // frontier is not superset-safe to reuse), in-flight builds, failed
 // builds, retraction-touched seeds — is dropped immediately instead of
 // lingering until the next query's lazy sweep.
-func (s *System) sweepSeeds(next *Snapshot, changed map[string]*rel.Relation, isAdd bool) (upgraded, purged int) {
+func (s *System) sweepSeeds(ctx context.Context, next *Snapshot, changed map[string]*rel.Relation, isAdd bool) (upgraded, purged int) {
+	tr := eval.TracerFrom(ctx)
 	s.seedMu.Lock()
 	stale := s.seeds
 	s.seedVersion = next.Version
 	s.seeds = make(map[seedKey]*seedFuture, len(stale))
 	s.seedMu.Unlock()
 	for key, f := range stale {
+		cache, evKey := "seed", key.pred
+		if key.adorn != "" {
+			cache, evKey = "magic", key.pred+"["+key.adorn+"]"
+		}
 		nf := s.upgradeSeed(next, changed, isAdd, key, f)
 		if nf == nil {
+			tr.Cache(cache, "purge", evKey, 0)
 			purged++
 			continue
 		}
+		tr.Cache(cache, "upgrade", evKey, 0)
 		upgraded++
 		s.seedMu.Lock()
 		if s.seedVersion == next.Version {

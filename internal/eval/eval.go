@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
@@ -521,17 +522,20 @@ func (e *Engine) applyNewStop(db rel.DB, op *ast.Op, src, dst, delta *rel.Relati
 // model of computation in Theorem 3.1 ("the same tuple is not derived
 // through the same arc more than once") is exactly this discipline.
 func (e *Engine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
-	total, stats, _ := e.semiNaive(db, ops, q, nil, nil)
+	total, stats, _ := e.semiNaive(db, ops, q, nil, nil, nil)
 	return total, stats
 }
 
 // SemiNaiveCtx is SemiNaive with cancellation: the loop polls ctx at every
 // round barrier and every cancelCheckRows delta rows within a round, and
 // returns ctx's error (with a partial, unusable relation) once it fires.
+// A Tracer carried by ctx (WithTracer) records the closure as one phase.
 func (e *Engine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := e.semiNaive(db, ops, q, stop, nil)
+	ph := TracerFrom(ctx).phase("semi-naive", 1, 0, q.Len())
+	total, stats, ok := e.semiNaive(db, ops, q, stop, nil, ph)
+	ph.close(total.Len())
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}
@@ -541,10 +545,11 @@ func (e *Engine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *
 // semiNaive is the one sequential fixpoint driver: the optional keep
 // filter (nil = unrestricted) discards derivations before any
 // accounting — the restricted closure of the magic-seeded plans rides
-// the same loop as the plain closure.
-func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, keep func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
+// the same loop as the plain closure.  ph, when non-nil, collects one
+// RoundTrace per round.
+func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, keep func(rel.Tuple) bool, ph *PhaseTrace) (*rel.Relation, Stats, bool) {
 	total := q.Clone()
-	stats, ok := e.semiNaiveFrom(db, ops, total, 0, stop, keep)
+	stats, ok := e.semiNaiveFrom(db, ops, total, 0, stop, keep, ph)
 	return total, stats, ok
 }
 
@@ -558,7 +563,7 @@ func (e *Engine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atom
 // Derivation order (and therefore Stats) matches the detached-delta
 // formulation tuple for tuple: total's tail rows are the delta in
 // insertion order.
-func (e *Engine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo int, stop *atomic.Bool, keep func(rel.Tuple) bool) (Stats, bool) {
+func (e *Engine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo int, stop *atomic.Bool, keep func(rel.Tuple) bool, ph *PhaseTrace) (Stats, bool) {
 	var stats Stats
 	hi := total.Len()
 	for lo < hi {
@@ -566,7 +571,18 @@ func (e *Engine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo
 			return stats, false
 		}
 		stats.Iterations++
+		var roundStart time.Time
+		var ruleUS []int64
+		d0, u0 := stats.Derivations, stats.Duplicates
+		if ph != nil {
+			roundStart = time.Now()
+			ruleUS = make([]int64, 0, len(ops))
+		}
 		for _, op := range ops {
+			var opStart time.Time
+			if ph != nil {
+				opStart = time.Now()
+			}
 			ok := applyCompiledRange(db, e.compiledFor(op), total, lo, hi, stop, func(t rel.Tuple) {
 				if keep != nil && !keep(t) {
 					return
@@ -579,6 +595,20 @@ func (e *Engine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo
 			if !ok {
 				return stats, false
 			}
+			if ph != nil {
+				ruleUS = append(ruleUS, time.Since(opStart).Microseconds())
+			}
+		}
+		if ph != nil {
+			ph.round(RoundTrace{
+				Round:       stats.Iterations,
+				DeltaRows:   hi - lo,
+				NewRows:     total.Len() - hi,
+				Derivations: stats.Derivations - d0,
+				Duplicates:  stats.Duplicates - u0,
+				ElapsedUS:   time.Since(roundStart).Microseconds(),
+				RuleUS:      ruleUS,
+			})
 		}
 		lo, hi = hi, total.Len()
 		if hi > lo {
@@ -594,11 +624,14 @@ func (e *Engine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo
 // relation is extended in place to the new fixpoint.  This is the
 // incremental-maintenance entry point — additions against a cached
 // closure append their one-step consequences as delta rows and resume
-// from here instead of re-deriving the world.
+// from here instead of re-deriving the world.  A Tracer carried by ctx
+// records the resume as one phase.
 func (e *Engine) SemiNaiveResumeCtx(ctx context.Context, db rel.DB, ops []*ast.Op, total *rel.Relation, lo int) (Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	stats, ok := e.semiNaiveFrom(db, ops, total, lo, stop, nil)
+	ph := TracerFrom(ctx).phase("resume", 1, lo, total.Len()-lo)
+	stats, ok := e.semiNaiveFrom(db, ops, total, lo, stop, nil, ph)
+	ph.close(total.Len())
 	if !ok {
 		return stats, ctxErr(ctx)
 	}

@@ -25,6 +25,7 @@ package eval
 
 import (
 	"context"
+	"time"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
@@ -80,7 +81,8 @@ func (s MagicSpec) Arity() int { return len(s.Cols) }
 // only the previous generation's new tuples — and polls ctx once per
 // generation.  Stats records one Iteration per generation; derivation
 // accounting belongs to the consumer (MagicCollect or the restricted
-// closure).
+// closure).  A Tracer carried by ctx records the frontier iteration as
+// one phase, one round per generation.
 func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, seed rel.Tuple, stats *Stats) (*rel.Relation, error) {
 	if ctx == nil {
 		// Tolerate nil like watchContext does for the closure loops.
@@ -103,6 +105,9 @@ func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, see
 		})
 	}
 
+	ph := TracerFrom(ctx).phase("magic-frontier", 1, 0, frontier.Len())
+	defer func() { ph.close(set.Len()) }()
+
 	if len(spec.Step) == 0 {
 		return set, nil
 	}
@@ -112,11 +117,17 @@ func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, see
 	for k, v := range db {
 		scratch[k] = v
 	}
+	gen := 0
 	for frontier.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		stats.Iterations++
+		gen++
+		var genStart time.Time
+		if ph != nil {
+			genStart = time.Now()
+		}
 		scratch[MagicSeedPred] = frontier
 		next := rel.NewRelation(spec.Arity())
 		for _, r := range spec.Step {
@@ -128,6 +139,14 @@ func (e *Engine) MagicSetCtx(ctx context.Context, db rel.DB, spec MagicSpec, see
 				if set.Insert(v) {
 					next.Insert(v)
 				}
+			})
+		}
+		if ph != nil {
+			ph.round(RoundTrace{
+				Round:     gen,
+				DeltaRows: frontier.Len(),
+				NewRows:   next.Len(),
+				ElapsedUS: time.Since(genStart).Microseconds(),
 			})
 		}
 		frontier = next
@@ -176,7 +195,9 @@ func MagicCollect(q *rel.Relation, cols []int, vals rel.Tuple, set *rel.Relation
 func (e *Engine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, cols []int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := e.semiNaive(db, ops, q, stop, magicKeep(cols, allowed))
+	ph := TracerFrom(ctx).phase("restricted-closure", 1, 0, q.Len())
+	total, stats, ok := e.semiNaive(db, ops, q, stop, magicKeep(cols, allowed), ph)
+	ph.close(total.Len())
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}
@@ -224,7 +245,13 @@ func magicKeepEach(cols []int, allowed *rel.Relation) func() func(rel.Tuple) boo
 func (p *ParallelEngine) SemiNaiveRestrictedCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation, cols []int, allowed *rel.Relation) (*rel.Relation, Stats, error) {
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := p.semiNaive(db, ops, q, stop, magicKeepEach(cols, allowed))
+	workers := p.Workers
+	if workers < 1 || q.Arity() == 0 {
+		workers = 1
+	}
+	ph := TracerFrom(ctx).phase("restricted-closure", workers, 0, q.Len())
+	total, stats, ok := p.semiNaive(db, ops, q, stop, magicKeepEach(cols, allowed), ph)
+	ph.close(total.Len())
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}

@@ -17,6 +17,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"linrec/internal/ast"
 	"linrec/internal/rel"
@@ -188,21 +189,25 @@ func mergeRound(total *rel.Relation, bufs [][]rel.Value, arity int, stats *Stats
 // to the total relation last round.  Results and statistics equal the
 // sequential Engine.SemiNaive on the same inputs.
 func (p *ParallelEngine) SemiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats) {
-	total, stats, _ := p.semiNaive(db, ops, q, nil, nil)
+	total, stats, _ := p.semiNaive(db, ops, q, nil, nil, nil)
 	return total, stats
 }
 
 // SemiNaiveCtx is SemiNaive with cancellation: the round barrier polls ctx
 // before fanning out and before merging, and every worker polls it while
 // scanning its shard, so a cancelled closure returns within a few hundred
-// row-joins with all workers joined (no goroutine leaks).
+// row-joins with all workers joined (no goroutine leaks).  A Tracer
+// carried by ctx records the closure as one phase, with per-worker shard
+// rows on every fanned-out round.
 func (p *ParallelEngine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast.Op, q *rel.Relation) (*rel.Relation, Stats, error) {
 	if p.Workers <= 1 || q.Arity() == 0 {
 		return p.Engine.SemiNaiveCtx(ctx, db, ops, q)
 	}
 	stop, release := watchContext(ctx)
 	defer release()
-	total, stats, ok := p.semiNaive(db, ops, q, stop, nil)
+	ph := TracerFrom(ctx).phase("semi-naive", p.Workers, 0, q.Len())
+	total, stats, ok := p.semiNaive(db, ops, q, stop, nil, ph)
+	ph.close(total.Len())
 	if !ok {
 		return nil, stats, ctxErr(ctx)
 	}
@@ -212,7 +217,7 @@ func (p *ParallelEngine) SemiNaiveCtx(ctx context.Context, db rel.DB, ops []*ast
 // semiNaive is the one sharded fixpoint driver; the optional newKeep
 // factory builds one filter per worker (see applyRound), so the
 // restricted closure of the magic-seeded plans shares this loop too.
-func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool) (*rel.Relation, Stats, bool) {
+func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool, ph *PhaseTrace) (*rel.Relation, Stats, bool) {
 	// Nullary relations carry no per-tuple payload for the flat round
 	// buffers; the (degenerate) case runs sequentially.
 	if p.Workers <= 1 || q.Arity() == 0 {
@@ -220,10 +225,10 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 		if newKeep != nil {
 			keep = newKeep()
 		}
-		return p.Engine.semiNaive(db, ops, q, stop, keep)
+		return p.Engine.semiNaive(db, ops, q, stop, keep, ph)
 	}
 	total := q.Clone()
-	stats, ok := p.semiNaiveFrom(db, ops, total, 0, stop, newKeep)
+	stats, ok := p.semiNaiveFrom(db, ops, total, 0, stop, newKeep, ph)
 	return total, stats, ok
 }
 
@@ -231,7 +236,7 @@ func (p *ParallelEngine) semiNaive(db rel.DB, ops []*ast.Op, q *rel.Relation, st
 // the round loop over total in place with rows [lo, total.Len()) as the
 // initial delta.  Callers with Workers ≤ 1 or nullary relations must
 // route to the sequential driver themselves.
-func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo int, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool) (Stats, bool) {
+func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Relation, lo int, stop *atomic.Bool, newKeep func() func(rel.Tuple) bool, ph *PhaseTrace) (Stats, bool) {
 	cs := make([]*compiled, len(ops))
 	for i, op := range ops {
 		cs[i] = p.compiledFor(op)
@@ -245,6 +250,11 @@ func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Rela
 			return stats, false
 		}
 		stats.Iterations++
+		var roundStart time.Time
+		d0, u0 := stats.Derivations, stats.Duplicates
+		if ph != nil {
+			roundStart = time.Now()
+		}
 		if hi-lo < parallelRoundRows {
 			// Small delta: the fan-out barrier costs more than the round
 			// itself, so run it inline.  Deep recursions spend most rounds
@@ -255,7 +265,15 @@ func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Rela
 			if newKeep != nil {
 				keep = newKeep()
 			}
+			var ruleUS []int64
+			if ph != nil {
+				ruleUS = make([]int64, 0, len(cs))
+			}
 			for _, c := range cs {
+				var opStart time.Time
+				if ph != nil {
+					opStart = time.Now()
+				}
 				ok := applyCompiledRange(db, c, total, lo, hi, stop, func(t rel.Tuple) {
 					if keep != nil && !keep(t) {
 						return
@@ -268,6 +286,20 @@ func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Rela
 				if !ok {
 					return stats, false
 				}
+				if ph != nil {
+					ruleUS = append(ruleUS, time.Since(opStart).Microseconds())
+				}
+			}
+			if ph != nil {
+				ph.round(RoundTrace{
+					Round:       stats.Iterations,
+					DeltaRows:   hi - lo,
+					NewRows:     total.Len() - hi,
+					Derivations: stats.Derivations - d0,
+					Duplicates:  stats.Duplicates - u0,
+					ElapsedUS:   time.Since(roundStart).Microseconds(),
+					RuleUS:      ruleUS,
+				})
 			}
 			lo, hi = hi, total.Len()
 			if hi > lo {
@@ -282,6 +314,21 @@ func (p *ParallelEngine) semiNaiveFrom(db rel.DB, ops []*ast.Op, total *rel.Rela
 			return stats, false
 		}
 		mergeRound(total, bufs, total.Arity(), &stats)
+		if ph != nil {
+			shard := make([]int, len(bufs))
+			for w, buf := range bufs {
+				shard[w] = len(buf) / total.Arity()
+			}
+			ph.round(RoundTrace{
+				Round:       stats.Iterations,
+				DeltaRows:   hi - lo,
+				NewRows:     total.Len() - hi,
+				Derivations: stats.Derivations - d0,
+				Duplicates:  stats.Duplicates - u0,
+				ElapsedUS:   time.Since(roundStart).Microseconds(),
+				ShardRows:   shard,
+			})
+		}
 		lo, hi = hi, total.Len()
 		if hi > lo {
 			stats.MaxDepth++
@@ -319,7 +366,9 @@ func (p *ParallelEngine) SemiNaiveResumeCtx(ctx context.Context, db rel.DB, ops 
 	}
 	stop, release := watchContext(ctx)
 	defer release()
-	stats, ok := p.semiNaiveFrom(db, ops, total, lo, stop, nil)
+	ph := TracerFrom(ctx).phase("resume", p.Workers, lo, total.Len()-lo)
+	stats, ok := p.semiNaiveFrom(db, ops, total, lo, stop, nil, ph)
+	ph.close(total.Len())
 	if !ok {
 		return stats, ctxErr(ctx)
 	}

@@ -36,12 +36,17 @@ type GateFloors struct {
 	MagicMulti  float64 // closure-then-filter vs the multi-column adornment on multi-bound queries
 	Cache       float64 // cold evaluation vs result-cache hit
 	Incremental float64 // maintained update+query vs purge-and-rebuild
+	// TracingOverheadPct is a CEILING, not a floor: the tracing-disabled
+	// closure may regress at most this many percent over the no-context
+	// entry point.  Zero disables the check.
+	TracingOverheadPct float64
 }
 
 // DefaultGateFloors are deliberately conservative: the committed lanes
 // record ≈ 5x parallel, ≥ 2500x magic, ≫ 1000x multi-bound magic,
-// ≫ 50x cache and ≫ 10x incremental maintenance at full size.
-var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10}
+// ≫ 50x cache and ≫ 10x incremental maintenance at full size; the
+// tracing hooks must cost under 2% when disabled.
+var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10, TracingOverheadPct: 2}
 
 // gateMagicNodes sizes the magic lane's gate run.  The bound query's
 // advantage scales with graph size (output-proportional vs closure-
@@ -101,6 +106,33 @@ func RunGate(floors GateFloors, w io.Writer) GateReport {
 	}
 	add("incremental", inc.Speedup, floors.Incremental,
 		fmt.Sprintf("maintained update+query vs purge-and-rebuild, %s", inc.Workload), err)
+
+	// The tracing-overhead lane inverts the shared floor semantics — its
+	// bound is a ceiling — so it gets a hand-rolled check.
+	ov, err := TracingOverheadBench(PTCTableNodes, 5)
+	c := GateCheck{
+		Name:  "trace-off",
+		Value: ov.OverheadOffPct,
+		Floor: floors.TracingOverheadPct,
+		Detail: fmt.Sprintf("tracing-disabled closure vs no-context entry, %d edges (traced arm %+.1f%%)",
+			PTCTableNodes-1, ov.OverheadOnPct),
+	}
+	if err != nil {
+		c.Pass = false
+		c.Detail = fmt.Sprintf("lane failed: %v", err)
+	} else {
+		c.Pass = floors.TracingOverheadPct <= 0 || ov.OverheadOffPct <= floors.TracingOverheadPct
+	}
+	rep.Checks = append(rep.Checks, c)
+	if !c.Pass {
+		rep.Pass = false
+	}
+	status := "ok"
+	if !c.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "gate %-10s %+7.2f%% (ceil  %5.1f%%) %-4s %s\n",
+		c.Name, c.Value, c.Floor, status, c.Detail)
 
 	return rep
 }

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+)
+
+// This lane certifies the tracing hooks' off-path guarantee: the
+// sequential TC closure is timed three ways — the plain SemiNaive entry
+// point (no context at all), SemiNaiveCtx with no tracer attached (the
+// production default: every hook compiles to a nil check), and
+// SemiNaiveCtx with a live Tracer recording every round.  The gate
+// bounds the no-tracer arm's regression over the plain arm; the
+// traced arm is reported but not gated, since paying for observability
+// when it is asked for is the point.
+
+// OverheadReport is the machine-readable tracing-overhead comparison
+// (BENCH_eval.json "tracing_overhead").
+type OverheadReport struct {
+	Bench    string `json:"bench"`
+	Workload string `json:"workload"`
+	Edges    int    `json:"edges"`
+	Tuples   int    `json:"tuples"`
+	// Runs is the per-arm repeat count; each arm reports its minimum,
+	// which suppresses scheduler noise far better than a mean on shared
+	// runners.
+	Runs       int     `json:"runs"`
+	BaselineMS float64 `json:"baseline_ms"` // SemiNaive, no context
+	DisabledMS float64 `json:"disabled_ms"` // SemiNaiveCtx, no tracer
+	EnabledMS  float64 `json:"enabled_ms"`  // SemiNaiveCtx, live tracer
+	// OverheadOffPct is the gated number: (disabled − baseline) / baseline
+	// as a percentage.  Negative values just mean the arms tied within noise.
+	OverheadOffPct float64 `json:"overhead_off_pct"`
+	OverheadOnPct  float64 `json:"overhead_on_pct"`
+	// TraceRounds is the round count the enabled arm's tracer recorded —
+	// a sanity check that the traced arm actually traced.
+	TraceRounds int `json:"trace_rounds"`
+}
+
+// TracingOverheadBench times the three arms on the random-tree TC
+// workload, min of runs per arm, arms interleaved within each repeat so
+// thermal or frequency drift lands on all three equally.
+func TracingOverheadBench(nodes, runs int) (OverheadReport, error) {
+	rep := OverheadReport{
+		Bench:    "tracing_overhead",
+		Workload: fmt.Sprintf("sequential TC closure, random recursive tree, %d edges", nodes-1),
+		Runs:     runs,
+	}
+	if runs < 1 {
+		runs = 1
+		rep.Runs = 1
+	}
+	e := eval.NewEngine(nil)
+	db := rel.DB{}
+	edges := ptcEdges(e, db, nodes)
+	ops := []*ast.Op{mustOp("p(X,Y) :- p(X,U), up(U,Y).")}
+	// Probe index built once outside every timed region, as in ptcBench.
+	edges.BuildIndex(0)
+	rep.Edges = edges.Len()
+
+	// One untimed warmup closure compiles the operator and faults the
+	// heap in, so no arm's first run carries one-off setup cost.
+	{
+		q := edges.Clone()
+		out, _ := e.SemiNaive(db, ops, q)
+		rep.Tuples = out.Len()
+		out = nil
+		runtime.GC()
+	}
+
+	const inf = time.Duration(1<<63 - 1)
+	baseline, disabled, enabled := inf, inf, inf
+	for r := 0; r < runs; r++ {
+		// Arm 1: the no-context entry point — the pre-hook shape.
+		q := edges.Clone()
+		start := time.Now()
+		out, _ := e.SemiNaive(db, ops, q)
+		if d := time.Since(start); d < baseline {
+			baseline = d
+		}
+		tuples := out.Len()
+		if rep.Tuples == 0 {
+			rep.Tuples = tuples
+		}
+		out = nil
+		runtime.GC()
+
+		// Arm 2: the context entry point with no tracer attached — what
+		// every production query pays, hooks present but nil.
+		q = edges.Clone()
+		start = time.Now()
+		out, _, err := e.SemiNaiveCtx(context.Background(), db, ops, q)
+		if err != nil {
+			return rep, err
+		}
+		if d := time.Since(start); d < disabled {
+			disabled = d
+		}
+		if out.Len() != tuples {
+			return rep, fmt.Errorf("arms disagree: baseline %d tuples, disabled %d", tuples, out.Len())
+		}
+		out = nil
+		runtime.GC()
+
+		// Arm 3: a live tracer recording every round.
+		tr := &eval.Tracer{}
+		q = edges.Clone()
+		start = time.Now()
+		out, _, err = e.SemiNaiveCtx(eval.WithTracer(context.Background(), tr), db, ops, q)
+		if err != nil {
+			return rep, err
+		}
+		if d := time.Since(start); d < enabled {
+			enabled = d
+		}
+		if out.Len() != tuples {
+			return rep, fmt.Errorf("arms disagree: baseline %d tuples, enabled %d", tuples, out.Len())
+		}
+		trace := tr.Trace()
+		if len(trace.Phases) != 1 {
+			return rep, fmt.Errorf("traced arm recorded %d phases, want 1", len(trace.Phases))
+		}
+		ph := trace.Phases[0]
+		if ph.TotalRows != tuples {
+			return rep, fmt.Errorf("trace total %d rows, closure has %d", ph.TotalRows, tuples)
+		}
+		rep.TraceRounds = len(ph.Rounds)
+		out = nil
+		runtime.GC()
+	}
+
+	rep.BaselineMS = float64(baseline) / 1e6
+	rep.DisabledMS = float64(disabled) / 1e6
+	rep.EnabledMS = float64(enabled) / 1e6
+	if baseline > 0 {
+		rep.OverheadOffPct = 100 * float64(disabled-baseline) / float64(baseline)
+		rep.OverheadOnPct = 100 * float64(enabled-baseline) / float64(baseline)
+	}
+	return rep, nil
+}
+
+// TracingOverheadJSONReport runs the committed lane at the table size
+// with enough repeats for a stable minimum.
+func TracingOverheadJSONReport() (OverheadReport, error) {
+	return TracingOverheadBench(PTCTableNodes, 9)
+}

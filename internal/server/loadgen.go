@@ -111,6 +111,52 @@ func QueryOnce(ctx context.Context, hc *http.Client, baseURL, query string, time
 	return &out, nil
 }
 
+// QueryTraced issues one query with tracing requested and returns the
+// decoded response, trace included.
+func QueryTraced(ctx context.Context, hc *http.Client, baseURL, query string, timeout time.Duration, workers int) (*QueryResponse, error) {
+	var out QueryResponse
+	err := doJSON(ctx, hc, http.MethodPost, baseURL+"/v1/query", QueryRequest{
+		Query:     query,
+		TimeoutMS: timeout.Milliseconds(),
+		Workers:   workers,
+		Trace:     true,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExplainQuery asks the server for the planner's decision tree for one
+// query, without executing it.
+func ExplainQuery(ctx context.Context, hc *http.Client, baseURL, query string) (*ExplainResponse, error) {
+	var out ExplainResponse
+	err := doJSON(ctx, hc, http.MethodPost, baseURL+"/v1/query?explain=1", QueryRequest{Query: query}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FetchMetrics scrapes /metrics, strictly parses the exposition body
+// (ParsePrometheus) and returns the samples keyed by series.
+func FetchMetrics(ctx context.Context, hc *http.Client, baseURL string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &HTTPError{Status: resp.StatusCode, Body: string(msg)}
+	}
+	return ParsePrometheus(resp.Body)
+}
+
 // PostFacts pushes a batch of ground facts and returns the new snapshot
 // version.
 func PostFacts(ctx context.Context, hc *http.Client, baseURL, facts string) (*FactsResponse, error) {

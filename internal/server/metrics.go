@@ -1,0 +1,409 @@
+// The /metrics endpoint: the server's counters, gauges and the latency
+// histogram rendered in the Prometheus text exposition format (0.0.4),
+// hand-rolled — no client library.  Naming scheme: every series is
+// prefixed "linrec_", counters end in "_total", base units are seconds,
+// and dimensions (plan kind, query status, cache layer, cache event)
+// are labels rather than name suffixes, so dashboards can aggregate
+// across a dimension with a single selector.  Reads are lock-free
+// (atomic loads) or take the same short mutexes /v1/stats takes, so
+// scraping is safe concurrently with queries and snapshot swaps.
+//
+// ParsePrometheus is the matching strict reader: tests and the lrload
+// smoke use it to fail on malformed exposition output (bad names,
+// duplicate series, samples contradicting their TYPE declaration).
+
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"linrec/internal/planner"
+)
+
+// kindSlugs maps the planner Kind's human-readable String form (the key
+// of /v1/stats maps) to its stable slug (the metrics label value).
+var kindSlugs = func() map[string]string {
+	m := map[string]string{}
+	for k := planner.Kind(0); k <= planner.MagicSeeded; k++ {
+		m[k.String()] = k.Slug()
+	}
+	return m
+}()
+
+// metricsWriter accumulates exposition lines with one TYPE header per
+// metric family.
+type metricsWriter struct {
+	b strings.Builder
+}
+
+func (m *metricsWriter) family(name, kind, help string) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// sample emits one series.  labels are name/value pairs; values render
+// with minimal digits ('g', full float64 precision).
+func (m *metricsWriter) sample(name string, labels [][2]string, v float64) {
+	m.b.WriteString(name)
+	if len(labels) > 0 {
+		m.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				m.b.WriteByte(',')
+			}
+			fmt.Fprintf(&m.b, `%s=%q`, l[0], escapeLabel(l[1]))
+		}
+		m.b.WriteByte('}')
+	}
+	m.b.WriteByte(' ')
+	m.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	m.b.WriteByte('\n')
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, s.renderMetrics())
+}
+
+// renderMetrics builds the full exposition body.
+func (s *Server) renderMetrics() string {
+	var m metricsWriter
+
+	m.family("linrec_uptime_seconds", "gauge", "Seconds since the server started.")
+	m.sample("linrec_uptime_seconds", nil, time.Since(s.start).Seconds())
+	m.family("linrec_snapshot_version", "gauge", "Version of the current database snapshot.")
+	m.sample("linrec_snapshot_version", nil, float64(s.sys.Snapshot().Version))
+
+	// Disjoint terminal statuses: "invalid" is the client-error remainder
+	// of queryErrors once the 500s are split out, so summing the label
+	// values counts every finished query exactly once.
+	m.family("linrec_queries_total", "counter", "Finished queries by terminal status.")
+	internal := s.ctr.internalErrors.Load()
+	for _, st := range []struct {
+		status string
+		n      int64
+	}{
+		{"ok", s.ctr.queriesOK.Load()},
+		{"invalid", s.ctr.queryErrors.Load() - internal},
+		{"internal", internal},
+		{"timeout", s.ctr.timeouts.Load()},
+		{"client_abort", s.ctr.clientAborts.Load()},
+		{"shed_queue", s.ctr.shedQueue.Load()},
+		{"shed_budget", s.ctr.shedBudget.Load()},
+	} {
+		m.sample("linrec_queries_total", [][2]string{{"status", st.status}}, float64(st.n))
+	}
+	m.family("linrec_slow_queries_total", "counter", "Queries over the slow-query threshold.")
+	m.sample("linrec_slow_queries_total", nil, float64(s.ctr.slowQueries.Load()))
+	m.family("linrec_rows_served_total", "counter", "Answer rows returned to clients.")
+	m.sample("linrec_rows_served_total", nil, float64(s.ctr.rowsServed.Load()))
+
+	m.family("linrec_plans_total", "counter", "Answered queries by evaluation plan kind.")
+	for i := planner.Kind(0); i <= planner.MagicSeeded; i++ {
+		m.sample("linrec_plans_total", [][2]string{{"kind", i.Slug()}}, float64(s.ctr.plans[int(i)].Load()))
+	}
+	m.family("linrec_plans_by_adornment_total", "counter", "Answered queries by predicate, goal adornment and plan kind.")
+	adorn := s.ctr.adornCounts()
+	adornKeys := make([]string, 0, len(adorn))
+	for k := range adorn {
+		adornKeys = append(adornKeys, k)
+	}
+	sort.Strings(adornKeys)
+	for _, k := range adornKeys {
+		// Keys are "pred/adornment kind-slug" (see counters.observePlan).
+		predAdorn, slug, ok := strings.Cut(k, " ")
+		if !ok {
+			continue
+		}
+		pred, ad, ok := strings.Cut(predAdorn, "/")
+		if !ok {
+			continue
+		}
+		m.sample("linrec_plans_by_adornment_total",
+			[][2]string{{"pred", pred}, {"adornment", ad}, {"kind", slug}}, float64(adorn[k]))
+	}
+
+	m.family("linrec_facts_total", "counter", "Facts applied by operation.")
+	m.sample("linrec_facts_total", [][2]string{{"op", "add"}}, float64(s.ctr.factsAdded.Load()))
+	m.sample("linrec_facts_total", [][2]string{{"op", "remove"}}, float64(s.ctr.factsRemoved.Load()))
+	m.family("linrec_fact_batches_total", "counter", "Snapshot-swapping fact batches by operation.")
+	m.sample("linrec_fact_batches_total", [][2]string{{"op", "add"}}, float64(s.ctr.factBatches.Load()))
+	m.sample("linrec_fact_batches_total", [][2]string{{"op", "remove"}}, float64(s.ctr.retractBatches.Load()))
+	m.family("linrec_snapshot_swap_seconds_total", "counter", "Cumulative wall time of snapshot swaps, cache maintenance included.")
+	m.sample("linrec_snapshot_swap_seconds_total", nil, float64(s.ctr.swapNS.Load())/1e9)
+
+	m.family("linrec_queue_depth", "gauge", "Requests waiting in the admission queue.")
+	m.sample("linrec_queue_depth", nil, float64(s.queued.Load()))
+	m.family("linrec_queue_limit", "gauge", "Admission queue capacity.")
+	m.sample("linrec_queue_limit", nil, float64(s.cfg.MaxQueue))
+	m.family("linrec_inflight_queries", "gauge", "Queries currently evaluating.")
+	m.sample("linrec_inflight_queries", nil, float64(s.inflight.Load()))
+	m.family("linrec_worker_budget", "gauge", "Global closure-worker budget.")
+	m.sample("linrec_worker_budget", nil, float64(s.sem.Size()))
+	m.family("linrec_workers_in_use", "gauge", "Workers currently granted to queries.")
+	m.sample("linrec_workers_in_use", nil, float64(s.sem.InUse()))
+
+	rc := s.sys.ResultCacheStats()
+	m.family("linrec_result_cache_entries", "gauge", "Entries in the goal-level result cache.")
+	m.sample("linrec_result_cache_entries", nil, float64(rc.Entries))
+	m.family("linrec_result_cache_rows", "gauge", "Answer rows held by the result cache.")
+	m.sample("linrec_result_cache_rows", nil, float64(rc.Rows))
+	m.family("linrec_result_cache_cap_rows", "gauge", "Result cache row capacity.")
+	m.sample("linrec_result_cache_cap_rows", nil, float64(rc.CapRows))
+	m.family("linrec_result_cache_events_total", "counter", "Result cache lookups and evictions by event and plan kind.")
+	for event, byKind := range map[string]map[string]int64{
+		"hit": rc.Hits, "miss": rc.Misses, "eviction": rc.Evictions,
+	} {
+		kinds := make([]string, 0, len(byKind))
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			slug := kindSlugs[k]
+			if slug == "" {
+				slug = "unknown"
+			}
+			m.sample("linrec_result_cache_events_total",
+				[][2]string{{"event", event}, {"kind", slug}}, float64(byKind[k]))
+		}
+	}
+	m.family("linrec_result_cache_joins_total", "counter", "Queries that joined another query's in-flight build.")
+	m.sample("linrec_result_cache_joins_total", nil, float64(rc.Joins))
+	m.family("linrec_result_cache_invalidated_total", "counter", "Result cache entries invalidated by snapshot swaps.")
+	m.sample("linrec_result_cache_invalidated_total", nil, float64(rc.Invalidated))
+	m.family("linrec_result_cache_upgrades_total", "counter", "Result cache entries carried across snapshot swaps.")
+	m.sample("linrec_result_cache_upgrades_total", nil, float64(rc.Upgrades))
+	m.family("linrec_result_cache_upgrade_fallbacks_total", "counter", "Result cache upgrade attempts that fell back to purging.")
+	m.sample("linrec_result_cache_upgrade_fallbacks_total", nil, float64(rc.UpgradeFallbacks))
+
+	sc := s.sys.SeedCacheStatsNow()
+	m.family("linrec_seed_cache_entries", "gauge", "Seed/magic cache entries by layer.")
+	m.sample("linrec_seed_cache_entries", [][2]string{{"cache", "seed"}}, float64(sc.SeedEntries))
+	m.sample("linrec_seed_cache_entries", [][2]string{{"cache", "magic"}}, float64(sc.MagicEntries))
+	m.family("linrec_seed_cache_rows", "gauge", "Rows held by completed seed/magic cache entries.")
+	m.sample("linrec_seed_cache_rows", nil, float64(sc.Rows))
+	m.family("linrec_seed_cache_events_total", "counter", "Seed/magic cache lookups by layer and event (a bypass counts as a miss).")
+	m.sample("linrec_seed_cache_events_total", [][2]string{{"cache", "seed"}, {"event", "hit"}}, float64(sc.SeedHits))
+	m.sample("linrec_seed_cache_events_total", [][2]string{{"cache", "seed"}, {"event", "miss"}}, float64(sc.SeedMisses))
+	m.sample("linrec_seed_cache_events_total", [][2]string{{"cache", "magic"}, {"event", "hit"}}, float64(sc.MagicHits))
+	m.sample("linrec_seed_cache_events_total", [][2]string{{"cache", "magic"}, {"event", "miss"}}, float64(sc.MagicMisses))
+	m.family("linrec_seed_cache_upgrades_total", "counter", "Seed/magic cache entries carried across snapshot swaps.")
+	m.sample("linrec_seed_cache_upgrades_total", nil, float64(sc.Upgraded))
+	m.family("linrec_seed_cache_purged_total", "counter", "Seed/magic cache entries dropped by snapshot swaps.")
+	m.sample("linrec_seed_cache_purged_total", nil, float64(sc.Purged))
+
+	// The log₂ histogram re-emitted as a cumulative Prometheus histogram:
+	// bucket b spans [2^b, 2^(b+1)) µs, so its upper bound le is
+	// 2^(b+1) µs in seconds; the last bucket catches everything (+Inf).
+	m.family("linrec_query_latency_seconds", "histogram", "Query latency (answered queries).")
+	var cum int64
+	for b := 0; b < latBuckets; b++ {
+		cum += s.lat.buckets[b].Load()
+		le := "+Inf"
+		if b < latBuckets-1 {
+			le = strconv.FormatFloat(float64(int64(1)<<uint(b+1))/1e6, 'g', -1, 64)
+		}
+		m.sample("linrec_query_latency_seconds_bucket", [][2]string{{"le", le}}, float64(cum))
+	}
+	m.sample("linrec_query_latency_seconds_sum", nil, float64(s.lat.sumNS.Load())/1e9)
+	m.sample("linrec_query_latency_seconds_count", nil, float64(s.lat.count.Load()))
+	m.family("linrec_query_latency_p50_seconds", "gauge", "Median query latency interpolated from the histogram.")
+	m.sample("linrec_query_latency_p50_seconds", nil, s.lat.quantile(0.50).Seconds())
+	m.family("linrec_query_latency_p99_seconds", "gauge", "99th-percentile query latency interpolated from the histogram.")
+	m.sample("linrec_query_latency_p99_seconds", nil, s.lat.quantile(0.99).Seconds())
+
+	return m.b.String()
+}
+
+// ParsePrometheus strictly reads a text exposition body, returning the
+// sample values keyed by series (metric name plus its label block,
+// verbatim).  It fails on malformed lines, invalid metric or label
+// names, duplicate series, unparseable values, and samples whose family
+// was TYPE-declared only after they appeared — enough rigor that a
+// passing body is ingestible by a real scraper.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	sampled := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if len(fields) < 3 || !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("line %d: malformed %s comment: %q", lineNo, fields[1], line)
+				}
+				if fields[1] == "TYPE" {
+					name := fields[2]
+					if sampled[name] {
+						return nil, fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+					}
+					if _, dup := typed[name]; dup {
+						return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					}
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("line %d: TYPE without a type: %q", lineNo, line)
+					}
+					typed[name] = fields[3]
+				}
+			}
+			continue
+		}
+		series, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, dup := samples[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %q", lineNo, series)
+		}
+		samples[series] = value
+		sampled[familyOf(series)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// familyOf strips the label block and the histogram/summary suffixes,
+// mapping a series back to the name its TYPE line declares.
+func familyOf(series string) string {
+	name := series
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits one sample line into its series key and value.
+func parseSample(line string) (series string, value float64, err error) {
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unterminated label block: %q", line)
+		}
+		if err := checkLabels(line[i+1 : j]); err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+		series = line[:j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		k := strings.IndexAny(line, " \t")
+		if k < 0 {
+			return "", 0, fmt.Errorf("no value: %q", line)
+		}
+		name = line[:k]
+		series = name
+		rest = strings.TrimSpace(line[k:])
+	}
+	if !validMetricName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// An optional timestamp may follow the value.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return series, value, nil
+}
+
+// checkLabels validates the inside of a label block.
+func checkLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", name)
+		}
+		// Scan the quoted value honoring escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %q value unterminated", name)
+		}
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}

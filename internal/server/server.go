@@ -28,7 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -66,6 +66,14 @@ type Config struct {
 	// worker grant is released, so without a cap, huge open-query answers
 	// would be the one unmetered resource.  0 = unlimited.
 	MaxRows int
+	// Logger receives the server's structured diagnostics (internal
+	// errors, slow queries), each record carrying the request ID the
+	// response echoed.  Default: slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when positive, forces tracing on for every query and
+	// logs the full trace of any query whose evaluation exceeds the
+	// threshold (the linrecd -slow-query-ms flag).  0 disables.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +109,9 @@ type Server struct {
 	ctr      counters
 	lat      latencyHist
 	mux      *http.ServeMux
+	log      *slog.Logger
+	runID    string
+	reqSeq   atomic.Int64
 }
 
 // New builds a server over a loaded system.
@@ -115,12 +126,26 @@ func New(cfg Config) *Server {
 		sem:   NewSemaphore(int64(cfg.TotalWorkers)),
 		start: time.Now(),
 		mux:   http.NewServeMux(),
+		log:   cfg.Logger,
+		runID: fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
+	}
+	if s.log == nil {
+		s.log = slog.Default()
 	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/facts", s.handleFacts)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// nextRequestID mints a per-request ID: a per-process run prefix (so IDs
+// from different server lifetimes never collide in aggregated logs) plus
+// a monotone sequence number.  It is echoed as the X-Request-Id response
+// header, in response bodies, on traces and in every log record.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.runID, s.reqSeq.Add(1))
 }
 
 // Handler returns the HTTP handler tree.
@@ -137,6 +162,14 @@ type QueryRequest struct {
 	// Workers is the requested closure worker grant; 0 selects the server
 	// default, values above the global budget are clamped.
 	Workers int `json:"workers,omitempty"`
+	// Trace requests the evaluation trace in the response (equivalent to
+	// the ?trace=1 URL parameter): per-round delta sizes, per-rule
+	// timings, shard balance and cache decisions.
+	Trace bool `json:"trace,omitempty"`
+	// Explain requests the planner's decision tree instead of execution
+	// (equivalent to ?explain=1): the response describes the plan the
+	// query would run under, and nothing is evaluated or admitted.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryResponse is the POST /v1/query answer.
@@ -152,6 +185,20 @@ type QueryResponse struct {
 	// cache (bit-for-bit identical to the evaluation that populated it).
 	Cached    bool    `json:"cached,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// RequestID echoes the server-assigned request ID (also the
+	// X-Request-Id header), correlating the response with log records.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the evaluation trace, present only when requested
+	// (?trace=1 or "trace":true).
+	Trace *eval.Trace `json:"trace,omitempty"`
+}
+
+// ExplainResponse is the POST /v1/query?explain=1 answer: the planner's
+// decision for the query, with nothing executed.
+type ExplainResponse struct {
+	RequestID       string        `json:"request_id,omitempty"`
+	SnapshotVersion uint64        `json:"snapshot_version"`
+	Explain         *core.Explain `json:"explain"`
 }
 
 // FactsRequest is the POST and DELETE /v1/facts body.
@@ -165,6 +212,10 @@ type FactsRequest struct {
 	// both, removals apply first, then additions — two copy-on-write
 	// swaps at most.
 	Remove string `json:"remove,omitempty"`
+	// Trace requests the maintenance trace in the response (equivalent
+	// to ?trace=1): per-entry cache upgrade/purge decisions and any
+	// resume phases the swap's differential maintenance ran.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // FactsResponse is the /v1/facts answer.
@@ -180,6 +231,11 @@ type FactsResponse struct {
 	CacheUpgraded int     `json:"cache_upgraded"`
 	CachePurged   int     `json:"cache_purged"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+	// RequestID echoes the server-assigned request ID (also the
+	// X-Request-Id header).
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the maintenance trace, present only when requested.
+	Trace *eval.Trace `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -216,6 +272,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	rid := s.nextRequestID()
+	w.Header().Set("X-Request-Id", rid)
 	var req QueryRequest
 	if !decodeBody(w, r, &req) {
 		s.ctr.queryErrors.Add(1)
@@ -243,6 +301,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{Workers: workers, Strategy: s.sys.Opts.Strategy}
 
+	// Explain: return the planner's decision tree without executing —
+	// no admission, no queue slot, no worker grant, no evaluation.
+	if req.Explain || r.URL.Query().Get("explain") == "1" {
+		ex, err := s.sys.Explain(goal, opts)
+		if err != nil {
+			s.ctr.queryErrors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "explain failed: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ExplainResponse{
+			RequestID:       rid,
+			SnapshotVersion: s.sys.Snapshot().Version,
+			Explain:         ex,
+		})
+		return
+	}
+
+	// Tracing is on when the client asked for it, or unconditionally
+	// when a slow-query threshold is set (the trace must already exist
+	// by the time the query turns out slow).  tr == nil is the off-path:
+	// the engine's hooks degenerate to nil checks at round granularity.
+	wantTrace := req.Trace || r.URL.Query().Get("trace") == "1"
+	var tr *eval.Tracer
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		tr = &eval.Tracer{}
+		tr.SetRequestID(rid)
+	}
+
 	// Size the grant by the plan the query will actually run: separable,
 	// bounded and context-mode magic plans evaluate sequentially, so
 	// handing them a wide budget slice would hold workers idle and starve
@@ -266,7 +352,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// worker grant — under overload, repeated goals keep being served
 	// while the budget goes to queries that actually evaluate.
 	if res, ok := s.sys.CachedAnswer(s.sys.Snapshot(), goal, opts); ok {
-		s.finishQuery(w, r, res, 0, 0)
+		tr.Cache("result", "hit", goal.String(), 0)
+		s.finishQuery(w, r, res, 0, 0, rid, tr, wantTrace)
 		return
 	}
 
@@ -309,8 +396,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	snap := s.sys.Snapshot()
+	qctx := ctx
+	if tr != nil {
+		qctx = eval.WithTracer(ctx, tr)
+	}
 	start := time.Now()
-	res, err := s.sys.QueryOn(ctx, snap, goal, opts)
+	res, err := s.sys.QueryOn(qctx, snap, goal, opts)
 	elapsed := time.Since(start)
 	release()
 	if err != nil {
@@ -334,7 +425,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// provoked any 500.
 			s.ctr.queryErrors.Add(1)
 			s.ctr.internalErrors.Add(1)
-			log.Printf("server: internal error on query %q: %v", req.Query, err)
+			s.log.Error("internal evaluation error",
+				"request_id", rid, "query", req.Query, "err", err)
 			writeError(w, http.StatusInternalServerError, "internal evaluation error; see server log")
 		default:
 			s.ctr.queryErrors.Add(1)
@@ -343,14 +435,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.finishQuery(w, r, res, grant, elapsed)
+	s.finishQuery(w, r, res, grant, elapsed, rid, tr, wantTrace)
 }
 
 // finishQuery is the shared success tail of the cached fast path and the
-// evaluated path: row-cap enforcement, counters, response serialization
-// (streamed when the client asked for NDJSON).  grant is the worker
-// grant the query consumed — 0 for cache hits.
-func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.QueryResult, grant int, elapsed time.Duration) {
+// evaluated path: row-cap enforcement, counters, slow-query logging,
+// response serialization (streamed when the client asked for NDJSON).
+// grant is the worker grant the query consumed — 0 for cache hits.  tr
+// is the query's tracer (nil when tracing was off); its trace joins the
+// response only when the client asked (wantTrace).
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.QueryResult, grant int, elapsed time.Duration, rid string, tr *eval.Tracer, wantTrace bool) {
 	if s.cfg.MaxRows > 0 && res.Answer.Len() > s.cfg.MaxRows {
 		s.ctr.queryErrors.Add(1)
 		writeError(w, http.StatusRequestEntityTooLarge,
@@ -363,6 +457,19 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.Q
 	s.ctr.rowsServed.Add(int64(len(rows)))
 	s.lat.observe(elapsed)
 
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.ctr.slowQueries.Add(1)
+		trace, _ := json.Marshal(tr.Trace())
+		s.log.Warn("slow query",
+			"request_id", rid,
+			"query", res.Query.String(),
+			"elapsed_ms", float64(elapsed)/1e6,
+			"rows", len(rows),
+			"plan", res.Plan.Kind.Slug(),
+			"cached", res.Cached,
+			"trace", string(trace))
+	}
+
 	resp := QueryResponse{
 		Rows:            rows,
 		RowCount:        len(rows),
@@ -373,6 +480,10 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.Q
 		Workers:         grant,
 		Cached:          res.Cached,
 		ElapsedMS:       float64(elapsed) / 1e6,
+		RequestID:       rid,
+	}
+	if wantTrace && tr != nil {
+		resp.Trace = tr.Trace()
 	}
 	if wantsStream(r) {
 		s.streamResponse(w, &resp)
@@ -447,6 +558,8 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST or DELETE only")
 		return
 	}
+	rid := s.nextRequestID()
+	w.Header().Set("X-Request-Id", rid)
 	var req FactsRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -488,13 +601,24 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "facts rejected: %v", err)
 		return
 	}
+	// The maintenance context carries observability only — built on
+	// Background, never the request context, so a client disconnect
+	// cannot abort a half-applied swap's cache maintenance.
+	wantTrace := req.Trace || r.URL.Query().Get("trace") == "1"
+	mctx := context.Background()
+	var tr *eval.Tracer
+	if wantTrace {
+		tr = &eval.Tracer{}
+		tr.SetRequestID(rid)
+		mctx = eval.WithTracer(mctx, tr)
+	}
 	start := time.Now()
 	snap := s.sys.Snapshot()
 	removed := 0
 	var maint core.Maintenance
 	if len(toRemove) > 0 {
 		var m core.Maintenance
-		snap, removed, m, err = s.sys.RemoveFactsMaint(toRemove)
+		snap, removed, m, err = s.sys.RemoveFactsMaintCtx(mctx, toRemove)
 		if err != nil {
 			writeError(w, http.StatusConflict, "retraction rejected: %v", err)
 			return
@@ -508,7 +632,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	added := 0
 	if len(toAdd) > 0 {
 		var m core.Maintenance
-		snap, added, m, err = s.sys.AddFactsMaint(toAdd)
+		snap, added, m, err = s.sys.AddFactsMaintCtx(mctx, toAdd)
 		if err != nil {
 			writeError(w, http.StatusConflict, "facts rejected: %v", err)
 			return
@@ -519,14 +643,23 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 			maint = maint.Add(m)
 		}
 	}
-	writeJSON(w, http.StatusOK, FactsResponse{
+	elapsed := time.Since(start)
+	if added > 0 || removed > 0 {
+		s.ctr.swapNS.Add(int64(elapsed))
+	}
+	resp := FactsResponse{
 		SnapshotVersion: snap.Version,
 		FactsAdded:      added,
 		FactsRemoved:    removed,
 		CacheUpgraded:   maint.ResultsUpgraded + maint.SeedsUpgraded,
 		CachePurged:     maint.ResultsPurged + maint.SeedsPurged,
-		ElapsedMS:       float64(time.Since(start)) / 1e6,
-	})
+		ElapsedMS:       float64(elapsed) / 1e6,
+		RequestID:       rid,
+	}
+	if wantTrace {
+		resp.Trace = tr.Trace()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Stats returns a point-in-time statistics report (the /v1/stats body).
@@ -546,6 +679,8 @@ func (s *Server) Stats() StatsReport {
 		RetractBatches:   s.ctr.retractBatches.Load(),
 		FactsRemoved:     s.ctr.factsRemoved.Load(),
 		RowsServed:       s.ctr.rowsServed.Load(),
+		SwapS:            float64(s.ctr.swapNS.Load()) / 1e9,
+		SlowQueries:      s.ctr.slowQueries.Load(),
 		InFlight:         s.inflight.Load(),
 		Queued:           s.queued.Load(),
 		WorkerBudget:     s.sem.Size(),
@@ -554,6 +689,7 @@ func (s *Server) Stats() StatsReport {
 		PlansByAdornment: s.ctr.adornCounts(),
 		Latency:          s.lat.summary(),
 		ResultCache:      s.sys.ResultCacheStats(),
+		SeedCache:        s.sys.SeedCacheStatsNow(),
 	}
 }
 

@@ -48,8 +48,15 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.buckets[b].Add(1)
 }
 
-// quantile returns an upper bound for the q-th latency quantile
-// (bucket-resolution: within a factor of 2).
+// quantile estimates the q-th latency quantile by linear interpolation
+// inside the bucket holding the target rank: bucket b spans
+// [2^b, 2^(b+1)) µs (b = 0 starts at zero), and the rank's position
+// within the bucket's population picks the point on that span, with the
+// upper edge clamped to the largest latency actually observed.  The
+// load generator's exact client-side percentiles use the same
+// rank = ⌈q·n⌉ definition, so the two views agree up to bucket
+// resolution instead of the server systematically reporting the
+// power-of-two upper bound.
 func (h *latencyHist) quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
@@ -61,10 +68,23 @@ func (h *latencyHist) quantile(q float64) time.Duration {
 	}
 	var seen int64
 	for b := 0; b < latBuckets; b++ {
-		seen += h.buckets[b].Load()
-		if seen >= rank {
-			return time.Duration(1<<uint(b+1)) * time.Microsecond
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
 		}
+		if seen+n >= rank {
+			loNS := int64(0)
+			if b > 0 {
+				loNS = (int64(1) << uint(b)) * 1000
+			}
+			hiNS := (int64(1) << uint(b+1)) * 1000
+			if mx := h.maxNS.Load(); mx > loNS && mx < hiNS {
+				hiNS = mx // the top bucket ends at the observed max
+			}
+			frac := float64(rank-seen) / float64(n)
+			return time.Duration(float64(loNS) + frac*float64(hiNS-loNS))
+		}
+		seen += n
 	}
 	return time.Duration(h.maxNS.Load())
 }
@@ -107,6 +127,8 @@ type counters struct {
 	retractBatches atomic.Int64 // successful retraction swaps (DELETE or POST "remove")
 	factsRemoved   atomic.Int64 // total facts across retraction swaps
 	rowsServed     atomic.Int64 // answer rows returned
+	swapNS         atomic.Int64 // cumulative snapshot-swap time (/v1/facts maintenance included)
+	slowQueries    atomic.Int64 // queries over the -slow-query-ms threshold (trace dumped to the log)
 
 	// plans counts answered queries per plan kind, indexed by
 	// planner.Kind — the /v1/stats view of how often each evaluation
@@ -190,10 +212,16 @@ type StatsReport struct {
 	RetractBatches int64 `json:"retract_batches"`
 	FactsRemoved   int64 `json:"facts_removed"`
 	RowsServed     int64 `json:"rows_served"`
-	InFlight       int64 `json:"inflight_queries"`
-	Queued         int64 `json:"queued_queries"`
-	WorkerBudget   int64 `json:"worker_budget"`
-	WorkersInUse   int64 `json:"workers_in_use"`
+	// SwapS is the cumulative wall time of /v1/facts snapshot swaps,
+	// cache maintenance included.
+	SwapS float64 `json:"swap_s"`
+	// SlowQueries counts answered queries that exceeded the server's
+	// slow-query threshold (their traces went to the log).
+	SlowQueries  int64 `json:"slow_queries"`
+	InFlight     int64 `json:"inflight_queries"`
+	Queued       int64 `json:"queued_queries"`
+	WorkerBudget int64 `json:"worker_budget"`
+	WorkersInUse int64 `json:"workers_in_use"`
 	// Plans counts answered queries per evaluation plan kind (keyed by
 	// the planner's Kind string, e.g. "magic-seeded evaluation
 	// (σ-bound frontier)"); kinds that served no query are omitted.
@@ -208,4 +236,7 @@ type StatsReport struct {
 	// the current contents plus hit/miss/eviction counters per plan kind
 	// and the number of entries invalidated by snapshot swaps.
 	ResultCache core.ResultCacheStats `json:"result_cache"`
+	// SeedCache reports the seed/magic cache: current entries and rows
+	// plus lifetime hit/miss and swap upgrade/purge counters.
+	SeedCache core.SeedCacheStats `json:"seed_cache"`
 }
