@@ -13,6 +13,7 @@
 //	lrbench -cache       # run the result-cache lane, merge into BENCH_eval.json
 //	lrbench -incremental # run the differential cache-maintenance lane, merge into BENCH_eval.json
 //	lrbench -overhead    # run the tracing-overhead lane, merge into BENCH_eval.json
+//	lrbench -streaming   # run the streaming early-termination lane, merge into BENCH_eval.json
 //	lrbench -gate        # short-mode CI gate: fail if any speedup drops below its floor
 //	lrbench -gate -gate-out gate_report.json   # also write the gate verdicts as JSON
 package main
@@ -78,6 +79,7 @@ func main() {
 	cacheOut := flag.Bool("cache", false, "run the goal-level result-cache lane and merge it into BENCH_eval.json")
 	incOut := flag.Bool("incremental", false, "run the differential cache-maintenance lane and merge it into BENCH_eval.json")
 	overheadOut := flag.Bool("overhead", false, "run the tracing-overhead lane and merge it into BENCH_eval.json")
+	streamingOut := flag.Bool("streaming", false, "run the streaming early-termination lane and merge it into BENCH_eval.json")
 	gate := flag.Bool("gate", false, "short-mode CI gate: run the headline lanes at table size and exit nonzero if any speedup is below its floor")
 	gateOut := flag.String("gate-out", "", "with -gate, also write the gate report as JSON to this file (for CI artifacts)")
 	minParallel := flag.Float64("min-parallel", experiments.DefaultGateFloors.Parallel, "gate floor for the parallel-substrate speedup at 8 workers (0 disables)")
@@ -85,13 +87,14 @@ func main() {
 	minMagicMulti := flag.Float64("min-magic-multi", experiments.DefaultGateFloors.MagicMulti, "gate floor for the multi-bound magic-adornment speedup (0 disables)")
 	minCache := flag.Float64("min-cache", experiments.DefaultGateFloors.Cache, "gate floor for the result-cache hit speedup (0 disables)")
 	minIncremental := flag.Float64("min-incremental", experiments.DefaultGateFloors.Incremental, "gate floor for the maintained-vs-rebuild update speedup (0 disables)")
+	minStreaming := flag.Float64("min-streaming", experiments.DefaultGateFloors.Streaming, "gate floor for the limit=1 early-termination speedup over the full fixpoint (0 disables)")
 	maxTraceOverhead := flag.Float64("max-trace-overhead", experiments.DefaultGateFloors.TracingOverheadPct, "gate ceiling, in percent, for the tracing-disabled closure regression (0 disables)")
 	flag.Parse()
 
 	if *gate {
 		rep := experiments.RunGate(experiments.GateFloors{
 			Parallel: *minParallel, Magic: *minMagic, MagicMulti: *minMagicMulti, Cache: *minCache,
-			Incremental: *minIncremental, TracingOverheadPct: *maxTraceOverhead,
+			Incremental: *minIncremental, Streaming: *minStreaming, TracingOverheadPct: *maxTraceOverhead,
 		}, os.Stdout)
 		if *gateOut != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
@@ -213,7 +216,21 @@ func main() {
 			rep.OverheadOffPct, rep.OverheadOnPct, rep.TraceRounds)
 	}
 
-	if *jsonOut || *serverOut || *magicOut || *cacheOut || *incOut || *overheadOut {
+	if *streamingOut {
+		rep, err := experiments.StreamingJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: streaming benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("streaming_tc", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged streaming lane into BENCH_eval.json (limit=1 stream %.0fx faster than full fixpoint: %d vs %d rounds, subset ok: %v)\n",
+			rep.Speedup, rep.StreamRounds, rep.FullRounds, rep.SubsetOK)
+	}
+
+	if *jsonOut || *serverOut || *magicOut || *cacheOut || *incOut || *overheadOut || *streamingOut {
 		return
 	}
 

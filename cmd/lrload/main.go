@@ -145,7 +145,11 @@ func pushFacts(ctx context.Context, base string, every time.Duration) {
 // proves differential maintenance end to end: both the addition and the
 // retraction must upgrade the cached fixpoint in place
 // (result_cache.upgrades advances; the final closure query is a hit with
-// the original row count), not invalidate it.
+// the original row count), not invalidate it.  The streaming serving
+// modes are smoked too: an exists probe and a limit=10 query must serve
+// a valid subset of the full answer and advance the
+// limited/exists/early-termination counters in both /v1/stats and
+// /metrics.
 func runSmoke(base, query string, timeout time.Duration) error {
 	hc := &http.Client{Timeout: timeout + 5*time.Second}
 	ctx, cancel := context.WithTimeout(context.Background(), 4*timeout+20*time.Second)
@@ -311,6 +315,55 @@ func runSmoke(base, query string, timeout time.Duration) error {
 		return fmt.Errorf("traced cache hit recorded %d evaluation phases, want 0", len(hitTrace.Trace.Phases))
 	}
 
+	// Streaming serving modes: an exists probe and a limit=10 query of
+	// the closure goal.  Both ride the early-termination path, so the
+	// limited/exists/early-termination counters must advance in
+	// /v1/stats and /metrics by the end of the smoke.
+	ex1, err := server.QueryExists(ctx, hc, base, closureGoal, timeout)
+	if err != nil {
+		return fmt.Errorf("exists query %q: %w", closureGoal, err)
+	}
+	planned[ex1.Plan]++
+	if ex1.Exists == nil {
+		return fmt.Errorf("exists query %q returned no verdict", closureGoal)
+	}
+	if want := closure.RowCount > 0; *ex1.Exists != want {
+		return fmt.Errorf("exists(%q) = %v, but the closure has %d rows", closureGoal, *ex1.Exists, closure.RowCount)
+	}
+	if len(ex1.Rows) > 1 {
+		return fmt.Errorf("exists query returned %d rows, want at most one witness", len(ex1.Rows))
+	}
+	fmt.Printf("lrload: exists %q -> %v (%d witness rows)\n", closureGoal, *ex1.Exists, len(ex1.Rows))
+
+	lim, err := server.QueryLimited(ctx, hc, base, closureGoal, 10, timeout)
+	if err != nil {
+		return fmt.Errorf("limit=10 query %q: %w", closureGoal, err)
+	}
+	planned[lim.Plan]++
+	wantRows := closure.RowCount
+	if wantRows > 10 {
+		wantRows = 10
+	}
+	if lim.RowCount != wantRows || len(lim.Rows) != wantRows {
+		return fmt.Errorf("limit=10 query served %d rows (row_count %d), want %d", len(lim.Rows), lim.RowCount, wantRows)
+	}
+	if got, want := lim.Truncated, closure.RowCount > 10; got != want {
+		return fmt.Errorf("limit=10 query truncated=%v over a %d-row answer, want %v", got, closure.RowCount, want)
+	}
+	// Limited rows are served in derivation order, but every one must be
+	// a member of the full materialized answer.
+	members := map[string]bool{}
+	for _, row := range closure.Rows {
+		members[fmt.Sprint(row)] = true
+	}
+	for _, row := range lim.Rows {
+		if !members[fmt.Sprint(row)] {
+			return fmt.Errorf("limit=10 query served row %v that is not in the full answer", row)
+		}
+	}
+	fmt.Printf("lrload: limit=10 %q -> %d rows (truncated=%v), all members of the full answer\n",
+		closureGoal, lim.RowCount, lim.Truncated)
+
 	// Explain must describe the bound query's plan without executing it.
 	boundGoal := query
 	ex, err := server.ExplainQuery(ctx, hc, base, boundGoal)
@@ -353,6 +406,24 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	}
 	fmt.Printf("lrload: %d cache upgrades across the smoke's swaps (%d fallbacks total)\n",
 		st.ResultCache.Upgrades-st0.ResultCache.Upgrades, st.ResultCache.UpgradeFallbacks)
+	// The smoke issued one exists probe and one limit=10 query (exists
+	// counts as both: it is served as limit=1), and the exists probe over
+	// a multi-row answer must have stopped evaluation early.
+	if got := st.LimitedQueries - st0.LimitedQueries; got < 2 {
+		return fmt.Errorf("limited_queries advanced by %d across the smoke, want ≥ 2", got)
+	}
+	if got := st.ExistsQueries - st0.ExistsQueries; got < 1 {
+		return fmt.Errorf("exists_queries advanced by %d across the smoke, want ≥ 1", got)
+	}
+	if closure.RowCount > 1 {
+		if got := st.EarlyTerminations - st0.EarlyTerminations; got < 1 {
+			return fmt.Errorf("early_terminations advanced by %d across the smoke, want ≥ 1 (the exists probe over a %d-row answer)",
+				got, closure.RowCount)
+		}
+	}
+	fmt.Printf("lrload: early-termination counters verified: +%d limited, +%d exists, +%d early terminations\n",
+		st.LimitedQueries-st0.LimitedQueries, st.ExistsQueries-st0.ExistsQueries,
+		st.EarlyTerminations-st0.EarlyTerminations)
 	fmt.Printf("lrload: plan counters verified for %d plan kind(s), %d adornment bucket(s)\n",
 		len(planned), len(st.PlansByAdornment))
 
@@ -372,6 +443,17 @@ func runSmoke(base, query string, timeout time.Duration) error {
 	}
 	if got, want := m1["linrec_snapshot_version"], float64(st.SnapshotVersion); got != want {
 		return fmt.Errorf("linrec_snapshot_version = %g, /v1/stats says %g", got, want)
+	}
+	for series, min := range map[string]float64{
+		"linrec_limited_queries_total": 2,
+		"linrec_exists_queries_total":  1,
+	} {
+		if got := m1[series] - m0[series]; got < min {
+			return fmt.Errorf("%s advanced by %g across the smoke, want ≥ %g", series, got, min)
+		}
+	}
+	if closure.RowCount > 1 && m1["linrec_early_terminations_total"]-m0["linrec_early_terminations_total"] < 1 {
+		return fmt.Errorf("linrec_early_terminations_total did not advance across the smoke's exists probe")
 	}
 	fmt.Printf("lrload: metrics verified: %d series parsed, queries_total{ok} +%g\n",
 		len(m1), m1[okSeries]-m0[okSeries])

@@ -1,0 +1,375 @@
+// Streaming queries: QueryStream is the pull-based sibling of QueryOn.
+// Where QueryOn runs the chosen plan to its fixpoint and hands back a
+// materialized answer, QueryStream hands back an iterator whose
+// underlying closure advances only as rows are pulled — a consumer that
+// stops after k rows (a limit-k or exists query) stops the fixpoint at
+// the round that produced its k-th answer.
+//
+// Streaming covers the three closure-shaped plan paths: plain
+// semi-naive, the final group of a decomposed closure (earlier groups
+// must materialize — they feed the next closure's seed), and the
+// magic-restricted closure of filter-mode magic plans.  The remaining
+// plan kinds (separable, bounded, context-mode magic, the n-ary
+// separable decomposition) produce their answer as a whole; those
+// queries evaluate exactly as QueryOn and stream the finished relation,
+// so early termination saves transport but not evaluation.
+//
+// Result-cache interaction: a stream peeks the goal-level cache and
+// serves a completed entry's rows, but never joins an in-flight build
+// (a stream's consumer controls its pace; parking it behind another
+// query's evaluation would defeat the point).  Limited streams never
+// populate the cache — their evaluation may be partial.  An unbounded
+// stream that reaches natural exhaustion holds the same full answer
+// QueryOn would have built and populates the cache with it.
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"linrec/internal/ast"
+	"linrec/internal/eval"
+	"linrec/internal/planner"
+	"linrec/internal/rel"
+	"linrec/internal/separable"
+)
+
+// QueryStream is a pull-based handle on one query's answer rows.  It is
+// not safe for concurrent use; a single consumer calls Next until it
+// returns false (or until it has enough rows) and then Close.  Close is
+// idempotent and required: an abandoned stream holds its context
+// watcher and open trace phase until closed.
+type QueryStream struct {
+	sys     *System
+	query   ast.Atom
+	plan    *planner.Plan
+	version uint64
+	cached  bool
+	limit   int
+
+	// Exactly one of closure/src feeds rows: closure for the live
+	// streaming paths, src for cached or materialized answers.
+	closure  *eval.ClosureStream
+	src      eval.RowIter
+	filters  []separable.Selection
+	preStats eval.Stats
+
+	key      resultKey
+	populate bool // cache the reconstructed answer at natural exhaustion
+
+	names   []string
+	yielded int
+	err     error
+	done    bool
+	early   bool
+	closed  bool
+}
+
+// QueryStream opens a streamed evaluation of q against the pinned
+// snapshot.  limit > 0 caps the stream at that many rows (the k-th row
+// ends it, and rounds past the one that produced it never run); limit ≤
+// 0 streams the full answer.  Construction may already evaluate: the
+// seed, a magic frontier, or — for plan kinds with no streamable
+// closure — the whole query.  Errors during construction or streaming
+// that stem from engine invariant violations are recovered into
+// ErrInternal, as in QueryOn.
+func (s *System) QueryStream(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options, limit int) (st *QueryStream, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, fmt.Errorf("core: %w: query %v: %v\n%s", ErrInternal, q, r, debug.Stack())
+		}
+	}()
+	opts = opts.normalize()
+	if limit < 0 {
+		limit = 0
+	}
+	a, sels, unknown, err := s.resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	st = &QueryStream{sys: s, query: q, version: snap.Version, limit: limit}
+	if unknown != "" {
+		st.plan = &planner.Plan{Kind: planner.SemiNaive, Why: fmt.Sprintf("constant %q occurs in no rule or fact: empty answer", unknown)}
+		st.src = eval.RelationRows(nil)
+		return st, nil
+	}
+	st.key = resultKey{
+		goal:     normalizeGoal(q),
+		kind:     s.intendedKind(a, sels, opts),
+		strategy: opts.Strategy,
+		workers:  opts.Workers,
+	}
+	tr := eval.TracerFrom(ctx)
+	if res := s.results.peek(st.key, snap.Version); res != nil {
+		tr.Cache("result", "hit", st.key.goal, 0)
+		st.plan, st.cached = res.Plan, true
+		st.preStats = res.Stats
+		st.src = eval.RelationRows(res.Answer)
+		return st, nil
+	}
+	tr.Cache("result", "miss", st.key.goal, 0)
+
+	if nArySeparableCandidate(a, sels) {
+		return s.materializedStream(ctx, snap, q, a, sels, opts, st)
+	}
+	plan := a.ChooseMulti(sels, opts.planOpts())
+	st.plan = plan
+	st.filters = sels
+	pe := eval.Parallel(s.Engine, max(1, opts.Workers))
+	switch {
+	case plan.Kind == planner.SemiNaive:
+		seed, err := s.seedFor(ctx, a, snap)
+		if err != nil {
+			return nil, err
+		}
+		st.closure = pe.StreamCtx(ctx, snap.DB, a.Ops, seed)
+		st.populate = true
+	case plan.Kind == planner.Decomposed:
+		seed, err := s.seedFor(ctx, a, snap)
+		if err != nil {
+			return nil, err
+		}
+		// Groups run right-to-left; every closure but the last feeds the
+		// next one's seed and must materialize.  Only the final group's
+		// closure (Groups[0]) streams.
+		cur := seed
+		for i := len(plan.Groups) - 1; i >= 1; i-- {
+			next, stats, err := pe.SemiNaiveCtx(ctx, snap.DB, groupOps(a, plan.Groups[i]), cur)
+			st.preStats.Add(stats)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+		st.closure = pe.StreamCtx(ctx, snap.DB, groupOps(a, plan.Groups[0]), cur)
+		st.populate = true
+	case plan.Kind == planner.MagicSeeded && plan.Magic != nil:
+		seed, err := s.seedFor(ctx, a, snap)
+		if err != nil {
+			return nil, err
+		}
+		m := plan.Magic
+		set, mstats, err := s.magicFor(ctx, a, snap, m.Spec, m.BoundTuple())
+		if err != nil {
+			return nil, err
+		}
+		st.preStats.Add(mstats)
+		if m.Mode == planner.MagicFilter {
+			restricted := seed.SelectInCols(m.Spec.Cols, set)
+			st.closure = pe.StreamRestrictedCtx(ctx, snap.DB, a.Ops, restricted, m.Spec.Cols, set)
+			st.populate = true
+		} else {
+			// Context mode collects the whole answer from the frontier —
+			// already output-proportional, nothing left to stream lazily.
+			ans := eval.MagicCollect(seed, m.Spec.Cols, m.BoundTuple(), set, &st.preStats)
+			for _, sel := range sels {
+				ans = sel.Apply(ans)
+			}
+			res := &QueryResult{Query: q, Answer: ans, Stats: st.preStats, Plan: plan, Version: snap.Version}
+			s.populateResult(st.key, snap.Version, res)
+			st.filters = nil
+			st.src = eval.RelationRows(ans)
+		}
+	default:
+		return s.materializedStream(ctx, snap, q, a, sels, opts, st)
+	}
+	return st, nil
+}
+
+// materializedStream finishes construction for plan kinds without a
+// streamable closure: the query evaluates exactly as QueryOn (full
+// answer, full cost) and the stream serves the finished relation.  The
+// complete answer populates the result cache even under a limit — the
+// evaluation was paid in full regardless.
+func (s *System) materializedStream(ctx context.Context, snap *Snapshot, q ast.Atom, a *planner.Analysis, sels []separable.Selection, opts Options, st *QueryStream) (*QueryStream, error) {
+	res, err := s.queryEval(ctx, snap, q, a, sels, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.populateResult(st.key, snap.Version, res)
+	st.plan = res.Plan
+	st.preStats = res.Stats
+	st.filters = nil
+	st.src = eval.RelationRows(res.Answer)
+	return st, nil
+}
+
+// populateResult offers a complete query result to the result cache
+// without ever blocking: if no entry exists for the key it becomes a
+// completed entry, and if one exists (in-flight or done) the offer is
+// dropped — the cache's single-flight builders keep their own protocol.
+func (s *System) populateResult(key resultKey, version uint64, res *QueryResult) {
+	if res == nil {
+		return
+	}
+	e, build := s.results.acquire(key, version)
+	if e == nil || !build {
+		return
+	}
+	res.memo = &rowsMemo{syms: s.Engine.Syms}
+	s.results.complete(e, res, nil)
+}
+
+// groupOps resolves a decomposed plan group's operator indexes.
+func groupOps(a *planner.Analysis, idxs []int) []*ast.Op {
+	ops := make([]*ast.Op, 0, len(idxs))
+	for _, i := range idxs {
+		ops = append(ops, a.Ops[i])
+	}
+	return ops
+}
+
+// match applies the query's residual selections to one candidate row.
+func (st *QueryStream) match(t rel.Tuple) bool {
+	for _, sel := range st.filters {
+		if t[sel.Col] != sel.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Next yields the next answer row, advancing the underlying closure by
+// as many rounds as it takes to produce one (or prove there are none).
+// The returned tuple is owned by the stream: Clone rows that must
+// outlive it.  After a false return, Err distinguishes exhaustion or a
+// reached limit (nil) from a cancelled or failed evaluation.
+func (st *QueryStream) Next() (row rel.Tuple, ok bool) {
+	if st.done || st.err != nil {
+		return nil, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			// A worker panic re-raised at the round barrier surfaces here,
+			// in the consumer's stack; recover it into ErrInternal exactly
+			// as QueryOn does.
+			st.err = fmt.Errorf("core: %w: query %v: %v\n%s", ErrInternal, st.query, r, debug.Stack())
+			st.done = true
+			st.finish()
+			row, ok = nil, false
+		}
+	}()
+	for {
+		var t rel.Tuple
+		var more bool
+		if st.closure != nil {
+			t, more = st.closure.Next()
+		} else {
+			t, more = st.src.Next()
+		}
+		if !more {
+			if st.closure != nil {
+				st.err = st.closure.Err()
+			}
+			st.done = true
+			st.finish()
+			return nil, false
+		}
+		if !st.match(t) {
+			continue
+		}
+		st.yielded++
+		if st.limit > 0 && st.yielded >= st.limit {
+			// The k-th row ends the stream: mark it done (and release the
+			// closure) before handing the row out, so no further round can
+			// run on a later Next.
+			st.done, st.early = true, true
+			st.finish()
+		}
+		return t, true
+	}
+}
+
+// finish releases the stream's resources once and, when an unbounded
+// stream exhausted its closure naturally, offers the reconstructed full
+// answer to the result cache.
+func (st *QueryStream) finish() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	if st.src != nil {
+		st.src.Close()
+	}
+	if st.closure == nil {
+		return
+	}
+	exhausted := st.closure.Exhausted()
+	st.closure.Close()
+	if st.populate && st.limit == 0 && !st.early && exhausted && st.err == nil {
+		ans := st.closure.Total()
+		for _, sel := range st.filters {
+			ans = sel.Apply(ans)
+		}
+		stats := st.preStats
+		stats.Add(st.closure.Stats())
+		st.sys.populateResult(st.key, st.version, &QueryResult{
+			Query:   st.query,
+			Answer:  ans,
+			Stats:   stats,
+			Plan:    st.plan,
+			Version: st.version,
+		})
+	}
+}
+
+// Close ends the stream early; rounds not yet run never run.  Idempotent.
+func (st *QueryStream) Close() {
+	st.done = true
+	st.finish()
+}
+
+// Err reports why the stream stopped: nil for exhaustion or a reached
+// limit, the context's error for a cancelled evaluation, an ErrInternal
+// wrapper for a recovered engine panic.
+func (st *QueryStream) Err() error { return st.err }
+
+// Stats returns the evaluation statistics accumulated so far: any
+// pre-stream work (magic frontier, earlier decomposed groups, or the
+// full evaluation on materialized paths) plus the closure rounds that
+// actually ran.
+func (st *QueryStream) Stats() eval.Stats {
+	stats := st.preStats
+	if st.closure != nil {
+		stats.Add(st.closure.Stats())
+	}
+	return stats
+}
+
+// Plan returns the evaluation plan the stream executes.
+func (st *QueryStream) Plan() *planner.Plan { return st.plan }
+
+// Version returns the snapshot version the stream evaluates against.
+func (st *QueryStream) Version() uint64 { return st.version }
+
+// Cached reports that the stream serves a completed result-cache entry
+// instead of evaluating.
+func (st *QueryStream) Cached() bool { return st.cached }
+
+// EarlyTerminated reports that the stream stopped at its limit, leaving
+// the underlying evaluation's remaining rounds unrun — the signal the
+// server's early-termination counters record.
+func (st *QueryStream) EarlyTerminated() bool { return st.early }
+
+// RowsYielded returns the number of rows handed out so far.
+func (st *QueryStream) RowsYielded() int { return st.yielded }
+
+// RenderRow renders one yielded tuple as symbol strings, with the same
+// unknown-value fallback as QueryResult.Rows.  The symbol-table snapshot
+// is taken on first use and reused for the stream's life.
+func (st *QueryStream) RenderRow(t rel.Tuple) []string {
+	if st.names == nil {
+		st.names = st.sys.Engine.Syms.Names()
+	}
+	row := make([]string, len(t))
+	for i, v := range t {
+		if int(v) >= 0 && int(v) < len(st.names) {
+			row[i] = st.names[v]
+		} else {
+			row[i] = fmt.Sprintf("#%d", v)
+		}
+	}
+	return row
+}

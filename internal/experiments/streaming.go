@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"linrec/internal/core"
+	"linrec/internal/planner"
+	"linrec/internal/workload"
+)
+
+// This experiment measures the streaming entry point's early
+// termination: a point query over the chain transitive closure answered
+// with limit=1 (the server's exists/limit path) against the full
+// materialized fixpoint of the same goal.  The chain is the adversarial
+// shape for materialize-then-filter — the closure is n rounds and
+// n(n+1)/2 rows while the first matching answer appears in round one —
+// so the streamed arm's win is the round-granularity early exit itself,
+// not cache effects (limited streams never populate the result cache)
+// or plan effects (both arms are forced semi-naive).
+
+// StreamingNodes sizes the streaming_tc lane of BENCH_eval.json: a
+// 3000-edge chain whose closure is ~4.5M rows over 3000 rounds.
+const StreamingNodes = 3000
+
+// StreamingTableNodes sizes the printed table and the CI gate run —
+// big enough that the full fixpoint dwarfs one round, small enough for
+// a shared runner.
+const StreamingTableNodes = 1200
+
+// streamingBenchProgram is right-linear TC; under ForceSemiNaive both
+// arms run the identical rule set and the bound constant is applied as
+// a post-filter, so the only difference is where evaluation stops.
+const streamingBenchProgram = `
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- edge(X,Z), path(Z,Y).
+`
+
+// StreamingReport is the machine-readable streaming_tc lane of
+// BENCH_eval.json.
+type StreamingReport struct {
+	Bench    string `json:"bench"`
+	Workload string `json:"workload"`
+	Goal     string `json:"goal"`
+	Plan     string `json:"plan"`
+	Workers  int    `json:"workers"`
+	// Full materialized fixpoint of the goal (the pre-streaming path).
+	FullRows   int           `json:"full_rows"`
+	FullRounds int           `json:"full_rounds"`
+	FullNS     time.Duration `json:"full_ns"`
+	// limit=1 stream of the same goal (the server's exists path).
+	StreamRows   int           `json:"stream_rows"`
+	StreamRounds int           `json:"stream_rounds"`
+	StreamNS     time.Duration `json:"stream_ns"`
+	// SubsetOK records the validity proof: every streamed row was a
+	// member of the full materialized answer.
+	SubsetOK bool `json:"subset_ok"`
+	// EarlyTerminated is true when the stream reported stopping before
+	// exhausting the closure (the counter the server exports).
+	EarlyTerminated bool `json:"early_terminated"`
+	// Speedup is the headline number: full fixpoint time over the
+	// limit=1 stream time.
+	Speedup float64 `json:"speedup"`
+}
+
+// StreamingBench runs the limit=1-vs-full-fixpoint comparison on a
+// chain of n edges with the source node bound.
+func StreamingBench(n int) (StreamingReport, error) {
+	rep := StreamingReport{
+		Bench:    "streaming_tc",
+		Workload: fmt.Sprintf("chain, %d edges (%d-round closure, %d rows)", n, n, n*(n+1)/2),
+		Workers:  runtime.GOMAXPROCS(0),
+	}
+	sys, err := core.Load(streamingBenchProgram)
+	if err != nil {
+		return rep, err
+	}
+	workload.Chain(sys.Engine, sys.DB(), "edge", n)
+	snap := sys.Snapshot()
+	ctx := context.Background()
+	goal := mustAtomExp("path(edge_0, Y)")
+	rep.Goal = goal.String()
+	opts := core.Options{Workers: rep.Workers, Strategy: planner.ForceSemiNaive}
+
+	// Streamed arm first: limited streams never populate the result
+	// cache, so repeats stay cold; take the best of a few runs (the arm
+	// is one semi-naive round, short enough to be scheduler-sensitive).
+	var streamed [][]string
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		st, err := sys.QueryStream(ctx, snap, goal, opts, 1)
+		if err != nil {
+			return rep, err
+		}
+		var rows [][]string
+		for {
+			t, ok := st.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, st.RenderRow(t))
+		}
+		d := time.Since(start)
+		st.Close()
+		if err := st.Err(); err != nil {
+			return rep, err
+		}
+		if st.Cached() {
+			return rep, fmt.Errorf("limit=1 stream of %v was served from the result cache; the arm must evaluate", goal)
+		}
+		if len(rows) != 1 {
+			return rep, fmt.Errorf("limit=1 stream of %v yielded %d rows, want 1", goal, len(rows))
+		}
+		if !st.EarlyTerminated() {
+			return rep, fmt.Errorf("limit=1 stream of %v did not report early termination", goal)
+		}
+		if rep.StreamNS == 0 || d < rep.StreamNS {
+			rep.StreamNS = d
+			rep.StreamRounds = st.Stats().Iterations
+			rep.Plan = st.Plan().Kind.String()
+			streamed = rows
+		}
+	}
+	rep.StreamRows = len(streamed)
+
+	// Full materialized fixpoint of the identical goal.
+	start := time.Now()
+	full, err := sys.QueryOn(ctx, snap, goal, opts)
+	if err != nil {
+		return rep, err
+	}
+	rep.FullNS = time.Since(start)
+	if full.Cached {
+		return rep, fmt.Errorf("full evaluation of %v claimed a cache hit", goal)
+	}
+	rep.FullRows = full.Answer.Len()
+	rep.FullRounds = full.Stats.Iterations
+	if rep.FullRows != n {
+		return rep, fmt.Errorf("full answer for %v has %d rows, want %d", goal, rep.FullRows, n)
+	}
+
+	// Validity: the streamed prefix must be a subset of the full answer.
+	members := make(map[string]bool, rep.FullRows)
+	for _, row := range full.Rows(sys) {
+		members[fmt.Sprint(row)] = true
+	}
+	rep.SubsetOK = true
+	for _, row := range streamed {
+		if !members[fmt.Sprint(row)] {
+			rep.SubsetOK = false
+			return rep, fmt.Errorf("streamed row %v is not in the full answer for %v", row, goal)
+		}
+	}
+	rep.EarlyTerminated = true
+	rep.Speedup = float64(rep.FullNS) / float64(rep.StreamNS)
+	if rep.StreamRounds >= rep.FullRounds {
+		return rep, fmt.Errorf("limit=1 stream ran %d rounds, full fixpoint %d — no rounds were saved",
+			rep.StreamRounds, rep.FullRounds)
+	}
+	return rep, nil
+}
+
+// StreamingJSONReport runs the streaming comparison at full chain size
+// (the BENCH_eval.json streaming_tc lane).
+func StreamingJSONReport() (StreamingReport, error) {
+	return StreamingBench(StreamingNodes)
+}
+
+// StreamingTable prints the streaming comparison at the table size.
+func StreamingTable(w io.Writer) error {
+	rep, err := StreamingBench(StreamingTableNodes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "streaming early termination on %s\n", rep.Workload)
+	fmt.Fprintf(w, "goal %s, %d workers, both arms forced semi-naive\n\n", rep.Goal, rep.Workers)
+	fmt.Fprintf(w, "%-28s %9s %8s | %12s\n", "arm", "rows", "rounds", "time")
+	fmt.Fprintf(w, "%-28s %9d %8d | %12v\n", "full fixpoint", rep.FullRows, rep.FullRounds,
+		rep.FullNS.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-28s %9d %8d | %12v\n", "limit=1 stream", rep.StreamRows, rep.StreamRounds,
+		rep.StreamNS.Round(time.Microsecond))
+	fmt.Fprintf(w, "\nspeedup %.0fx; streamed rows verified as a subset of the full answer\n", rep.Speedup)
+	return nil
+}

@@ -40,3 +40,42 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseAtom checks the goal-atom parser — the server's query entry
+// point — never panics, and that accepted atoms round-trip through
+// String to a fixed point.
+func FuzzParseAtom(f *testing.F) {
+	seeds := []string{
+		"p(X, Y)",
+		"path(c0, Y)",
+		"p(a, b)",
+		"p()",
+		"p",
+		"p(X, X)",
+		"p(_, Y)",
+		"p(1, 2)",
+		"p(a",
+		"p(a,)",
+		"p(a, Y) :- q(Y)",
+		"?- p(X)",
+		"p (a, b)",
+		"p(a, b).",
+		strings.Repeat("f(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAtom(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		again, err := ParseAtom(a.String())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\noriginal: %q\nprinted: %q", err, src, a.String())
+		}
+		if a.String() != again.String() {
+			t.Fatalf("round-trip not stable:\n%q\n%q", a.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzQueryRequestDecode fuzzes the /v1/query request decoder end to
+// end: arbitrary bodies through the same strict JSON decode the handler
+// runs, then — for bodies that decode — the serving-mode validation.
+// Neither stage may panic, and an accepted mode must satisfy its
+// invariants (a non-negative limit, pagination exclusive of limit,
+// exists and streaming, a positive page size once paged).
+func FuzzQueryRequestDecode(f *testing.F) {
+	seeds := []string{
+		`{"query":"path(c0, Y)"}`,
+		`{"query":"p(X, Y)","limit":5}`,
+		`{"query":"p(X, Y)","exists":true}`,
+		`{"query":"p(X, Y)","limit":-3}`,
+		`{"query":"p(X, Y)","page_size":100}`,
+		`{"query":"p(X, Y)","cursor":"eyJ2IjoxLCJvIjo0LCJnIjoicChYLCBZKSJ9"}`,
+		`{"query":"p(X, Y)","cursor":"###"}`,
+		`{"query":"p(X, Y)","limit":2,"page_size":2}`,
+		`{"query":"p(X, Y)","workers":4,"timeout_ms":100,"trace":true}`,
+		`{"query":"p(X, Y)","limit":9999999999999999999}`,
+		`{"unknown_field":1}`,
+		`{"query":`,
+		`[]`,
+		`"just a string"`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), false)
+	}
+	f.Fuzz(func(t *testing.T, body []byte, stream bool) {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		var req QueryRequest
+		if err := dec.Decode(&req); err != nil {
+			return // rejection is fine; panics are not
+		}
+		target := "/v1/query"
+		if stream {
+			target += "?stream=1"
+		}
+		r := httptest.NewRequest("POST", target, nil)
+		mode, bad := queryModeFor(&req, r, 1000)
+		if bad != "" {
+			return
+		}
+		if mode.limit < 0 {
+			t.Fatalf("accepted mode has negative limit: %+v (req %+v)", mode, req)
+		}
+		if mode.exists && mode.limit != 1 {
+			t.Fatalf("exists mode without limit 1: %+v", mode)
+		}
+		if mode.paged {
+			if mode.limit > 0 || mode.exists || mode.stream {
+				t.Fatalf("paged mode combined with limit/exists/stream: %+v", mode)
+			}
+			if mode.pageSize <= 0 || mode.pageSize > 1000 {
+				t.Fatalf("paged mode with page size %d outside (0, maxRows]", mode.pageSize)
+			}
+		}
+		if mode.limit > 1000 {
+			t.Fatalf("limit %d not clamped to maxRows", mode.limit)
+		}
+	})
+}
+
+// FuzzDecodeCursor fuzzes the pagination cursor decoder: arbitrary
+// strings must never panic, and any accepted cursor must survive an
+// encode/decode round trip unchanged.
+func FuzzDecodeCursor(f *testing.F) {
+	seeds := []string{
+		encodeCursor(pageCursor{Version: 1, Offset: 0, Goal: "p(X, Y)"}),
+		encodeCursor(pageCursor{Version: 99, Offset: 12345, Goal: "path(c0, Y)"}),
+		"",
+		"AAAA",
+		"!!!not-base64!!!",
+		strings.Repeat("A", 4096),
+		"eyJ2IjotMSwibyI6LTV9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := decodeCursor(s)
+		if err != nil {
+			return
+		}
+		if c.Offset < 0 || c.Goal == "" {
+			t.Fatalf("accepted cursor violates invariants: %+v", c)
+		}
+		again, err := decodeCursor(encodeCursor(c))
+		if err != nil {
+			t.Fatalf("re-encoded cursor rejected: %v (%+v)", err, c)
+		}
+		if again != c {
+			t.Fatalf("cursor round trip diverges: %+v vs %+v", again, c)
+		}
+	})
+}

@@ -127,6 +127,38 @@ func QueryTraced(ctx context.Context, hc *http.Client, baseURL, query string, ti
 	return &out, nil
 }
 
+// QueryLimited issues one query with a row limit: the server streams
+// rows out of the closure and stops evaluating at the round that
+// produced the limit-th row.
+func QueryLimited(ctx context.Context, hc *http.Client, baseURL, query string, limit int, timeout time.Duration) (*QueryResponse, error) {
+	var out QueryResponse
+	err := doJSON(ctx, hc, http.MethodPost, baseURL+"/v1/query", QueryRequest{
+		Query:     query,
+		TimeoutMS: timeout.Milliseconds(),
+		Limit:     limit,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryExists issues an exists-only probe: evaluation stops at the
+// first answer row and the response carries the verdict plus at most
+// one witness row.
+func QueryExists(ctx context.Context, hc *http.Client, baseURL, query string, timeout time.Duration) (*QueryResponse, error) {
+	var out QueryResponse
+	err := doJSON(ctx, hc, http.MethodPost, baseURL+"/v1/query", QueryRequest{
+		Query:     query,
+		TimeoutMS: timeout.Milliseconds(),
+		Exists:    true,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ExplainQuery asks the server for the planner's decision tree for one
 // query, without executing it.
 func ExplainQuery(ctx context.Context, hc *http.Client, baseURL, query string) (*ExplainResponse, error) {

@@ -115,6 +115,16 @@ func (s *Server) renderMetrics() string {
 	m.sample("linrec_slow_queries_total", nil, float64(s.ctr.slowQueries.Load()))
 	m.family("linrec_rows_served_total", "counter", "Answer rows returned to clients.")
 	m.sample("linrec_rows_served_total", nil, float64(s.ctr.rowsServed.Load()))
+	m.family("linrec_limited_queries_total", "counter", "Answered queries that carried a limit (exists implies limit=1).")
+	m.sample("linrec_limited_queries_total", nil, float64(s.ctr.limitedQueries.Load()))
+	m.family("linrec_exists_queries_total", "counter", "Answered exists queries.")
+	m.sample("linrec_exists_queries_total", nil, float64(s.ctr.existsQueries.Load()))
+	m.family("linrec_early_terminations_total", "counter", "Limited queries answered short of the full fixpoint (evaluation stopped at the k-th row or a cached answer was truncated).")
+	m.sample("linrec_early_terminations_total", nil, float64(s.ctr.earlyTerminations.Load()))
+	m.family("linrec_streamed_rows_total", "counter", "Rows written as NDJSON stream lines.")
+	m.sample("linrec_streamed_rows_total", nil, float64(s.ctr.streamedRows.Load()))
+	m.family("linrec_cursor_pages_total", "counter", "Cursor-paginated result pages served.")
+	m.sample("linrec_cursor_pages_total", nil, float64(s.ctr.cursorPages.Load()))
 
 	m.family("linrec_plans_total", "counter", "Answered queries by evaluation plan kind.")
 	for i := planner.Kind(0); i <= planner.MagicSeeded; i++ {

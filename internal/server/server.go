@@ -26,7 +26,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -170,6 +169,24 @@ type QueryRequest struct {
 	// (equivalent to ?explain=1): the response describes the plan the
 	// query would run under, and nothing is evaluated or admitted.
 	Explain bool `json:"explain,omitempty"`
+	// Limit caps the answer at this many rows.  The engine streams rows
+	// out of the closure and stops evaluating at the round that produced
+	// the limit-th row, so a limited query on a deep closure can be
+	// orders of magnitude cheaper than the full fixpoint.  The served
+	// rows are a valid subset of the full answer, in derivation order
+	// (not sorted).  0 means unlimited.
+	Limit int `json:"limit,omitempty"`
+	// Exists asks only whether the answer is non-empty: evaluation stops
+	// at the first row, and the response carries "exists" plus at most
+	// one witness row.
+	Exists bool `json:"exists,omitempty"`
+	// Cursor resumes a paginated answer where the previous page's
+	// "next_cursor" left off.  Cursors are opaque and valid only against
+	// the snapshot version that minted them (410 Gone after a fact swap).
+	Cursor string `json:"cursor,omitempty"`
+	// PageSize switches the response to cursor pagination with pages of
+	// this many sorted rows (default 1000 when only "cursor" is set).
+	PageSize int `json:"page_size,omitempty"`
 }
 
 // QueryResponse is the POST /v1/query answer.
@@ -188,6 +205,15 @@ type QueryResponse struct {
 	// RequestID echoes the server-assigned request ID (also the
 	// X-Request-Id header), correlating the response with log records.
 	RequestID string `json:"request_id,omitempty"`
+	// Exists is the verdict of an exists query (present only then).
+	Exists *bool `json:"exists,omitempty"`
+	// Truncated reports that the served rows are a strict subset of the
+	// full answer: a limit was reached or an NDJSON stream hit the
+	// server's row cap before the closure was exhausted.
+	Truncated bool `json:"truncated,omitempty"`
+	// NextCursor resumes pagination at the next page; absent on the last
+	// page (and on non-paginated responses).
+	NextCursor string `json:"next_cursor,omitempty"`
 	// Trace is the evaluation trace, present only when requested
 	// (?trace=1 or "trace":true).
 	Trace *eval.Trace `json:"trace,omitempty"`
@@ -301,6 +327,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{Workers: workers, Strategy: s.sys.Opts.Strategy}
 
+	mode, badMode := queryModeFor(&req, r, s.cfg.MaxRows)
+	if badMode != "" {
+		s.ctr.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "%s", badMode)
+		return
+	}
+
 	// Explain: return the planner's decision tree without executing —
 	// no admission, no queue slot, no worker grant, no evaluation.
 	if req.Explain || r.URL.Query().Get("explain") == "1" {
@@ -353,7 +386,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// while the budget goes to queries that actually evaluate.
 	if res, ok := s.sys.CachedAnswer(s.sys.Snapshot(), goal, opts); ok {
 		tr.Cache("result", "hit", goal.String(), 0)
-		s.finishQuery(w, r, res, 0, 0, rid, tr, wantTrace)
+		s.finishQuery(w, r, res, 0, 0, rid, tr, wantTrace, mode)
 		return
 	}
 
@@ -401,61 +434,84 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		qctx = eval.WithTracer(ctx, tr)
 	}
 	start := time.Now()
+
+	// Streamed and limited queries take the engine's pull-based entry
+	// point, so evaluation stops at the k-th answer (or at the client's
+	// pace) instead of running the closure to its fixpoint.
+	if mode.stream || mode.limit > 0 {
+		s.streamEvaluated(w, qctx, snap, goal, opts, mode, grant, release, rid, tr, wantTrace, timeout, start)
+		return
+	}
+
 	res, err := s.sys.QueryOn(qctx, snap, goal, opts)
 	elapsed := time.Since(start)
 	release()
 	if err != nil {
-		// Match the error itself, not ctx.Err(): a genuine evaluation
-		// failure racing the deadline must not be mislabeled as a
-		// timeout or client abort.
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			s.ctr.timeouts.Add(1)
-			writeError(w, http.StatusGatewayTimeout, "query timed out after %v", timeout)
-		case errors.Is(err, context.Canceled):
-			// The client went away mid-evaluation; nobody reads this
-			// reply.  499 is the de-facto client-closed-request status.
-			s.ctr.clientAborts.Add(1)
-			writeError(w, 499, "client closed request")
-		case errors.Is(err, core.ErrInternal):
-			// The full error carries the recovered panic and its stack;
-			// that diagnostic belongs in the server log, not in a
-			// response body handed to remote clients.  Counted separately
-			// from client errors so lrload -smoke can fail a run that
-			// provoked any 500.
-			s.ctr.queryErrors.Add(1)
-			s.ctr.internalErrors.Add(1)
-			s.log.Error("internal evaluation error",
-				"request_id", rid, "query", req.Query, "err", err)
-			writeError(w, http.StatusInternalServerError, "internal evaluation error; see server log")
-		default:
-			s.ctr.queryErrors.Add(1)
-			writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
-		}
+		s.writeQueryError(w, err, timeout, rid, req.Query)
 		return
 	}
 
-	s.finishQuery(w, r, res, grant, elapsed, rid, tr, wantTrace)
+	s.finishQuery(w, r, res, grant, elapsed, rid, tr, wantTrace, mode)
+}
+
+// writeQueryError classifies an evaluation failure into its status code
+// and counters.  It matches the error itself, not ctx.Err(): a genuine
+// evaluation failure racing the deadline must not be mislabeled as a
+// timeout or client abort.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error, timeout time.Duration, rid, query string) {
+	switch {
+	case isDeadline(err):
+		s.ctr.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query timed out after %v", timeout)
+	case isCanceled(err):
+		// The client went away mid-evaluation; nobody reads this reply.
+		// 499 is the de-facto client-closed-request status.
+		s.ctr.clientAborts.Add(1)
+		writeError(w, 499, "client closed request")
+	case isInternal(err):
+		// The full error carries the recovered panic and its stack; that
+		// diagnostic belongs in the server log, not in a response body
+		// handed to remote clients.  Counted separately from client
+		// errors so lrload -smoke can fail a run that provoked any 500.
+		s.ctr.queryErrors.Add(1)
+		s.ctr.internalErrors.Add(1)
+		s.log.Error("internal evaluation error",
+			"request_id", rid, "query", query, "err", err)
+		writeError(w, http.StatusInternalServerError, "internal evaluation error; see server log")
+	default:
+		s.ctr.queryErrors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+	}
 }
 
 // finishQuery is the shared success tail of the cached fast path and the
-// evaluated path: row-cap enforcement, counters, slow-query logging,
-// response serialization (streamed when the client asked for NDJSON).
-// grant is the worker grant the query consumed — 0 for cache hits.  tr
-// is the query's tracer (nil when tracing was off); its trace joins the
-// response only when the client asked (wantTrace).
-func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.QueryResult, grant int, elapsed time.Duration, rid string, tr *eval.Tracer, wantTrace bool) {
+// materialized evaluated path: row-cap enforcement, counters, slow-query
+// logging, and dispatch on the serving mode — buffered JSON by default,
+// a limited prefix for limit/exists, one page for cursor requests, or an
+// NDJSON stream of the materialized rows.  grant is the worker grant the
+// query consumed — 0 for cache hits.  tr is the query's tracer (nil when
+// tracing was off); its trace joins the response only when the client
+// asked (wantTrace).
+func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.QueryResult, grant int, elapsed time.Duration, rid string, tr *eval.Tracer, wantTrace bool, mode queryMode) {
+	switch {
+	case mode.stream:
+		s.streamMaterialized(w, res, grant, elapsed, rid, tr, wantTrace, mode)
+		return
+	case mode.limit > 0:
+		s.limitedMaterialized(w, res, grant, elapsed, rid, tr, wantTrace, mode)
+		return
+	case mode.paged:
+		s.pageMaterialized(w, res, grant, elapsed, rid, tr, wantTrace, mode)
+		return
+	}
 	if s.cfg.MaxRows > 0 && res.Answer.Len() > s.cfg.MaxRows {
 		s.ctr.queryErrors.Add(1)
 		writeError(w, http.StatusRequestEntityTooLarge,
-			"answer has %d rows, over the server's %d-row cap; narrow the query", res.Answer.Len(), s.cfg.MaxRows)
+			"answer has %d rows, over the server's %d-row cap; narrow the query, add a limit, or paginate with a cursor", res.Answer.Len(), s.cfg.MaxRows)
 		return
 	}
 	rows := res.Rows(s.sys)
-	s.ctr.queriesOK.Add(1)
-	s.ctr.observePlan(res.Plan.Kind, res.Query.Pred, res.Query.Adornment())
-	s.ctr.rowsServed.Add(int64(len(rows)))
-	s.lat.observe(elapsed)
+	s.answered(res, len(rows), elapsed, mode, false)
 
 	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
 		s.ctr.slowQueries.Add(1)
@@ -485,10 +541,6 @@ func (s *Server) finishQuery(w http.ResponseWriter, r *http.Request, res *core.Q
 	if wantTrace && tr != nil {
 		resp.Trace = tr.Trace()
 	}
-	if wantsStream(r) {
-		s.streamResponse(w, &resp)
-		return
-	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -499,39 +551,6 @@ func wantsStream(r *http.Request) bool {
 		return true
 	}
 	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
-}
-
-// streamResponse writes rows as NDJSON — one JSON array per line, flushed
-// in chunks — followed by a terminal summary object with "done":true and
-// the plan/stats metadata.  The response bytes reach the client
-// incrementally (no whole-answer JSON buffer); the row strings themselves
-// are materialized up front, which Config.MaxRows bounds.
-func (s *Server) streamResponse(w http.ResponseWriter, resp *QueryResponse) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	const flushEvery = 1024
-	for i, row := range resp.Rows {
-		if err := enc.Encode(row); err != nil {
-			return // client went away
-		}
-		if flusher != nil && (i+1)%flushEvery == 0 {
-			flusher.Flush()
-		}
-	}
-	tail := struct {
-		Done bool `json:"done"`
-		QueryResponse
-		// Rows shadows QueryResponse.Rows out of the tail: they are
-		// already on the wire as NDJSON lines.
-		Rows any `json:"rows,omitempty"`
-	}{Done: true, QueryResponse: *resp}
-	_ = enc.Encode(tail)
-	if flusher != nil {
-		flusher.Flush()
-	}
 }
 
 // parseFactSource parses Datalog source that must contain only ground
@@ -665,31 +684,36 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 // Stats returns a point-in-time statistics report (the /v1/stats body).
 func (s *Server) Stats() StatsReport {
 	return StatsReport{
-		UptimeS:          time.Since(s.start).Seconds(),
-		SnapshotVersion:  s.sys.Snapshot().Version,
-		QueriesOK:        s.ctr.queriesOK.Load(),
-		QueryErrors:      s.ctr.queryErrors.Load(),
-		Internal500s:     s.ctr.internalErrors.Load(),
-		Timeouts:         s.ctr.timeouts.Load(),
-		ClientAborts:     s.ctr.clientAborts.Load(),
-		Shed429:          s.ctr.shedQueue.Load(),
-		Shed503:          s.ctr.shedBudget.Load(),
-		FactBatches:      s.ctr.factBatches.Load(),
-		FactsAdded:       s.ctr.factsAdded.Load(),
-		RetractBatches:   s.ctr.retractBatches.Load(),
-		FactsRemoved:     s.ctr.factsRemoved.Load(),
-		RowsServed:       s.ctr.rowsServed.Load(),
-		SwapS:            float64(s.ctr.swapNS.Load()) / 1e9,
-		SlowQueries:      s.ctr.slowQueries.Load(),
-		InFlight:         s.inflight.Load(),
-		Queued:           s.queued.Load(),
-		WorkerBudget:     s.sem.Size(),
-		WorkersInUse:     s.sem.InUse(),
-		Plans:            s.ctr.planCounts(),
-		PlansByAdornment: s.ctr.adornCounts(),
-		Latency:          s.lat.summary(),
-		ResultCache:      s.sys.ResultCacheStats(),
-		SeedCache:        s.sys.SeedCacheStatsNow(),
+		UptimeS:           time.Since(s.start).Seconds(),
+		SnapshotVersion:   s.sys.Snapshot().Version,
+		QueriesOK:         s.ctr.queriesOK.Load(),
+		QueryErrors:       s.ctr.queryErrors.Load(),
+		Internal500s:      s.ctr.internalErrors.Load(),
+		Timeouts:          s.ctr.timeouts.Load(),
+		ClientAborts:      s.ctr.clientAborts.Load(),
+		Shed429:           s.ctr.shedQueue.Load(),
+		Shed503:           s.ctr.shedBudget.Load(),
+		FactBatches:       s.ctr.factBatches.Load(),
+		FactsAdded:        s.ctr.factsAdded.Load(),
+		RetractBatches:    s.ctr.retractBatches.Load(),
+		FactsRemoved:      s.ctr.factsRemoved.Load(),
+		RowsServed:        s.ctr.rowsServed.Load(),
+		SwapS:             float64(s.ctr.swapNS.Load()) / 1e9,
+		SlowQueries:       s.ctr.slowQueries.Load(),
+		LimitedQueries:    s.ctr.limitedQueries.Load(),
+		ExistsQueries:     s.ctr.existsQueries.Load(),
+		EarlyTerminations: s.ctr.earlyTerminations.Load(),
+		StreamedRows:      s.ctr.streamedRows.Load(),
+		CursorPages:       s.ctr.cursorPages.Load(),
+		InFlight:          s.inflight.Load(),
+		Queued:            s.queued.Load(),
+		WorkerBudget:      s.sem.Size(),
+		WorkersInUse:      s.sem.InUse(),
+		Plans:             s.ctr.planCounts(),
+		PlansByAdornment:  s.ctr.adornCounts(),
+		Latency:           s.lat.summary(),
+		ResultCache:       s.sys.ResultCacheStats(),
+		SeedCache:         s.sys.SeedCacheStatsNow(),
 	}
 }
 

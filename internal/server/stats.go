@@ -130,6 +130,12 @@ type counters struct {
 	swapNS         atomic.Int64 // cumulative snapshot-swap time (/v1/facts maintenance included)
 	slowQueries    atomic.Int64 // queries over the -slow-query-ms threshold (trace dumped to the log)
 
+	limitedQueries    atomic.Int64 // answered queries that carried "limit" (exists implies limit=1)
+	existsQueries     atomic.Int64 // answered queries that carried "exists"
+	earlyTerminations atomic.Int64 // answered limited queries whose full answer was cut short (streamed evaluation stopped early, or a cached answer was truncated to the limit)
+	streamedRows      atomic.Int64 // rows written as NDJSON lines (subset of rowsServed)
+	cursorPages       atomic.Int64 // cursor-paginated pages served
+
 	// plans counts answered queries per plan kind, indexed by
 	// planner.Kind — the /v1/stats view of how often each evaluation
 	// strategy (semi-naive, decomposed, separable, bounded,
@@ -217,7 +223,22 @@ type StatsReport struct {
 	SwapS float64 `json:"swap_s"`
 	// SlowQueries counts answered queries that exceeded the server's
 	// slow-query threshold (their traces went to the log).
-	SlowQueries  int64 `json:"slow_queries"`
+	SlowQueries int64 `json:"slow_queries"`
+	// LimitedQueries counts answered queries that carried a "limit"
+	// (an "exists" query is limit=1, so it counts here too).
+	LimitedQueries int64 `json:"limited_queries"`
+	// ExistsQueries counts answered "exists" queries.
+	ExistsQueries int64 `json:"exists_queries"`
+	// EarlyTerminations counts limited queries whose answer was cut
+	// short of the full fixpoint: either streamed evaluation stopped at
+	// the k-th row with rounds left unrun, or a cached/materialized
+	// answer was truncated to the limit.
+	EarlyTerminations int64 `json:"early_terminations"`
+	// StreamedRows counts rows written as NDJSON lines (a subset of
+	// RowsServed).
+	StreamedRows int64 `json:"streamed_rows"`
+	// CursorPages counts cursor-paginated result pages served.
+	CursorPages  int64 `json:"cursor_pages"`
 	InFlight     int64 `json:"inflight_queries"`
 	Queued       int64 `json:"queued_queries"`
 	WorkerBudget int64 `json:"worker_budget"`

@@ -1,0 +1,477 @@
+// Streamed, limited and paginated query serving.  Three response shapes
+// share the /v1/query endpoint beyond the classic buffered JSON answer:
+//
+//   - NDJSON streaming (?stream=1 or Accept: application/x-ndjson): rows
+//     go out as the closure derives them, flushed in small batches, with
+//     a terminal JSON object ("done":true) carrying the metadata.  The
+//     evaluation advances only as rows are written, so a client that
+//     stops reading stops the fixpoint.
+//   - limit / exists: the request caps the answer at k rows (exists is
+//     limit 1 with a boolean verdict); the engine's streaming entry
+//     point stops the closure at the round that produced the k-th row.
+//   - cursor pagination ("page_size" / "cursor"): the full answer is
+//     evaluated (and result-cached) once, and pages of its sorted rows
+//     are served with an opaque resume cursor.  A cursor is only valid
+//     against the snapshot version that minted it — a fact swap between
+//     pages answers 410 Gone rather than silently tearing the page
+//     sequence.
+
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"linrec/internal/ast"
+	"linrec/internal/core"
+	"linrec/internal/eval"
+	"linrec/internal/rel"
+)
+
+// Error classifiers shared by the buffered and streamed failure paths.
+func isDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+func isCanceled(err error) bool { return errors.Is(err, context.Canceled) }
+func isInternal(err error) bool { return errors.Is(err, core.ErrInternal) }
+
+// streamFlushRows is the NDJSON flush batch: rows reach the client at
+// least this often (plus a final flush), balancing syscall cost against
+// delivery latency on million-row streams.
+const streamFlushRows = 256
+
+// defaultPageSize applies when a pagination request names no page_size.
+const defaultPageSize = 1000
+
+// queryMode captures how one /v1/query request wants its answer served.
+type queryMode struct {
+	// limit caps the answer rows; 0 streams/serves everything.  Exists
+	// queries run with limit 1.
+	limit  int
+	exists bool
+	stream bool
+	// paged selects cursor pagination; cursor resumes a page sequence
+	// and pageSize bounds one page.
+	paged    bool
+	cursor   string
+	pageSize int
+}
+
+// pageCursor is the decoded pagination cursor: an offset into the sorted
+// rows of one goal's answer at one snapshot version.
+type pageCursor struct {
+	Version uint64 `json:"v"`
+	Offset  int    `json:"o"`
+	Goal    string `json:"g"`
+}
+
+// encodeCursor renders the cursor opaquely (URL-safe base64 JSON).
+func encodeCursor(c pageCursor) string {
+	b, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// decodeCursor parses a client-supplied cursor, rejecting anything that
+// does not decode to a well-formed offset.
+func decodeCursor(s string) (pageCursor, error) {
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return pageCursor{}, fmt.Errorf("bad cursor encoding: %w", err)
+	}
+	var c pageCursor
+	if err := json.Unmarshal(b, &c); err != nil {
+		return pageCursor{}, fmt.Errorf("bad cursor payload: %w", err)
+	}
+	if c.Offset < 0 || c.Goal == "" {
+		return pageCursor{}, fmt.Errorf("bad cursor: negative offset or empty goal")
+	}
+	return c, nil
+}
+
+// queryModeFor validates the request's serving-mode fields.  The error
+// string, when non-empty, is a 400.
+func queryModeFor(req *QueryRequest, r *http.Request, maxRows int) (queryMode, string) {
+	m := queryMode{
+		limit:    req.Limit,
+		exists:   req.Exists,
+		stream:   wantsStream(r),
+		paged:    req.Cursor != "" || req.PageSize > 0,
+		cursor:   req.Cursor,
+		pageSize: req.PageSize,
+	}
+	if req.Limit < 0 {
+		return m, `"limit" must be non-negative`
+	}
+	if req.PageSize < 0 {
+		return m, `"page_size" must be non-negative`
+	}
+	if m.exists {
+		m.limit = 1
+	}
+	if m.paged {
+		if m.exists || m.limit > 0 {
+			return m, `cursor pagination cannot combine with "limit" or "exists"`
+		}
+		if m.stream {
+			return m, "cursor pagination cannot combine with row streaming"
+		}
+		if m.pageSize <= 0 {
+			m.pageSize = defaultPageSize
+		}
+		if maxRows > 0 && m.pageSize > maxRows {
+			m.pageSize = maxRows
+		}
+	}
+	// The row cap bounds per-request materialization; a larger limit is
+	// clamped rather than rejected so limited queries never 413.
+	if maxRows > 0 && m.limit > maxRows {
+		m.limit = maxRows
+	}
+	return m, ""
+}
+
+// answered records the success counters shared by every serving mode.
+func (s *Server) answered(res *core.QueryResult, rows int, elapsed time.Duration, mode queryMode, truncated bool) {
+	s.ctr.queriesOK.Add(1)
+	s.ctr.observePlan(res.Plan.Kind, res.Query.Pred, res.Query.Adornment())
+	s.ctr.rowsServed.Add(int64(rows))
+	s.lat.observe(elapsed)
+	if mode.limit > 0 {
+		s.ctr.limitedQueries.Add(1)
+	}
+	if mode.exists {
+		s.ctr.existsQueries.Add(1)
+	}
+	if truncated {
+		s.ctr.earlyTerminations.Add(1)
+	}
+}
+
+// renderPrefix renders the first n answer tuples (storage order) as
+// symbol strings — the limited paths' way to serve a k-subset of a
+// materialized answer without rendering and sorting all of it.
+func renderPrefix(ans *rel.Relation, n int, syms *rel.Symtab) [][]string {
+	if n > ans.Len() {
+		n = ans.Len()
+	}
+	names := syms.Names()
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		t := ans.Row(i)
+		row := make([]string, len(t))
+		for j, v := range t {
+			if int(v) >= 0 && int(v) < len(names) {
+				row[j] = names[v]
+			} else {
+				row[j] = fmt.Sprintf("#%d", v)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// baseResponse assembles the metadata shared by every response shape.
+func baseResponse(res *core.QueryResult, grant int, elapsed time.Duration, rid string) QueryResponse {
+	return QueryResponse{
+		Plan:            res.Plan.Kind.String(),
+		Why:             res.Plan.Why,
+		Stats:           res.Stats,
+		SnapshotVersion: res.Version,
+		Workers:         grant,
+		Cached:          res.Cached,
+		ElapsedMS:       float64(elapsed) / 1e6,
+		RequestID:       rid,
+	}
+}
+
+// limitedMaterialized serves a limit/exists query from a materialized
+// answer (the cached fast path): the first limit rows, in storage order
+// — any k-subset of the answer is a valid limited result.
+func (s *Server) limitedMaterialized(w http.ResponseWriter, res *core.QueryResult, grant int, elapsed time.Duration, rid string, tr *eval.Tracer, wantTrace bool, mode queryMode) {
+	rows := renderPrefix(res.Answer, mode.limit, s.sys.Engine.Syms)
+	truncated := res.Answer.Len() > mode.limit
+	s.answered(res, len(rows), elapsed, mode, truncated)
+	resp := baseResponse(res, grant, elapsed, rid)
+	resp.Rows, resp.RowCount, resp.Truncated = rows, len(rows), truncated
+	if mode.exists {
+		ex := len(rows) > 0
+		resp.Exists = &ex
+	}
+	if wantTrace && tr != nil {
+		resp.Trace = tr.Trace()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pageMaterialized serves one page of the answer's sorted rows plus the
+// cursor for the next page (absent on the last).
+func (s *Server) pageMaterialized(w http.ResponseWriter, res *core.QueryResult, grant int, elapsed time.Duration, rid string, tr *eval.Tracer, wantTrace bool, mode queryMode) {
+	goal := res.Query.String()
+	offset := 0
+	if mode.cursor != "" {
+		c, err := decodeCursor(mode.cursor)
+		if err != nil {
+			s.ctr.queryErrors.Add(1)
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if c.Goal != goal {
+			s.ctr.queryErrors.Add(1)
+			writeError(w, http.StatusBadRequest, "cursor belongs to goal %q, request asks %q", c.Goal, goal)
+			return
+		}
+		if c.Version != res.Version {
+			// The snapshot advanced between pages: the sorted row order
+			// the cursor indexes into no longer exists.
+			s.ctr.queryErrors.Add(1)
+			writeError(w, http.StatusGone, "cursor pinned snapshot version %d, current is %d; restart pagination", c.Version, res.Version)
+			return
+		}
+		offset = c.Offset
+	}
+	rows := res.Rows(s.sys)
+	if offset > len(rows) {
+		s.ctr.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "cursor offset %d past the %d-row answer", offset, len(rows))
+		return
+	}
+	end := offset + mode.pageSize
+	if end > len(rows) {
+		end = len(rows)
+	}
+	page := rows[offset:end]
+	s.answered(res, len(page), elapsed, mode, false)
+	s.ctr.cursorPages.Add(1)
+	resp := baseResponse(res, grant, elapsed, rid)
+	resp.Rows, resp.RowCount = page, len(page)
+	if end < len(rows) {
+		resp.NextCursor = encodeCursor(pageCursor{Version: res.Version, Offset: end, Goal: goal})
+	}
+	if wantTrace && tr != nil {
+		resp.Trace = tr.Trace()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamTail is the NDJSON terminal object: the response metadata with
+// "done" prepended and the rows shadowed out (they are already on the
+// wire as NDJSON lines).
+type streamTail struct {
+	Done bool `json:"done"`
+	// Error is set instead of the metadata when evaluation failed after
+	// rows were already streamed (the 200 status is long gone).
+	Error string `json:"error,omitempty"`
+	QueryResponse
+	Rows any `json:"rows,omitempty"`
+}
+
+// ndjsonWriter pairs the encoder with batch flushing.
+type ndjsonWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	enc     *json.Encoder
+	n       int
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return &ndjsonWriter{w: w, flusher: flusher, enc: enc}
+}
+
+// row writes one NDJSON row line, flushing every streamFlushRows rows.
+// A false return means the client went away.
+func (nw *ndjsonWriter) row(row []string) bool {
+	if err := nw.enc.Encode(row); err != nil {
+		return false
+	}
+	nw.n++
+	if nw.flusher != nil && nw.n%streamFlushRows == 0 {
+		nw.flusher.Flush()
+	}
+	return true
+}
+
+// tail writes the terminal object and flushes.
+func (nw *ndjsonWriter) tail(t streamTail) {
+	_ = nw.enc.Encode(t)
+	if nw.flusher != nil {
+		nw.flusher.Flush()
+	}
+}
+
+// streamMaterialized streams an already-materialized answer (the cached
+// fast path) as NDJSON, honoring the limit and the MaxRows cap.
+func (s *Server) streamMaterialized(w http.ResponseWriter, res *core.QueryResult, grant int, elapsed time.Duration, rid string, tr *eval.Tracer, wantTrace bool, mode queryMode) {
+	n := res.Answer.Len()
+	truncated := false
+	if mode.limit > 0 && n > mode.limit {
+		n, truncated = mode.limit, true
+	}
+	if s.cfg.MaxRows > 0 && n > s.cfg.MaxRows {
+		n, truncated = s.cfg.MaxRows, true
+	}
+	rows := renderPrefix(res.Answer, n, s.sys.Engine.Syms)
+	s.answered(res, len(rows), elapsed, mode, truncated)
+	s.ctr.streamedRows.Add(int64(len(rows)))
+	nw := newNDJSONWriter(w)
+	for _, row := range rows {
+		if !nw.row(row) {
+			s.ctr.clientAborts.Add(1)
+			return
+		}
+	}
+	resp := baseResponse(res, grant, elapsed, rid)
+	resp.RowCount, resp.Truncated = len(rows), truncated
+	if mode.exists {
+		ex := len(rows) > 0
+		resp.Exists = &ex
+	}
+	if wantTrace && tr != nil {
+		resp.Trace = tr.Trace()
+	}
+	nw.tail(streamTail{Done: true, QueryResponse: resp})
+}
+
+// streamEvaluated is the evaluated path for streamed and limited
+// queries: it opens the engine's pull-based QueryStream so rows go out
+// (or accumulate, for the buffered limited shape) as the closure derives
+// them, and a reached limit stops the fixpoint at the round that
+// produced the k-th answer.  The worker grant is released the moment the
+// evaluation stops — before the tail (or the JSON body) is serialized.
+func (s *Server) streamEvaluated(w http.ResponseWriter, qctx context.Context, snap *core.Snapshot, goal ast.Atom, opts core.Options, mode queryMode, grant int, release func(), rid string, tr *eval.Tracer, wantTrace bool, timeout time.Duration, start time.Time) {
+	st, err := s.sys.QueryStream(qctx, snap, goal, opts, mode.limit)
+	if err != nil {
+		release()
+		s.writeQueryError(w, err, timeout, rid, goal.String())
+		return
+	}
+	defer st.Close()
+
+	if !mode.stream {
+		// Buffered JSON with a limit: collect up to limit rows (the cap
+		// below guards the unlimited-exists degenerate case).
+		var rows [][]string
+		for {
+			t, ok := st.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, st.RenderRow(t))
+			if s.cfg.MaxRows > 0 && len(rows) >= s.cfg.MaxRows {
+				st.Close()
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		release()
+		if err := st.Err(); err != nil {
+			s.writeQueryError(w, err, timeout, rid, goal.String())
+			return
+		}
+		res := s.streamResult(st, goal)
+		truncated := st.EarlyTerminated()
+		s.answered(res, len(rows), elapsed, mode, truncated)
+		resp := baseResponse(res, grant, elapsed, rid)
+		resp.Rows, resp.RowCount, resp.Truncated = rows, len(rows), truncated
+		if resp.Rows == nil {
+			resp.Rows = [][]string{}
+		}
+		if mode.exists {
+			ex := len(rows) > 0
+			resp.Exists = &ex
+		}
+		if wantTrace && tr != nil {
+			resp.Trace = tr.Trace()
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// NDJSON while evaluating: each pulled row is encoded immediately;
+	// the fixpoint advances only between writes.  MaxRows caps delivery
+	// by truncation (a stream has no buffered answer to 413).
+	nw := newNDJSONWriter(w)
+	capped := false
+	for {
+		t, ok := st.Next()
+		if !ok {
+			break
+		}
+		if !nw.row(st.RenderRow(t)) {
+			// Client went away mid-stream: stop the evaluation and give
+			// the budget back; nobody reads a tail.
+			st.Close()
+			release()
+			s.ctr.clientAborts.Add(1)
+			s.ctr.streamedRows.Add(int64(nw.n))
+			return
+		}
+		if s.cfg.MaxRows > 0 && nw.n >= s.cfg.MaxRows {
+			capped = true
+			st.Close()
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	st.Close()
+	release()
+	s.ctr.streamedRows.Add(int64(nw.n))
+	if err := st.Err(); err != nil {
+		// The 200 and some rows are already on the wire; classify the
+		// failure for the counters and say so in the tail.
+		s.countStreamFailure(err, rid, goal.String())
+		nw.tail(streamTail{Error: err.Error(), QueryResponse: QueryResponse{RequestID: rid}})
+		return
+	}
+	res := s.streamResult(st, goal)
+	truncated := st.EarlyTerminated() || capped
+	s.answered(res, nw.n, elapsed, mode, truncated)
+	resp := baseResponse(res, grant, elapsed, rid)
+	resp.RowCount, resp.Truncated = nw.n, truncated
+	if mode.exists {
+		ex := nw.n > 0
+		resp.Exists = &ex
+	}
+	if wantTrace && tr != nil {
+		resp.Trace = tr.Trace()
+	}
+	nw.tail(streamTail{Done: true, QueryResponse: resp})
+}
+
+// streamResult adapts a finished QueryStream to the QueryResult shape
+// the shared counter/response helpers consume.
+func (s *Server) streamResult(st *core.QueryStream, goal ast.Atom) *core.QueryResult {
+	return &core.QueryResult{
+		Query:   goal,
+		Plan:    st.Plan(),
+		Stats:   st.Stats(),
+		Version: st.Version(),
+		Cached:  st.Cached(),
+	}
+}
+
+// countStreamFailure classifies a mid-stream evaluation failure into the
+// same counters the buffered path's status codes feed.
+func (s *Server) countStreamFailure(err error, rid, query string) {
+	switch {
+	case isDeadline(err):
+		s.ctr.timeouts.Add(1)
+	case isCanceled(err):
+		s.ctr.clientAborts.Add(1)
+	case isInternal(err):
+		s.ctr.queryErrors.Add(1)
+		s.ctr.internalErrors.Add(1)
+		s.log.Error("internal evaluation error mid-stream",
+			"request_id", rid, "query", query, "err", err)
+	default:
+		s.ctr.queryErrors.Add(1)
+	}
+}
