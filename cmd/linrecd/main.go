@@ -4,6 +4,7 @@
 //
 //	linrecd -program examples/server/paths.dl -addr 127.0.0.1:8080
 //	linrecd -gen tree:240001 -workers 8        # synthetic 240k-edge TC workload
+//	linrecd -program p.dl -data-dir /var/lib/linrec  # durable snapshots, recovered on restart
 //
 // Endpoints:
 //
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"linrec/internal/core"
+	"linrec/internal/segment"
 	"linrec/internal/server"
 	"linrec/internal/workload"
 )
@@ -60,6 +62,7 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 120*time.Second, "cap on requested per-query timeouts")
 		maxRows      = flag.Int("max-rows", 1_000_000, "reject answers larger than this with 413 (0 = unlimited)")
 		cacheRows    = flag.Int("cache-rows", 0, "goal-level result cache capacity in total cached answer rows (0 = engine default, negative disables)")
+		dataDir      = flag.String("data-dir", "", "durable storage directory: snapshots persist as on-disk segments and the newest one is recovered at boot instead of reloading -program facts")
 		portFile     = flag.String("port-file", "", "write the bound listen address to this file (for scripts wrapping -addr :0)")
 		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
 		slowQueryMS  = flag.Int64("slow-query-ms", 0, "log the full trace of any query slower than this many milliseconds (0 = off)")
@@ -67,14 +70,23 @@ func main() {
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	sys, desc, err := loadSystem(*program, *gen, *cacheRows)
+	sys, desc, mgr, err := loadSystem(*program, *gen, *dataDir, *cacheRows)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "linrecd: %v\n", err)
 		os.Exit(1)
 	}
+	if mgr != nil {
+		st := mgr.Stats()
+		log.Info("durable storage attached", "dir", mgr.Dir(),
+			"recovered", st.Recovered, "generation", st.Generation,
+			"snapshot_version", st.SnapshotVersion,
+			"preds", st.RecoveredPreds, "rows", st.RecoveredRows,
+			"boot_ms", st.BootMillis)
+	}
 
 	srv := server.New(server.Config{
 		System:         sys,
+		Persist:        mgr,
 		TotalWorkers:   *workers,
 		QueryWorkers:   *queryWorkers,
 		MaxQueue:       *queue,
@@ -142,37 +154,72 @@ func main() {
 	}
 }
 
-// loadSystem builds the served System from -program or -gen.
-func loadSystem(program, gen string, cacheRows int) (*core.System, string, error) {
+// loadSystem builds the served System from -program or -gen.  With a
+// data directory the system runs on durable segment storage: the newest
+// published snapshot is recovered when one exists (the -program facts
+// and -gen generation are skipped — the disk is the source of truth),
+// otherwise the initial snapshot is published before serving starts.
+func loadSystem(program, gen, dataDir string, cacheRows int) (*core.System, string, *segment.Manager, error) {
 	opts := core.Options{ResultCacheRows: cacheRows}
+	var mgr *segment.Manager
+	if dataDir != "" {
+		var err error
+		if mgr, err = segment.Open(dataDir); err != nil {
+			return nil, "", nil, err
+		}
+	}
 	switch {
 	case program != "" && gen != "":
-		return nil, "", fmt.Errorf("-program and -gen are mutually exclusive")
+		return nil, "", nil, fmt.Errorf("-program and -gen are mutually exclusive")
 	case program != "":
 		src, err := os.ReadFile(program)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
+		}
+		if mgr != nil {
+			opts.Persist = mgr
 		}
 		sys, err := core.LoadOptions(string(src), opts)
 		if err != nil {
-			return nil, "", fmt.Errorf("%s: %w", program, err)
+			return nil, "", nil, fmt.Errorf("%s: %w", program, err)
 		}
-		return sys, program, nil
+		return sys, program, mgr, nil
 	case gen != "":
 		nodes, seed, err := parseGen(gen)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
+		}
+		desc := fmt.Sprintf("synthetic tree TC (%d edges)", nodes-1)
+		if mgr != nil && mgr.HasSnapshot() {
+			// A previous run already generated and published the workload:
+			// recover it instead of regenerating, preserving any facts
+			// pushed since.
+			opts.Persist = mgr
+			sys, err := core.LoadOptions(genProgram, opts)
+			if err != nil {
+				return nil, "", nil, err
+			}
+			return sys, desc + " [recovered]", mgr, nil
 		}
 		sys, err := core.LoadOptions(genProgram, opts)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		// Bulk-load the generated edges straight into the initial snapshot;
 		// the System is not shared yet, so this pre-serve mutation is safe.
+		// Persistence attaches only afterwards so the published initial
+		// snapshot includes the generated edges.
 		workload.RandomTree(sys.Engine, sys.DB(), "edge", nodes, seed)
-		return sys, fmt.Sprintf("synthetic tree TC (%d edges)", nodes-1), nil
+		if mgr != nil {
+			snap := sys.Snapshot()
+			if err := mgr.Publish(snap.Version, snap.DB, sys.Engine.Syms); err != nil {
+				return nil, "", nil, fmt.Errorf("publishing generated snapshot: %w", err)
+			}
+			sys.Opts.Persist = mgr
+		}
+		return sys, desc, mgr, nil
 	default:
-		return nil, "", fmt.Errorf("one of -program or -gen is required")
+		return nil, "", nil, fmt.Errorf("one of -program or -gen is required")
 	}
 }
 

@@ -49,6 +49,27 @@ type Options struct {
 	// the cache.  Only the value passed at System construction matters —
 	// the cache belongs to the System, not to individual queries.
 	ResultCacheRows int
+	// Persist, when set, makes snapshots durable: NewSystem boots the
+	// last published snapshot from it (skipping the program's fact load
+	// when one exists), and every snapshot swap publishes through it
+	// before becoming visible.  A publish failure aborts the swap, so
+	// the durable state never lags the served state.  Only the value
+	// passed at System construction matters.
+	Persist Persister
+}
+
+// Persister is the persistence seam between the engine and a storage
+// backend (see internal/segment for the on-disk implementation).  Boot
+// restores the last published snapshot: it replays the persisted symbol
+// table into syms — so persisted column values stay meaningful — and
+// returns the database and its snapshot version; ok is false on a fresh
+// (empty) backend.  Publish makes a snapshot durable before it is
+// served; it runs under the system's write lock, so calls are
+// serialized, and may retain db and read it lazily afterwards — every
+// store in a published snapshot is immutable forever.
+type Persister interface {
+	Boot(syms *rel.Symtab) (db rel.DB, version uint64, ok bool, err error)
+	Publish(version uint64, db rel.DB, syms *rel.Symtab) error
 }
 
 func (o Options) normalize() Options {
@@ -346,6 +367,20 @@ func FromProgram(prog *ast.Program) (*System, error) {
 
 // FromProgramOptions is FromProgram with evaluation options.
 func FromProgramOptions(prog *ast.Program, opts Options) (*System, error) {
+	return NewSystem(prog, opts)
+}
+
+// NewSystem builds a System from a parsed program — the canonical
+// constructor behind Load, LoadOptions and FromProgram.  Without
+// persistence it loads the program's facts as snapshot version 1.  With
+// Options.Persist set, it first asks the persister for a previously
+// published snapshot: when one exists, the engine boots from it —
+// symbol table restored, database served as-is at its persisted version,
+// the program's fact list skipped (those facts were part of whatever
+// history produced the persisted snapshot) and no closure recomputed.
+// On a fresh backend it loads the program's facts and publishes them as
+// the first durable snapshot.
+func NewSystem(prog *ast.Program, opts Options) (*System, error) {
 	s := &System{
 		Prog:     prog,
 		Engine:   eval.NewEngine(nil),
@@ -383,22 +418,58 @@ func FromProgramOptions(prog *ast.Program, opts Options) (*System, error) {
 			return nil, err
 		}
 	}
-	db := rel.DB{}
-	if err := s.Engine.LoadFacts(db, prog.Facts); err != nil {
-		return nil, err
+	var (
+		db      rel.DB
+		version uint64 = 1
+		booted  bool
+	)
+	if s.Opts.Persist != nil {
+		bdb, bver, ok, err := s.Opts.Persist.Boot(s.Engine.Syms)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			db, version, booted = bdb, bver, true
+			// The recovered database must still fit the program: a
+			// persisted relation whose arity disagrees with the rules, or
+			// one shadowing a derived predicate, would resurface as a join
+			// panic (or silently dead facts) at query time.
+			for pred, st := range db {
+				if s.idb[pred] {
+					return nil, fmt.Errorf("core: recovered snapshot stores derived predicate %q", pred)
+				}
+				if want, ok := s.arity[pred]; ok && want != st.Arity() {
+					return nil, fmt.Errorf("core: recovered predicate %q has arity %d, program declares %d",
+						pred, st.Arity(), want)
+				}
+			}
+		}
+	}
+	if !booted {
+		db = rel.DB{}
+		if err := s.Engine.LoadFacts(db, prog.Facts); err != nil {
+			return nil, err
+		}
 	}
 	// Pre-intern every rule constant: afterwards, a query constant that
 	// Lookup cannot resolve provably occurs in no rule and no snapshot
 	// relation, so the query path can answer "empty" without interning —
 	// otherwise remote clients could grow the symbol table without bound
-	// through fresh constants in read-only queries.
+	// through fresh constants in read-only queries.  After a boot this is
+	// idempotent for constants the persisted symtab already holds and
+	// extends it for rules added since the snapshot was published.
 	for _, r := range prog.Rules {
 		internAtomConstants(s.Engine.Syms, r.Head)
 		for _, a := range r.Body {
 			internAtomConstants(s.Engine.Syms, a)
 		}
 	}
-	s.snap.Store(&Snapshot{DB: db, Version: 1})
+	if s.Opts.Persist != nil && !booted {
+		if err := s.Opts.Persist.Publish(version, db, s.Engine.Syms); err != nil {
+			return nil, fmt.Errorf("core: persisting initial snapshot: %w", err)
+		}
+	}
+	s.snap.Store(&Snapshot{DB: db, Version: version})
 	return s, nil
 }
 
@@ -502,24 +573,24 @@ func (s *System) AddFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snaps
 	}
 	added := 0
 	addedBy := map[string]*rel.Relation{}
-	cloned := map[string]bool{}
+	cloned := map[string]*rel.Relation{}
 	for _, f := range facts {
-		if !cloned[f.Pred] {
-			r, ok := db[f.Pred]
-			if ok {
-				r = r.Clone()
+		r, ok := cloned[f.Pred]
+		if !ok {
+			if prev, exists := db[f.Pred]; exists {
+				r = prev.Clone()
 			} else {
 				r = rel.NewRelation(f.Arity())
 			}
 			r.Reserve(r.Len() + counts[f.Pred])
 			db[f.Pred] = r
-			cloned[f.Pred] = true
+			cloned[f.Pred] = r
 		}
 		t := make(rel.Tuple, f.Arity())
 		for i, a := range f.Args {
 			t[i] = s.Engine.Syms.Intern(a.Name)
 		}
-		if db[f.Pred].Insert(t) {
+		if r.Insert(t) {
 			added++
 			d, ok := addedBy[f.Pred]
 			if !ok {
@@ -533,6 +604,14 @@ func (s *System) AddFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snaps
 		return old, 0, m, nil
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
+	// Durability before visibility: if the snapshot cannot be persisted,
+	// the swap is aborted and queries keep serving the old version, so a
+	// restart can never regress behind what clients have observed.
+	if s.Opts.Persist != nil {
+		if err := s.Opts.Persist.Publish(next.Version, next.DB, s.Engine.Syms); err != nil {
+			return nil, 0, m, fmt.Errorf("core: persisting snapshot %d: %w", next.Version, err)
+		}
+	}
 	m = s.maintainSwap(ctx, old, next, addedBy, true)
 	s.snap.Store(next)
 	return next, added, m, nil
@@ -616,11 +695,11 @@ func (s *System) RemoveFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Sn
 		}
 	}
 	removed := 0
-	rebuilt := map[string]*rel.Relation{}
+	rebuilt := map[string]rel.Store{}
 	removedBy := map[string]*rel.Relation{}
 	for pred, tuples := range byPred {
 		r0 := old.DB[pred]
-		r, n := r0.Without(tuples)
+		r, n := rel.StoreWithout(r0, tuples)
 		if n > 0 {
 			rebuilt[pred] = r
 			removed += n
@@ -644,6 +723,12 @@ func (s *System) RemoveFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Sn
 		db[pred] = r
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
+	// Same durability-before-visibility contract as AddFactsMaintCtx.
+	if s.Opts.Persist != nil {
+		if err := s.Opts.Persist.Publish(next.Version, next.DB, s.Engine.Syms); err != nil {
+			return nil, 0, m, fmt.Errorf("core: persisting snapshot %d: %w", next.Version, err)
+		}
+	}
 	m = s.maintainSwap(ctx, old, next, removedBy, false)
 	s.snap.Store(next)
 	return next, removed, m, nil
@@ -927,15 +1012,17 @@ func (s *System) QueryCtx(ctx context.Context, q ast.Atom) (*QueryResult, error)
 	return s.QueryOn(ctx, s.Snapshot(), q, s.Opts)
 }
 
-// QueryOn answers a query against an explicitly pinned snapshot with
-// per-query options — the full-control entry point the server front end
-// uses to grant each query its own worker budget and deadline while many
-// queries share one System.  An evaluation panic (engine invariant
-// violation) is recovered into an error wrapping ErrInternal rather than
-// propagated, so a poisoned snapshot can fail queries without killing
-// the process hosting them.
+// Evaluate answers a query request and materializes the full answer —
+// the canonical entry point behind Query, QueryCtx and the deprecated
+// QueryOn, and the full-control one the server front end uses to grant
+// each query its own snapshot pin, worker budget and deadline while
+// many queries share one System.  An unset req.Snap pins the current
+// snapshot.  An evaluation panic (engine invariant violation) is
+// recovered into an error wrapping ErrInternal rather than propagated,
+// so a poisoned snapshot can fail queries without killing the process
+// hosting them.
 //
-// Before planning anything, QueryOn consults the goal-level result
+// Before planning anything, Evaluate consults the goal-level result
 // cache: a repeated goal on the same snapshot version (same intended
 // plan kind, strategy and worker count) is answered with the stored
 // result — rows, stats and plan bit-for-bit identical to the query that
@@ -943,7 +1030,12 @@ func (s *System) QueryCtx(ctx context.Context, q ast.Atom) (*QueryResult, error)
 // evaluation (single-flight), run by the first arriver under its own
 // context; waiters honor their own contexts and retry if the builder's
 // context fires first.
-func (s *System) QueryOn(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options) (res *QueryResult, err error) {
+func (s *System) Evaluate(ctx context.Context, req QueryRequest) (res *QueryResult, err error) {
+	snap := req.Snap
+	if snap == nil {
+		snap = s.Snapshot()
+	}
+	q, opts := req.Goal, req.Opts
 	defer func() {
 		if r := recover(); r != nil {
 			// The stack is the only pointer to the invariant violation

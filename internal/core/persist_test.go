@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/rel"
+	"linrec/internal/segment"
+)
+
+const persistProgram = `
+path(X,Y) :- up(X,Y).
+path(X,Y) :- path(X,Z), up(Z,Y).
+up(a,b). up(b,c). up(c,d).
+`
+
+// openManager attaches a segment manager to dir, failing the test on error.
+func openManager(t *testing.T, dir string) *segment.Manager {
+	t.Helper()
+	m, err := segment.Open(dir)
+	if err != nil {
+		t.Fatalf("segment.Open(%s): %v", dir, err)
+	}
+	return m
+}
+
+// loadPersistent loads src with a disk-backed persister over dir.
+func loadPersistent(t *testing.T, src, dir string) *System {
+	t.Helper()
+	sys, err := LoadOptions(src, Options{Persist: openManager(t, dir)})
+	if err != nil {
+		t.Fatalf("LoadOptions: %v", err)
+	}
+	return sys
+}
+
+// pathRows answers path(X,Y) as rendered rows.
+func pathRows(t *testing.T, sys *System) [][]string {
+	t.Helper()
+	res, err := sys.Query(ast.NewAtom("path", ast.V("X"), ast.V("Y")))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	return res.Rows(sys)
+}
+
+func rowsEqual(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if strings.Join(a[i], ",") != strings.Join(b[i], ",") {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPersistRoundTrip drives the full lifecycle: fresh boot publishes
+// the program's facts; add and remove swaps publish durable successors;
+// a restart serves exactly the last published snapshot at its version —
+// with answers identical to the pre-restart system's.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sys := loadPersistent(t, persistProgram, dir)
+	if v := sys.Snapshot().Version; v != 1 {
+		t.Fatalf("initial version = %d, want 1", v)
+	}
+
+	if _, _, err := sys.AddFacts([]ast.Atom{
+		ast.NewAtom("up", ast.C("d"), ast.C("e")),
+		ast.NewAtom("up", ast.C("e"), ast.C("f")),
+	}); err != nil {
+		t.Fatalf("AddFacts: %v", err)
+	}
+	if _, _, err := sys.RemoveFacts([]ast.Atom{
+		ast.NewAtom("up", ast.C("a"), ast.C("b")),
+	}); err != nil {
+		t.Fatalf("RemoveFacts: %v", err)
+	}
+	want := pathRows(t, sys)
+	wantVersion := sys.Snapshot().Version
+	if wantVersion != 3 {
+		t.Fatalf("version after swaps = %d, want 3", wantVersion)
+	}
+
+	sys2 := loadPersistent(t, persistProgram, dir)
+	if v := sys2.Snapshot().Version; v != wantVersion {
+		t.Fatalf("recovered version = %d, want %d", v, wantVersion)
+	}
+	got := pathRows(t, sys2)
+	if !rowsEqual(want, got) {
+		t.Fatalf("recovered answers diverge:\nwant %v\ngot  %v", want, got)
+	}
+	// The retraction must have survived: a→b is gone, so no path from a.
+	for _, row := range got {
+		if row[0] == "a" {
+			t.Fatalf("retracted fact resurrected after restart: %v", row)
+		}
+	}
+}
+
+// TestPersistBootIsLazy pins the recovery-cost claim: booting restores
+// metadata only — no segment is read until the first query touches it,
+// and no closure is recomputed (closure work would force every load).
+func TestPersistBootIsLazy(t *testing.T) {
+	dir := t.TempDir()
+	sys := loadPersistent(t, persistProgram, dir)
+	if _, _, err := sys.AddFacts([]ast.Atom{ast.NewAtom("up", ast.C("d"), ast.C("e"))}); err != nil {
+		t.Fatalf("AddFacts: %v", err)
+	}
+
+	mgr := openManager(t, dir)
+	sys2, err := LoadOptions(persistProgram, Options{Persist: mgr})
+	if err != nil {
+		t.Fatalf("LoadOptions: %v", err)
+	}
+	st := mgr.Stats()
+	if !st.Recovered {
+		t.Fatal("manager did not report recovery")
+	}
+	if st.LazyLoads != 0 {
+		t.Fatalf("boot loaded %d segments eagerly, want 0", st.LazyLoads)
+	}
+	if len(pathRows(t, sys2)) == 0 {
+		t.Fatal("no answers after recovery")
+	}
+	if got := mgr.Stats().LazyLoads; got == 0 {
+		t.Fatal("query answered without loading any segment")
+	}
+}
+
+// TestPersistVersionContinuity: updates after a restart continue the
+// persisted version sequence instead of restarting from 1, so clients
+// comparing versions across a server restart never see time move
+// backwards.
+func TestPersistVersionContinuity(t *testing.T) {
+	dir := t.TempDir()
+	sys := loadPersistent(t, persistProgram, dir)
+	if _, _, err := sys.AddFacts([]ast.Atom{ast.NewAtom("up", ast.C("d"), ast.C("e"))}); err != nil {
+		t.Fatalf("AddFacts: %v", err)
+	}
+
+	sys2 := loadPersistent(t, persistProgram, dir)
+	snap, _, err := sys2.AddFacts([]ast.Atom{ast.NewAtom("up", ast.C("e"), ast.C("f"))})
+	if err != nil {
+		t.Fatalf("AddFacts after restart: %v", err)
+	}
+	if snap.Version != 3 {
+		t.Fatalf("version after restart+add = %d, want 3", snap.Version)
+	}
+
+	sys3 := loadPersistent(t, persistProgram, dir)
+	if v := sys3.Snapshot().Version; v != 3 {
+		t.Fatalf("second restart recovered version %d, want 3", v)
+	}
+}
+
+// failingPersister boots fresh and fails every publish after the first n.
+type failingPersister struct {
+	allow int
+	calls int
+}
+
+func (f *failingPersister) Boot(*rel.Symtab) (rel.DB, uint64, bool, error) {
+	return nil, 0, false, nil
+}
+
+func (f *failingPersister) Publish(uint64, rel.DB, *rel.Symtab) error {
+	f.calls++
+	if f.calls > f.allow {
+		return fmt.Errorf("disk full")
+	}
+	return nil
+}
+
+// TestPersistPublishFailureAbortsSwap: when the backend cannot make a
+// snapshot durable, the swap must not happen — queries keep serving the
+// old version and the failed batch leaves no trace.
+func TestPersistPublishFailureAbortsSwap(t *testing.T) {
+	p := &failingPersister{allow: 1} // initial publish succeeds
+	sys, err := LoadOptions(persistProgram, Options{Persist: p})
+	if err != nil {
+		t.Fatalf("LoadOptions: %v", err)
+	}
+	before := pathRows(t, sys)
+	if _, _, err := sys.AddFacts([]ast.Atom{ast.NewAtom("up", ast.C("d"), ast.C("e"))}); err == nil {
+		t.Fatal("AddFacts succeeded despite publish failure")
+	} else if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error does not carry the backend cause: %v", err)
+	}
+	if v := sys.Snapshot().Version; v != 1 {
+		t.Fatalf("failed publish advanced the snapshot to version %d", v)
+	}
+	if got := pathRows(t, sys); !rowsEqual(before, got) {
+		t.Fatalf("failed publish changed served answers:\nwant %v\ngot  %v", before, got)
+	}
+
+	if _, _, err := sys.RemoveFacts([]ast.Atom{ast.NewAtom("up", ast.C("a"), ast.C("b"))}); err == nil {
+		t.Fatal("RemoveFacts succeeded despite publish failure")
+	}
+	if v := sys.Snapshot().Version; v != 1 {
+		t.Fatalf("failed retraction advanced the snapshot to version %d", v)
+	}
+}
+
+// TestPersistRejectsArityDrift: a program whose declared arity disagrees
+// with a recovered predicate must be rejected at construction, not at
+// first query.
+func TestPersistRejectsArityDrift(t *testing.T) {
+	dir := t.TempDir()
+	loadPersistent(t, persistProgram, dir)
+
+	drifted := `
+path(X,Y) :- up(X,Y,Z).
+`
+	if _, err := LoadOptions(drifted, Options{Persist: openManager(t, dir)}); err == nil {
+		t.Fatal("arity drift accepted")
+	} else if !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("error does not mention arity: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"linrec/internal/ast"
+	"linrec/internal/planner"
+)
+
+// TestQueryRequestOptions checks the functional-option constructor
+// builds exactly the struct a literal would.
+func TestQueryRequestOptions(t *testing.T) {
+	sys, err := Load(tcProgram)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	snap := sys.Snapshot()
+	goal := ast.NewAtom("path", ast.V("X"), ast.V("Y"))
+
+	req := NewQueryRequest(goal,
+		WithSnapshot(snap),
+		WithWorkers(4),
+		WithStrategy(planner.ForceSemiNaive),
+		WithLimit(7),
+	)
+	want := QueryRequest{
+		Goal:  goal,
+		Snap:  snap,
+		Opts:  Options{Workers: 4, Strategy: planner.ForceSemiNaive},
+		Limit: 7,
+	}
+	if !reflect.DeepEqual(req, want) {
+		t.Fatalf("NewQueryRequest = %+v, want %+v", req, want)
+	}
+
+	// WithOptions replaces wholesale; later per-field options modify it.
+	req2 := NewQueryRequest(goal, WithOptions(Options{Workers: 2}), WithWorkers(8))
+	if req2.Opts.Workers != 8 {
+		t.Fatalf("WithWorkers after WithOptions = %d, want 8", req2.Opts.Workers)
+	}
+}
+
+// TestEvaluateMatchesDeprecatedWrappers: the new entry points and the
+// wrappers they replace must answer identically — including the
+// nil-snapshot default — so call sites can migrate mechanically.
+func TestEvaluateMatchesDeprecatedWrappers(t *testing.T) {
+	sys, err := Load(tcProgram)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ctx := context.Background()
+	goal := ast.NewAtom("path", ast.C("a"), ast.V("Y"))
+
+	viaOld, err := sys.QueryOn(ctx, sys.Snapshot(), goal, Options{})
+	if err != nil {
+		t.Fatalf("QueryOn: %v", err)
+	}
+	viaNew, err := sys.Evaluate(ctx, NewQueryRequest(goal))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !reflect.DeepEqual(viaOld.Rows(sys), viaNew.Rows(sys)) {
+		t.Fatalf("Evaluate diverges from QueryOn:\nold %v\nnew %v", viaOld.Rows(sys), viaNew.Rows(sys))
+	}
+	if viaOld.Plan.Kind != viaNew.Plan.Kind {
+		t.Fatalf("plan kinds diverge: %v vs %v", viaOld.Plan.Kind, viaNew.Plan.Kind)
+	}
+
+	st, err := sys.Stream(ctx, NewQueryRequest(goal, WithLimit(2)))
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	rows := drainStream(t, st)
+	if len(rows) != 2 {
+		t.Fatalf("limited stream yielded %d rows, want 2", len(rows))
+	}
+}

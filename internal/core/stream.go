@@ -1,9 +1,9 @@
-// Streaming queries: QueryStream is the pull-based sibling of QueryOn.
-// Where QueryOn runs the chosen plan to its fixpoint and hands back a
-// materialized answer, QueryStream hands back an iterator whose
-// underlying closure advances only as rows are pulled — a consumer that
-// stops after k rows (a limit-k or exists query) stops the fixpoint at
-// the round that produced its k-th answer.
+// Streaming queries: Stream is the pull-based sibling of Evaluate.
+// Where Evaluate runs the chosen plan to its fixpoint and hands back a
+// materialized answer, Stream hands back an iterator whose underlying
+// closure advances only as rows are pulled — a consumer that stops
+// after k rows (a limit-k or exists query) stops the fixpoint at the
+// round that produced its k-th answer.
 //
 // Streaming covers the three closure-shaped plan paths: plain
 // semi-naive, the final group of a decomposed closure (earlier groups
@@ -11,8 +11,8 @@
 // magic-restricted closure of filter-mode magic plans.  The remaining
 // plan kinds (separable, bounded, context-mode magic, the n-ary
 // separable decomposition) produce their answer as a whole; those
-// queries evaluate exactly as QueryOn and stream the finished relation,
-// so early termination saves transport but not evaluation.
+// queries evaluate exactly as Evaluate and stream the finished
+// relation, so early termination saves transport but not evaluation.
 //
 // Result-cache interaction: a stream peeks the goal-level cache and
 // serves a completed entry's rows, but never joins an in-flight build
@@ -20,7 +20,7 @@
 // query's evaluation would defeat the point).  Limited streams never
 // populate the cache — their evaluation may be partial.  An unbounded
 // stream that reaches natural exhaustion holds the same full answer
-// QueryOn would have built and populates the cache with it.
+// Evaluate would have built and populates the cache with it.
 
 package core
 
@@ -67,15 +67,22 @@ type QueryStream struct {
 	closed  bool
 }
 
-// QueryStream opens a streamed evaluation of q against the pinned
-// snapshot.  limit > 0 caps the stream at that many rows (the k-th row
-// ends it, and rounds past the one that produced it never run); limit ≤
-// 0 streams the full answer.  Construction may already evaluate: the
-// seed, a magic frontier, or — for plan kinds with no streamable
-// closure — the whole query.  Errors during construction or streaming
-// that stem from engine invariant violations are recovered into
-// ErrInternal, as in QueryOn.
-func (s *System) QueryStream(ctx context.Context, snap *Snapshot, q ast.Atom, opts Options, limit int) (st *QueryStream, err error) {
+// Stream opens a streamed evaluation of a query request — the
+// pull-based sibling of Evaluate, and the canonical entry point behind
+// the deprecated QueryStream.  An unset req.Snap pins the current
+// snapshot.  req.Limit > 0 caps the stream at that many rows (the k-th
+// row ends it, and rounds past the one that produced it never run);
+// Limit ≤ 0 streams the full answer.  Construction may already
+// evaluate: the seed, a magic frontier, or — for plan kinds with no
+// streamable closure — the whole query.  Errors during construction or
+// streaming that stem from engine invariant violations are recovered
+// into ErrInternal, as in Evaluate.
+func (s *System) Stream(ctx context.Context, req QueryRequest) (st *QueryStream, err error) {
+	snap := req.Snap
+	if snap == nil {
+		snap = s.Snapshot()
+	}
+	q, opts, limit := req.Goal, req.Opts, req.Limit
 	defer func() {
 		if r := recover(); r != nil {
 			st, err = nil, fmt.Errorf("core: %w: query %v: %v\n%s", ErrInternal, q, r, debug.Stack())

@@ -195,7 +195,7 @@ const unbound = rel.Value(-1)
 // traffic when parallel shards hammer the same relation).  A resolved
 // slice belongs to one goroutine.
 type resolvedAtom struct {
-	r     *rel.Relation
+	r     rel.Store
 	probe func(rel.Value) []rel.Tuple
 }
 

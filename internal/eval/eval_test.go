@@ -66,7 +66,7 @@ func TestNaiveMatchesSemiNaive(t *testing.T) {
 	// Add a cycle edge to stress re-derivation.
 	a := e.Syms.Intern("n12")
 	b := e.Syms.Intern("n0")
-	db["e"].Insert(rel.Tuple{a, b})
+	db.Rel("e", 2).Insert(rel.Tuple{a, b})
 	op := parser.MustParseOp("p(X,Y) :- p(X,Z), e(Z,Y).")
 	q := edgesAsQ(db, "e")
 	sn, _ := e.SemiNaive(db, []*ast.Op{op}, q)

@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"MULTI", "Multi-column magic adornments: multi-bound queries vs closure- and first-column-then-filter", MagicMultiTable},
 		{"CACHE", "Goal-level result cache: cold evaluation vs cached hit, with retraction invalidation", CacheTable},
 		{"INC", "Differential cache maintenance: streamed add/retract vs purge-and-rebuild", IncrementalTable},
+		{"PERSIST", "Durable segment storage: manifest recovery vs rebuild-from-facts restart", PersistTable},
 	}
 }
 

@@ -37,6 +37,7 @@ type GateFloors struct {
 	Cache       float64 // cold evaluation vs result-cache hit
 	Incremental float64 // maintained update+query vs purge-and-rebuild
 	Streaming   float64 // full materialized fixpoint vs limit=1 early-terminated stream
+	Persist     float64 // manifest recovery vs rebuild-from-facts restart
 	// TracingOverheadPct is a CEILING, not a floor: the tracing-disabled
 	// closure may regress at most this many percent over the no-context
 	// entry point.  Zero disables the check.
@@ -45,10 +46,10 @@ type GateFloors struct {
 
 // DefaultGateFloors are deliberately conservative: the committed lanes
 // record ≈ 5x parallel, ≥ 2500x magic, ≫ 1000x multi-bound magic,
-// ≫ 50x cache, ≫ 10x incremental maintenance and ≫ 100x streaming
-// early termination at full size; the tracing hooks must cost under 2%
-// when disabled.
-var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10, Streaming: 10, TracingOverheadPct: 2}
+// ≫ 50x cache, ≫ 10x incremental maintenance, ≫ 100x streaming
+// early termination and ≫ 10x manifest recovery at full size; the
+// tracing hooks must cost under 2% when disabled.
+var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10, Streaming: 10, Persist: 2, TracingOverheadPct: 2}
 
 // gateMagicNodes sizes the magic lane's gate run.  The bound query's
 // advantage scales with graph size (output-proportional vs closure-
@@ -115,6 +116,13 @@ func RunGate(floors GateFloors, w io.Writer) GateReport {
 	}
 	add("streaming", str.Speedup, floors.Streaming,
 		fmt.Sprintf("limit=1 stream vs full fixpoint, %d-edge chain", StreamingTableNodes), err)
+
+	per, err := PersistBench(20001)
+	if err == nil && !per.DifferentialOK {
+		err = fmt.Errorf("recovered answers diverged from the rebuilt system")
+	}
+	add("persist", per.Speedup, floors.Persist,
+		fmt.Sprintf("manifest recovery vs rebuild-from-facts, %d edges", per.Edges), err)
 
 	// The tracing-overhead lane inverts the shared floor semantics — its
 	// bound is a ceiling — so it gets a hand-rolled check.

@@ -185,7 +185,7 @@ type PTCResult struct {
 // (n−1 random edges; closure ≈ n·ln n tuples).
 func ptcEdges(e *eval.Engine, db rel.DB, nodes int) *rel.Relation {
 	workload.RandomTree(e, db, "up", nodes, 47)
-	return db["up"]
+	return db.Rel("up", 2)
 }
 
 // ptcBench measures the seed substrate once (it is worker-independent) and

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"linrec/internal/core"
+	"linrec/internal/segment"
+	"linrec/internal/workload"
+)
+
+// This experiment measures what durable segment storage buys a restart:
+// a server without it must reload every base fact before it can serve
+// (linrecd -gen regenerates the workload, -program re-parses and
+// re-inserts the fact list), while a -data-dir server boots from the
+// newest manifest in time proportional to segment *metadata* — the
+// tuples stay on disk until a query's probe faults them in.  The lane
+// publishes a seeded snapshot once, then times the two restart paths
+// and the first bound query served by each; correctness is not assumed:
+// the recovered system's answers are compared bit-for-bit against the
+// rebuilt system's at 1 and 4 workers.
+
+// PersistReport is the machine-readable persist_tc lane of
+// BENCH_eval.json.
+type PersistReport struct {
+	Bench    string `json:"bench"`
+	Workload string `json:"workload"`
+	Edges    int    `json:"edges"`
+	// PublishNS is the one-time cost of publishing the seeded snapshot:
+	// segment writes, symtab, fsync'd manifest swap.
+	PublishNS       time.Duration `json:"publish_ns"`
+	SegmentsWritten int64         `json:"segments_written"`
+	BytesWritten    int64         `json:"bytes_written"`
+	// RebuildBootNS is the restart path without durable storage:
+	// construct the system and re-insert every base fact.
+	RebuildBootNS time.Duration `json:"rebuild_boot_ns"`
+	// RecoverBootNS is the restart path from the manifest: open the
+	// directory, validate segment headers, and boot lazy stores without
+	// reading a single tuple.
+	RecoverBootNS time.Duration `json:"recover_boot_ns"`
+	// Speedup is RebuildBootNS / RecoverBootNS.
+	Speedup float64 `json:"speedup"`
+	// BootLazyLoads must be zero: recovery reads metadata only.
+	BootLazyLoads int64 `json:"boot_lazy_loads"`
+	// FirstQueryRebuildNS / FirstQueryRecoverNS time the first bound
+	// closure query after each boot; the recovered side pays its lazy
+	// segment materialization here, visible in LazyLoads.
+	FirstQueryRebuildNS time.Duration `json:"first_query_rebuild_ns"`
+	FirstQueryRecoverNS time.Duration `json:"first_query_recover_ns"`
+	LazyLoads           int64         `json:"lazy_loads"`
+	AnswerRows          int           `json:"answer_rows"`
+	// DifferentialOK records the proof obligation: the recovered answers
+	// equaled the rebuilt system's bit-for-bit at 1 and 4 workers.
+	DifferentialOK   bool   `json:"differential_ok"`
+	RecoveredVersion uint64 `json:"recovered_snapshot_version"`
+}
+
+// persistBenchProgram is the rebuild side's rule set; facts are seeded
+// with workload.RandomTree, matching linrecd -gen.
+const persistBenchProgram = `
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,U), edge(U,Y).
+path(X,Y) :- edge(X,U), path(U,Y).
+`
+
+// persistVerifyWorkers are the differential-proof worker counts.
+var persistVerifyWorkers = []int{1, 4}
+
+// PersistBench publishes a seeded n-node tree snapshot into a fresh
+// temporary directory, then times a rebuild-from-facts restart against
+// a recover-from-manifest restart and proves the recovered answers
+// identical.
+func PersistBench(nodes int) (PersistReport, error) {
+	rep := PersistReport{
+		Bench:    "persist_tc",
+		Workload: fmt.Sprintf("random tree TC, %d edges: rebuild-from-facts restart vs manifest recovery", nodes-1),
+		Edges:    nodes - 1,
+	}
+	dir, err := os.MkdirTemp("", "lrbench-persist-*")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+	goal := mustAtomExp("path(t0, Y)")
+
+	// Restart path A: no durable storage — reconstruct and re-seed.
+	// (This first construction also produces the snapshot we publish.)
+	runtime.GC()
+	start := time.Now()
+	rebuilt, err := core.LoadOptions(persistBenchProgram, core.Options{})
+	if err != nil {
+		return rep, err
+	}
+	workload.RandomTree(rebuilt.Engine, rebuilt.DB(), "edge", nodes, 47)
+	rep.RebuildBootNS = time.Since(start)
+
+	// One-time publish of the seeded snapshot.
+	pub, err := segment.Open(dir)
+	if err != nil {
+		return rep, err
+	}
+	snap := rebuilt.Snapshot()
+	runtime.GC()
+	start = time.Now()
+	if err := pub.Publish(snap.Version, snap.DB, rebuilt.Engine.Syms); err != nil {
+		return rep, err
+	}
+	rep.PublishNS = time.Since(start)
+	pst := pub.Stats()
+	rep.SegmentsWritten = pst.SegmentsWritten
+	rep.BytesWritten = pst.BytesWritten
+
+	// Restart path B: a fresh manager (new process, cold caches) boots
+	// from the manifest.  No tuple may be read yet.
+	runtime.GC()
+	start = time.Now()
+	mgr, err := segment.Open(dir)
+	if err != nil {
+		return rep, err
+	}
+	recovered, err := core.LoadOptions(persistBenchProgram, core.Options{Persist: mgr})
+	if err != nil {
+		return rep, err
+	}
+	rep.RecoverBootNS = time.Since(start)
+	rep.Speedup = float64(rep.RebuildBootNS) / float64(rep.RecoverBootNS)
+	rep.RecoveredVersion = recovered.Snapshot().Version
+	rep.BootLazyLoads = mgr.Stats().LazyLoads
+	if rep.BootLazyLoads != 0 {
+		return rep, fmt.Errorf("boot materialized %d segments; recovery must be metadata-only", rep.BootLazyLoads)
+	}
+	if rep.RecoveredVersion != snap.Version {
+		return rep, fmt.Errorf("recovered version %d, published %d", rep.RecoveredVersion, snap.Version)
+	}
+
+	// First bound query on each side; the recovered side faults its
+	// segments in here.
+	runtime.GC()
+	start = time.Now()
+	refRes, err := rebuilt.QueryOn(ctx, rebuilt.Snapshot(), goal, core.Options{})
+	if err != nil {
+		return rep, err
+	}
+	rep.FirstQueryRebuildNS = time.Since(start)
+	runtime.GC()
+	start = time.Now()
+	gotRes, err := recovered.QueryOn(ctx, recovered.Snapshot(), goal, core.Options{})
+	if err != nil {
+		return rep, err
+	}
+	rep.FirstQueryRecoverNS = time.Since(start)
+	rep.LazyLoads = mgr.Stats().LazyLoads
+	rep.AnswerRows = gotRes.Answer.Len()
+
+	// Differential proof at both worker counts, bit-for-bit.
+	rep.DifferentialOK = reflect.DeepEqual(gotRes.Rows(recovered), refRes.Rows(rebuilt))
+	for _, workers := range persistVerifyWorkers {
+		got, err := recovered.QueryOn(ctx, recovered.Snapshot(), goal, core.Options{Workers: workers})
+		if err != nil {
+			return rep, err
+		}
+		ref, err := rebuilt.QueryOn(ctx, rebuilt.Snapshot(), goal, core.Options{Workers: workers})
+		if err != nil {
+			return rep, err
+		}
+		if !reflect.DeepEqual(got.Rows(recovered), ref.Rows(rebuilt)) {
+			rep.DifferentialOK = false
+		}
+	}
+	if !rep.DifferentialOK {
+		return rep, fmt.Errorf("recovered answers diverged from the rebuilt system")
+	}
+	return rep, nil
+}
+
+// PersistTableNodes sizes the BENCH_eval.json persist_tc lane.
+const PersistTableNodes = 60001
+
+// PersistJSONReport runs the restart comparison at the full benchmark
+// size (the BENCH_eval.json persist_tc lane).
+func PersistJSONReport() (PersistReport, error) {
+	return PersistBench(PersistTableNodes)
+}
+
+// PersistTable prints the comparison at a smaller size.
+func PersistTable(w io.Writer) error {
+	rep, err := PersistBench(20001)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "durable segment storage on %s\n\n", rep.Workload)
+	fmt.Fprintf(w, "%-36s %14s %14s\n", "", "rebuild", "recover")
+	fmt.Fprintf(w, "%-36s %14v %14v\n", "restart to serving",
+		rep.RebuildBootNS.Round(time.Microsecond), rep.RecoverBootNS.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-36s %14v %14v\n", "first bound query",
+		rep.FirstQueryRebuildNS.Round(time.Microsecond), rep.FirstQueryRecoverNS.Round(time.Microsecond))
+	fmt.Fprintf(w, "\nrecovery %.0fx faster than rebuild (%d segments, %d bytes on disk,\n",
+		rep.Speedup, rep.SegmentsWritten, rep.BytesWritten)
+	fmt.Fprintf(w, "%d lazy loads after the first query); answers proven identical at 1 and 4 workers\n",
+		rep.LazyLoads)
+	return nil
+}

@@ -117,6 +117,37 @@ func (s *Symtab) Intern(name string) Value {
 	return v
 }
 
+// Restore bulk-interns names in order, requiring each to land at its
+// slice index — the replay path when booting from durable storage,
+// where persisted column values are only meaningful if the table
+// re-interns densely.  The table may already hold a prefix of the same
+// names (idempotent re-boot); any divergence is an error, after which
+// the table must be discarded.  One lock round-trip total, not one per
+// name.
+func (s *Symtab) Restore(names []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(s.names) < len(names) {
+		grown := make([]string, len(s.names), len(names))
+		copy(grown, s.names)
+		s.names = grown
+	}
+	for i, name := range names {
+		if i < len(s.names) {
+			if s.names[i] != name {
+				return fmt.Errorf("rel: symtab mismatch at %d: have %q, restoring %q", i, s.names[i], name)
+			}
+			continue
+		}
+		if v, ok := s.byName[name]; ok {
+			return fmt.Errorf("rel: symtab mismatch: %q already interned as %d, restoring as %d", name, v, i)
+		}
+		s.byName[name] = Value(i)
+		s.names = append(s.names, name)
+	}
+	return nil
+}
+
 // Lookup returns the value for name without interning.
 func (s *Symtab) Lookup(name string) (Value, bool) {
 	s.mu.RLock()
@@ -533,7 +564,7 @@ func (r *Relation) UnionInto(other *Relation) int {
 	return added
 }
 
-// Without returns a relation containing every tuple of r except those in
+// without returns a relation containing every tuple of r except those in
 // remove, along with the number of tuples actually removed.  The result
 // is a tombstone-free rebuild: row storage and key table are constructed
 // fresh at the surviving size, so a long add/retract history never
@@ -542,7 +573,7 @@ func (r *Relation) UnionInto(other *Relation) int {
 // callers can share it across copy-on-write snapshot versions.  Remove
 // tuples must have r's arity (Insert's contract); duplicates in remove
 // are counted once.
-func (r *Relation) Without(remove []Tuple) (*Relation, int) {
+func (r *Relation) without(remove []Tuple) (*Relation, int) {
 	rm := NewRelation(r.arity)
 	for _, t := range remove {
 		if r.Has(t) {
@@ -774,16 +805,129 @@ func (r *Relation) Equal(other *Relation) bool {
 	return true
 }
 
-// DB maps predicate names to relations.
-type DB map[string]*Relation
+// Store is the read contract a DB entry must satisfy — the pluggable
+// storage seam.  The in-memory Relation implements it directly; a
+// disk-backed implementation may defer materialization until the first
+// method that needs row data (Arity and Len are answerable from
+// metadata alone).  All methods must be safe for concurrent readers,
+// matching Relation's contract; the derive methods (Clone, Select,
+// SelectIn, SelectInCols, Filter, Without) return fresh in-memory
+// relations (or, for Without's no-removal case, a value representing
+// the unchanged store) and never mutate the receiver.
+type Store interface {
+	// Arity returns the number of columns.
+	Arity() int
+	// Len returns the number of tuples.
+	Len() int
+	// Row returns the i-th tuple as a storage view; it must not be
+	// mutated.
+	Row(i int) Tuple
+	// Has reports membership.
+	Has(t Tuple) bool
+	// Each calls f on every tuple; iteration order is unspecified.
+	Each(f func(Tuple))
+	// Tuples returns all tuples in deterministic (sorted) order.
+	Tuples() []Tuple
+	// Lookup returns the rows with t[col] == v, building the column
+	// index on first use.
+	Lookup(col int, v Value) []Tuple
+	// BuildIndex forces construction of the index on col.
+	BuildIndex(col int)
+	// Prober returns a per-goroutine probe closure over the index on col.
+	Prober(col int) func(Value) []Tuple
+	// Index renders the column index as a value → rows map (diagnostic).
+	Index(col int) map[Value][]Tuple
+	// Clone returns an independent in-memory copy.
+	Clone() *Relation
+	// Select returns the tuples with t[col] == v as a new relation.
+	Select(col int, v Value) *Relation
+	// SelectIn returns the tuples whose col value appears in allowed.
+	SelectIn(col int, allowed *Relation) *Relation
+	// SelectInCols generalizes SelectIn to a multi-column adornment.
+	SelectInCols(cols []int, allowed *Relation) *Relation
+	// Filter returns the tuples satisfying pred as a new relation.
+	Filter(pred func(Tuple) bool) *Relation
+	// Without returns the store's tuples minus remove, and how many were
+	// actually removed; with zero removals implementations return a
+	// store sharing the receiver's data so copy-on-write snapshots can
+	// keep sharing it.
+	Without(remove []Tuple) (Store, int)
+}
 
-// Rel returns the relation for pred, creating an empty one of the given
-// arity on first use.
+// StoreWithout subtracts remove from s, preserving identity on no-ops:
+// when nothing is removed the returned Store is s itself (not merely a
+// store over the same rows), which is what lets copy-on-write snapshot
+// swaps detect "unchanged" by pointer identity.
+func StoreWithout(s Store, remove []Tuple) (Store, int) {
+	out, n := s.Without(remove)
+	if n == 0 {
+		return s, 0
+	}
+	return out, n
+}
+
+// Without adapts Relation's rebuild-based Without to the Store
+// interface's signature.  The no-removal case returns the receiver.
+func (r *Relation) Without(remove []Tuple) (Store, int) {
+	out, n := r.without(remove)
+	return out, n
+}
+
+// FromPacked wraps flat row-major data (arity values per row) as a
+// Relation without copying: the key table is built over the given
+// storage, which the relation takes ownership of.  Rows must be
+// distinct — this is the contract of segment files, which are written
+// from relations that already enforce set semantics.
+func FromPacked(arity int, data []Value) *Relation {
+	if arity <= 0 {
+		panic(fmt.Sprintf("rel: FromPacked arity %d", arity))
+	}
+	if len(data)%arity != 0 {
+		panic(fmt.Sprintf("rel: FromPacked data length %d not a multiple of arity %d", len(data), arity))
+	}
+	n := len(data) / arity
+	r := &Relation{
+		arity: arity,
+		exact: keyExact(arity),
+		data:  data,
+		n:     n,
+		tab:   newTable(n + n/7 + 1),
+	}
+	for i := 0; i < n; i++ {
+		r.tab.place(r.Row(i).Key(), int32(i+1))
+	}
+	return r
+}
+
+// Packed returns the relation's flat row-major storage (arity values
+// per row, insertion order) — the exact byte layout segment writers
+// persist.  The slice is a view into live storage: callers must not
+// mutate it, and must not retain it across a later Insert.
+func (r *Relation) Packed() []Value {
+	return r.data[: r.n*r.arity : r.n*r.arity]
+}
+
+// DB maps predicate names to stores.  Entries are *Relation for
+// in-memory databases and may be lazy disk-backed stores for databases
+// recovered from a segment manifest; both satisfy Store, and the
+// evaluation engine only ever reads entries through that interface.
+type DB map[string]Store
+
+// Rel returns the mutable relation for pred, creating an empty one of
+// the given arity on first use.  It is the load-path accessor: entries
+// recovered from immutable disk segments cannot be mutated in place, so
+// calling Rel on one panics — updates to a recovered database go
+// through the copy-on-write fact API instead.
 func (db DB) Rel(pred string, arity int) *Relation {
-	r, ok := db[pred]
+	s, ok := db[pred]
 	if !ok {
-		r = NewRelation(arity)
+		r := NewRelation(arity)
 		db[pred] = r
+		return r
+	}
+	r, ok := s.(*Relation)
+	if !ok {
+		panic(fmt.Sprintf("rel: predicate %q is backed by an immutable store; mutate through copy-on-write updates", pred))
 	}
 	if r.arity != arity {
 		panic(fmt.Sprintf("rel: predicate %q used with arity %d and %d", pred, r.arity, arity))
@@ -795,17 +939,17 @@ func (db DB) Rel(pred string, arity int) *Relation {
 // inserted into, so sharing one instance across DBs is safe.
 var emptyRel = NewRelation(0)
 
-// Probe returns the relation for pred, or a shared empty relation when the
+// Probe returns the store for pred, or a shared empty relation when the
 // predicate has no facts.  Unlike Rel it never mutates db, which makes it
 // safe for concurrent readers.
-func (db DB) Probe(pred string) *Relation {
-	if r, ok := db[pred]; ok {
-		return r
+func (db DB) Probe(pred string) Store {
+	if s, ok := db[pred]; ok {
+		return s
 	}
 	return emptyRel
 }
 
-// Clone deep-copies the database.
+// Clone deep-copies the database into in-memory relations.
 func (db DB) Clone() DB {
 	out := DB{}
 	for k, v := range db {

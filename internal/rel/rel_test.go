@@ -152,7 +152,7 @@ func TestDBClone(t *testing.T) {
 	db := DB{}
 	db.Rel("e", 1).Insert(Tuple{1})
 	c := db.Clone()
-	c["e"].Insert(Tuple{2})
+	c.Rel("e", 1).Insert(Tuple{2})
 	if db["e"].Len() != 1 {
 		t.Fatalf("DB clone shares relations")
 	}
@@ -240,7 +240,7 @@ func TestWithoutRebuildIsClean(t *testing.T) {
 	for i := int32(0); i < 100; i += 2 {
 		victims = append(victims, Tuple{i})
 	}
-	out, removed := r.Without(victims)
+	out, removed := r.without(victims)
 	if removed != 50 || out.Len() != 50 {
 		t.Fatalf("removed %d leaving %d, want 50/50", removed, out.Len())
 	}

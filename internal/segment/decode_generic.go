@@ -1,0 +1,20 @@
+//go:build !(amd64 || arm64 || 386 || arm || riscv64 || loong64 || mipsle || mips64le || ppc64le || wasm)
+
+package segment
+
+import (
+	"encoding/binary"
+
+	"linrec/internal/rel"
+)
+
+// decodeValues decodes the little-endian file bytes into fresh values —
+// the portable path for big-endian hosts, where the zero-copy cast
+// would read columns byte-swapped.
+func decodeValues(body []byte, n int) []rel.Value {
+	out := make([]rel.Value, n)
+	for i := range out {
+		out[i] = rel.Value(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package segment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linrec/internal/rel"
+)
+
+// Lazy is a disk-backed rel.Store over one segment file.  Arity and Len
+// answer from manifest metadata alone — booting a database of Lazy
+// stores touches no segment data, which is what keeps recovery
+// proportional to metadata.  The first call that needs rows loads the
+// segment exactly once (checksum-verified, mmap'd where possible) and
+// wraps it as an in-memory relation via rel.FromPacked; every later
+// call delegates at interface-dispatch cost.  A load failure panics
+// with a descriptive error: by then the manifest validated at boot, so
+// a failure means the file changed underneath us — an invariant
+// violation the engine's panic recovery surfaces as an internal error
+// rather than a wrong answer.
+type Lazy struct {
+	pred     string
+	path     string
+	arity    int
+	rows     int
+	checksum uint64
+
+	// onLoad, when set, observes the one materialization (manager
+	// statistics).  It runs inside the once, so it never races.
+	onLoad func(took time.Duration, bytes int64)
+
+	once   sync.Once
+	loaded atomic.Bool
+	r      *rel.Relation
+	err    error
+}
+
+// NewLazy returns a lazy store over a validated segment file.  Callers
+// normally get these from Manager.Boot rather than constructing them.
+func NewLazy(pred, path string, arity, rows int, checksum uint64) *Lazy {
+	return &Lazy{pred: pred, path: path, arity: arity, rows: rows, checksum: checksum}
+}
+
+// load materializes the segment once; concurrent first probes share it.
+func (l *Lazy) load() *rel.Relation {
+	l.once.Do(func() {
+		start := time.Now()
+		data, bytes, err := readSegment(l.path, l.arity, l.rows, l.checksum)
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.r = rel.FromPacked(l.arity, data)
+		l.loaded.Store(true)
+		if l.onLoad != nil {
+			l.onLoad(time.Since(start), bytes)
+		}
+	})
+	if l.err != nil {
+		panic(fmt.Sprintf("segment: predicate %q: %v", l.pred, l.err))
+	}
+	return l.r
+}
+
+// Loaded reports whether the segment data has been materialized yet
+// without triggering the load.
+func (l *Lazy) Loaded() bool { return l.loaded.Load() }
+
+// Arity returns the column count from manifest metadata (no load).
+func (l *Lazy) Arity() int { return l.arity }
+
+// Len returns the row count from manifest metadata (no load).
+func (l *Lazy) Len() int { return l.rows }
+
+// Row returns the i-th tuple, materializing the segment on first use.
+func (l *Lazy) Row(i int) rel.Tuple { return l.load().Row(i) }
+
+// Has reports membership, materializing the segment on first use.
+func (l *Lazy) Has(t rel.Tuple) bool { return l.load().Has(t) }
+
+// Each iterates every tuple, materializing the segment on first use.
+func (l *Lazy) Each(f func(rel.Tuple)) { l.load().Each(f) }
+
+// Tuples returns all tuples in sorted order.
+func (l *Lazy) Tuples() []rel.Tuple { return l.load().Tuples() }
+
+// Lookup probes the column index, materializing on first use.
+func (l *Lazy) Lookup(col int, v rel.Value) []rel.Tuple { return l.load().Lookup(col, v) }
+
+// BuildIndex forces the column index (and the load) eagerly.
+func (l *Lazy) BuildIndex(col int) { l.load().BuildIndex(col) }
+
+// Prober returns a per-goroutine probe closure; the load itself is
+// deferred to the closure's first call, matching Relation.Prober's
+// lazy-resolve contract.
+func (l *Lazy) Prober(col int) func(rel.Value) []rel.Tuple {
+	var probe func(rel.Value) []rel.Tuple
+	return func(v rel.Value) []rel.Tuple {
+		if probe == nil {
+			probe = l.load().Prober(col)
+		}
+		return probe(v)
+	}
+}
+
+// Index renders the column index as a map (diagnostic).
+func (l *Lazy) Index(col int) map[rel.Value][]rel.Tuple { return l.load().Index(col) }
+
+// Clone materializes an independent in-memory copy.
+func (l *Lazy) Clone() *rel.Relation { return l.load().Clone() }
+
+// Select returns the tuples with t[col] == v as a new relation.
+func (l *Lazy) Select(col int, v rel.Value) *rel.Relation { return l.load().Select(col, v) }
+
+// SelectIn returns the tuples whose col value appears in allowed.
+func (l *Lazy) SelectIn(col int, allowed *rel.Relation) *rel.Relation {
+	return l.load().SelectIn(col, allowed)
+}
+
+// SelectInCols is the multi-column seed restriction over the segment.
+func (l *Lazy) SelectInCols(cols []int, allowed *rel.Relation) *rel.Relation {
+	return l.load().SelectInCols(cols, allowed)
+}
+
+// Filter returns the tuples satisfying pred as a new relation.
+func (l *Lazy) Filter(pred func(rel.Tuple) bool) *rel.Relation { return l.load().Filter(pred) }
+
+// Without subtracts remove, preserving the receiver's identity when
+// nothing was removed so copy-on-write swaps keep sharing the segment.
+func (l *Lazy) Without(remove []rel.Tuple) (rel.Store, int) {
+	out, n := l.load().Without(remove)
+	if n == 0 {
+		return l, 0
+	}
+	return out, n
+}
+
+// Packed exposes the packed column data for republication; segment
+// reuse by identity normally makes this unnecessary.
+func (l *Lazy) Packed() []rel.Value { return l.load().Packed() }
+
+var _ rel.Store = (*Lazy)(nil)

@@ -1,0 +1,346 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"linrec/internal/rel"
+)
+
+// Manager owns one data directory: it boots the newest published
+// snapshot from the manifest and publishes new snapshots as immutable
+// segment files plus an atomic manifest swap.  One Manager serves one
+// engine; Publish calls arrive serialized under the engine's write
+// lock, while Stats may be read concurrently from the HTTP handlers.
+type Manager struct {
+	dir string
+
+	mu       sync.Mutex
+	man      *manifest // last published (or booted) manifest, nil if none
+	booted   rel.DB    // stores handed out by Boot, for identity-based reuse
+	lastDB   rel.DB    // DB of the last published snapshot
+	symCount int       // symbols already persisted in man.Symtab
+
+	stats Stats
+	// Lazy-load counters live outside mu: onLoad fires inside a store's
+	// load-once, which a Publish holding mu may itself trigger (Packed on
+	// a not-yet-loaded store), so they must not re-enter the lock.
+	lazyLoads      atomic.Int64
+	lazyLoadMillis atomic.Int64
+
+	// crashAt, when non-zero, aborts Publish at a chosen stage so the
+	// crash-recovery tests can observe every intermediate disk state.
+	crashAt crashStage
+}
+
+// crashStage names the points where a test can make Publish "crash"
+// (return errCrash with the disk left exactly as a killed process
+// would leave it).
+type crashStage int
+
+const (
+	crashNone         crashStage = iota
+	crashAfterSegment            // new segment files written, manifest untouched
+	crashBeforeRename            // MANIFEST.tmp written, rename not performed
+	crashAfterRename             // new manifest live, old files not yet GC'd
+)
+
+// errCrash marks a test-induced crash inside Publish.
+var errCrash = fmt.Errorf("segment: simulated crash")
+
+// Stats is a point-in-time snapshot of the manager's counters, shaped
+// for /v1/stats and /metrics.
+type Stats struct {
+	Dir             string `json:"dir"`
+	Generation      uint64 `json:"generation"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	Recovered       bool   `json:"recovered"`
+	RecoveredPreds  int    `json:"recovered_preds"`
+	RecoveredRows   int    `json:"recovered_rows"`
+	BootMillis      int64  `json:"boot_millis"`
+	Publishes       int64  `json:"publishes"`
+	SegmentsWritten int64  `json:"segments_written"`
+	SegmentsReused  int64  `json:"segments_reused"`
+	BytesWritten    int64  `json:"bytes_written"`
+	LazyLoads       int64  `json:"lazy_loads"`
+	LazyLoadMillis  int64  `json:"lazy_load_millis"`
+	GCRemoved       int64  `json:"gc_removed"`
+}
+
+// Open attaches a Manager to dir, creating the directory if needed and
+// validating any existing manifest eagerly: every referenced segment
+// file must exist with the exact size and header the manifest promises.
+// Validation reads 24 bytes per predicate, so opening stays
+// proportional to the number of persisted predicates, not to row
+// counts.
+func Open(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{dir: dir}
+	m.stats.Dir = dir
+	man, err := readManifest(dir)
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range man.Preds {
+		if err := checkSegmentHeader(filepath.Join(dir, p.File), p.Arity, p.Rows, p.Checksum); err != nil {
+			return nil, fmt.Errorf("segment: predicate %q: %w", p.Pred, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, man.Symtab)); err != nil {
+		return nil, fmt.Errorf("segment: manifest references missing symtab %s: %w", man.Symtab, err)
+	}
+	m.man = man
+	m.stats.Generation = man.Generation
+	m.stats.SnapshotVersion = man.Version
+	return m, nil
+}
+
+// Dir returns the data directory the manager is attached to.
+func (m *Manager) Dir() string { return m.dir }
+
+// HasSnapshot reports whether the directory held a published snapshot
+// when the manager opened (i.e. Boot will recover rather than start
+// fresh).  Callers use it to decide whether seeding work is needed.
+func (m *Manager) HasSnapshot() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.man != nil
+}
+
+// Boot restores the last published snapshot: it replays the persisted
+// symbol table into syms and returns a database of lazy disk-backed
+// stores plus the persisted snapshot version.  ok is false when the
+// directory holds no manifest yet (fresh start).  No segment data is
+// read — stores materialize on first probe.
+func (m *Manager) Boot(syms *rel.Symtab) (db rel.DB, version uint64, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.man == nil {
+		return nil, 0, false, nil
+	}
+	start := time.Now()
+	names, err := readSymtab(filepath.Join(m.dir, m.man.Symtab))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := restoreSymtab(syms, names); err != nil {
+		return nil, 0, false, err
+	}
+	db = make(rel.DB, len(m.man.Preds))
+	rows := 0
+	for _, p := range m.man.Preds {
+		lz := NewLazy(p.Pred, filepath.Join(m.dir, p.File), p.Arity, p.Rows, p.Checksum)
+		lz.onLoad = m.noteLoad
+		db[p.Pred] = lz
+		rows += p.Rows
+	}
+	m.booted = db
+	m.lastDB = db
+	m.symCount = len(names)
+	m.stats.Recovered = true
+	m.stats.RecoveredPreds = len(m.man.Preds)
+	m.stats.RecoveredRows = rows
+	m.stats.BootMillis = time.Since(start).Milliseconds()
+	return db, m.man.Version, true, nil
+}
+
+// noteLoad records one lazy segment materialization.  Lock-free on
+// purpose — see the counter declarations.
+func (m *Manager) noteLoad(took time.Duration, bytes int64) {
+	m.lazyLoads.Add(1)
+	m.lazyLoadMillis.Add(took.Milliseconds())
+}
+
+// Publish persists a snapshot: unchanged predicates (same store
+// identity as the previous publish) keep their existing segment files;
+// changed or new predicates get fresh segments under
+// <pred>-<generation>.seg names.  The symbol table is re-persisted only
+// when it grew.  Once all new files are durable, the manifest swaps
+// atomically; finally files no longer referenced are garbage-collected
+// best-effort.  On error the old manifest remains live and fully
+// consistent — stray new files are unreferenced and will be collected
+// by a later successful publish.
+func (m *Manager) Publish(version uint64, db rel.DB, syms *rel.Symtab) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gen := uint64(1)
+	if m.man != nil {
+		gen = m.man.Generation + 1
+	}
+
+	prev := map[string]predEntry{}
+	if m.man != nil {
+		for _, p := range m.man.Preds {
+			prev[p.Pred] = p
+		}
+	}
+
+	preds := make([]string, 0, len(db))
+	for pred := range db {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+
+	next := &manifest{Format: manifestFormat, Generation: gen, Version: version}
+	for _, pred := range preds {
+		st := db[pred]
+		if old, ok := prev[pred]; ok && m.lastDB != nil && m.lastDB[pred] == st {
+			next.Preds = append(next.Preds, old)
+			m.stats.SegmentsReused++
+			continue
+		}
+		entry, err := m.writePred(pred, gen, st)
+		if err != nil {
+			return err
+		}
+		next.Preds = append(next.Preds, entry)
+	}
+	if m.crashAt == crashAfterSegment {
+		return errCrash
+	}
+
+	names := syms.Names()
+	symFile := ""
+	if m.man != nil && len(names) == m.symCount {
+		symFile = m.man.Symtab
+	} else {
+		symFile = fmt.Sprintf("symtab-%d.bin", gen)
+		if err := writeSymtab(filepath.Join(m.dir, symFile), names); err != nil {
+			return err
+		}
+	}
+	next.Symtab = symFile
+
+	if m.crashAt == crashBeforeRename {
+		// Mimic a crash between writing MANIFEST.tmp and the rename: the
+		// tmp file exists but the live manifest is untouched.
+		if err := writeManifestTmpOnly(m.dir, next); err != nil {
+			return err
+		}
+		return errCrash
+	}
+
+	if err := writeManifest(m.dir, next); err != nil {
+		return err
+	}
+
+	oldMan := m.man
+	m.man = next
+	m.lastDB = db
+	m.symCount = len(names)
+	m.stats.Generation = gen
+	m.stats.SnapshotVersion = version
+	m.stats.Publishes++
+
+	if m.crashAt == crashAfterRename {
+		return errCrash
+	}
+
+	m.gc(oldMan, next)
+	return nil
+}
+
+// writePred materializes one predicate's tuples into a fresh segment.
+func (m *Manager) writePred(pred string, gen uint64, st rel.Store) (predEntry, error) {
+	type packed interface{ Packed() []rel.Value }
+	var data []rel.Value
+	if p, ok := st.(packed); ok {
+		data = p.Packed()
+	} else {
+		// Generic fallback: flatten through the interface.
+		data = make([]rel.Value, 0, st.Len()*st.Arity())
+		st.Each(func(t rel.Tuple) { data = append(data, t...) })
+	}
+	file := fmt.Sprintf("%s-%d.seg", sanitize(pred), gen)
+	path := filepath.Join(m.dir, file)
+	checksum, bytes, err := writeSegment(path, st.Arity(), data)
+	if err != nil {
+		return predEntry{}, err
+	}
+	m.stats.SegmentsWritten++
+	m.stats.BytesWritten += bytes
+	return predEntry{
+		Pred:     pred,
+		Arity:    st.Arity(),
+		Rows:     st.Len(),
+		File:     file,
+		Checksum: checksum,
+		Bytes:    bytes,
+	}, nil
+}
+
+// gc removes files referenced by the old manifest but not the new one,
+// plus any stray *.seg / symtab-*.bin left behind by crashed publishes.
+// Removal is best-effort: a leaked file wastes disk but can never be
+// resurrected, because nothing references it.
+func (m *Manager) gc(old, cur *manifest) {
+	live := map[string]bool{manifestName: true, cur.Symtab: true}
+	for _, p := range cur.Preds {
+		live[p.File] = true
+	}
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if live[name] || e.IsDir() {
+			continue
+		}
+		if !strings.HasSuffix(name, ".seg") && !strings.HasPrefix(name, "symtab-") && name != manifestName+".tmp" {
+			continue
+		}
+		if os.Remove(filepath.Join(m.dir, name)) == nil {
+			m.stats.GCRemoved++
+		}
+	}
+}
+
+// Stats returns a copy of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.stats
+	out.LazyLoads = m.lazyLoads.Load()
+	out.LazyLoadMillis = m.lazyLoadMillis.Load()
+	return out
+}
+
+// sanitize maps a predicate name onto a filesystem-safe token.  Escape
+// first (so an escaped char can't collide with a literal underscore),
+// then the generation suffix keeps distinct publishes distinct.
+func sanitize(pred string) string {
+	var b strings.Builder
+	for _, r := range pred {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			fmt.Fprintf(&b, "_%04x", r)
+		}
+	}
+	return b.String()
+}
+
+// writeManifestTmpOnly writes MANIFEST.tmp without renaming it — only
+// the crashBeforeRename test stage uses it, to leave the directory the
+// way a process killed mid-publish would.
+func writeManifestTmpOnly(dir string, m *manifest) error {
+	raw, err := marshalManifest(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName+".tmp"), raw, 0o644)
+}

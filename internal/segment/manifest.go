@@ -1,0 +1,212 @@
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"linrec/internal/rel"
+)
+
+// manifestName is the single mutable file in a data directory.  Every
+// other file is immutable once written; publishing a snapshot writes
+// fresh segment and symtab files under new names and then atomically
+// renames a new MANIFEST over the old one, so a reader (or a crashed
+// process rebooting) always sees a complete, internally consistent
+// version.
+const manifestName = "MANIFEST"
+
+// manifestFormat guards against reading manifests written by a future,
+// incompatible layout.
+const manifestFormat = 1
+
+// predEntry describes one persisted predicate: enough metadata to
+// answer Arity/Len without touching the segment, and enough integrity
+// information (size and checksum) to validate the file eagerly at boot.
+type predEntry struct {
+	Pred     string `json:"pred"`
+	Arity    int    `json:"arity"`
+	Rows     int    `json:"rows"`
+	File     string `json:"file"`
+	Checksum uint64 `json:"checksum,string"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// manifest is the on-disk root of a published snapshot.
+type manifest struct {
+	Format     int         `json:"format"`
+	Generation uint64      `json:"generation"`
+	Version    uint64      `json:"version"`
+	Symtab     string      `json:"symtab"`
+	Preds      []predEntry `json:"preds"`
+}
+
+// readManifest parses and sanity-checks dir/MANIFEST.  A missing file
+// is reported via os.IsNotExist on the returned error.
+func readManifest(dir string) (*manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("segment: corrupted manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("segment: manifest format %d not supported (want %d)", m.Format, manifestFormat)
+	}
+	if m.Symtab == "" {
+		return nil, fmt.Errorf("segment: manifest missing symtab reference")
+	}
+	seen := make(map[string]bool, len(m.Preds))
+	for _, p := range m.Preds {
+		if p.Pred == "" || p.File == "" || p.Arity <= 0 || p.Rows < 0 {
+			return nil, fmt.Errorf("segment: manifest entry for %q is malformed", p.Pred)
+		}
+		if seen[p.Pred] {
+			return nil, fmt.Errorf("segment: manifest lists predicate %q twice", p.Pred)
+		}
+		seen[p.Pred] = true
+	}
+	return &m, nil
+}
+
+// marshalManifest renders a manifest for writing, newline-terminated.
+func marshalManifest(m *manifest) ([]byte, error) {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// writeManifest publishes m atomically: serialize to MANIFEST.tmp,
+// fsync it, rename over MANIFEST, then fsync the directory so the
+// rename itself is durable.  A crash at any point leaves either the old
+// complete manifest or the new complete manifest in place.
+func writeManifest(dir string, m *manifest) error {
+	raw, err := marshalManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power
+// loss.  Some platforms refuse to fsync directories; that only weakens
+// durability, not atomicity, so the error is ignored there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}
+
+// writeSymtab persists the interning table: uvarint count, then each
+// name as uvarint length + bytes, in intern order.  Replaying the names
+// in order into a fresh symtab reproduces the same int32 for every
+// name, which is what keeps persisted column values meaningful across
+// restarts.
+func writeSymtab(path string, names []string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(names))); err != nil {
+		f.Close()
+		return err
+	}
+	for _, name := range names {
+		if err := put(uint64(len(name))); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.WriteString(name); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readSymtab loads a persisted interning table in intern order.
+func readSymtab(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	count, off := binary.Uvarint(raw)
+	if off <= 0 {
+		return nil, fmt.Errorf("segment: corrupted symtab %s: bad count", filepath.Base(path))
+	}
+	if count > uint64(len(raw)) {
+		return nil, fmt.Errorf("segment: corrupted symtab %s: count %d exceeds file size", filepath.Base(path), count)
+	}
+	names := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, k := binary.Uvarint(raw[off:])
+		if k <= 0 || n > uint64(len(raw)-off-k) {
+			return nil, fmt.Errorf("segment: corrupted symtab %s: truncated at entry %d", filepath.Base(path), i)
+		}
+		off += k
+		names = append(names, string(raw[off:off+int(n)]))
+		off += int(n)
+	}
+	if off != len(raw) {
+		return nil, fmt.Errorf("segment: corrupted symtab %s: %d trailing bytes", filepath.Base(path), len(raw)-off)
+	}
+	return names, nil
+}
+
+// restoreSymtab replays persisted names into syms via the bulk Restore
+// path, which verifies the interning produces the expected dense values
+// (tolerating an already-present prefix, rejecting any divergence — a
+// mismatched table would silently remap every persisted column value).
+func restoreSymtab(syms *rel.Symtab, names []string) error {
+	if err := syms.Restore(names); err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux && !darwin
+
+package segment
+
+import "os"
+
+// mapSegment reads the whole file on platforms without a wired-up mmap
+// path.  The copy costs one allocation per first-touch of a segment;
+// correctness is identical to the mapped path.
+func mapSegment(path string, size int64) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,32 @@
+//go:build linux || darwin
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapSegment returns the file's bytes as a read-only shared mapping.
+// The mapping is never unmapped: a loaded segment's relation may outlive
+// any scope we could tie the unmap to (snapshots pin it arbitrarily
+// long), and the set of mapped segments is bounded by the predicates of
+// the booted manifest.  Deleting a mapped file (publish-time GC) is safe
+// on these platforms — the pages stay valid until the mapping goes away
+// with the process.  If mmap fails (e.g. an exotic filesystem), fall
+// back to a buffered read.
+func mapSegment(path string, size int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if size == 0 {
+		return nil, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return os.ReadFile(path)
+	}
+	return b, nil
+}

@@ -1,0 +1,446 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"linrec/internal/rel"
+)
+
+// mkdb builds an in-memory database from pred -> rows.
+func mkdb(t *testing.T, preds map[string][]rel.Tuple) rel.DB {
+	t.Helper()
+	db := rel.DB{}
+	for pred, rows := range preds {
+		if len(rows) == 0 {
+			t.Fatalf("mkdb: predicate %q needs at least one row to fix its arity", pred)
+		}
+		r := db.Rel(pred, len(rows[0]))
+		for _, row := range rows {
+			r.Insert(row)
+		}
+	}
+	return db
+}
+
+// syms interning a few names so persisted values are non-trivial.
+func mksyms(names ...string) *rel.Symtab {
+	s := rel.NewSymtab()
+	for _, n := range names {
+		s.Intern(n)
+	}
+	return s
+}
+
+// sameTuples asserts two stores hold exactly the same tuple set.
+func sameTuples(t *testing.T, pred string, want, got rel.Store) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: %d rows, want %d", pred, got.Len(), want.Len())
+	}
+	want.Each(func(tp rel.Tuple) {
+		if !got.Has(tp) {
+			t.Fatalf("%s: missing tuple %v", pred, tp)
+		}
+	})
+}
+
+func TestPublishBootRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := mksyms("a", "b", "c", "d")
+	db := mkdb(t, map[string][]rel.Tuple{
+		"edge": {{0, 1}, {1, 2}, {2, 3}},
+		"node": {{0}, {1}, {2}, {3}},
+	})
+	if err := m.Publish(7, db, syms); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms2 := rel.NewSymtab()
+	got, version, ok, err := m2.Boot(syms2)
+	if err != nil || !ok {
+		t.Fatalf("Boot: ok=%v err=%v", ok, err)
+	}
+	if version != 7 {
+		t.Fatalf("version = %d, want 7", version)
+	}
+	if syms2.Len() != syms.Len() {
+		t.Fatalf("symtab: %d names, want %d", syms2.Len(), syms.Len())
+	}
+	for i, name := range syms.Names() {
+		if v, found := syms2.Lookup(name); !found || v != rel.Value(i) {
+			t.Fatalf("symbol %q restored as %d/%v, want %d", name, v, found, i)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("booted %d predicates, want 2", len(got))
+	}
+	// Metadata answers without loading.
+	lz := got["edge"].(*Lazy)
+	if lz.Loaded() {
+		t.Fatal("edge segment loaded before any probe")
+	}
+	if lz.Arity() != 2 || lz.Len() != 3 {
+		t.Fatalf("edge metadata arity=%d len=%d", lz.Arity(), lz.Len())
+	}
+	for pred := range db {
+		sameTuples(t, pred, db[pred], got[pred])
+	}
+	if !lz.Loaded() {
+		t.Fatal("edge segment not loaded after probes")
+	}
+	st := m2.Stats()
+	if !st.Recovered || st.RecoveredPreds != 2 || st.RecoveredRows != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.LazyLoads != 2 {
+		t.Fatalf("lazy loads = %d, want 2", st.LazyLoads)
+	}
+}
+
+func TestBootEmptyDir(t *testing.T) {
+	m, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, version, ok, err := m.Boot(rel.NewSymtab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || db != nil || version != 0 {
+		t.Fatalf("fresh dir booted: ok=%v version=%d db=%v", ok, version, db)
+	}
+}
+
+// TestPublishReusesUnchangedSegments checks the copy-on-write property
+// carries to disk: an update touching one predicate rewrites only that
+// predicate's segment.
+func TestPublishReusesUnchangedSegments(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := mksyms("a", "b")
+	db := mkdb(t, map[string][]rel.Tuple{
+		"edge": {{0, 1}},
+		"node": {{0}, {1}},
+	})
+	if err := m.Publish(1, db, syms); err != nil {
+		t.Fatal(err)
+	}
+
+	// COW update: clone edge, share node.
+	db2 := rel.DB{"node": db["node"]}
+	e := db.Rel("edge", 2).Clone()
+	e.Insert(rel.Tuple{1, 0})
+	db2["edge"] = e
+	if err := m.Publish(2, db2, syms); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.SegmentsWritten != 3 { // edge+node at gen 1, edge at gen 2
+		t.Fatalf("segments written = %d, want 3", st.SegmentsWritten)
+	}
+	if st.SegmentsReused != 1 { // node at gen 2
+		t.Fatalf("segments reused = %d, want 1", st.SegmentsReused)
+	}
+	// The replaced gen-1 edge segment must be gone, the reused node one alive.
+	if _, err := os.Stat(filepath.Join(dir, "edge-1.seg")); !os.IsNotExist(err) {
+		t.Fatalf("edge-1.seg not collected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "node-1.seg")); err != nil {
+		t.Fatalf("node-1.seg missing: %v", err)
+	}
+
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, version, ok, err := m2.Boot(rel.NewSymtab())
+	if err != nil || !ok || version != 2 {
+		t.Fatalf("Boot: version=%d ok=%v err=%v", version, ok, err)
+	}
+	sameTuples(t, "edge", db2["edge"], got["edge"])
+	sameTuples(t, "node", db2["node"], got["node"])
+}
+
+// rebootServes asserts a fresh Manager over dir serves exactly the
+// given version with the given database.
+func rebootServes(t *testing.T, dir string, wantVersion uint64, want rel.DB) {
+	t.Helper()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, version, ok, err := m.Boot(rel.NewSymtab())
+	if err != nil || !ok {
+		t.Fatalf("Boot after crash: ok=%v err=%v", ok, err)
+	}
+	if version != wantVersion {
+		t.Fatalf("recovered version %d, want %d", version, wantVersion)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d predicates, want %d", len(got), len(want))
+	}
+	for pred := range want {
+		sameTuples(t, pred, want[pred], got[pred])
+	}
+}
+
+// TestCrashRecovery kills a publish at each stage of the swap and
+// asserts a reboot serves exactly the last *completed* publish: the old
+// version for crashes before the manifest rename, the new version after.
+func TestCrashRecovery(t *testing.T) {
+	syms := mksyms("a", "b", "c")
+	base := map[string][]rel.Tuple{"edge": {{0, 1}, {1, 2}}}
+	next := map[string][]rel.Tuple{"edge": {{0, 1}, {1, 2}, {2, 0}}}
+
+	cases := []struct {
+		name        string
+		stage       crashStage
+		wantVersion uint64
+		wantDB      map[string][]rel.Tuple
+	}{
+		{"after segment write", crashAfterSegment, 1, base},
+		{"before manifest rename", crashBeforeRename, 1, base},
+		{"after manifest rename", crashAfterRename, 2, next},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Publish(1, mkdb(t, base), syms); err != nil {
+				t.Fatal(err)
+			}
+			m.crashAt = tc.stage
+			if err := m.Publish(2, mkdb(t, next), syms); err != errCrash {
+				t.Fatalf("publish with crash stage %d returned %v, want errCrash", tc.stage, err)
+			}
+			rebootServes(t, dir, tc.wantVersion, mkdb(t, tc.wantDB))
+
+			// And the directory must heal: a clean publish after the
+			// reboot works and garbage from the crashed attempt is gone.
+			m2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := m2.Boot(rel.NewSymtab()); err != nil {
+				t.Fatal(err)
+			}
+			healed := map[string][]rel.Tuple{"edge": {{0, 1}, {2, 2}}}
+			if err := m2.Publish(9, mkdb(t, healed), syms); err != nil {
+				t.Fatalf("publish after crash recovery: %v", err)
+			}
+			rebootServes(t, dir, 9, mkdb(t, healed))
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".tmp") {
+					t.Fatalf("stale %s survived the healing publish", e.Name())
+				}
+			}
+		})
+	}
+}
+
+// publishOne writes a single-predicate manifest and returns the dir.
+func publishOne(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := mkdb(t, map[string][]rel.Tuple{"edge": {{0, 1}, {1, 2}}})
+	if err := m.Publish(1, db, mksyms("a", "b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOpenRejectsCorruptedManifest(t *testing.T) {
+	dir := publishOne(t)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupted manifest") {
+		t.Fatalf("Open with corrupted manifest: %v", err)
+	}
+}
+
+func TestOpenRejectsTruncatedSegment(t *testing.T) {
+	dir := publishOne(t)
+	path := filepath.Join(dir, "edge-1.seg")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("Open with truncated segment: %v", err)
+	}
+}
+
+func TestOpenRejectsMissingSegment(t *testing.T) {
+	dir := publishOne(t)
+	if err := os.Remove(filepath.Join(dir, "edge-1.seg")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open with missing segment succeeded")
+	}
+}
+
+// TestLoadRejectsFlippedBit: Open's eager check reads only the header,
+// so body corruption surfaces at load time — as a panic carrying the
+// checksum failure, not as silently wrong tuples.
+func TestLoadRejectsFlippedBit(t *testing.T) {
+	dir := publishOne(t)
+	path := filepath.Join(dir, "edge-1.seg")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(dir) // header still consistent
+	if err != nil {
+		t.Fatalf("Open after body flip: %v", err)
+	}
+	db, _, ok, err := m.Boot(rel.NewSymtab())
+	if err != nil || !ok {
+		t.Fatalf("Boot: ok=%v err=%v", ok, err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("probing a bit-flipped segment did not panic")
+		}
+		if !strings.Contains(r.(string), "checksum") {
+			t.Fatalf("panic %q does not mention checksum", r)
+		}
+	}()
+	db["edge"].Len() // metadata: fine
+	db["edge"].Has(rel.Tuple{0, 1})
+}
+
+func TestSymtabRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "symtab-1.bin")
+	names := []string{"", "a", "hello world", strings.Repeat("x", 300), "λ→δ"}
+	if err := writeSymtab(path, names); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSymtab(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("read %d names, want %d", len(got), len(names))
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("name[%d] = %q, want %q", i, got[i], names[i])
+		}
+	}
+	// Truncation must be detected, not misread.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSymtab(path); err == nil {
+		t.Fatal("truncated symtab read succeeded")
+	}
+}
+
+func TestSanitizeFilenames(t *testing.T) {
+	cases := map[string]string{
+		"edge":     "edge",
+		"up2":      "up2",
+		"a_b":      "a_005fb",
+		"path/to":  "path_002fto",
+		"ünïcode":  "_00fcn_00efcode",
+		"dotted.p": "dotted.p",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Distinct predicates must map to distinct files.
+	if sanitize("a_b") == sanitize("a_005fb") {
+		t.Error("sanitize collides on escape-looking input")
+	}
+}
+
+func TestSegmentHeaderRejectsWrongArity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x-1.seg")
+	sum, _, err := writeSegment(path, 2, []rel.Value{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkSegmentHeader(path, 2, 2, sum); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if err := checkSegmentHeader(path, 3, 2, sum); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := checkSegmentHeader(path, 2, 3, sum); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if err := checkSegmentHeader(path, 2, 2, sum+1); err == nil {
+		t.Fatal("wrong checksum field accepted")
+	}
+}
+
+func TestEmptyRelationSegment(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rel.DB{}
+	db.Rel("empty", 2)
+	if err := m.Publish(1, db, mksyms("a")); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err := m2.Boot(rel.NewSymtab())
+	if err != nil || !ok {
+		t.Fatalf("Boot: ok=%v err=%v", ok, err)
+	}
+	e := got["empty"]
+	if e.Len() != 0 || e.Arity() != 2 {
+		t.Fatalf("empty relation recovered as len=%d arity=%d", e.Len(), e.Arity())
+	}
+	if e.Has(rel.Tuple{0, 0}) {
+		t.Fatal("empty relation claims membership")
+	}
+}

@@ -241,6 +241,41 @@ func (s *Server) renderMetrics() string {
 	m.family("linrec_query_latency_p99_seconds", "gauge", "99th-percentile query latency interpolated from the histogram.")
 	m.sample("linrec_query_latency_p99_seconds", nil, s.lat.quantile(0.99).Seconds())
 
+	// Durable-storage series, present only when the server fronts a
+	// persistent system (linrecd -data-dir).
+	if s.cfg.Persist != nil {
+		ps := s.cfg.Persist.Stats()
+		m.family("linrec_persist_generation", "gauge", "Manifest generation of the durable segment store.")
+		m.sample("linrec_persist_generation", nil, float64(ps.Generation))
+		m.family("linrec_persist_snapshot_version", "gauge", "Snapshot version recorded by the newest manifest.")
+		m.sample("linrec_persist_snapshot_version", nil, float64(ps.SnapshotVersion))
+		recovered := 0.0
+		if ps.Recovered {
+			recovered = 1
+		}
+		m.family("linrec_persist_recovered", "gauge", "1 when this process booted from an existing manifest, 0 when it started fresh.")
+		m.sample("linrec_persist_recovered", nil, recovered)
+		m.family("linrec_persist_recovered_preds", "gauge", "Predicates recovered from the manifest at boot.")
+		m.sample("linrec_persist_recovered_preds", nil, float64(ps.RecoveredPreds))
+		m.family("linrec_persist_recovered_rows", "gauge", "Rows described by the manifest at boot (metadata only, not loaded).")
+		m.sample("linrec_persist_recovered_rows", nil, float64(ps.RecoveredRows))
+		m.family("linrec_persist_boot_seconds", "gauge", "Wall time of the manifest boot (segment loading excluded).")
+		m.sample("linrec_persist_boot_seconds", nil, float64(ps.BootMillis)/1e3)
+		m.family("linrec_persist_publishes_total", "counter", "Snapshot publishes written to the durable store.")
+		m.sample("linrec_persist_publishes_total", nil, float64(ps.Publishes))
+		m.family("linrec_persist_segments_total", "counter", "Segments written or reused by identity across publishes.")
+		m.sample("linrec_persist_segments_total", [][2]string{{"op", "written"}}, float64(ps.SegmentsWritten))
+		m.sample("linrec_persist_segments_total", [][2]string{{"op", "reused"}}, float64(ps.SegmentsReused))
+		m.family("linrec_persist_bytes_written_total", "counter", "Segment bytes written (headers included).")
+		m.sample("linrec_persist_bytes_written_total", nil, float64(ps.BytesWritten))
+		m.family("linrec_persist_lazy_loads_total", "counter", "Segments materialized on first touch after boot.")
+		m.sample("linrec_persist_lazy_loads_total", nil, float64(ps.LazyLoads))
+		m.family("linrec_persist_lazy_load_seconds_total", "counter", "Cumulative wall time spent materializing segments.")
+		m.sample("linrec_persist_lazy_load_seconds_total", nil, float64(ps.LazyLoadMillis)/1e3)
+		m.family("linrec_persist_gc_removed_total", "counter", "Unreferenced storage files removed after manifest swaps.")
+		m.sample("linrec_persist_gc_removed_total", nil, float64(ps.GCRemoved))
+	}
+
 	return m.b.String()
 }
 

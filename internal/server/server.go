@@ -39,6 +39,7 @@ import (
 	"linrec/internal/core"
 	"linrec/internal/eval"
 	"linrec/internal/parser"
+	"linrec/internal/segment"
 )
 
 // Config sizes the server.  Zero values select the documented defaults.
@@ -73,6 +74,11 @@ type Config struct {
 	// logs the full trace of any query whose evaluation exceeds the
 	// threshold (the linrecd -slow-query-ms flag).  0 disables.
 	SlowQuery time.Duration
+	// Persist, when the system runs on durable storage (linrecd
+	// -data-dir), exposes the storage manager's recovery and publish
+	// counters through /v1/stats and /metrics.  nil for in-memory
+	// systems.
+	Persist *segment.Manager
 }
 
 func (c Config) withDefaults() Config {
@@ -443,7 +449,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.sys.QueryOn(qctx, snap, goal, opts)
+	res, err := s.sys.Evaluate(qctx, core.QueryRequest{Goal: goal, Snap: snap, Opts: opts})
 	elapsed := time.Since(start)
 	release()
 	if err != nil {
@@ -683,7 +689,7 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 
 // Stats returns a point-in-time statistics report (the /v1/stats body).
 func (s *Server) Stats() StatsReport {
-	return StatsReport{
+	rep := StatsReport{
 		UptimeS:           time.Since(s.start).Seconds(),
 		SnapshotVersion:   s.sys.Snapshot().Version,
 		QueriesOK:         s.ctr.queriesOK.Load(),
@@ -715,6 +721,11 @@ func (s *Server) Stats() StatsReport {
 		ResultCache:       s.sys.ResultCacheStats(),
 		SeedCache:         s.sys.SeedCacheStatsNow(),
 	}
+	if s.cfg.Persist != nil {
+		ps := s.cfg.Persist.Stats()
+		rep.Persist = &ps
+	}
+	return rep
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

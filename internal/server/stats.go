@@ -14,6 +14,7 @@ import (
 
 	"linrec/internal/core"
 	"linrec/internal/planner"
+	"linrec/internal/segment"
 )
 
 // latBuckets spans [1µs, 2^39µs ≈ 6.4 days) in powers of two.
@@ -260,4 +261,8 @@ type StatsReport struct {
 	// SeedCache reports the seed/magic cache: current entries and rows
 	// plus lifetime hit/miss and swap upgrade/purge counters.
 	SeedCache core.SeedCacheStats `json:"seed_cache"`
+	// Persist reports the durable segment store (recovery provenance,
+	// publish and lazy-load counters) when the server was started with a
+	// data directory; omitted for in-memory systems.
+	Persist *segment.Stats `json:"persist,omitempty"`
 }

@@ -347,7 +347,7 @@ func (s *Server) streamMaterialized(w http.ResponseWriter, res *core.QueryResult
 // produced the k-th answer.  The worker grant is released the moment the
 // evaluation stops — before the tail (or the JSON body) is serialized.
 func (s *Server) streamEvaluated(w http.ResponseWriter, qctx context.Context, snap *core.Snapshot, goal ast.Atom, opts core.Options, mode queryMode, grant int, release func(), rid string, tr *eval.Tracer, wantTrace bool, timeout time.Duration, start time.Time) {
-	st, err := s.sys.QueryStream(qctx, snap, goal, opts, mode.limit)
+	st, err := s.sys.Stream(qctx, core.QueryRequest{Goal: goal, Snap: snap, Opts: opts, Limit: mode.limit})
 	if err != nil {
 		release()
 		s.writeQueryError(w, err, timeout, rid, goal.String())

@@ -31,6 +31,8 @@ import (
 	"linrec/internal/commute"
 	"linrec/internal/core"
 	"linrec/internal/planner"
+	"linrec/internal/rel"
+	"linrec/internal/segment"
 	"linrec/internal/separable"
 )
 
@@ -40,7 +42,8 @@ type System = core.System
 // Options configure evaluation: Workers sizes the parallel closure pool
 // (0/1 sequential, negative = GOMAXPROCS), Strategy can force a plan,
 // ResultCacheRows sizes the goal-level result cache (0 default, negative
-// disables).
+// disables), and Persist plugs in durable snapshot storage (see
+// OpenStorage).
 type Options = core.Options
 
 // Strategy forces an evaluation strategy; see the planner constants below.
@@ -56,12 +59,68 @@ const (
 // QueryResult is an answered query with its plan and statistics.
 type QueryResult = core.QueryResult
 
+// QueryRequest bundles a query goal with its evaluation knobs — the
+// single argument of System.Evaluate and System.Stream.  The zero value
+// of every field is the sensible default; build one literally or with
+// NewQueryRequest.
+type QueryRequest = core.QueryRequest
+
+// QueryOption customizes a QueryRequest built by NewQueryRequest.
+type QueryOption = core.QueryOption
+
+// NewQueryRequest builds a request for goal with the given options.
+func NewQueryRequest(goal Atom, opts ...QueryOption) QueryRequest {
+	return core.NewQueryRequest(goal, opts...)
+}
+
+// WithSnapshot pins the request to an explicit snapshot.
+func WithSnapshot(snap *Snapshot) QueryOption { return core.WithSnapshot(snap) }
+
+// WithOptions replaces the request's evaluation options wholesale.
+func WithOptions(opts Options) QueryOption { return core.WithOptions(opts) }
+
+// WithWorkers sets the closure worker pool size for this query.
+func WithWorkers(n int) QueryOption { return core.WithWorkers(n) }
+
+// WithStrategy forces an evaluation strategy instead of the
+// analysis-driven choice.
+func WithStrategy(strategy Strategy) QueryOption { return core.WithStrategy(strategy) }
+
+// WithLimit bounds a streamed evaluation to n rows (0 = unbounded).
+func WithLimit(n int) QueryOption { return core.WithLimit(n) }
+
 // Snapshot is an immutable, versioned view of the extensional database.
 // System.AddFacts and System.RemoveFacts publish new snapshots
 // copy-on-write while in-flight queries keep the one they pinned — the
 // substrate behind the linrecd server's online fact updates and
 // retractions, and the version key behind every evaluation cache.
 type Snapshot = core.Snapshot
+
+// Store is the relation storage interface: in-memory columnar tables
+// and lazily-loaded on-disk segments implement it identically, so every
+// snapshot — and every query plan — runs against either backend.
+type Store = rel.Store
+
+// Persister is the pluggable durability seam: when set in
+// Options.Persist, NewSystem boots from the last persisted snapshot
+// (when one exists) and every snapshot swap is persisted before it
+// becomes visible.  Storage, returned by OpenStorage, is the on-disk
+// segment implementation.
+type Persister = core.Persister
+
+// Storage is the on-disk segment store behind OpenStorage: immutable
+// columnar segment files addressed by a versioned manifest, published
+// with fsync'd atomic renames and recovered in time proportional to
+// segment metadata.  It satisfies Persister.
+type Storage = segment.Manager
+
+// OpenStorage opens (or initializes) a durable storage directory.  Wire
+// the result into Options.Persist to make a system's snapshots survive
+// restarts:
+//
+//	store, err := linrec.OpenStorage("/var/lib/myapp")
+//	sys, err := linrec.LoadOptions(src, linrec.Options{Persist: store})
+func OpenStorage(dir string) (*Storage, error) { return segment.Open(dir) }
 
 // ResultCacheStats reports the goal-level result cache's hit/miss/
 // eviction counters (System.ResultCacheStats, the server's /v1/stats
@@ -121,4 +180,12 @@ func FromProgram(p *Program) (*System, error) { return core.FromProgram(p) }
 // FromProgramOptions is FromProgram with evaluation options.
 func FromProgramOptions(p *Program, opts Options) (*System, error) {
 	return core.FromProgramOptions(p, opts)
+}
+
+// NewSystem is the canonical constructor: it builds a system from an
+// already-parsed program and options, booting from Options.Persist when
+// it holds a persisted snapshot.  Load, LoadOptions, FromProgram and
+// FromProgramOptions all funnel here.
+func NewSystem(p *Program, opts Options) (*System, error) {
+	return core.NewSystem(p, opts)
 }

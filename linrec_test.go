@@ -1,6 +1,8 @@
 package linrec
 
 import (
+	"context"
+	"reflect"
 	"testing"
 )
 
@@ -51,3 +53,82 @@ base(a,b).
 }
 
 func v(a *Analysis) CommuteVerdict { return a.Commutes[[2]int{0, 1}] }
+
+// TestPublicAPIQueryRequest: the redesigned query entry points —
+// Evaluate and Stream over a QueryRequest — work through the facade.
+func TestPublicAPIQueryRequest(t *testing.T) {
+	sys, err := Load(`
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+edge(a,b). edge(b,c). edge(c,d).
+`)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ctx := context.Background()
+	goal := NewAtom("path", C("a"), V("Y"))
+	res, err := sys.Evaluate(ctx, NewQueryRequest(goal, WithWorkers(2)))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(res.Rows(sys)) != 3 {
+		t.Fatalf("path(a, Y) = %v, want 3 rows", res.Rows(sys))
+	}
+	st, err := sys.Stream(ctx, NewQueryRequest(goal, WithLimit(1)))
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	defer st.Close()
+	if _, ok := st.Next(); !ok {
+		t.Fatalf("limited stream yielded no row: %v", st.Err())
+	}
+}
+
+// TestPublicAPIPersistence: snapshots published through OpenStorage
+// survive a reconstruction, and the recovered system answers
+// identically.
+func TestPublicAPIPersistence(t *testing.T) {
+	const src = `
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+edge(a,b). edge(b,c).
+`
+	dir := t.TempDir()
+	store, err := OpenStorage(dir)
+	if err != nil {
+		t.Fatalf("OpenStorage: %v", err)
+	}
+	sys, err := LoadOptions(src, Options{Persist: store})
+	if err != nil {
+		t.Fatalf("LoadOptions: %v", err)
+	}
+	if _, _, err := sys.AddFacts([]Atom{NewAtom("edge", C("c"), C("d"))}); err != nil {
+		t.Fatalf("AddFacts: %v", err)
+	}
+	goal := NewAtom("path", C("a"), V("Y"))
+	want, err := sys.Evaluate(context.Background(), NewQueryRequest(goal))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+
+	store2, err := OpenStorage(dir)
+	if err != nil {
+		t.Fatalf("OpenStorage (reopen): %v", err)
+	}
+	var _ Persister = store2
+	recovered, err := LoadOptions(src, Options{Persist: store2})
+	if err != nil {
+		t.Fatalf("LoadOptions (recovered): %v", err)
+	}
+	if recovered.Snapshot().Version != sys.Snapshot().Version {
+		t.Fatalf("recovered version %d, want %d", recovered.Snapshot().Version, sys.Snapshot().Version)
+	}
+	var _ Store = recovered.Snapshot().DB["edge"]
+	got, err := recovered.Evaluate(context.Background(), NewQueryRequest(goal))
+	if err != nil {
+		t.Fatalf("Evaluate (recovered): %v", err)
+	}
+	if !reflect.DeepEqual(got.Rows(recovered), want.Rows(sys)) {
+		t.Fatalf("recovered answers diverge:\ngot  %v\nwant %v", got.Rows(recovered), want.Rows(sys))
+	}
+}
