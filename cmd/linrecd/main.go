@@ -63,6 +63,8 @@ func main() {
 		maxRows      = flag.Int("max-rows", 1_000_000, "reject answers larger than this with 413 (0 = unlimited)")
 		cacheRows    = flag.Int("cache-rows", 0, "goal-level result cache capacity in total cached answer rows (0 = engine default, negative disables)")
 		dataDir      = flag.String("data-dir", "", "durable storage directory: snapshots persist as on-disk segments and the newest one is recovered at boot instead of reloading -program facts")
+		memBudget    = flag.String("mem-budget", "", "out-of-core mode (requires -data-dir): cap heap spent on segment probe indexes at this many bytes (suffixes k/m/g), evicting cold segments back to mmap-only so the database may exceed resident memory")
+		compactEvery = flag.Duration("compact-every", 30*time.Second, "background compaction interval for on-disk delta chains (requires -data-dir; 0 disables)")
 		portFile     = flag.String("port-file", "", "write the bound listen address to this file (for scripts wrapping -addr :0)")
 		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
 		slowQueryMS  = flag.Int64("slow-query-ms", 0, "log the full trace of any query slower than this many milliseconds (0 = off)")
@@ -70,7 +72,16 @@ func main() {
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	sys, desc, mgr, err := loadSystem(*program, *gen, *dataDir, *cacheRows)
+	budgetBytes, err := parseSize(*memBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linrecd: -mem-budget: %v\n", err)
+		os.Exit(1)
+	}
+	if budgetBytes > 0 && *dataDir == "" {
+		fmt.Fprintf(os.Stderr, "linrecd: -mem-budget requires -data-dir\n")
+		os.Exit(1)
+	}
+	sys, desc, mgr, err := loadSystem(*program, *gen, *dataDir, *cacheRows, budgetBytes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "linrecd: %v\n", err)
 		os.Exit(1)
@@ -81,7 +92,11 @@ func main() {
 			"recovered", st.Recovered, "generation", st.Generation,
 			"snapshot_version", st.SnapshotVersion,
 			"preds", st.RecoveredPreds, "rows", st.RecoveredRows,
-			"boot_ms", st.BootMillis)
+			"boot_ms", st.BootMillis, "mem_budget", budgetBytes)
+		if *compactEvery > 0 {
+			stopCompactor := mgr.StartCompactor(*compactEvery)
+			defer stopCompactor()
+		}
 	}
 
 	srv := server.New(server.Config{
@@ -159,7 +174,7 @@ func main() {
 // published snapshot is recovered when one exists (the -program facts
 // and -gen generation are skipped — the disk is the source of truth),
 // otherwise the initial snapshot is published before serving starts.
-func loadSystem(program, gen, dataDir string, cacheRows int) (*core.System, string, *segment.Manager, error) {
+func loadSystem(program, gen, dataDir string, cacheRows int, budgetBytes int64) (*core.System, string, *segment.Manager, error) {
 	opts := core.Options{ResultCacheRows: cacheRows}
 	var mgr *segment.Manager
 	if dataDir != "" {
@@ -167,6 +182,9 @@ func loadSystem(program, gen, dataDir string, cacheRows int) (*core.System, stri
 		if mgr, err = segment.Open(dataDir); err != nil {
 			return nil, "", nil, err
 		}
+		// The budget must attach before Boot so recovery installs
+		// mmap-resident lazy stores instead of materializing everything.
+		mgr.SetMemBudget(budgetBytes)
 	}
 	switch {
 	case program != "" && gen != "":
@@ -221,6 +239,31 @@ func loadSystem(program, gen, dataDir string, cacheRows int) (*core.System, stri
 	default:
 		return nil, "", nil, fmt.Errorf("one of -program or -gen is required")
 	}
+}
+
+// parseSize parses a human-friendly byte size: a plain integer, or one
+// with a k/m/g suffix (powers of 1024, case-insensitive, optional
+// trailing 'b').  Empty means 0 (unbudgeted).
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	s = strings.TrimSuffix(s, "b")
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 64m, 512k, 1g)", s)
+	}
+	return n * mult, nil
 }
 
 // parseGen parses "tree:<nodes>[:seed]".

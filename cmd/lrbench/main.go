@@ -15,6 +15,7 @@
 //	lrbench -overhead    # run the tracing-overhead lane, merge into BENCH_eval.json
 //	lrbench -streaming   # run the streaming early-termination lane, merge into BENCH_eval.json
 //	lrbench -persist     # run the durable-storage restart lane, merge into BENCH_eval.json
+//	lrbench -paging      # run the out-of-core budgeted-residency lane, merge into BENCH_eval.json
 //	lrbench -gate        # short-mode CI gate: fail if any speedup drops below its floor
 //	lrbench -gate -gate-out gate_report.json   # also write the gate verdicts as JSON
 package main
@@ -82,6 +83,7 @@ func main() {
 	overheadOut := flag.Bool("overhead", false, "run the tracing-overhead lane and merge it into BENCH_eval.json")
 	streamingOut := flag.Bool("streaming", false, "run the streaming early-termination lane and merge it into BENCH_eval.json")
 	persistOut := flag.Bool("persist", false, "run the durable-storage restart lane and merge it into BENCH_eval.json")
+	pagingOut := flag.Bool("paging", false, "run the out-of-core budgeted-residency lane and merge it into BENCH_eval.json")
 	gate := flag.Bool("gate", false, "short-mode CI gate: run the headline lanes at table size and exit nonzero if any speedup is below its floor")
 	gateOut := flag.String("gate-out", "", "with -gate, also write the gate report as JSON to this file (for CI artifacts)")
 	minParallel := flag.Float64("min-parallel", experiments.DefaultGateFloors.Parallel, "gate floor for the parallel-substrate speedup at 8 workers (0 disables)")
@@ -91,6 +93,7 @@ func main() {
 	minIncremental := flag.Float64("min-incremental", experiments.DefaultGateFloors.Incremental, "gate floor for the maintained-vs-rebuild update speedup (0 disables)")
 	minStreaming := flag.Float64("min-streaming", experiments.DefaultGateFloors.Streaming, "gate floor for the limit=1 early-termination speedup over the full fixpoint (0 disables)")
 	minPersist := flag.Float64("min-persist", experiments.DefaultGateFloors.Persist, "gate floor for the manifest-recovery speedup over a rebuild-from-facts restart (0 disables)")
+	minPaging := flag.Float64("min-paging", experiments.DefaultGateFloors.Paging, "gate floor for the out-of-core paging factor (dataset bytes over peak tracked residency; 0 disables)")
 	maxTraceOverhead := flag.Float64("max-trace-overhead", experiments.DefaultGateFloors.TracingOverheadPct, "gate ceiling, in percent, for the tracing-disabled closure regression (0 disables)")
 	flag.Parse()
 
@@ -98,7 +101,7 @@ func main() {
 		rep := experiments.RunGate(experiments.GateFloors{
 			Parallel: *minParallel, Magic: *minMagic, MagicMulti: *minMagicMulti, Cache: *minCache,
 			Incremental: *minIncremental, Streaming: *minStreaming, Persist: *minPersist,
-			TracingOverheadPct: *maxTraceOverhead,
+			Paging: *minPaging, TracingOverheadPct: *maxTraceOverhead,
 		}, os.Stdout)
 		if *gateOut != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
@@ -248,7 +251,21 @@ func main() {
 			rep.Speedup, rep.Edges, rep.LazyLoads, rep.DifferentialOK)
 	}
 
-	if *jsonOut || *serverOut || *magicOut || *cacheOut || *incOut || *overheadOut || *streamingOut || *persistOut {
+	if *pagingOut {
+		rep, err := experiments.PagingJSONReport()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: paging benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := mergeBenchFile("paging_tc", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lrbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged paging lane into BENCH_eval.json (answered %d bytes under a %d-byte budget, paging factor %.1fx, %d evictions, differential ok: %v)\n",
+			rep.DatasetBytes, rep.BudgetBytes, rep.PagingFactor, rep.Evictions, rep.DifferentialOK)
+	}
+
+	if *jsonOut || *serverOut || *magicOut || *cacheOut || *incOut || *overheadOut || *streamingOut || *persistOut || *pagingOut {
 		return
 	}
 

@@ -72,6 +72,36 @@ type Persister interface {
 	Publish(version uint64, db rel.DB, syms *rel.Symtab) error
 }
 
+// DeltaPersister is the optional partial-reuse extension of Persister:
+// PublishDelta has Publish's durability contract, but a backend that
+// implements it may persist a predicate whose store is one overlay
+// layer (rel.Layered) over its previously published store as a delta
+// chained onto the existing base, instead of rewriting the relation.
+// The backend may also replace entries of db in place with equivalent
+// compacted stores (same tuples, flat representation) before the
+// snapshot becomes visible — which is how long chains fold back into
+// single segments.  Fact swaps prefer this path when the backend
+// offers it.
+type DeltaPersister interface {
+	Persister
+	PublishDelta(version uint64, db rel.DB, syms *rel.Symtab) error
+}
+
+// persistSwap publishes a fact-update snapshot through the configured
+// backend, routing through the delta path when the backend supports
+// it.  It must run before the snapshot is stored (durability before
+// visibility) and before cache maintenance binds to next.DB, since a
+// delta backend may swap compacted stores into it.
+func (s *System) persistSwap(next *Snapshot) error {
+	if s.Opts.Persist == nil {
+		return nil
+	}
+	if dp, ok := s.Opts.Persist.(DeltaPersister); ok {
+		return dp.PublishDelta(next.Version, next.DB, s.Engine.Syms)
+	}
+	return s.Opts.Persist.Publish(next.Version, next.DB, s.Engine.Syms)
+}
+
 func (o Options) normalize() Options {
 	if o.Workers < 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -571,24 +601,39 @@ func (s *System) AddFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snaps
 	for _, f := range facts {
 		counts[f.Pred]++
 	}
+	// In-memory relations clone copy-on-write as always.  A disk-backed
+	// store (lazy segment or an existing chain) is not cloned — the new
+	// tuples collect in a small overlay relation that wraps the previous
+	// store as one rel.Layered layer, which is both what keeps a
+	// budgeted out-of-core write from inflating the whole segment and
+	// the exact shape a delta-capable persister publishes as a chained
+	// delta segment.
 	added := 0
 	addedBy := map[string]*rel.Relation{}
 	cloned := map[string]*rel.Relation{}
+	baseOf := map[string]rel.Store{}
 	for _, f := range facts {
 		r, ok := cloned[f.Pred]
 		if !ok {
 			if prev, exists := db[f.Pred]; exists {
-				r = prev.Clone()
+				if pr, inMem := prev.(*rel.Relation); inMem {
+					r = pr.Clone()
+				} else {
+					r = rel.NewRelation(f.Arity())
+					baseOf[f.Pred] = prev
+				}
 			} else {
 				r = rel.NewRelation(f.Arity())
 			}
 			r.Reserve(r.Len() + counts[f.Pred])
-			db[f.Pred] = r
 			cloned[f.Pred] = r
 		}
 		t := make(rel.Tuple, f.Arity())
 		for i, a := range f.Args {
 			t[i] = s.Engine.Syms.Intern(a.Name)
+		}
+		if base := baseOf[f.Pred]; base != nil && base.Has(t) {
+			continue // already in the wrapped store: not a new tuple
 		}
 		if r.Insert(t) {
 			added++
@@ -600,6 +645,17 @@ func (s *System) AddFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snaps
 			d.Insert(t)
 		}
 	}
+	for pred, r := range cloned {
+		if base, wrapped := baseOf[pred]; wrapped {
+			if r.Len() > 0 {
+				db[pred] = rel.NewLayered(base, r, nil)
+			}
+			// r.Len() == 0: every fact was a duplicate; the store keeps
+			// its identity so the publish reuses the segment untouched.
+		} else {
+			db[pred] = r
+		}
+	}
 	if added == 0 {
 		return old, 0, m, nil
 	}
@@ -607,10 +663,8 @@ func (s *System) AddFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Snaps
 	// Durability before visibility: if the snapshot cannot be persisted,
 	// the swap is aborted and queries keep serving the old version, so a
 	// restart can never regress behind what clients have observed.
-	if s.Opts.Persist != nil {
-		if err := s.Opts.Persist.Publish(next.Version, next.DB, s.Engine.Syms); err != nil {
-			return nil, 0, m, fmt.Errorf("core: persisting snapshot %d: %w", next.Version, err)
-		}
+	if err := s.persistSwap(next); err != nil {
+		return nil, 0, m, fmt.Errorf("core: persisting snapshot %d: %w", next.Version, err)
 	}
 	m = s.maintainSwap(ctx, old, next, addedBy, true)
 	s.snap.Store(next)
@@ -724,10 +778,11 @@ func (s *System) RemoveFactsMaintCtx(ctx context.Context, facts []ast.Atom) (*Sn
 	}
 	next := &Snapshot{DB: db, Version: old.Version + 1}
 	// Same durability-before-visibility contract as AddFactsMaintCtx.
-	if s.Opts.Persist != nil {
-		if err := s.Opts.Persist.Publish(next.Version, next.DB, s.Engine.Syms); err != nil {
-			return nil, 0, m, fmt.Errorf("core: persisting snapshot %d: %w", next.Version, err)
-		}
+	// Disk-backed stores surface retractions as one tombstone overlay
+	// (see rel.Layered / Lazy.Without), which a delta-capable persister
+	// publishes as a chained delta instead of rewriting the segment.
+	if err := s.persistSwap(next); err != nil {
+		return nil, 0, m, fmt.Errorf("core: persisting snapshot %d: %w", next.Version, err)
 	}
 	m = s.maintainSwap(ctx, old, next, removedBy, false)
 	s.snap.Store(next)

@@ -38,6 +38,7 @@ type GateFloors struct {
 	Incremental float64 // maintained update+query vs purge-and-rebuild
 	Streaming   float64 // full materialized fixpoint vs limit=1 early-terminated stream
 	Persist     float64 // manifest recovery vs rebuild-from-facts restart
+	Paging      float64 // out-of-core paging factor: dataset bytes over peak tracked residency
 	// TracingOverheadPct is a CEILING, not a floor: the tracing-disabled
 	// closure may regress at most this many percent over the no-context
 	// entry point.  Zero disables the check.
@@ -47,9 +48,10 @@ type GateFloors struct {
 // DefaultGateFloors are deliberately conservative: the committed lanes
 // record ≈ 5x parallel, ≥ 2500x magic, ≫ 1000x multi-bound magic,
 // ≫ 50x cache, ≫ 10x incremental maintenance, ≫ 100x streaming
-// early termination and ≫ 10x manifest recovery at full size; the
-// tracing hooks must cost under 2% when disabled.
-var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10, Streaming: 10, Persist: 2, TracingOverheadPct: 2}
+// early termination, ≫ 10x manifest recovery and ≥ 4x out-of-core
+// paging at full size; the tracing hooks must cost under 2% when
+// disabled.
+var DefaultGateFloors = GateFloors{Parallel: 2, Magic: 100, MagicMulti: 100, Cache: 50, Incremental: 10, Streaming: 10, Persist: 2, Paging: 2, TracingOverheadPct: 2}
 
 // gateMagicNodes sizes the magic lane's gate run.  The bound query's
 // advantage scales with graph size (output-proportional vs closure-
@@ -123,6 +125,14 @@ func RunGate(floors GateFloors, w io.Writer) GateReport {
 	}
 	add("persist", per.Speedup, floors.Persist,
 		fmt.Sprintf("manifest recovery vs rebuild-from-facts, %d edges", per.Edges), err)
+
+	// The paging lane fails as an error on any correctness or residency
+	// violation (divergent answers, peak over budget, zero evictions);
+	// the floored value is the paging factor itself.
+	pag, err := PagingBench(pagingGatePreds, pagingGateNodes)
+	add("paging", pag.PagingFactor, floors.Paging,
+		fmt.Sprintf("dataset over peak residency, %d preds x %d edges under dataset/4 budget",
+			pag.Preds, pag.EdgesPerPred), err)
 
 	// The tracing-overhead lane inverts the shared floor semantics — its
 	// bound is a ceiling — so it gets a hand-rolled check.

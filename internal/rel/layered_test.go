@@ -1,0 +1,218 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// layeredOracle builds a Layered store plus the flat Relation it must
+// behave identically to: base minus dels plus adds.
+func layeredOracle(t *testing.T, baseRows, delRows, addRows [][]Value) (*Layered, *Relation) {
+	t.Helper()
+	arity := len(baseRows[0])
+	base, adds, dels := NewRelation(arity), NewRelation(arity), NewRelation(arity)
+	oracle := NewRelation(arity)
+	for _, r := range baseRows {
+		base.Insert(Tuple(r))
+		oracle.Insert(Tuple(r))
+	}
+	for _, r := range delRows {
+		if !base.Has(Tuple(r)) {
+			t.Fatalf("oracle: del %v not in base", r)
+		}
+		dels.Insert(Tuple(r))
+	}
+	st, _ := oracle.Without(dels.Tuples())
+	oracle = st.(*Relation).Clone()
+	for _, r := range addRows {
+		if base.Has(Tuple(r)) && !dels.Has(Tuple(r)) {
+			t.Fatalf("oracle: add %v already effective in base", r)
+		}
+		adds.Insert(Tuple(r))
+		oracle.Insert(Tuple(r))
+	}
+	return NewLayered(base, adds, dels), oracle
+}
+
+// checkLayeredContract asserts every Store method on ly agrees with
+// the flat oracle.
+func checkLayeredContract(t *testing.T, ly *Layered, oracle *Relation) {
+	t.Helper()
+	if ly.Arity() != oracle.Arity() || ly.Len() != oracle.Len() {
+		t.Fatalf("shape: layered %dx%d, oracle %dx%d", ly.Len(), ly.Arity(), oracle.Len(), oracle.Arity())
+	}
+	if got, want := ly.Tuples(), oracle.Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tuples: %v != %v", got, want)
+	}
+	// Row must enumerate exactly the tuple set, each exactly once.
+	seen := NewRelation(ly.Arity())
+	for i := 0; i < ly.Len(); i++ {
+		tp := ly.Row(i)
+		if !oracle.Has(tp) {
+			t.Fatalf("Row(%d) = %v not in oracle", i, tp)
+		}
+		if !seen.Insert(tp.Clone()) {
+			t.Fatalf("Row(%d) = %v repeated", i, tp)
+		}
+	}
+	count := 0
+	ly.Each(func(tp Tuple) {
+		count++
+		if !oracle.Has(tp) {
+			t.Fatalf("Each yielded %v not in oracle", tp)
+		}
+	})
+	if count != oracle.Len() {
+		t.Fatalf("Each yielded %d tuples, want %d", count, oracle.Len())
+	}
+	// Membership and per-column probes across every value either side
+	// mentions.
+	vals := map[Value]bool{}
+	for _, tp := range oracle.Tuples() {
+		for _, v := range tp {
+			vals[v] = true
+		}
+	}
+	vals[Value(9999)] = true // absent value
+	for col := 0; col < ly.Arity(); col++ {
+		probe := ly.Prober(col)
+		for v := range vals {
+			want := oracle.Lookup(col, v)
+			if got := ly.Lookup(col, v); !sameTupleSet(got, want) {
+				t.Fatalf("Lookup(%d, %d): %v != %v", col, v, got, want)
+			}
+			if got := probe(v); !sameTupleSet(got, want) {
+				t.Fatalf("Prober(%d)(%d): %v != %v", col, v, got, want)
+			}
+			if got := ly.Select(col, v).Tuples(); !reflect.DeepEqual(got, oracle.Select(col, v).Tuples()) {
+				t.Fatalf("Select(%d, %d) diverges", col, v)
+			}
+		}
+	}
+	for _, tp := range oracle.Tuples() {
+		if !ly.Has(tp) {
+			t.Fatalf("Has(%v) = false", tp)
+		}
+	}
+	// SelectIn / SelectInCols against a small allowed set.
+	allowed := NewRelation(1)
+	i := 0
+	for v := range vals {
+		if i%2 == 0 {
+			allowed.Insert(Tuple{v})
+		}
+		i++
+	}
+	if got, want := ly.SelectIn(0, allowed).Tuples(), oracle.SelectIn(0, allowed).Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SelectIn: %v != %v", got, want)
+	}
+	if got, want := ly.SelectInCols([]int{0}, allowed).Tuples(), oracle.SelectInCols([]int{0}, allowed).Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SelectInCols: %v != %v", got, want)
+	}
+	// Filter, Clone.
+	odd := func(tp Tuple) bool { return tp[0]%2 == 1 }
+	if got, want := ly.Filter(odd).Tuples(), oracle.Filter(odd).Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Filter: %v != %v", got, want)
+	}
+	if got := ly.Clone().Tuples(); !reflect.DeepEqual(got, oracle.Tuples()) {
+		t.Fatalf("Clone: %v != %v", got, oracle.Tuples())
+	}
+}
+
+func sameTupleSet(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x.Eq(y) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLayeredStoreContract(t *testing.T) {
+	cases := []struct {
+		name             string
+		base, dels, adds [][]Value
+	}{
+		{"adds only", [][]Value{{0, 1}, {1, 2}}, nil, [][]Value{{2, 3}, {3, 4}}},
+		{"dels only", [][]Value{{0, 1}, {1, 2}, {2, 3}}, [][]Value{{1, 2}}, nil},
+		{"both", [][]Value{{0, 1}, {1, 2}, {2, 3}}, [][]Value{{0, 1}, {2, 3}}, [][]Value{{5, 5}, {0, 2}}},
+		{"all deleted", [][]Value{{0, 1}, {1, 2}}, [][]Value{{0, 1}, {1, 2}}, [][]Value{{7, 7}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ly, oracle := layeredOracle(t, tc.base, tc.dels, tc.adds)
+			checkLayeredContract(t, ly, oracle)
+		})
+	}
+}
+
+// TestLayeredStoreContractRandom drives the contract over randomized
+// two-deep chains — a layer wrapping a layer, the shape two successive
+// snapshot swaps produce.
+func TestLayeredStoreContractRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		base := NewRelation(2)
+		oracle := NewRelation(2)
+		for i := 0; i < 30; i++ {
+			tp := Tuple{Value(rng.Intn(10)), Value(rng.Intn(10))}
+			base.Insert(tp)
+			oracle.Insert(tp.Clone())
+		}
+		var cur Store = base
+		for depth := 0; depth < 2; depth++ {
+			adds, dels := NewRelation(2), NewRelation(2)
+			for i := 0; i < 6; i++ {
+				tp := Tuple{Value(rng.Intn(10) + 10*(depth+1)), Value(rng.Intn(10))}
+				if !cur.Has(tp) && adds.Insert(tp) {
+					oracle.Insert(tp.Clone())
+				}
+			}
+			live := cur.Tuples()
+			for i := 0; i < 4 && len(live) > 0; i++ {
+				tp := live[rng.Intn(len(live))]
+				if dels.Insert(tp.Clone()) {
+					st, _ := oracle.Without([]Tuple{tp})
+					oracle = st.(*Relation).Clone()
+				}
+			}
+			cur = NewLayered(cur, adds, dels)
+		}
+		ly := cur.(*Layered)
+		if ly.Depth() != 2 {
+			t.Fatalf("depth = %d, want 2", ly.Depth())
+		}
+		checkLayeredContract(t, ly, oracle)
+	}
+}
+
+// TestLayeredWithout: removing nothing preserves identity (the COW
+// sharing contract); removing something wraps one more tombstone layer
+// with the right contents.
+func TestLayeredWithout(t *testing.T) {
+	ly, oracle := layeredOracle(t,
+		[][]Value{{0, 1}, {1, 2}, {2, 3}}, [][]Value{{2, 3}}, [][]Value{{4, 4}})
+	st, n := ly.Without([]Tuple{{9, 9}})
+	if n != 0 || st != Store(ly) {
+		t.Fatalf("Without(absent) = %T removed %d, want identity", st, n)
+	}
+	st, n = ly.Without([]Tuple{{1, 2}, {4, 4}, {9, 9}})
+	if n != 2 {
+		t.Fatalf("Without removed %d, want 2", n)
+	}
+	o2, _ := oracle.Without([]Tuple{{1, 2}, {4, 4}})
+	if got, want := st.Tuples(), o2.Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Without: %v != %v", got, want)
+	}
+}

@@ -1,0 +1,345 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"linrec/internal/rel"
+)
+
+// overlay wraps the previously published store for pred in one Layered
+// layer carrying adds and dels, the exact shape the core write path
+// hands PublishDelta.
+func overlay(t *testing.T, base rel.Store, adds, dels []rel.Tuple) *rel.Layered {
+	t.Helper()
+	var as, ds rel.Store
+	if len(adds) > 0 {
+		a := rel.NewRelation(base.Arity())
+		for _, tp := range adds {
+			if base.Has(tp) {
+				t.Fatalf("overlay: add %v already in base", tp)
+			}
+			a.Insert(tp)
+		}
+		as = a
+	}
+	if len(dels) > 0 {
+		d := rel.NewRelation(base.Arity())
+		for _, tp := range dels {
+			if !base.Has(tp) {
+				t.Fatalf("overlay: del %v not in base", tp)
+			}
+			d.Insert(tp)
+		}
+		ds = d
+	}
+	return rel.NewLayered(base, as, ds)
+}
+
+// TestDeltaPublishChainRoundTrip: a PublishDelta of a one-layer store
+// persists only the overlay as chained delta segments, and a reboot
+// replays the chain to the same tuples.
+func TestDeltaPublishChainRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := mksyms("a", "b", "c")
+	db := mkdb(t, map[string][]rel.Tuple{
+		"edge": {{0, 1}, {1, 2}, {2, 3}},
+		"node": {{0}, {1}, {2}, {3}},
+	})
+	if err := m.Publish(1, db, syms); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Stats().BytesWritten
+
+	// Swap 1: add two edges, remove one; node untouched.
+	db2 := rel.DB{
+		"edge": overlay(t, db["edge"], []rel.Tuple{{3, 0}, {3, 1}}, []rel.Tuple{{1, 2}}),
+		"node": db["node"],
+	}
+	if err := m.PublishDelta(2, db2, syms); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.DeltaLinks != 1 {
+		t.Fatalf("delta links = %d, want 1", st.DeltaLinks)
+	}
+	if st.ChainPreds != 1 || st.ChainLinks != 1 || st.MaxChainLinks != 1 {
+		t.Fatalf("chain gauges = %+v", st)
+	}
+	if st.SegmentsReused != 1 { // node
+		t.Fatalf("segments reused = %d, want 1", st.SegmentsReused)
+	}
+	// The delta must be far smaller than rewriting the base: 2 adds + 1
+	// del = 3 rows against a 3-row base would not show, so check the
+	// base segment file itself survived untouched instead.
+	if _, err := os.Stat(fmt.Sprintf("%s/edge-1.seg", dir)); err != nil {
+		t.Fatalf("base segment rewritten by delta publish: %v", err)
+	}
+	if st.BytesWritten-base != segSize(2, 2)+segSize(2, 1) {
+		t.Fatalf("delta wrote %d bytes, want add+del segments only", st.BytesWritten-base)
+	}
+
+	want := mkdb(t, map[string][]rel.Tuple{
+		"edge": {{0, 1}, {2, 3}, {3, 0}, {3, 1}},
+		"node": {{0}, {1}, {2}, {3}},
+	})
+	sameTuples(t, "edge", want["edge"], db2["edge"])
+	rebootServes(t, dir, 2, want)
+}
+
+// TestDeltaChainCrashRecovery kills a PublishDelta at each stage of the
+// swap: crashes before the manifest rename must reboot into the
+// pre-delta snapshot with the chain intact, crashes after it into the
+// extended chain.
+func TestDeltaChainCrashRecovery(t *testing.T) {
+	syms := mksyms("a", "b", "c")
+	base := map[string][]rel.Tuple{"edge": {{0, 1}, {1, 2}}}
+	next := map[string][]rel.Tuple{"edge": {{0, 1}, {2, 0}}}
+
+	cases := []struct {
+		name        string
+		stage       crashStage
+		wantVersion uint64
+		wantDB      map[string][]rel.Tuple
+	}{
+		{"after delta segment write", crashAfterSegment, 1, base},
+		{"before manifest rename", crashBeforeRename, 1, base},
+		{"after manifest rename", crashAfterRename, 2, next},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := mkdb(t, base)
+			if err := m.Publish(1, db, syms); err != nil {
+				t.Fatal(err)
+			}
+			db2 := rel.DB{"edge": overlay(t, db["edge"], []rel.Tuple{{2, 0}}, []rel.Tuple{{1, 2}})}
+			m.crashAt = tc.stage
+			if err := m.PublishDelta(2, db2, syms); err != errCrash {
+				t.Fatalf("delta publish with crash stage %d returned %v, want errCrash", tc.stage, err)
+			}
+			rebootServes(t, dir, tc.wantVersion, mkdb(t, tc.wantDB))
+
+			// The directory must heal: a clean delta publish on a fresh
+			// manager extends whatever chain survived, and a reboot serves
+			// it.
+			m2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			booted, _, ok, err := m2.Boot(rel.NewSymtab())
+			if err != nil || !ok {
+				t.Fatalf("Boot: ok=%v err=%v", ok, err)
+			}
+			healed := rel.DB{"edge": overlay(t, booted["edge"], []rel.Tuple{{9, 9}}, nil)}
+			if err := m2.PublishDelta(9, healed, syms); err != nil {
+				t.Fatalf("delta publish after crash recovery: %v", err)
+			}
+			wantHealed := append(append([]rel.Tuple{}, tc.wantDB["edge"]...), rel.Tuple{9, 9})
+			rebootServes(t, dir, 9, mkdb(t, map[string][]rel.Tuple{"edge": wantHealed}))
+		})
+	}
+}
+
+// chainDB publishes a base and then n delta swaps, each adding two
+// tuples and removing one, returning the manager, the live store and
+// the directory.  Every swap wraps exactly one Layered layer over the
+// previous store, like the core write path.
+func chainDB(t *testing.T, n int) (*Manager, rel.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := mksyms("a", "b")
+	db := mkdb(t, map[string][]rel.Tuple{"edge": {{0, 1}, {1, 2}, {2, 3}, {3, 4}}})
+	if err := m.Publish(1, db, syms); err != nil {
+		t.Fatal(err)
+	}
+	cur := rel.Store(db["edge"])
+	for i := 0; i < n; i++ {
+		adds := []rel.Tuple{{rel.Value(100 + 2*i), 0}, {rel.Value(101 + 2*i), 0}}
+		dels := []rel.Tuple{cur.Tuples()[0].Clone()}
+		next := rel.DB{"edge": overlay(t, cur, adds, dels)}
+		if err := m.PublishDelta(uint64(2+i), next, syms); err != nil {
+			t.Fatal(err)
+		}
+		cur = next["edge"]
+	}
+	return m, cur, dir
+}
+
+// TestCompactOnceEquivalence folds a delta chain and proves the result
+// is the same relation bit-for-bit: same sorted tuple list before the
+// fold, after it, and after a reboot from the compacted manifest.
+func TestCompactOnceEquivalence(t *testing.T) {
+	m, live, dir := chainDB(t, compactChainLinks)
+	st := m.Stats()
+	if st.ChainLinks != compactChainLinks {
+		t.Fatalf("chain links = %d, want %d", st.ChainLinks, compactChainLinks)
+	}
+	want := live.Tuples()
+
+	folded, err := m.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 1 {
+		t.Fatalf("folded %d chains, want 1", folded)
+	}
+	st = m.Stats()
+	if st.ChainLinks != 0 || st.ChainPreds != 0 {
+		t.Fatalf("chain gauges after fold = %+v", st)
+	}
+	if st.Compactions != 1 || st.CompactedLinks != compactChainLinks {
+		t.Fatalf("compaction counters = %+v", st)
+	}
+	// The live store keeps serving its chain untouched.
+	if got := live.Tuples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("live store changed across fold: %v != %v", got, want)
+	}
+	// A second pass finds nothing to do.
+	if n, err := m.CompactOnce(); err != nil || n != 0 {
+		t.Fatalf("second fold: n=%d err=%v", n, err)
+	}
+
+	// A reboot serves the folded segment with identical tuples.
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, version, ok, err := m2.Boot(rel.NewSymtab())
+	if err != nil || !ok {
+		t.Fatalf("Boot: ok=%v err=%v", ok, err)
+	}
+	if version != uint64(1+compactChainLinks) {
+		t.Fatalf("version = %d: compaction must not move the snapshot version", version)
+	}
+	if _, isLazy := got["edge"].(*Lazy); !isLazy {
+		t.Fatalf("rebooted store is %T, want flat *Lazy", got["edge"])
+	}
+	if gt := got["edge"].Tuples(); !reflect.DeepEqual(gt, want) {
+		t.Fatalf("rebooted tuples diverge: %v != %v", gt, want)
+	}
+	// No delta files survive the fold.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".add.seg") || strings.Contains(e.Name(), ".del.seg") {
+			t.Fatalf("delta file %s survived compaction", e.Name())
+		}
+	}
+}
+
+// TestInlineFoldBoundsChain: publishing far more deltas than
+// maxChainLinks never grows a chain past the bound — the publish that
+// would exceed it folds inline instead — and the answers stay right.
+func TestInlineFoldBoundsChain(t *testing.T) {
+	m, live, dir := chainDB(t, 3*maxChainLinks)
+	st := m.Stats()
+	if st.MaxChainLinks > maxChainLinks {
+		t.Fatalf("chain grew to %d links, bound is %d", st.MaxChainLinks, maxChainLinks)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("no inline folds despite publishing past the chain bound")
+	}
+	rebootServes(t, dir, uint64(1+3*maxChainLinks),
+		rel.DB{"edge": live.Clone()})
+}
+
+// TestEvictionUnderBudget hammers a budgeted manager from many
+// goroutines: every answer must stay correct while the tracked
+// residency never exceeds the cap and cold segments actually evict.
+// Run with -race to check the probe/evict paths race-free.
+func TestEvictionUnderBudget(t *testing.T) {
+	dir := t.TempDir()
+	pub, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const preds, rows = 8, 200
+	db := rel.DB{}
+	for p := 0; p < preds; p++ {
+		r := db.Rel(fmt.Sprintf("e%d", p), 2)
+		for i := 0; i < rows; i++ {
+			r.Insert(rel.Tuple{rel.Value(i), rel.Value(p*rows + i)})
+		}
+	}
+	if err := pub.Publish(1, db, mksyms("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big enough for roughly one predicate's probe artifacts, far too
+	// small for all eight.
+	const cap = 32 << 10
+	m.SetMemBudget(cap)
+	got, _, ok, err := m.Boot(rel.NewSymtab())
+	if err != nil || !ok {
+		t.Fatalf("Boot: ok=%v err=%v", ok, err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 40; it++ {
+				p := (g + it) % preds
+				st := got[fmt.Sprintf("e%d", p)]
+				i := (g*13 + it*7) % rows
+				tp := rel.Tuple{rel.Value(i), rel.Value(p*rows + i)}
+				if !st.Has(tp) {
+					errs <- fmt.Sprintf("e%d missing %v", p, tp)
+					return
+				}
+				if hits := st.Lookup(0, rel.Value(i)); len(hits) != 1 || !hits[0].Eq(tp) {
+					errs <- fmt.Sprintf("e%d lookup(0,%d) = %v", p, i, hits)
+					return
+				}
+				if sel := st.Select(1, rel.Value(p*rows+i)); sel.Len() != 1 {
+					errs <- fmt.Sprintf("e%d select returned %d rows", p, sel.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := m.Stats()
+	if st.MemBudgetBytes != cap {
+		t.Fatalf("budget = %d, want %d", st.MemBudgetBytes, cap)
+	}
+	if st.ResidentPeakBytes > cap {
+		t.Fatalf("peak residency %d exceeded the %d-byte budget", st.ResidentPeakBytes, cap)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under an 8x-oversubscribed budget")
+	}
+	if st.ResidentBytes > cap || st.ResidentBytes < 0 {
+		t.Fatalf("resident bytes = %d outside [0, %d]", st.ResidentBytes, cap)
+	}
+}

@@ -2,6 +2,7 @@ package segment
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,14 +13,31 @@ import (
 // Lazy is a disk-backed rel.Store over one segment file.  Arity and Len
 // answer from manifest metadata alone — booting a database of Lazy
 // stores touches no segment data, which is what keeps recovery
-// proportional to metadata.  The first call that needs rows loads the
-// segment exactly once (checksum-verified, mmap'd where possible) and
-// wraps it as an in-memory relation via rel.FromPacked; every later
-// call delegates at interface-dispatch cost.  A load failure panics
-// with a descriptive error: by then the manifest validated at boot, so
-// a failure means the file changed underneath us — an invariant
-// violation the engine's panic recovery surfaces as an internal error
-// rather than a wrong answer.
+// proportional to metadata.
+//
+// The store runs in one of two modes:
+//
+// Unbudgeted (no memory budget configured): the first call that needs
+// rows materializes the segment exactly once (checksum-verified, mmap'd
+// where possible) as an in-memory relation via rel.FromPacked; every
+// later call delegates at interface-dispatch cost.  This is the
+// fastest shape when everything fits in RAM.
+//
+// Budgeted (Manager.SetMemBudget): the segment stays mmap-resident.
+// Row, Each, Tuples, Filter and friends scan the mapped columns
+// directly — streaming a segment costs no heap at all — while hash
+// probes (Lookup, Prober, Select, SelectIn*, Has) are served by
+// lazily-built per-column offset indexes whose tuples are views into
+// the mapping.  Those indexes (plus, for membership-heavy segments
+// small enough, a fully materialized relation sharing the mapped
+// storage) are residency artifacts charged to the Budget and evicted
+// back to mmap-only under pressure; a later probe transparently
+// rebuilds them.
+//
+// A mapping failure panics with a descriptive error: by then the
+// manifest validated at boot, so a failure means the file changed
+// underneath us — an invariant violation the engine's panic recovery
+// surfaces as an internal error rather than a wrong answer.
 type Lazy struct {
 	pred     string
 	path     string
@@ -27,14 +45,45 @@ type Lazy struct {
 	rows     int
 	checksum uint64
 
-	// onLoad, when set, observes the one materialization (manager
-	// statistics).  It runs inside the once, so it never races.
+	// onLoad, when set, observes the one mapping (manager statistics).
+	// It runs inside the once, so it never races.
 	onLoad func(took time.Duration, bytes int64)
 
-	once   sync.Once
-	loaded atomic.Bool
-	r      *rel.Relation
-	err    error
+	// budget, when set, switches the store to mmap-resident probing
+	// with evictable residency artifacts.  Set before first use.
+	budget *Budget
+
+	mapOnce sync.Once
+	mapped  atomic.Bool
+	packed  []rel.Value // row-major column data viewing the mapping
+	mapErr  error
+
+	// full is the unbudgeted mode's one-time materialization.
+	full *rel.Relation
+
+	// buildMu serializes residency-artifact construction; res holds the
+	// current artifact set (nil when evicted or never built); lastUsed
+	// is the budget's recency stamp.
+	buildMu  sync.Mutex
+	res      atomic.Pointer[residency]
+	lastUsed atomic.Int64
+}
+
+// residency is one immutable artifact set: whichever of the per-column
+// offset indexes (and possibly a materialized relation) have been built
+// for a budgeted store.  Growing it builds a fresh struct; eviction
+// drops the whole set at once.
+type residency struct {
+	rel  *rel.Relation // non-nil once promoted for membership probes
+	idx  []*colIndex   // per-column offset indexes; nil entries absent
+	cost int64         // estimated heap bytes, as charged to the Budget
+}
+
+// colIndex is a per-column offset index over the mapped columns: value
+// → the tuples holding it, each tuple a view into the mapping.
+type colIndex struct {
+	m     map[rel.Value][]rel.Tuple
+	bytes int64
 }
 
 // NewLazy returns a lazy store over a validated segment file.  Callers
@@ -43,30 +92,180 @@ func NewLazy(pred, path string, arity, rows int, checksum uint64) *Lazy {
 	return &Lazy{pred: pred, path: path, arity: arity, rows: rows, checksum: checksum}
 }
 
-// load materializes the segment once; concurrent first probes share it.
-func (l *Lazy) load() *rel.Relation {
-	l.once.Do(func() {
+// data maps the segment (verifying the checksum) exactly once and
+// returns the packed row-major column values.
+func (l *Lazy) data() []rel.Value {
+	l.mapOnce.Do(func() {
 		start := time.Now()
 		data, bytes, err := readSegment(l.path, l.arity, l.rows, l.checksum)
 		if err != nil {
-			l.err = err
+			l.mapErr = err
 			return
 		}
-		l.r = rel.FromPacked(l.arity, data)
-		l.loaded.Store(true)
+		l.packed = data
+		l.mapped.Store(true)
 		if l.onLoad != nil {
 			l.onLoad(time.Since(start), bytes)
 		}
 	})
-	if l.err != nil {
-		panic(fmt.Sprintf("segment: predicate %q: %v", l.pred, l.err))
+	if l.mapErr != nil {
+		panic(fmt.Sprintf("segment: predicate %q: %v", l.pred, l.mapErr))
 	}
-	return l.r
+	return l.packed
 }
 
-// Loaded reports whether the segment data has been materialized yet
-// without triggering the load.
-func (l *Lazy) Loaded() bool { return l.loaded.Load() }
+// ensureMapped forces the mapping without probing, reporting any
+// failure as an error instead of a panic.  The manager calls it before
+// garbage-collecting a file this store still reads from, so eviction to
+// "mmap-only" can never turn into "file gone".
+func (l *Lazy) ensureMapped() (err error) {
+	defer func() {
+		if recover() != nil {
+			err = l.mapErr
+		}
+	}()
+	l.data()
+	return nil
+}
+
+// load is the unbudgeted mode's one-time full materialization.
+func (l *Lazy) load() *rel.Relation {
+	l.buildMu.Lock()
+	defer l.buildMu.Unlock()
+	if l.full == nil {
+		l.full = rel.FromPacked(l.arity, l.data())
+	}
+	return l.full
+}
+
+// touch refreshes the budget's recency stamp for this store.
+func (l *Lazy) touch() {
+	if l.budget == nil {
+		return
+	}
+	if now := l.budget.now(); l.lastUsed.Load() != now {
+		l.lastUsed.Store(now)
+	}
+}
+
+// rowView returns the i-th tuple as a view into the mapped columns.
+func (l *Lazy) rowView(d []rel.Value, i int) rel.Tuple {
+	return rel.Tuple(d[i*l.arity : (i+1)*l.arity])
+}
+
+// index returns the offset index on col, building (and charging) it if
+// it is not resident.
+func (l *Lazy) index(col int) *colIndex {
+	if res := l.res.Load(); res != nil && res.idx != nil && res.idx[col] != nil {
+		l.touch()
+		return res.idx[col]
+	}
+	l.buildMu.Lock()
+	defer l.buildMu.Unlock()
+	res := l.res.Load()
+	if res != nil && res.idx != nil && res.idx[col] != nil {
+		return res.idx[col]
+	}
+	d := l.data()
+	idx := &colIndex{m: make(map[rel.Value][]rel.Tuple)}
+	for i := 0; i < l.rows; i++ {
+		t := l.rowView(d, i)
+		idx.m[t[col]] = append(idx.m[t[col]], t)
+	}
+	// Tuple headers in the buckets dominate; each distinct value adds a
+	// map entry and a slice header.
+	idx.bytes = int64(l.rows)*24 + int64(len(idx.m))*48 + 64
+	l.install(l.grow(res, col, idx))
+	return idx
+}
+
+// promote returns a relation for membership probes, materializing one
+// over the mapped storage (key table only — the data stays the mmap)
+// when its cost fits a quarter of the budget; it returns nil when the
+// segment is too big to promote, in which case Has falls back to the
+// column-0 offset index.
+func (l *Lazy) promote() *rel.Relation {
+	if res := l.res.Load(); res != nil && res.rel != nil {
+		l.touch()
+		return res.rel
+	}
+	cost := relCost(l.rows)
+	if cost*4 > l.budget.Cap() {
+		return nil
+	}
+	l.buildMu.Lock()
+	defer l.buildMu.Unlock()
+	res := l.res.Load()
+	if res != nil && res.rel != nil {
+		return res.rel
+	}
+	r := rel.FromPacked(l.arity, l.data())
+	next := &residency{rel: r, idx: cloneIdx(res, l.arity), cost: cost}
+	for _, ix := range next.idx {
+		if ix != nil {
+			next.cost += ix.bytes
+		}
+	}
+	l.install(next)
+	return r
+}
+
+// grow copies res and adds the index on col, recomputing the total cost.
+func (l *Lazy) grow(res *residency, col int, idx *colIndex) *residency {
+	next := &residency{idx: cloneIdx(res, l.arity)}
+	if res != nil && res.rel != nil {
+		next.rel = res.rel
+		next.cost = relCost(l.rows)
+	}
+	next.idx[col] = idx
+	for _, ix := range next.idx {
+		if ix != nil {
+			next.cost += ix.bytes
+		}
+	}
+	return next
+}
+
+// install publishes a new artifact set, charging the budget when one is
+// configured (which may evict other stores to make room).
+func (l *Lazy) install(next *residency) {
+	if l.budget != nil {
+		l.budget.install(l, next)
+		return
+	}
+	l.res.Store(next)
+}
+
+// cloneIdx copies res's index slice (or makes a fresh one).
+func cloneIdx(res *residency, arity int) []*colIndex {
+	idx := make([]*colIndex, arity)
+	if res != nil && res.idx != nil {
+		copy(idx, res.idx)
+	}
+	return idx
+}
+
+// relCost estimates the heap bytes of a key table over n mapped rows.
+func relCost(n int) int64 {
+	slots := int64(n) + int64(n)/7 + 1
+	return slots*12 + 64
+}
+
+// Loaded reports whether the segment data has been mapped yet, without
+// triggering the mapping.
+func (l *Lazy) Loaded() bool { return l.mapped.Load() }
+
+// Resident reports whether any probe-acceleration artifacts (offset
+// indexes or a materialized relation) are currently held in memory for
+// this store — false after an eviction even though the mapping remains.
+func (l *Lazy) Resident() bool {
+	if l.budget == nil {
+		l.buildMu.Lock()
+		defer l.buildMu.Unlock()
+		return l.full != nil
+	}
+	return l.res.Load() != nil
+}
 
 // Arity returns the column count from manifest metadata (no load).
 func (l *Lazy) Arity() int { return l.arity }
@@ -74,71 +273,221 @@ func (l *Lazy) Arity() int { return l.arity }
 // Len returns the row count from manifest metadata (no load).
 func (l *Lazy) Len() int { return l.rows }
 
-// Row returns the i-th tuple, materializing the segment on first use.
-func (l *Lazy) Row(i int) rel.Tuple { return l.load().Row(i) }
+// Row returns the i-th tuple.  Budgeted stores answer as a view into
+// the mapped columns — streaming a segment row by row holds no heap.
+func (l *Lazy) Row(i int) rel.Tuple {
+	if l.budget == nil {
+		return l.load().Row(i)
+	}
+	return l.rowView(l.data(), i)
+}
 
-// Has reports membership, materializing the segment on first use.
-func (l *Lazy) Has(t rel.Tuple) bool { return l.load().Has(t) }
+// Has reports membership.  Budgeted stores use the materialized
+// relation when the segment was small enough to promote, else a scan of
+// the column-0 offset index bucket.
+func (l *Lazy) Has(t rel.Tuple) bool {
+	if l.budget == nil {
+		return l.load().Has(t)
+	}
+	if r := l.promote(); r != nil {
+		return r.Has(t)
+	}
+candidates:
+	for _, row := range l.Lookup(0, t[0]) {
+		for i := 1; i < l.arity; i++ {
+			if row[i] != t[i] {
+				continue candidates
+			}
+		}
+		return true
+	}
+	return false
+}
 
-// Each iterates every tuple, materializing the segment on first use.
-func (l *Lazy) Each(f func(rel.Tuple)) { l.load().Each(f) }
+// Each calls f on every tuple; budgeted stores scan the mapping.
+func (l *Lazy) Each(f func(rel.Tuple)) {
+	if l.budget == nil {
+		l.load().Each(f)
+		return
+	}
+	d := l.data()
+	for i := 0; i < l.rows; i++ {
+		f(l.rowView(d, i))
+	}
+}
 
 // Tuples returns all tuples in sorted order.
-func (l *Lazy) Tuples() []rel.Tuple { return l.load().Tuples() }
-
-// Lookup probes the column index, materializing on first use.
-func (l *Lazy) Lookup(col int, v rel.Value) []rel.Tuple { return l.load().Lookup(col, v) }
-
-// BuildIndex forces the column index (and the load) eagerly.
-func (l *Lazy) BuildIndex(col int) { l.load().BuildIndex(col) }
-
-// Prober returns a per-goroutine probe closure; the load itself is
-// deferred to the closure's first call, matching Relation.Prober's
-// lazy-resolve contract.
-func (l *Lazy) Prober(col int) func(rel.Value) []rel.Tuple {
-	var probe func(rel.Value) []rel.Tuple
-	return func(v rel.Value) []rel.Tuple {
-		if probe == nil {
-			probe = l.load().Prober(col)
+func (l *Lazy) Tuples() []rel.Tuple {
+	if l.budget == nil {
+		return l.load().Tuples()
+	}
+	d := l.data()
+	out := make([]rel.Tuple, l.rows)
+	for i := range out {
+		out[i] = l.rowView(d, i)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
 		}
-		return probe(v)
+		return false
+	})
+	return out
+}
+
+// Lookup probes the column's offset index, building it on first use.
+func (l *Lazy) Lookup(col int, v rel.Value) []rel.Tuple {
+	if l.budget == nil {
+		return l.load().Lookup(col, v)
+	}
+	return l.index(col).m[v]
+}
+
+// BuildIndex forces the column index eagerly.
+func (l *Lazy) BuildIndex(col int) {
+	if l.budget == nil {
+		l.load().BuildIndex(col)
+		return
+	}
+	l.index(col)
+}
+
+// Prober returns a per-goroutine probe closure; index construction is
+// deferred to the closure's first call, matching Relation.Prober's
+// lazy-resolve contract.  The resolved index stays pinned for the
+// closure's lifetime, so a concurrent eviction cannot stall a join
+// mid-flight.
+func (l *Lazy) Prober(col int) func(rel.Value) []rel.Tuple {
+	if l.budget == nil {
+		var probe func(rel.Value) []rel.Tuple
+		return func(v rel.Value) []rel.Tuple {
+			if probe == nil {
+				probe = l.load().Prober(col)
+			}
+			return probe(v)
+		}
+	}
+	var idx *colIndex
+	return func(v rel.Value) []rel.Tuple {
+		if idx == nil {
+			idx = l.index(col)
+		}
+		l.touch()
+		return idx.m[v]
 	}
 }
 
 // Index renders the column index as a map (diagnostic).
-func (l *Lazy) Index(col int) map[rel.Value][]rel.Tuple { return l.load().Index(col) }
+func (l *Lazy) Index(col int) map[rel.Value][]rel.Tuple {
+	if l.budget == nil {
+		return l.load().Index(col)
+	}
+	idx := l.index(col)
+	out := make(map[rel.Value][]rel.Tuple, len(idx.m))
+	for v, ts := range idx.m {
+		out[v] = ts
+	}
+	return out
+}
 
 // Clone materializes an independent in-memory copy.
-func (l *Lazy) Clone() *rel.Relation { return l.load().Clone() }
+func (l *Lazy) Clone() *rel.Relation {
+	if l.budget == nil {
+		return l.load().Clone()
+	}
+	d := l.data()
+	cp := make([]rel.Value, len(d))
+	copy(cp, d)
+	return rel.FromPacked(l.arity, cp)
+}
 
 // Select returns the tuples with t[col] == v as a new relation.
-func (l *Lazy) Select(col int, v rel.Value) *rel.Relation { return l.load().Select(col, v) }
+func (l *Lazy) Select(col int, v rel.Value) *rel.Relation {
+	if l.budget == nil {
+		return l.load().Select(col, v)
+	}
+	out := rel.NewRelation(l.arity)
+	for _, t := range l.Lookup(col, v) {
+		out.Insert(t)
+	}
+	return out
+}
 
 // SelectIn returns the tuples whose col value appears in allowed.
 func (l *Lazy) SelectIn(col int, allowed *rel.Relation) *rel.Relation {
-	return l.load().SelectIn(col, allowed)
+	return l.SelectInCols([]int{col}, allowed)
 }
 
-// SelectInCols is the multi-column seed restriction over the segment.
+// SelectInCols is the multi-column seed restriction over the segment:
+// probe the offset index when allowed is small, scan the mapping when
+// it is not — the same crossover Relation uses.
 func (l *Lazy) SelectInCols(cols []int, allowed *rel.Relation) *rel.Relation {
-	return l.load().SelectInCols(cols, allowed)
+	if l.budget == nil {
+		return l.load().SelectInCols(cols, allowed)
+	}
+	out := rel.NewRelation(l.arity)
+	if allowed.Len()*8 < l.rows {
+		allowed.Each(func(m rel.Tuple) {
+		candidates:
+			for _, t := range l.Lookup(cols[0], m[0]) {
+				for i := 1; i < len(cols); i++ {
+					if t[cols[i]] != m[i] {
+						continue candidates
+					}
+				}
+				out.Insert(t)
+			}
+		})
+		return out
+	}
+	key := make(rel.Tuple, len(cols))
+	l.Each(func(t rel.Tuple) {
+		for i, c := range cols {
+			key[i] = t[c]
+		}
+		if allowed.Has(key) {
+			out.Insert(t)
+		}
+	})
+	return out
 }
 
 // Filter returns the tuples satisfying pred as a new relation.
-func (l *Lazy) Filter(pred func(rel.Tuple) bool) *rel.Relation { return l.load().Filter(pred) }
+func (l *Lazy) Filter(pred func(rel.Tuple) bool) *rel.Relation {
+	if l.budget == nil {
+		return l.load().Filter(pred)
+	}
+	out := rel.NewRelation(l.arity)
+	l.Each(func(t rel.Tuple) {
+		if pred(t) {
+			out.Insert(t)
+		}
+	})
+	return out
+}
 
-// Without subtracts remove, preserving the receiver's identity when
-// nothing was removed so copy-on-write swaps keep sharing the segment.
+// Without subtracts remove.  Nothing removed preserves the receiver's
+// identity so copy-on-write swaps keep sharing the segment; a real
+// retraction layers a tombstone overlay over the segment instead of
+// materializing it, which is what lets the manager publish the
+// retraction as a delta chained onto the base segment.
 func (l *Lazy) Without(remove []rel.Tuple) (rel.Store, int) {
-	out, n := l.load().Without(remove)
-	if n == 0 {
+	dels := rel.NewRelation(l.arity)
+	for _, t := range remove {
+		if l.Has(t) {
+			dels.Insert(t.Clone())
+		}
+	}
+	if dels.Len() == 0 {
 		return l, 0
 	}
-	return out, n
+	return rel.NewLayered(l, nil, dels), dels.Len()
 }
 
 // Packed exposes the packed column data for republication; segment
 // reuse by identity normally makes this unnecessary.
-func (l *Lazy) Packed() []rel.Value { return l.load().Packed() }
+func (l *Lazy) Packed() []rel.Value { return l.data() }
 
 var _ rel.Store = (*Lazy)(nil)

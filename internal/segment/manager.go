@@ -13,11 +13,26 @@ import (
 	"linrec/internal/rel"
 )
 
+// Chain-folding thresholds.  A publish appends a delta link only while
+// the chain stays short and mostly alive; past either bound it folds
+// the chain into a single fresh segment instead (inline compaction).
+// The background compactor tidies at lower thresholds, so chains left
+// behind by a write burst shrink even when no further writes arrive.
+const (
+	// maxChainLinks bounds a chain at publish time: a delta that would
+	// make the chain longer folds instead.
+	maxChainLinks = 8
+	// compactChainLinks is the background compactor's length trigger.
+	compactChainLinks = 4
+)
+
 // Manager owns one data directory: it boots the newest published
 // snapshot from the manifest and publishes new snapshots as immutable
 // segment files plus an atomic manifest swap.  One Manager serves one
-// engine; Publish calls arrive serialized under the engine's write
-// lock, while Stats may be read concurrently from the HTTP handlers.
+// engine; Publish/PublishDelta calls arrive serialized under the
+// engine's write lock, the background compactor serializes against
+// them on the manager's own lock, and Stats may be read concurrently
+// from the HTTP handlers.
 type Manager struct {
 	dir string
 
@@ -27,12 +42,25 @@ type Manager struct {
 	lastDB   rel.DB    // DB of the last published snapshot
 	symCount int       // symbols already persisted in man.Symtab
 
+	// budget, when set (SetMemBudget before Boot), puts every lazy
+	// store this manager hands out into mmap-resident mode with
+	// evictable probe artifacts.
+	budget *Budget
+
+	// lazyByFile maps segment file names to the live Lazy stores
+	// reading them.  gc consults it so a file is force-mapped before
+	// its directory entry disappears — without this, compacting or
+	// replacing a predicate could unlink a segment an in-flight query
+	// (pinning an old snapshot) had not touched yet, turning its first
+	// probe into a crash.
+	lazyByFile map[string]*Lazy
+
 	stats Stats
 	// Lazy-load counters live outside mu: onLoad fires inside a store's
-	// load-once, which a Publish holding mu may itself trigger (Packed on
-	// a not-yet-loaded store), so they must not re-enter the lock.
+	// map-once, which a Publish holding mu may itself trigger (Packed on
+	// a not-yet-mapped store), so they must not re-enter the lock.
 	lazyLoads      atomic.Int64
-	lazyLoadMillis atomic.Int64
+	lazyLoadMicros atomic.Int64
 
 	// crashAt, when non-zero, aborts Publish at a chosen stage so the
 	// crash-recovery tests can observe every intermediate disk state.
@@ -55,7 +83,9 @@ const (
 var errCrash = fmt.Errorf("segment: simulated crash")
 
 // Stats is a point-in-time snapshot of the manager's counters, shaped
-// for /v1/stats and /metrics.
+// for /v1/stats and /metrics.  The residency block is zero unless a
+// memory budget is configured; the chain block describes the current
+// manifest's delta chains.
 type Stats struct {
 	Dir             string `json:"dir"`
 	Generation      uint64 `json:"generation"`
@@ -69,21 +99,35 @@ type Stats struct {
 	SegmentsReused  int64  `json:"segments_reused"`
 	BytesWritten    int64  `json:"bytes_written"`
 	LazyLoads       int64  `json:"lazy_loads"`
-	LazyLoadMillis  int64  `json:"lazy_load_millis"`
+	LazyLoadMicros  int64  `json:"lazy_load_micros"`
 	GCRemoved       int64  `json:"gc_removed"`
+
+	MemBudgetBytes    int64 `json:"mem_budget_bytes,omitempty"`
+	ResidentBytes     int64 `json:"resident_bytes"`
+	ResidentPeakBytes int64 `json:"resident_peak_bytes"`
+	ResidentSegments  int   `json:"resident_segments"`
+	Evictions         int64 `json:"evictions"`
+	EvictedBytes      int64 `json:"evicted_bytes"`
+
+	DeltaLinks     int64 `json:"delta_links_written"`
+	ChainPreds     int   `json:"chain_preds"`
+	ChainLinks     int   `json:"chain_links"`
+	MaxChainLinks  int   `json:"max_chain_links"`
+	Compactions    int64 `json:"compactions"`
+	CompactedLinks int64 `json:"compacted_links"`
 }
 
 // Open attaches a Manager to dir, creating the directory if needed and
 // validating any existing manifest eagerly: every referenced segment
-// file must exist with the exact size and header the manifest promises.
-// Validation reads 24 bytes per predicate, so opening stays
-// proportional to the number of persisted predicates, not to row
-// counts.
+// file — base and chained delta alike — must exist with the exact size
+// and header the manifest promises.  Validation reads 24 bytes per
+// file, so opening stays proportional to the number of persisted
+// segments, not to row counts.
 func Open(dir string) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{dir: dir}
+	m := &Manager{dir: dir, lazyByFile: map[string]*Lazy{}}
 	m.stats.Dir = dir
 	man, err := readManifest(dir)
 	if os.IsNotExist(err) {
@@ -93,8 +137,20 @@ func Open(dir string) (*Manager, error) {
 		return nil, err
 	}
 	for _, p := range man.Preds {
-		if err := checkSegmentHeader(filepath.Join(dir, p.File), p.Arity, p.Rows, p.Checksum); err != nil {
+		if err := checkSegmentHeader(filepath.Join(dir, p.File), p.Arity, baseRows(p), p.Checksum); err != nil {
 			return nil, fmt.Errorf("segment: predicate %q: %w", p.Pred, err)
+		}
+		for _, lk := range p.Links {
+			if lk.AddFile != "" {
+				if err := checkSegmentHeader(filepath.Join(dir, lk.AddFile), p.Arity, lk.AddRows, lk.AddChecksum); err != nil {
+					return nil, fmt.Errorf("segment: predicate %q delta: %w", p.Pred, err)
+				}
+			}
+			if lk.DelFile != "" {
+				if err := checkSegmentHeader(filepath.Join(dir, lk.DelFile), p.Arity, lk.DelRows, lk.DelChecksum); err != nil {
+					return nil, fmt.Errorf("segment: predicate %q delta: %w", p.Pred, err)
+				}
+			}
 		}
 	}
 	if _, err := os.Stat(filepath.Join(dir, man.Symtab)); err != nil {
@@ -109,6 +165,23 @@ func Open(dir string) (*Manager, error) {
 // Dir returns the data directory the manager is attached to.
 func (m *Manager) Dir() string { return m.dir }
 
+// SetMemBudget caps the heap bytes spent on probe-acceleration
+// artifacts (per-column offset indexes, promoted key tables) across
+// every store this manager hands out: segments stay mmap-resident and
+// the least-recently-probed artifacts evict back to mmap-only under
+// pressure, which is what lets a query answer over a database larger
+// than resident memory.  Zero or negative removes the budget.  Call
+// before Boot; stores already handed out keep their previous mode.
+func (m *Manager) SetMemBudget(capBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if capBytes > 0 {
+		m.budget = NewBudget(capBytes)
+	} else {
+		m.budget = nil
+	}
+}
+
 // HasSnapshot reports whether the directory held a published snapshot
 // when the manager opened (i.e. Boot will recover rather than start
 // fresh).  Callers use it to decide whether seeding work is needed.
@@ -118,11 +191,23 @@ func (m *Manager) HasSnapshot() bool {
 	return m.man != nil
 }
 
+// newLazyLocked builds a lazy store over one segment file, wired to
+// the manager's budget, load counters and gc registry.
+func (m *Manager) newLazyLocked(pred, file string, arity, rows int, checksum uint64) *Lazy {
+	lz := NewLazy(pred, filepath.Join(m.dir, file), arity, rows, checksum)
+	lz.onLoad = m.noteLoad
+	lz.budget = m.budget
+	m.lazyByFile[file] = lz
+	return lz
+}
+
 // Boot restores the last published snapshot: it replays the persisted
 // symbol table into syms and returns a database of lazy disk-backed
-// stores plus the persisted snapshot version.  ok is false when the
-// directory holds no manifest yet (fresh start).  No segment data is
-// read — stores materialize on first probe.
+// stores plus the persisted snapshot version.  A predicate persisted
+// as a delta chain boots as layered lazy stores — base segment plus
+// one overlay per chain link — so recovery still reads no segment
+// data.  ok is false when the directory holds no manifest yet (fresh
+// start).
 func (m *Manager) Boot(syms *rel.Symtab) (db rel.DB, version uint64, ok bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -140,9 +225,18 @@ func (m *Manager) Boot(syms *rel.Symtab) (db rel.DB, version uint64, ok bool, er
 	db = make(rel.DB, len(m.man.Preds))
 	rows := 0
 	for _, p := range m.man.Preds {
-		lz := NewLazy(p.Pred, filepath.Join(m.dir, p.File), p.Arity, p.Rows, p.Checksum)
-		lz.onLoad = m.noteLoad
-		db[p.Pred] = lz
+		var st rel.Store = m.newLazyLocked(p.Pred, p.File, p.Arity, baseRows(p), p.Checksum)
+		for _, lk := range p.Links {
+			var adds, dels rel.Store
+			if lk.AddFile != "" {
+				adds = m.newLazyLocked(p.Pred, lk.AddFile, p.Arity, lk.AddRows, lk.AddChecksum)
+			}
+			if lk.DelFile != "" {
+				dels = m.newLazyLocked(p.Pred, lk.DelFile, p.Arity, lk.DelRows, lk.DelChecksum)
+			}
+			st = rel.NewLayered(st, adds, dels)
+		}
+		db[p.Pred] = st
 		rows += p.Rows
 	}
 	m.booted = db
@@ -155,11 +249,13 @@ func (m *Manager) Boot(syms *rel.Symtab) (db rel.DB, version uint64, ok bool, er
 	return db, m.man.Version, true, nil
 }
 
-// noteLoad records one lazy segment materialization.  Lock-free on
-// purpose — see the counter declarations.
+// noteLoad records one lazy segment mapping.  Lock-free on purpose —
+// see the counter declarations.  Microsecond resolution: an mmap of a
+// warm file costs tens of microseconds, which millisecond granularity
+// used to truncate to zero.
 func (m *Manager) noteLoad(took time.Duration, bytes int64) {
 	m.lazyLoads.Add(1)
-	m.lazyLoadMillis.Add(took.Milliseconds())
+	m.lazyLoadMicros.Add(took.Microseconds())
 }
 
 // Publish persists a snapshot: unchanged predicates (same store
@@ -174,7 +270,26 @@ func (m *Manager) noteLoad(took time.Duration, bytes int64) {
 func (m *Manager) Publish(version uint64, db rel.DB, syms *rel.Symtab) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.publishLocked(version, db, syms, false)
+}
 
+// PublishDelta is Publish with partial segment reuse: a predicate
+// whose store is one overlay layer (rel.Layered) over the previously
+// published store persists just the overlay as a delta segment chained
+// onto the base, instead of rewriting the whole relation.  Chains are
+// bounded — a delta that would push a chain past its length or garbage
+// threshold folds the whole chain into a single fresh segment instead,
+// and in that case (only) the entry in db is replaced in place with an
+// equivalent flat lazy store over the new segment, so the caller's
+// snapshot serves the compacted shape.  The durability contract is
+// identical to Publish.
+func (m *Manager) PublishDelta(version uint64, db rel.DB, syms *rel.Symtab) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.publishLocked(version, db, syms, true)
+}
+
+func (m *Manager) publishLocked(version uint64, db rel.DB, syms *rel.Symtab, allowDelta bool) error {
 	gen := uint64(1)
 	if m.man != nil {
 		gen = m.man.Generation + 1
@@ -196,16 +311,42 @@ func (m *Manager) Publish(version uint64, db rel.DB, syms *rel.Symtab) error {
 	next := &manifest{Format: manifestFormat, Generation: gen, Version: version}
 	for _, pred := range preds {
 		st := db[pred]
-		if old, ok := prev[pred]; ok && m.lastDB != nil && m.lastDB[pred] == st {
+		old, hasOld := prev[pred]
+		if hasOld && m.lastDB != nil && m.lastDB[pred] == st {
 			next.Preds = append(next.Preds, old)
 			m.stats.SegmentsReused++
 			continue
+		}
+		ly, layered := st.(*rel.Layered)
+		oneLayer := layered && hasOld && m.lastDB != nil && m.lastDB[pred] == ly.Base()
+		if allowDelta && oneLayer {
+			wouldLinks := len(old.Links) + 1
+			garbage := chainGarbage(old) + 2*ly.Dels().Len()
+			if wouldLinks <= maxChainLinks && garbage <= st.Len() {
+				entry, err := m.writeDelta(pred, gen, old, ly)
+				if err != nil {
+					return err
+				}
+				next.Preds = append(next.Preds, entry)
+				continue
+			}
 		}
 		entry, err := m.writePred(pred, gen, st)
 		if err != nil {
 			return err
 		}
 		next.Preds = append(next.Preds, entry)
+		if allowDelta && layered {
+			// The served store is a chain but the disk shape is now a
+			// single segment: replace the chain in the caller's (not yet
+			// visible) snapshot with a flat lazy over the fresh segment,
+			// folding the in-memory layers along with the on-disk ones.
+			db[pred] = m.newLazyLocked(pred, entry.File, entry.Arity, entry.Rows, entry.Checksum)
+			if oneLayer {
+				m.stats.Compactions++
+				m.stats.CompactedLinks += int64(len(old.Links)) + 1
+			}
+		}
 	}
 	if m.crashAt == crashAfterSegment {
 		return errCrash
@@ -252,8 +393,40 @@ func (m *Manager) Publish(version uint64, db rel.DB, syms *rel.Symtab) error {
 	return nil
 }
 
-// writePred materializes one predicate's tuples into a fresh segment.
-func (m *Manager) writePred(pred string, gen uint64, st rel.Store) (predEntry, error) {
+// writeDelta persists one overlay layer as chained delta segments and
+// returns the extended chain entry.
+func (m *Manager) writeDelta(pred string, gen uint64, old predEntry, ly *rel.Layered) (predEntry, error) {
+	entry := old
+	entry.Links = append(make([]chainLink, 0, len(old.Links)+1), old.Links...)
+	if len(old.Links) == 0 {
+		entry.BaseRows = old.Rows
+	}
+	var lk chainLink
+	if adds := ly.Adds(); adds.Len() > 0 {
+		file := fmt.Sprintf("%s-%d.add.seg", sanitize(pred), gen)
+		sum, bytes, err := m.writeStoreSegment(file, adds)
+		if err != nil {
+			return predEntry{}, err
+		}
+		lk.AddFile, lk.AddRows, lk.AddChecksum, lk.AddBytes = file, adds.Len(), sum, bytes
+	}
+	if dels := ly.Dels(); dels.Len() > 0 {
+		file := fmt.Sprintf("%s-%d.del.seg", sanitize(pred), gen)
+		sum, bytes, err := m.writeStoreSegment(file, dels)
+		if err != nil {
+			return predEntry{}, err
+		}
+		lk.DelFile, lk.DelRows, lk.DelChecksum, lk.DelBytes = file, dels.Len(), sum, bytes
+	}
+	entry.Links = append(entry.Links, lk)
+	entry.Rows = ly.Len()
+	m.stats.DeltaLinks++
+	return entry, nil
+}
+
+// writeStoreSegment flattens st into a segment file, updating the
+// write counters.
+func (m *Manager) writeStoreSegment(file string, st rel.Store) (checksum uint64, bytes int64, err error) {
 	type packed interface{ Packed() []rel.Value }
 	var data []rel.Value
 	if p, ok := st.(packed); ok {
@@ -263,14 +436,22 @@ func (m *Manager) writePred(pred string, gen uint64, st rel.Store) (predEntry, e
 		data = make([]rel.Value, 0, st.Len()*st.Arity())
 		st.Each(func(t rel.Tuple) { data = append(data, t...) })
 	}
-	file := fmt.Sprintf("%s-%d.seg", sanitize(pred), gen)
-	path := filepath.Join(m.dir, file)
-	checksum, bytes, err := writeSegment(path, st.Arity(), data)
+	checksum, bytes, err = writeSegment(filepath.Join(m.dir, file), st.Arity(), data)
 	if err != nil {
-		return predEntry{}, err
+		return 0, 0, err
 	}
 	m.stats.SegmentsWritten++
 	m.stats.BytesWritten += bytes
+	return checksum, bytes, nil
+}
+
+// writePred materializes one predicate's tuples into a fresh segment.
+func (m *Manager) writePred(pred string, gen uint64, st rel.Store) (predEntry, error) {
+	file := fmt.Sprintf("%s-%d.seg", sanitize(pred), gen)
+	checksum, bytes, err := m.writeStoreSegment(file, st)
+	if err != nil {
+		return predEntry{}, err
+	}
 	return predEntry{
 		Pred:     pred,
 		Arity:    st.Arity(),
@@ -281,14 +462,141 @@ func (m *Manager) writePred(pred string, gen uint64, st rel.Store) (predEntry, e
 	}, nil
 }
 
+// CompactOnce folds every chain past the background thresholds
+// (compactChainLinks links, or more garbage than live rows) back into
+// a single segment, publishing a new manifest generation at the same
+// snapshot version.  Purely physical: live stores keep serving the
+// chain they hold, identity-based reuse still matches them, and the
+// next publish inherits the folded entry.  Returns how many chains
+// folded.
+func (m *Manager) CompactOnce() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.man == nil {
+		return 0, nil
+	}
+	gen := m.man.Generation + 1
+	next := &manifest{Format: manifestFormat, Generation: gen, Version: m.man.Version, Symtab: m.man.Symtab}
+	folded := 0
+	for _, p := range m.man.Preds {
+		long := len(p.Links) >= compactChainLinks
+		garbage := len(p.Links) > 0 && chainGarbage(p) > p.Rows
+		if !long && !garbage {
+			next.Preds = append(next.Preds, p)
+			continue
+		}
+		entry, err := m.foldEntry(p, gen)
+		if err != nil {
+			return folded, err
+		}
+		next.Preds = append(next.Preds, entry)
+		m.stats.Compactions++
+		m.stats.CompactedLinks += int64(len(p.Links))
+		folded++
+	}
+	if folded == 0 {
+		return 0, nil
+	}
+	if err := writeManifest(m.dir, next); err != nil {
+		return 0, err
+	}
+	oldMan := m.man
+	m.man = next
+	m.stats.Generation = gen
+	m.gc(oldMan, next)
+	return folded, nil
+}
+
+// foldEntry replays a chain from disk — base, then each link's dels
+// and adds in order — and writes the result as one fresh segment.
+func (m *Manager) foldEntry(p predEntry, gen uint64) (predEntry, error) {
+	data, _, err := readSegment(filepath.Join(m.dir, p.File), p.Arity, baseRows(p), p.Checksum)
+	if err != nil {
+		return predEntry{}, err
+	}
+	cur := rel.FromPacked(p.Arity, data)
+	for _, lk := range p.Links {
+		if lk.DelFile != "" {
+			dd, _, err := readSegment(filepath.Join(m.dir, lk.DelFile), p.Arity, lk.DelRows, lk.DelChecksum)
+			if err != nil {
+				return predEntry{}, err
+			}
+			dels := make([]rel.Tuple, lk.DelRows)
+			for i := range dels {
+				dels[i] = rel.Tuple(dd[i*p.Arity : (i+1)*p.Arity])
+			}
+			st, _ := cur.Without(dels)
+			cur = st.(*rel.Relation)
+		}
+		if lk.AddFile != "" {
+			ad, _, err := readSegment(filepath.Join(m.dir, lk.AddFile), p.Arity, lk.AddRows, lk.AddChecksum)
+			if err != nil {
+				return predEntry{}, err
+			}
+			for i := 0; i < lk.AddRows; i++ {
+				cur.Insert(rel.Tuple(ad[i*p.Arity : (i+1)*p.Arity]))
+			}
+		}
+	}
+	if cur.Len() != p.Rows {
+		return predEntry{}, fmt.Errorf("segment: predicate %q chain folds to %d rows, manifest says %d", p.Pred, cur.Len(), p.Rows)
+	}
+	return m.writePred(p.Pred, gen, cur)
+}
+
+// StartCompactor runs CompactOnce every interval on a background
+// goroutine until the returned stop function is called.  Fold errors
+// are swallowed (the chain stays valid and the next tick retries); a
+// non-positive interval disables the compactor and returns a no-op
+// stop.
+func (m *Manager) StartCompactor(every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_, _ = m.CompactOnce()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
 // gc removes files referenced by the old manifest but not the new one,
 // plus any stray *.seg / symtab-*.bin left behind by crashed publishes.
 // Removal is best-effort: a leaked file wastes disk but can never be
-// resurrected, because nothing references it.
+// resurrected, because nothing references it.  A file a live lazy
+// store still reads from is force-mapped first (the mapping survives
+// the unlink), so compaction and segment replacement can never crash
+// an in-flight query pinning an old snapshot.
 func (m *Manager) gc(old, cur *manifest) {
 	live := map[string]bool{manifestName: true, cur.Symtab: true}
 	for _, p := range cur.Preds {
 		live[p.File] = true
+		for _, lk := range p.Links {
+			if lk.AddFile != "" {
+				live[lk.AddFile] = true
+			}
+			if lk.DelFile != "" {
+				live[lk.DelFile] = true
+			}
+		}
 	}
 	entries, err := os.ReadDir(m.dir)
 	if err != nil {
@@ -302,6 +610,14 @@ func (m *Manager) gc(old, cur *manifest) {
 		if !strings.HasSuffix(name, ".seg") && !strings.HasPrefix(name, "symtab-") && name != manifestName+".tmp" {
 			continue
 		}
+		if lz, ok := m.lazyByFile[name]; ok {
+			if lz.ensureMapped() != nil {
+				// Couldn't pin the data into memory; keep the file so the
+				// store's next probe still has something to read.
+				continue
+			}
+			delete(m.lazyByFile, name)
+		}
 		if os.Remove(filepath.Join(m.dir, name)) == nil {
 			m.stats.GCRemoved++
 		}
@@ -314,8 +630,35 @@ func (m *Manager) Stats() Stats {
 	defer m.mu.Unlock()
 	out := m.stats
 	out.LazyLoads = m.lazyLoads.Load()
-	out.LazyLoadMillis = m.lazyLoadMillis.Load()
+	out.LazyLoadMicros = m.lazyLoadMicros.Load()
+	if m.man != nil {
+		for _, p := range m.man.Preds {
+			if n := len(p.Links); n > 0 {
+				out.ChainPreds++
+				out.ChainLinks += n
+				if n > out.MaxChainLinks {
+					out.MaxChainLinks = n
+				}
+			}
+		}
+	}
+	if m.budget != nil {
+		bs := m.budget.Stats()
+		out.MemBudgetBytes = bs.CapBytes
+		out.ResidentBytes = bs.UsedBytes
+		out.ResidentPeakBytes = bs.PeakBytes
+		out.ResidentSegments = bs.Resident
+		out.Evictions = bs.Evictions
+		out.EvictedBytes = bs.EvictedBytes
+	}
 	return out
+}
+
+// Budget returns the configured memory budget, or nil.
+func (m *Manager) Budget() *Budget {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budget
 }
 
 // sanitize maps a predicate name onto a filesystem-safe token.  Escape

@@ -20,19 +20,69 @@ import (
 const manifestName = "MANIFEST"
 
 // manifestFormat guards against reading manifests written by a future,
-// incompatible layout.
-const manifestFormat = 1
+// incompatible layout.  Format 2 added delta chains (predEntry.Links);
+// format-1 manifests are chain-free and remain readable, while a
+// format-2 manifest must not be served by a format-1 reader (it would
+// silently drop the chained deltas), so readers reject formats they do
+// not know.
+const (
+	manifestFormat    = 2
+	manifestFormatMin = 1
+)
 
 // predEntry describes one persisted predicate: enough metadata to
 // answer Arity/Len without touching the segment, and enough integrity
 // information (size and checksum) to validate the file eagerly at boot.
+// File/Checksum/Bytes describe the base segment; Links, when present,
+// chain delta segments (additions and tombstones, in publish order)
+// onto it.  Rows is always the net row count of the whole chain;
+// BaseRows is the base segment's own row count and is meaningful only
+// when Links is non-empty (chain-free entries leave it 0, meaning
+// "equal to Rows").
 type predEntry struct {
-	Pred     string `json:"pred"`
-	Arity    int    `json:"arity"`
-	Rows     int    `json:"rows"`
-	File     string `json:"file"`
-	Checksum uint64 `json:"checksum,string"`
-	Bytes    int64  `json:"bytes"`
+	Pred     string      `json:"pred"`
+	Arity    int         `json:"arity"`
+	Rows     int         `json:"rows"`
+	File     string      `json:"file"`
+	Checksum uint64      `json:"checksum,string"`
+	Bytes    int64       `json:"bytes"`
+	BaseRows int         `json:"base_rows,omitempty"`
+	Links    []chainLink `json:"links,omitempty"`
+}
+
+// chainLink is one published delta: the tuples one snapshot swap added
+// to and tombstoned from the predicate.  Applying a chain left to
+// right — base, minus each link's dels, plus each link's adds —
+// reproduces the published relation exactly.  Either half may be
+// absent (empty file name) when the swap only added or only removed.
+type chainLink struct {
+	AddFile     string `json:"add_file,omitempty"`
+	AddRows     int    `json:"add_rows,omitempty"`
+	AddChecksum uint64 `json:"add_checksum,string,omitempty"`
+	AddBytes    int64  `json:"add_bytes,omitempty"`
+	DelFile     string `json:"del_file,omitempty"`
+	DelRows     int    `json:"del_rows,omitempty"`
+	DelChecksum uint64 `json:"del_checksum,string,omitempty"`
+	DelBytes    int64  `json:"del_bytes,omitempty"`
+}
+
+// baseRows returns the row count of p's base segment file.
+func baseRows(p predEntry) int {
+	if len(p.Links) == 0 {
+		return p.Rows
+	}
+	return p.BaseRows
+}
+
+// chainGarbage returns the dead rows a chain carries: tombstones plus
+// the tombstoned base rows they shadow count double against the chain,
+// so the ratio of garbage to net rows drives compaction.
+func chainGarbage(p predEntry) int {
+	g := 0
+	for _, lk := range p.Links {
+		g += 2 * lk.DelRows
+	}
+	return g
 }
 
 // manifest is the on-disk root of a published snapshot.
@@ -55,8 +105,8 @@ func readManifest(dir string) (*manifest, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("segment: corrupted manifest: %w", err)
 	}
-	if m.Format != manifestFormat {
-		return nil, fmt.Errorf("segment: manifest format %d not supported (want %d)", m.Format, manifestFormat)
+	if m.Format < manifestFormatMin || m.Format > manifestFormat {
+		return nil, fmt.Errorf("segment: manifest format %d not supported (want %d..%d)", m.Format, manifestFormatMin, manifestFormat)
 	}
 	if m.Symtab == "" {
 		return nil, fmt.Errorf("segment: manifest missing symtab reference")
@@ -70,6 +120,20 @@ func readManifest(dir string) (*manifest, error) {
 			return nil, fmt.Errorf("segment: manifest lists predicate %q twice", p.Pred)
 		}
 		seen[p.Pred] = true
+		if len(p.Links) > 0 && baseRows(p) < 0 {
+			return nil, fmt.Errorf("segment: manifest entry for %q has negative base rows", p.Pred)
+		}
+		for i, lk := range p.Links {
+			if lk.AddFile == "" && lk.DelFile == "" {
+				return nil, fmt.Errorf("segment: manifest entry for %q has empty chain link %d", p.Pred, i)
+			}
+			if lk.AddFile == "" && lk.AddRows != 0 {
+				return nil, fmt.Errorf("segment: manifest entry for %q link %d claims add rows without a file", p.Pred, i)
+			}
+			if lk.DelFile == "" && lk.DelRows != 0 {
+				return nil, fmt.Errorf("segment: manifest entry for %q link %d claims del rows without a file", p.Pred, i)
+			}
+		}
 	}
 	return &m, nil
 }

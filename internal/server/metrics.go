@@ -270,10 +270,31 @@ func (s *Server) renderMetrics() string {
 		m.sample("linrec_persist_bytes_written_total", nil, float64(ps.BytesWritten))
 		m.family("linrec_persist_lazy_loads_total", "counter", "Segments materialized on first touch after boot.")
 		m.sample("linrec_persist_lazy_loads_total", nil, float64(ps.LazyLoads))
-		m.family("linrec_persist_lazy_load_seconds_total", "counter", "Cumulative wall time spent materializing segments.")
-		m.sample("linrec_persist_lazy_load_seconds_total", nil, float64(ps.LazyLoadMillis)/1e3)
+		m.family("linrec_persist_lazy_load_seconds_total", "counter", "Cumulative wall time spent mapping segments (microsecond resolution).")
+		m.sample("linrec_persist_lazy_load_seconds_total", nil, float64(ps.LazyLoadMicros)/1e6)
 		m.family("linrec_persist_gc_removed_total", "counter", "Unreferenced storage files removed after manifest swaps.")
 		m.sample("linrec_persist_gc_removed_total", nil, float64(ps.GCRemoved))
+		m.family("linrec_persist_mem_budget_bytes", "gauge", "Configured residency budget for probe artifacts (0 = unbudgeted).")
+		m.sample("linrec_persist_mem_budget_bytes", nil, float64(ps.MemBudgetBytes))
+		m.family("linrec_persist_resident_bytes", "gauge", "Probe-artifact bytes currently resident under the memory budget.")
+		m.sample("linrec_persist_resident_bytes", nil, float64(ps.ResidentBytes))
+		m.family("linrec_persist_resident_peak_bytes", "gauge", "Peak tracked probe-artifact residency since boot.")
+		m.sample("linrec_persist_resident_peak_bytes", nil, float64(ps.ResidentPeakBytes))
+		m.family("linrec_persist_resident_segments", "gauge", "Segments currently holding resident probe artifacts.")
+		m.sample("linrec_persist_resident_segments", nil, float64(ps.ResidentSegments))
+		m.family("linrec_persist_evictions_total", "counter", "Probe artifacts evicted back to mmap-only under budget pressure.")
+		m.sample("linrec_persist_evictions_total", nil, float64(ps.Evictions))
+		m.family("linrec_persist_evicted_bytes_total", "counter", "Probe-artifact bytes released by evictions.")
+		m.sample("linrec_persist_evicted_bytes_total", nil, float64(ps.EvictedBytes))
+		m.family("linrec_persist_delta_links_total", "counter", "Delta segments published as chain links instead of full rewrites.")
+		m.sample("linrec_persist_delta_links_total", nil, float64(ps.DeltaLinks))
+		m.family("linrec_persist_chain_links", "gauge", "Delta-chain links in the current manifest (total and longest chain).")
+		m.sample("linrec_persist_chain_links", [][2]string{{"agg", "total"}}, float64(ps.ChainLinks))
+		m.sample("linrec_persist_chain_links", [][2]string{{"agg", "max"}}, float64(ps.MaxChainLinks))
+		m.family("linrec_persist_compactions_total", "counter", "Chain folds (inline at publish or by the background compactor).")
+		m.sample("linrec_persist_compactions_total", nil, float64(ps.Compactions))
+		m.family("linrec_persist_compacted_links_total", "counter", "Chain links folded away by compactions.")
+		m.sample("linrec_persist_compacted_links_total", nil, float64(ps.CompactedLinks))
 	}
 
 	return m.b.String()
